@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reproduces paper Fig. 2: performance vs area for PRIME running VGG16
+ * -- the peak (computation bound), the ideal case (infinite bandwidth
+ * = utilization bound) and the real case (communication bound).  The
+ * expected shape: ideal rises super-linearly then converges toward
+ * peak; real saturates two orders of magnitude below ideal.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "common/table.hh"
+#include "nn/models.hh"
+#include "sim/bounds.hh"
+
+using namespace fpsa;
+
+int
+main()
+{
+    Graph graph = buildModel(ModelId::Vgg16);
+    SynthesisSummary summary = synthesizeSummary(graph);
+
+    std::cout << "==== Fig. 2: Performance vs. area, PRIME on VGG16 "
+                 "(45 nm) ====\n";
+    std::cout << "Model: " << fmtEng(static_cast<double>(
+                                  graph.weightCount()))
+              << " weights, "
+              << fmtEng(static_cast<double>(graph.opCount()))
+              << " ops/sample, min storage "
+              << summary.minPes() << " PEs\n\n";
+
+    BoundsSweepOptions opt;
+    opt.system = SystemKind::Prime;
+
+    std::vector<double> areas;
+    for (double a = 100.0; a <= 10000.0 * 1.001; a *= std::sqrt(10.0))
+        areas.push_back(a);
+    const auto points = sweepArea(graph, summary, areas, opt);
+
+    Table t({"Area (mm^2)", "Peak (OPS)", "Ideal (OPS)", "Real (OPS)",
+             "Real/Ideal", "Dup"});
+    for (const auto &p : points) {
+        if (p.pes == 0) {
+            t.addRow({fmtDouble(p.area, 0), fmtEng(p.peak), "(no fit)",
+                      "(no fit)", "-", "-"});
+            continue;
+        }
+        t.addRow({fmtDouble(p.area, 0), fmtEng(p.peak), fmtEng(p.ideal),
+                  fmtEng(p.real), fmtDouble(p.real / p.ideal, 4),
+                  std::to_string(p.duplication)});
+    }
+    t.print(std::cout);
+
+    // Shape checks the paper's figure makes visually.
+    const auto &last = points.back();
+    std::cout << "\nShape checks (paper Fig. 2):\n";
+    std::cout << "  real saturates (communication bound): real(max)/"
+                 "real(min-fit) = ";
+    double first_real = 0.0;
+    for (const auto &p : points)
+        if (p.real > 0.0) {
+            first_real = p.real;
+            break;
+        }
+    std::cout << fmtDouble(last.real / first_real, 1)
+              << " (ideal grows " << fmtDouble(last.ideal / first_real, 1)
+              << "x over the same range)\n";
+    std::cout << "  ideal-vs-real gap at max area: "
+              << fmtDouble(last.ideal / last.real, 0)
+              << "x (paper: ~two orders of magnitude)\n";
+    return 0;
+}

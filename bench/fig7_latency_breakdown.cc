@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces paper Fig. 7: the average computation vs communication
+ * latency of one PE operation for PRIME, FP-PRIME and FPSA on VGG16.
+ *
+ * Paper values: PRIME 3064.7 ns compute + ~21 us bus; FP-PRIME
+ * 3064.7 + 59.4 ns (6-bit counts over routed wires); FPSA 156.4 +
+ * 633.9 ns (64-spike trains over the same wires).
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "nn/models.hh"
+#include "sim/perf_model.hh"
+
+using namespace fpsa;
+
+int
+main()
+{
+    Graph graph = buildModel(ModelId::Vgg16);
+    SynthesisSummary summary = synthesizeSummary(graph);
+    AllocationResult alloc = allocateForDuplication(summary, 1);
+
+    const PerfReport prime = evaluatePrime(graph, summary, alloc);
+    const PerfReport fp = evaluateFpPrime(graph, summary, alloc);
+    const PerfReport fpsa = evaluateFpsa(graph, summary, alloc);
+
+    std::cout << "==== Fig. 7: Per-PE latency breakdown, VGG16 ====\n";
+    Table t({"System", "Computation (ns)", "Communication (ns)",
+             "Total (ns)", "Paper comp", "Paper comm"});
+    t.addRow({"PRIME", fmtDouble(prime.computePerPe, 1),
+              fmtDouble(prime.commPerPe, 1),
+              fmtDouble(prime.computePerPe + prime.commPerPe, 1),
+              "3064.7", "~21000"});
+    t.addRow({"FP-PRIME", fmtDouble(fp.computePerPe, 1),
+              fmtDouble(fp.commPerPe, 1),
+              fmtDouble(fp.computePerPe + fp.commPerPe, 1), "3064.7",
+              "59.4"});
+    t.addRow({"FPSA", fmtDouble(fpsa.computePerPe, 1),
+              fmtDouble(fpsa.commPerPe, 1),
+              fmtDouble(fpsa.computePerPe + fpsa.commPerPe, 1), "156.4",
+              "633.9"});
+    t.print(std::cout);
+
+    std::cout
+        << "\nMechanics (Sec. 7.1): FP-PRIME moves 6-bit spike counts "
+           "(6 bits x 9.9 ns wire), FPSA moves the 64-cycle spike train "
+           "directly (64 bits x 9.9 ns) -- 2^n/n more traffic but "
+           "removes encoder/decoder and enables 1-cycle NBD streaming."
+        << "\n";
+    return 0;
+}

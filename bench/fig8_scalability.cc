@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Reproduces paper Fig. 8 (a, b, c): scalability of FPSA for all seven
+ * benchmark models under duplication degrees 1x / 4x / 16x / 64x --
+ * performance, area, and the computational-density stack (peak,
+ * spatial utilization bound, temporal utilization bound, real).
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "common/table.hh"
+#include "nn/models.hh"
+#include "sim/bounds.hh"
+
+using namespace fpsa;
+
+int
+main()
+{
+    const std::vector<std::int64_t> dups{1, 4, 16, 64};
+
+    std::cout << "==== Fig. 8a: Performance (OPS) ====\n";
+    Table perf({"Model", "1x", "4x", "16x", "64x"});
+    std::cout << "==== collecting... ====\n";
+
+    struct Row
+    {
+        std::string name;
+        std::vector<PerfReport> reports;
+        std::vector<DensityBounds> density;
+    };
+    std::vector<Row> rows;
+
+    for (ModelId id : allModels()) {
+        Row row;
+        row.name = modelName(id);
+        Graph graph = buildModel(id);
+        SynthesisSummary summary = synthesizeSummary(graph);
+        for (std::int64_t d : dups) {
+            AllocationResult alloc = allocateForDuplication(summary, d);
+            row.reports.push_back(evaluateFpsa(graph, summary, alloc));
+            row.density.push_back(densityBounds(graph, summary, alloc));
+        }
+        rows.push_back(std::move(row));
+    }
+
+    for (const auto &row : rows) {
+        std::vector<std::string> cells{row.name};
+        for (const auto &r : row.reports)
+            cells.push_back(fmtEng(r.performance));
+        perf.addRow(cells);
+    }
+    perf.print(std::cout);
+
+    std::cout << "\n==== Fig. 8b: Area (mm^2) ====\n";
+    Table area({"Model", "1x (min storage)", "4x", "16x", "64x",
+                "64x/1x area"});
+    for (const auto &row : rows) {
+        std::vector<std::string> cells{row.name};
+        for (const auto &r : row.reports)
+            cells.push_back(fmtDouble(r.area, 2));
+        cells.push_back(fmtDouble(
+            row.reports.back().area / row.reports.front().area, 2) + "x");
+        area.addRow(cells);
+    }
+    area.print(std::cout);
+
+    std::cout << "\n==== Fig. 8c: Computational density (OPS/mm^2) at "
+                 "64x ====\n";
+    Table dens({"Model", "Peak", "Spatial bound", "Temporal bound",
+                "Real"});
+    for (const auto &row : rows) {
+        const DensityBounds &d = row.density.back();
+        dens.addRow({row.name, fmtEng(d.peak), fmtEng(d.spatialBound),
+                     fmtEng(d.temporalBound), fmtEng(d.real)});
+    }
+    dens.print(std::cout);
+
+    std::cout << "\n==== Fig. 8c detail: temporal bound growth with "
+                 "duplication ====\n";
+    Table growth({"Model", "Temporal 1x", "Temporal 64x", "Growth",
+                  "Spatial (flat)"});
+    for (const auto &row : rows) {
+        growth.addRow(
+            {row.name, fmtEng(row.density.front().temporalBound),
+             fmtEng(row.density.back().temporalBound),
+             fmtDouble(row.density.back().temporalBound /
+                           row.density.front().temporalBound,
+                       1) + "x",
+             fmtEng(row.density.back().spatialBound)});
+    }
+    growth.print(std::cout);
+
+    // Geometric means, as the paper reports them.
+    std::cout << "\n==== Geometric-mean scaling vs 1x (paper Sec. 6.3: "
+                 "perf 3.06x/10.88x/38.65x, area 1.25x/1.85x/3.73x) "
+                 "====\n";
+    Table gm({"Duplication", "Perf gain (geo mean)",
+              "Area gain (geo mean)"});
+    for (std::size_t di = 1; di < dups.size(); ++di) {
+        double perf_log = 0.0, area_log = 0.0;
+        for (const auto &row : rows) {
+            perf_log += std::log(row.reports[di].performance /
+                                 row.reports[0].performance);
+            area_log += std::log(row.reports[di].area /
+                                 row.reports[0].area);
+        }
+        gm.addRow({std::to_string(dups[di]) + "x",
+                   fmtDouble(std::exp(perf_log / rows.size()), 2) + "x",
+                   fmtDouble(std::exp(area_log / rows.size()), 2) + "x"});
+    }
+    gm.print(std::cout);
+    return 0;
+}

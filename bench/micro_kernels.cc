@@ -1,0 +1,146 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot kernels:
+ * crossbar current summation, spiking PE windows, SA placement moves,
+ * PathFinder routing, synthesis and scheduling.  These guard the
+ * simulator's own performance (not the modeled hardware's).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "mapper/groups.hh"
+#include "mapper/schedule.hh"
+#include "nn/builder.hh"
+#include "nn/execute.hh"
+#include "nn/models.hh"
+#include "pe/processing_element.hh"
+#include "pnr/pnr_flow.hh"
+#include "reram/crossbar.hh"
+#include "synth/synthesizer.hh"
+
+namespace
+{
+
+using namespace fpsa;
+
+void
+BM_CrossbarColumnCurrents(benchmark::State &state)
+{
+    const int rows = static_cast<int>(state.range(0));
+    CrossbarParams params;
+    params.rows = rows;
+    params.logicalCols = rows;
+    params.cell.variation = VariationModel::ideal();
+    Crossbar xbar(params);
+    Rng rng(1);
+    std::vector<std::int32_t> w(
+        static_cast<std::size_t>(rows) * rows, 60);
+    xbar.programWeights(w, rng);
+    std::vector<std::uint8_t> spikes(static_cast<std::size_t>(rows), 1);
+    for (auto _ : state) {
+        auto currents = xbar.columnCurrents(spikes);
+        benchmark::DoNotOptimize(currents);
+    }
+    state.SetItemsProcessed(state.iterations() * rows * rows);
+}
+BENCHMARK(BM_CrossbarColumnCurrents)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_PeWindow(benchmark::State &state)
+{
+    const int rows = static_cast<int>(state.range(0));
+    PeConfig cfg;
+    cfg.xbar.rows = rows;
+    cfg.xbar.logicalCols = rows;
+    cfg.xbar.cell.variation = VariationModel::ideal();
+    cfg.carryResidual = true;
+    ProcessingElement pe(cfg);
+    Rng rng(2);
+    pe.programWeights(
+        std::vector<std::int32_t>(static_cast<std::size_t>(rows) * rows,
+                                  30),
+        rng);
+    std::vector<std::uint32_t> x(static_cast<std::size_t>(rows), 32);
+    for (auto _ : state) {
+        auto result = pe.computeWindow(x);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(state.iterations() * 64 * rows * rows);
+}
+BENCHMARK(BM_PeWindow)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_SynthesizeVgg16Summary(benchmark::State &state)
+{
+    Graph graph = buildModel(ModelId::Vgg16);
+    for (auto _ : state) {
+        auto summary = synthesizeSummary(graph);
+        benchmark::DoNotOptimize(summary);
+    }
+}
+BENCHMARK(BM_SynthesizeVgg16Summary);
+
+void
+BM_PlaceAndRouteChain(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Netlist nl;
+    std::vector<BlockId> pes;
+    for (int i = 0; i < n; ++i)
+        pes.push_back(nl.addBlock(BlockType::Pe, "pe"));
+    for (int i = 0; i + 1 < n; ++i)
+        nl.addNet("n", pes[static_cast<std::size_t>(i)],
+                  {pes[static_cast<std::size_t>(i + 1)]}, 64);
+    PnrOptions opt;
+    opt.fullRoute = true;
+    for (auto _ : state) {
+        auto result = runPnr(nl, opt);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_PlaceAndRouteChain)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_ScheduleFunctionalCnn(benchmark::State &state)
+{
+    GraphBuilder b({1, 10, 10});
+    b.conv(6, 3, 1, 0).relu().maxPool(2, 2).flatten().fc(10);
+    Graph g = b.build();
+    Rng rng(3);
+    randomizeWeights(g, rng);
+    Tensor x({1, 10, 10});
+    x.fill(0.5f);
+    FunctionalSynthesis synth = synthesizeFunctional(g, x);
+    const auto dup = duplicationForGraph(synth.coreOps, 4);
+    for (auto _ : state) {
+        auto [assign, pes] = assignPes(synth.coreOps, dup);
+        auto sched = scheduleCoreOps(synth.coreOps, assign, 64);
+        benchmark::DoNotOptimize(sched);
+    }
+}
+BENCHMARK(BM_ScheduleFunctionalCnn)->Unit(benchmark::kMicrosecond);
+
+void
+BM_RunCoreOpsCnn(benchmark::State &state)
+{
+    GraphBuilder b({1, 10, 10});
+    b.conv(6, 3, 1, 0).relu().maxPool(2, 2).flatten().fc(10);
+    Graph g = b.build();
+    Rng rng(4);
+    randomizeWeights(g, rng);
+    Tensor x({1, 10, 10});
+    x.fill(0.5f);
+    FunctionalSynthesis synth = synthesizeFunctional(g, x);
+    const auto counts = encodeInputCounts(synth, x);
+    for (auto _ : state) {
+        auto out = runCoreOps(synth, counts);
+        benchmark::DoNotOptimize(out);
+    }
+}
+BENCHMARK(BM_RunCoreOpsCnn)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces paper Table 2: one 8-bit-weight, 6-bit-I/O, 256x256 VMM on
+ * PRIME's PE vs the FPSA spiking PE -- area, latency, computational
+ * density, and the improvement row.
+ */
+
+#include <iostream>
+
+#include "baseline/digital.hh"
+#include "baseline/prime.hh"
+#include "common/table.hh"
+#include "pe/pe_params.hh"
+
+using namespace fpsa;
+
+int
+main()
+{
+    const PeParams &fpsa_pe = TechnologyLibrary::fpsa45().pe;
+    const PrimePeParams prime;
+    const int io_bits = 6;
+
+    const double fpsa_lat = fpsa_pe.vmmLatency(io_bits);
+    const double fpsa_density = fpsa_pe.computationalDensity(io_bits);
+    const double prime_density = prime.computationalDensity();
+
+    std::cout << "==== Table 2: PE-level comparison (8-bit weight, "
+                 "6-bit I/O, 256x256 VMM) ====\n";
+    Table t({"System", "Area (um^2)", "Latency (ns)",
+             "Density (TOPS/mm^2)"});
+    t.addRow({"PRIME", fmtDouble(prime.peArea, 3),
+              fmtDouble(prime.vmmLatency, 1),
+              fmtDouble(prime_density * 1e-12, 3)});
+    t.addRow({"FPSA", fmtDouble(fpsa_pe.peArea, 3), fmtDouble(fpsa_lat, 1),
+              fmtDouble(fpsa_density * 1e-12, 3)});
+    t.addRow({"Improvement",
+              fmtDouble((1.0 - fpsa_pe.peArea / prime.peArea) * -100.0,
+                        2) + "%",
+              fmtDouble((1.0 - fpsa_lat / prime.vmmLatency) * -100.0, 2) +
+                  "%",
+              fmtDouble(fpsa_density / prime_density, 2) + "x"});
+    t.print(std::cout);
+
+    std::cout << "\nPaper: area -36.63%, latency -94.90%, density "
+                 "30.92x (38.004 vs 1.229 TOPS/mm^2).\n";
+
+    std::cout << "\n==== Computational density vs published ReRAM "
+                 "accelerators (Sec. 6.2) ====\n";
+    Table d({"System", "Density (TOPS/mm^2)", "FPSA advantage"});
+    for (const auto &acc : kReramAccelerators) {
+        d.addRow({acc.name, fmtDouble(acc.topsPerMm2, 3),
+                  fmtDouble(fpsa_density * 1e-12 / acc.topsPerMm2, 1) +
+                      "x"});
+    }
+    d.addRow({"FPSA (this work)", fmtDouble(fpsa_density * 1e-12, 3),
+              "1.0x"});
+    d.print(std::cout);
+    return 0;
+}

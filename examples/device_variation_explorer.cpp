@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Device-variation explorer: train the in-repo MLP once, then sweep
+ * weight-representation choices (method x cell count) and programming
+ * sigma, printing measured accuracy beside the analytic deviation
+ * model.  Optionally pass a sigma (fraction of cell range) as argv[1].
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "fpsa.hh"
+
+using namespace fpsa;
+
+int
+main(int argc, char **argv)
+{
+    double sigma = 0.12;
+    if (argc > 1)
+        sigma = std::atof(argv[1]);
+
+    std::cout << "training the pattern-task MLP...\n";
+    const DatasetSplit data = makePatternDataset();
+    const TrainedMlp mlp = trainMlp(data.train);
+    const double clean = mlp.accuracy(data.test);
+    std::cout << "clean accuracy " << fmtDouble(clean, 3)
+              << ", sweeping at sigma = " << sigma
+              << " of cell range\n\n";
+
+    Table t({"Method", "Cells", "Deviation", "Eff. bits",
+             "Accuracy", "Normalized"});
+    for (WeightMethod method :
+         {WeightMethod::Splice, WeightMethod::Add}) {
+        for (int cells : {1, 2, 4, 8, 16}) {
+            NoiseEvalOptions opt;
+            opt.method = method;
+            opt.cellsPerWeight = cells;
+            opt.sigmaOfRange = sigma;
+            opt.trials = 5;
+            const NoiseEvalResult r =
+                evaluateUnderVariation(mlp, data.test, opt);
+            t.addRow({weightMethodName(method), std::to_string(cells),
+                      fmtDouble(r.normalizedDeviation, 4),
+                      fmtDouble(r.effectiveSignedBits, 2),
+                      fmtDouble(r.meanAccuracy, 3),
+                      fmtDouble(r.meanAccuracy / clean, 3)});
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\nanalytic VGG16-scale prediction at the "
+                 "fabricated-device corner (sigma = 0.024):\n";
+    AnalyticAccuracyModel analytic;
+    Table a({"Method", "Cells", "Normalized accuracy"});
+    for (WeightMethod method :
+         {WeightMethod::Splice, WeightMethod::Add}) {
+        for (int cells : {2, 8}) {
+            a.addRow({weightMethodName(method), std::to_string(cells),
+                      fmtDouble(analytic.normalizedAccuracy(method, 4,
+                                                            cells), 3)});
+        }
+    }
+    a.print(std::cout);
+    std::cout << "(paper Fig. 9: splice x2 = PRIME config ~0.70; "
+                 "add x8 = FPSA config ~ full precision)\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Quickstart: define a network with the builder API, compile it onto
+ * FPSA with one call, and read the evaluation report.
+ *
+ *   $ ./quickstart
+ */
+
+#include <iostream>
+
+#include "fpsa.hh"
+
+using namespace fpsa;
+
+int
+main()
+{
+    // 1. Describe the network (a small CIFAR-style CNN).
+    GraphBuilder b({3, 32, 32});
+    b.convRelu(32, 3, 1, 1)
+        .convRelu(32, 3, 1, 1)
+        .maxPool(2, 2)
+        .convRelu(64, 3, 1, 1)
+        .maxPool(2, 2)
+        .flatten()
+        .fc(10);
+    Graph model = b.build();
+
+    std::cout << "model: " << fmtEng(static_cast<double>(
+                                  model.weightCount()))
+              << " weights, "
+              << fmtEng(static_cast<double>(model.opCount()))
+              << " ops per sample\n";
+
+    // 2. Compile onto FPSA: synthesizer -> mapper -> evaluation.
+    CompileOptions options;
+    options.duplicationDegree = 16;
+    CompileResult result = compileForFpsa(model, options);
+
+    // 3. Inspect what the stack produced.
+    std::cout << "\nsynthesis: " << result.synthesis.groups.size()
+              << " weight groups, min " << result.synthesis.minPes()
+              << " PEs, spatial utilization "
+              << fmtDouble(result.synthesis.spatialUtilization(), 3)
+              << "\n";
+    std::cout << "allocation: " << result.allocation.totalPes
+              << " PEs, " << result.allocation.smbBlocks << " SMBs, "
+              << result.allocation.clbBlocks << " CLBs ("
+              << result.allocation.duplicationDegree
+              << "x duplication)\n";
+    std::cout << "netlist: " << result.netlist.blocks().size()
+              << " blocks, " << result.netlist.nets().size()
+              << " nets\n";
+
+    std::cout << "\nperformance:\n";
+    std::cout << "  throughput " << fmtEng(result.performance.throughput)
+              << " samples/s\n";
+    std::cout << "  latency    "
+              << fmtDouble(result.performance.latency / 1000.0, 2)
+              << " us\n";
+    std::cout << "  area       " << fmtDouble(result.performance.area, 2)
+              << " mm^2\n";
+    std::cout << "  energy     "
+              << fmtEng(result.energy.perSample() * 1e-12) << " J/sample ("
+              << fmtDouble(result.energy.wattsAt(
+                               result.performance.throughput), 2)
+              << " W at full rate)\n";
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Scalability study on VGG16: how duplication degree trades area for
+ * throughput, where the bounds lie, and how FPSA compares to PRIME and
+ * FP-PRIME at equal area -- the Section 6.2/6.3 story in one run.
+ */
+
+#include <iostream>
+
+#include "fpsa.hh"
+
+using namespace fpsa;
+
+int
+main()
+{
+    Graph model = buildModel(ModelId::Vgg16);
+    SynthesisSummary summary = synthesizeSummary(model);
+
+    std::cout << "VGG16: "
+              << fmtEng(static_cast<double>(model.weightCount()))
+              << " weights, "
+              << fmtEng(static_cast<double>(model.opCount()))
+              << " ops/sample, pipeline depth "
+              << summary.pipelineDepth << ", max reuse "
+              << summary.maxReuse() << "\n\n";
+
+    std::cout << "-- duplication sweep --\n";
+    Table t({"Dup", "PEs", "Area (mm^2)", "Throughput", "Latency (us)",
+             "Density (TOPS/mm^2)"});
+    for (std::int64_t dup : {1, 4, 16, 64, 256}) {
+        AllocationResult alloc = allocateForDuplication(summary, dup);
+        const PerfReport r = evaluateFpsa(model, summary, alloc);
+        t.addRow({std::to_string(dup), std::to_string(r.pes),
+                  fmtDouble(r.area, 2), fmtEng(r.throughput),
+                  fmtDouble(r.latency / 1000.0, 1),
+                  fmtDouble(r.performance / r.area * 1e-12, 2)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\n-- bounds at 64x --\n";
+    AllocationResult a64 = allocateForDuplication(summary, 64);
+    const DensityBounds d = densityBounds(model, summary, a64);
+    std::cout << "peak " << fmtEng(d.peak) << "  spatial "
+              << fmtEng(d.spatialBound) << "  temporal "
+              << fmtEng(d.temporalBound) << "  real " << fmtEng(d.real)
+              << " OPS/mm^2\n";
+
+    std::cout << "\n-- versus PRIME / FP-PRIME at 1000 mm^2 --\n";
+    Table c({"System", "Real (OPS)", "vs PRIME"});
+    double prime_real = 0.0;
+    for (SystemKind kind :
+         {SystemKind::Prime, SystemKind::FpPrime, SystemKind::Fpsa}) {
+        BoundsSweepOptions opt;
+        opt.system = kind;
+        const auto p = sweepArea(model, summary, {1000.0}, opt)[0];
+        if (kind == SystemKind::Prime)
+            prime_real = p.real;
+        c.addRow({systemKindName(kind), fmtEng(p.real),
+                  prime_real > 0.0
+                      ? fmtDouble(p.real / prime_real, 1) + "x"
+                      : "-"});
+    }
+    c.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,49 @@
+#include "accuracy/analytic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fpsa
+{
+
+double
+AnalyticAccuracyModel::bitsFactor(double effective_bits) const
+{
+    // Piecewise-linear fit of VGG16-class post-quantization accuracy
+    // (normalized): collapses below 4 bits, saturates by 8.
+    static const struct { double bits, acc; } table[] = {
+        {2.0, 0.02}, {3.0, 0.15}, {4.0, 0.45}, {5.0, 0.72},
+        {6.0, 0.90}, {7.0, 0.975}, {8.0, 0.998}, {16.0, 1.0},
+    };
+    if (effective_bits <= table[0].bits)
+        return table[0].acc;
+    for (std::size_t i = 1; i < std::size(table); ++i) {
+        if (effective_bits <= table[i].bits) {
+            const double t = (effective_bits - table[i - 1].bits) /
+                             (table[i].bits - table[i - 1].bits);
+            return table[i - 1].acc +
+                   t * (table[i].acc - table[i - 1].acc);
+        }
+    }
+    return 1.0;
+}
+
+double
+AnalyticAccuracyModel::variationFactor(double normalized_deviation) const
+{
+    const double r = normalized_deviation / deviationScale;
+    return std::exp(-r * r);
+}
+
+double
+AnalyticAccuracyModel::normalizedAccuracy(WeightMethod method,
+                                          int cell_bits,
+                                          int cells_per_weight) const
+{
+    WeightCodec codec(method, cell_bits, cells_per_weight);
+    const double dev = codec.normalizedDeviation(sigmaOfRange);
+    const double bits = codec.effectiveSignedBits();
+    return std::clamp(bitsFactor(bits) * variationFactor(dev), 0.0, 1.0);
+}
+
+} // namespace fpsa

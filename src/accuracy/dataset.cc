@@ -1,0 +1,80 @@
+#include "accuracy/dataset.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace fpsa
+{
+
+namespace
+{
+
+Tensor
+noisySample(const Tensor &prototype, double noise, Rng &rng)
+{
+    Tensor s(prototype.shape());
+    const float gain = static_cast<float>(rng.uniform(0.7, 1.0));
+    for (std::int64_t i = 0; i < s.numel(); ++i) {
+        const double v = prototype[i] * gain +
+                         rng.uniform(-noise, noise);
+        s[i] = static_cast<float>(std::clamp(v, 0.0, 1.0));
+    }
+    return s;
+}
+
+} // namespace
+
+DatasetSplit
+makePatternDataset(const DatasetOptions &options)
+{
+    fpsa_assert(options.classes >= 2, "need at least two classes");
+    Rng rng(options.seed);
+
+    // Class prototypes: a shared base pattern plus a class-specific
+    // deviation.  High classSimilarity means classes differ in only a
+    // small subspace, so the classifier operates near its margins.
+    Tensor base({options.featureDim});
+    for (std::int64_t i = 0; i < options.featureDim; ++i)
+        base[i] = rng.bernoulli(0.4)
+                      ? static_cast<float>(rng.uniform(0.3, 0.9))
+                      : 0.0f;
+    const float mix = static_cast<float>(options.classSimilarity);
+    std::vector<Tensor> prototypes;
+    for (int c = 0; c < options.classes; ++c) {
+        Tensor p({options.featureDim});
+        for (std::int64_t i = 0; i < options.featureDim; ++i) {
+            const float own = rng.bernoulli(0.4)
+                                  ? static_cast<float>(
+                                        rng.uniform(0.3, 0.9))
+                                  : 0.0f;
+            p[i] = std::clamp(mix * base[i] + (1.0f - mix) * own, 0.0f,
+                              1.0f);
+        }
+        prototypes.push_back(std::move(p));
+    }
+
+    DatasetSplit split;
+    for (Dataset *ds : {&split.train, &split.test}) {
+        ds->classes = options.classes;
+        ds->featureDim = options.featureDim;
+    }
+    for (int c = 0; c < options.classes; ++c) {
+        for (int i = 0; i < options.trainPerClass; ++i) {
+            split.train.samples.push_back(
+                noisySample(prototypes[static_cast<std::size_t>(c)],
+                            options.pixelNoise, rng));
+            split.train.labels.push_back(c);
+        }
+        for (int i = 0; i < options.testPerClass; ++i) {
+            split.test.samples.push_back(
+                noisySample(prototypes[static_cast<std::size_t>(c)],
+                            options.pixelNoise, rng));
+            split.test.labels.push_back(c);
+        }
+    }
+    return split;
+}
+
+} // namespace fpsa

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Synthetic classification dataset for the device-variation accuracy
+ * experiment (Fig. 9).
+ *
+ * We have no MNIST/ImageNet files in this environment, so we generate a
+ * procedural pattern-recognition task: each class is a fixed random
+ * prototype image; samples are prototypes plus pixel noise and random
+ * intensity scaling.  The task difficulty (noise level) is chosen so a
+ * small MLP reaches high-but-not-trivial accuracy, giving the variation
+ * sweep a meaningful dynamic range.
+ */
+
+#ifndef FPSA_ACCURACY_DATASET_HH
+#define FPSA_ACCURACY_DATASET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace fpsa
+{
+
+class Rng;
+
+/** A labelled sample set. */
+struct Dataset
+{
+    std::vector<Tensor> samples; //!< flat feature vectors in [0, 1]
+    std::vector<int> labels;
+    int classes = 0;
+    std::int64_t featureDim = 0;
+};
+
+/** Generation knobs. */
+struct DatasetOptions
+{
+    int classes = 10;
+    std::int64_t featureDim = 256; //!< 16x16 patterns
+    int trainPerClass = 60;
+    int testPerClass = 20;
+    double pixelNoise = 0.20;      //!< additive uniform noise amplitude
+
+    /**
+     * Fraction of each prototype shared across classes.  High values
+     * shrink the class margins so weight perturbations genuinely cost
+     * accuracy (the regime Fig. 9 probes).
+     */
+    double classSimilarity = 0.85;
+
+    std::uint64_t seed = 12345;
+};
+
+/** Train/test pair from one generator configuration. */
+struct DatasetSplit
+{
+    Dataset train;
+    Dataset test;
+};
+
+/** Generate the synthetic pattern dataset. */
+DatasetSplit makePatternDataset(const DatasetOptions &options = {});
+
+} // namespace fpsa
+
+#endif // FPSA_ACCURACY_DATASET_HH

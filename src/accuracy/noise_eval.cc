@@ -1,0 +1,84 @@
+#include "accuracy/noise_eval.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace fpsa
+{
+
+Tensor
+perturbWeights(const Tensor &weights, const WeightCodec &codec,
+               double sigma_of_range, Rng &rng)
+{
+    const double amax = weights.absMax();
+    const std::int64_t max_level = codec.maxLevel();
+    const double scale = amax > 0.0
+                             ? amax / static_cast<double>(max_level)
+                             : 1.0;
+    const double cell_range = (1 << codec.cellBits()) - 1;
+
+    Tensor out(weights.shape());
+    std::vector<double> noisy(
+        static_cast<std::size_t>(codec.cellsPerWeight()));
+    for (std::int64_t i = 0; i < weights.numel(); ++i) {
+        const double w = weights[i];
+        const std::int64_t level = std::clamp<std::int64_t>(
+            std::llround(std::fabs(w) / scale), 0, max_level);
+        double magnitude = 0.0;
+        // Both polarities are physically programmed; the unused side is
+        // all-zero cells that still pick up (clamped) noise.
+        for (int polarity = 0; polarity < 2; ++polarity) {
+            const bool active = (polarity == 0) == (w >= 0.0);
+            const auto cells =
+                codec.encodeMagnitude(active ? level : 0);
+            for (int k = 0; k < codec.cellsPerWeight(); ++k) {
+                const double v =
+                    cells[static_cast<std::size_t>(k)] +
+                    rng.normal(0.0, sigma_of_range * cell_range);
+                noisy[static_cast<std::size_t>(k)] =
+                    std::clamp(v, 0.0, cell_range);
+            }
+            const double decoded = codec.decodeAnalog(noisy);
+            magnitude += (polarity == 0 ? 1.0 : -1.0) * decoded;
+        }
+        out[i] = static_cast<float>(magnitude * scale);
+    }
+    return out;
+}
+
+NoiseEvalResult
+evaluateUnderVariation(const TrainedMlp &model, const Dataset &test,
+                       const NoiseEvalOptions &options)
+{
+    // Spliced digits beyond the 62-bit level budget add no precision
+    // (and would overflow the integer level arithmetic); clamp them.
+    int cells = options.cellsPerWeight;
+    if (options.method == WeightMethod::Splice)
+        cells = std::min(cells, 62 / options.cellBits);
+    WeightCodec codec(options.method, options.cellBits, cells);
+    NoiseEvalResult result;
+    result.normalizedDeviation =
+        codec.normalizedDeviation(options.sigmaOfRange);
+    result.effectiveSignedBits = codec.effectiveSignedBits();
+
+    Rng rng(options.seed);
+    double sum = 0.0;
+    double mn = 1.0;
+    for (int trial = 0; trial < options.trials; ++trial) {
+        TrainedMlp perturbed;
+        for (const Tensor &w : model.weights)
+            perturbed.weights.push_back(
+                perturbWeights(w, codec, options.sigmaOfRange, rng));
+        const double acc = perturbed.accuracy(test);
+        sum += acc;
+        mn = std::min(mn, acc);
+    }
+    result.meanAccuracy = sum / options.trials;
+    result.minAccuracy = mn;
+    return result;
+}
+
+} // namespace fpsa

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Accuracy-under-variation evaluation (Fig. 9): quantize a trained
+ * network's weights onto a multi-cell ReRAM representation (splice or
+ * add), inject per-cell programming noise through the real WeightCodec
+ * device model, and measure classification accuracy.
+ */
+
+#ifndef FPSA_ACCURACY_NOISE_EVAL_HH
+#define FPSA_ACCURACY_NOISE_EVAL_HH
+
+#include "accuracy/dataset.hh"
+#include "accuracy/trainer.hh"
+#include "reram/weight_mapping.hh"
+
+namespace fpsa
+{
+
+class Rng;
+
+/** One evaluation configuration. */
+struct NoiseEvalOptions
+{
+    WeightMethod method = WeightMethod::Add;
+    int cellBits = 4;
+    int cellsPerWeight = 8;
+    double sigmaOfRange = 0.024; //!< fabricated-device corner
+    int trials = 5;
+    std::uint64_t seed = 99;
+};
+
+/** Result of a variation sweep point. */
+struct NoiseEvalResult
+{
+    double meanAccuracy = 0.0;
+    double minAccuracy = 0.0;
+    double normalizedDeviation = 0.0; //!< exposed to software
+    double effectiveSignedBits = 0.0;
+};
+
+/**
+ * Perturb one weight tensor in place through the cell model: each
+ * weight is quantized to the codec grid, encoded to cells, each cell's
+ * level picks up N(0, sigma * cell_range) noise, and the analog decode
+ * becomes the effective weight.
+ */
+Tensor perturbWeights(const Tensor &weights, const WeightCodec &codec,
+                      double sigma_of_range, Rng &rng);
+
+/** Run the full evaluation of one configuration. */
+NoiseEvalResult evaluateUnderVariation(const TrainedMlp &model,
+                                       const Dataset &test,
+                                       const NoiseEvalOptions &options);
+
+} // namespace fpsa
+
+#endif // FPSA_ACCURACY_NOISE_EVAL_HH

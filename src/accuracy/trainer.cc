@@ -1,0 +1,129 @@
+#include "accuracy/trainer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace fpsa
+{
+
+Tensor
+TrainedMlp::forward(const Tensor &input) const
+{
+    Tensor x = input;
+    for (std::size_t l = 0; l < weights.size(); ++l) {
+        Tensor y = matVec(weights[l], x);
+        if (l + 1 < weights.size())
+            y = relu(y);
+        x = std::move(y);
+    }
+    return x;
+}
+
+double
+TrainedMlp::accuracy(const Dataset &data) const
+{
+    if (data.samples.empty())
+        return 0.0;
+    int correct = 0;
+    for (std::size_t i = 0; i < data.samples.size(); ++i) {
+        const Tensor logits = forward(data.samples[i]);
+        std::int64_t best = 0;
+        for (std::int64_t c = 1; c < logits.numel(); ++c)
+            if (logits[c] > logits[best])
+                best = c;
+        correct += static_cast<int>(best) == data.labels[i] ? 1 : 0;
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(data.samples.size());
+}
+
+TrainedMlp
+trainMlp(const Dataset &train, const TrainOptions &options)
+{
+    fpsa_assert(!train.samples.empty(), "empty training set");
+    Rng rng(options.seed);
+
+    // Layer sizes: in -> hidden... -> classes.
+    std::vector<std::int64_t> sizes{train.featureDim};
+    for (int h : options.hidden)
+        sizes.push_back(h);
+    sizes.push_back(train.classes);
+
+    TrainedMlp mlp;
+    for (std::size_t l = 0; l + 1 < sizes.size(); ++l) {
+        Tensor w({sizes[l + 1], sizes[l]});
+        const double scale = std::sqrt(2.0 / static_cast<double>(sizes[l]));
+        for (std::int64_t i = 0; i < w.numel(); ++i)
+            w[i] = static_cast<float>(rng.normal(0.0, scale));
+        mlp.weights.push_back(std::move(w));
+    }
+
+    const std::size_t n = train.samples.size();
+    std::vector<std::uint32_t> order(n);
+    for (std::size_t i = 0; i < n; ++i)
+        order[i] = static_cast<std::uint32_t>(i);
+
+    const std::size_t layers = mlp.weights.size();
+    for (int epoch = 0; epoch < options.epochs; ++epoch) {
+        rng.shuffle(order);
+        const float lr = static_cast<float>(
+            options.learningRate / (1.0 + 0.08 * epoch));
+        for (std::uint32_t idx : order) {
+            const Tensor &x0 = train.samples[idx];
+            const int label = train.labels[idx];
+
+            // Forward with stored activations.
+            std::vector<Tensor> acts{x0};
+            for (std::size_t l = 0; l < layers; ++l) {
+                Tensor y = matVec(mlp.weights[l], acts.back());
+                if (l + 1 < layers)
+                    y = relu(y);
+                acts.push_back(std::move(y));
+            }
+
+            // Softmax cross-entropy gradient at the logits.
+            Tensor &logits = acts.back();
+            float mx = logits[0];
+            for (std::int64_t c = 1; c < logits.numel(); ++c)
+                mx = std::max(mx, logits[c]);
+            double denom = 0.0;
+            for (std::int64_t c = 0; c < logits.numel(); ++c)
+                denom += std::exp(static_cast<double>(logits[c] - mx));
+            Tensor grad(logits.shape());
+            for (std::int64_t c = 0; c < logits.numel(); ++c) {
+                const double p =
+                    std::exp(static_cast<double>(logits[c] - mx)) / denom;
+                grad[c] = static_cast<float>(p - (c == label ? 1.0 : 0.0));
+            }
+
+            // Backward through the layers.
+            for (std::size_t l = layers; l-- > 0;) {
+                const Tensor &input = acts[l];
+                Tensor &w = mlp.weights[l];
+                Tensor next_grad({w.dim(1)});
+                for (std::int64_t o = 0; o < w.dim(0); ++o) {
+                    const float go = grad[o];
+                    if (go == 0.0f)
+                        continue;
+                    for (std::int64_t i = 0; i < w.dim(1); ++i) {
+                        next_grad[i] += go * w.at(o, i);
+                        w.at(o, i) -= lr * go * input[i];
+                    }
+                }
+                if (l > 0) {
+                    // ReLU derivative on the hidden activation.
+                    for (std::int64_t i = 0; i < next_grad.numel(); ++i)
+                        if (acts[l][i] <= 0.0f)
+                            next_grad[i] = 0.0f;
+                }
+                grad = std::move(next_grad);
+            }
+        }
+    }
+    return mlp;
+}
+
+} // namespace fpsa

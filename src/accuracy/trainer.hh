@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Minimal MLP trainer: SGD with softmax cross-entropy.  Trains the real
+ * network whose weights the Fig. 9 variation sweep perturbs.
+ */
+
+#ifndef FPSA_ACCURACY_TRAINER_HH
+#define FPSA_ACCURACY_TRAINER_HH
+
+#include <vector>
+
+#include "accuracy/dataset.hh"
+#include "tensor/tensor.hh"
+
+namespace fpsa
+{
+
+class Rng;
+
+/** A trained MLP: per-layer [out, in] weight matrices, ReLU between. */
+struct TrainedMlp
+{
+    std::vector<Tensor> weights;
+
+    /** Forward pass; returns the logits. */
+    Tensor forward(const Tensor &input) const;
+
+    /** Classification accuracy on a dataset. */
+    double accuracy(const Dataset &data) const;
+};
+
+/** Trainer knobs. */
+struct TrainOptions
+{
+    std::vector<int> hidden{64};
+    int epochs = 30;
+    double learningRate = 0.05;
+    std::uint64_t seed = 7;
+};
+
+/** Train an MLP on the dataset; returns the model. */
+TrainedMlp trainMlp(const Dataset &train, const TrainOptions &options = {});
+
+} // namespace fpsa
+
+#endif // FPSA_ACCURACY_TRAINER_HH

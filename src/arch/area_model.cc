@@ -1,0 +1,56 @@
+#include "arch/area_model.hh"
+
+namespace fpsa
+{
+
+SquareMicrons
+routingOverlayPerTile(const ArchParams &params)
+{
+    const int w = params.channelWidth;
+    // Switch box: Wilton-style, ~6 programmable points per track at each
+    // corner shared across four tiles -> ~6w cells per tile.  Connection
+    // boxes on four block sides: ~4w cells.  Each point is one ReRAM
+    // cell (mrFPGA).  Add a buffered driver per track pair (~1.8 um^2,
+    // Synopsys DC inverter-chain estimate at 45 nm).
+    const double switch_cells = 10.0 * w;
+    const double driver_area = 1.8 * (w / 2.0);
+    return switch_cells * params.switches.switchCellArea + driver_area;
+}
+
+namespace
+{
+
+AreaBreakdown
+fromCounts(int pe, int smb, int clb, int tiles, const ArchParams &params,
+           const TechnologyLibrary &tech)
+{
+    AreaBreakdown a;
+    a.pe = pe * tech.pe.peArea;
+    a.smb = smb * tech.smb.block.area;
+    a.clb = clb * tech.clb.block.area;
+    a.routingOverlay = tiles * routingOverlayPerTile(params);
+    return a;
+}
+
+} // namespace
+
+AreaBreakdown
+archArea(const FpsaArch &arch, const TechnologyLibrary &tech)
+{
+    return fromCounts(arch.countSites(BlockType::Pe),
+                      arch.countSites(BlockType::Smb),
+                      arch.countSites(BlockType::Clb),
+                      arch.width() * arch.height(), arch.params(), tech);
+}
+
+AreaBreakdown
+netlistArea(const Netlist &netlist, const TechnologyLibrary &tech)
+{
+    const int pe = netlist.countBlocks(BlockType::Pe);
+    const int smb = netlist.countBlocks(BlockType::Smb);
+    const int clb = netlist.countBlocks(BlockType::Clb);
+    ArchParams params; // default channel width for the overlay estimate
+    return fromCounts(pe, smb, clb, pe + smb + clb, params, tech);
+}
+
+} // namespace fpsa

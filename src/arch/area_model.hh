@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Chip area accounting (paper Table 1/3 and the mrFPGA stacking claim).
+ *
+ * Function blocks tile the die; the ReRAM routing fabric lives in metal
+ * layers M5-M9 *above* them, so chip area is the block area as long as
+ * the routing overlay fits in the same footprint.  The model computes
+ * both and verifies the overlay invariant, mirroring the paper's
+ * "according to the report from mrVPR, the area of the former is less".
+ */
+
+#ifndef FPSA_ARCH_AREA_MODEL_HH
+#define FPSA_ARCH_AREA_MODEL_HH
+
+#include "arch/fpsa_arch.hh"
+#include "common/types.hh"
+#include "mapper/netlist.hh"
+#include "pe/pe_params.hh"
+
+namespace fpsa
+{
+
+/** Per-component area decomposition. */
+struct AreaBreakdown
+{
+    SquareMicrons pe = 0.0;
+    SquareMicrons smb = 0.0;
+    SquareMicrons clb = 0.0;
+    SquareMicrons routingOverlay = 0.0; //!< stacked, not additive
+
+    SquareMicrons blockTotal() const { return pe + smb + clb; }
+
+    /** Die area: blocks, provided the overlay fits above them. */
+    SquareMicrons chipArea() const
+    {
+        return routingOverlay <= blockTotal() ? blockTotal()
+                                              : routingOverlay;
+    }
+
+    /** True when the routing overlay hides under the blocks. */
+    bool overlayFits() const { return routingOverlay <= blockTotal(); }
+};
+
+/** Area of every site of a chip (capacity view). */
+AreaBreakdown archArea(const FpsaArch &arch,
+                       const TechnologyLibrary &tech =
+                           TechnologyLibrary::fpsa45());
+
+/** Area of only the blocks a netlist instantiates (demand view). */
+AreaBreakdown netlistArea(const Netlist &netlist,
+                          const TechnologyLibrary &tech =
+                              TechnologyLibrary::fpsa45());
+
+/**
+ * Routing overlay area of one tile: programmable switch cells (SB + CB)
+ * plus per-track drivers.  Scales with channel width.
+ */
+SquareMicrons routingOverlayPerTile(const ArchParams &params);
+
+} // namespace fpsa
+
+#endif // FPSA_ARCH_AREA_MODEL_HH

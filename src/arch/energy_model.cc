@@ -1,0 +1,21 @@
+#include "arch/energy_model.hh"
+
+namespace fpsa
+{
+
+EnergyBreakdown
+energyOf(const EnergyEvents &events, int io_bits,
+         const SwitchParams &switches, const TechnologyLibrary &tech)
+{
+    EnergyBreakdown e;
+    e.pe = static_cast<double>(events.peWindows) *
+           tech.pe.vmmEnergy(io_bits);
+    e.smb = static_cast<double>(events.smbAccesses) *
+            tech.smb.block.energy;
+    e.clb = static_cast<double>(events.clbCycles) * tech.clb.block.energy;
+    e.routing = static_cast<double>(events.routedBitHops) *
+                switches.energyPerBitHop;
+    return e;
+}
+
+} // namespace fpsa

@@ -1,0 +1,115 @@
+#include "arch/fpsa_arch.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace fpsa
+{
+
+FpsaArch::FpsaArch(const ArchParams &params) : params_(params)
+{
+    fpsa_assert(params_.width > 0 && params_.height > 0,
+                "degenerate grid %dx%d", params_.width, params_.height);
+    fpsa_assert(params_.smbFraction >= 0.0 && params_.clbFraction >= 0.0 &&
+                    params_.smbFraction + params_.clbFraction < 1.0,
+                "invalid SMB/CLB fractions");
+
+    const int total = params_.width * params_.height;
+    const int smb_sites =
+        static_cast<int>(std::ceil(total * params_.smbFraction));
+    const int clb_sites =
+        static_cast<int>(std::ceil(total * params_.clbFraction));
+
+    // Distribute SMB/CLB sites evenly through the grid (stride pattern)
+    // so any neighbourhood has buffering and control nearby.
+    sites_.assign(static_cast<std::size_t>(total), BlockType::Pe);
+    if (smb_sites > 0) {
+        const double stride = static_cast<double>(total) / smb_sites;
+        for (int i = 0; i < smb_sites; ++i) {
+            const int pos = static_cast<int>(i * stride);
+            sites_[static_cast<std::size_t>(pos)] = BlockType::Smb;
+        }
+    }
+    if (clb_sites > 0) {
+        const double stride = static_cast<double>(total) / clb_sites;
+        for (int i = 0; i < clb_sites; ++i) {
+            int pos = static_cast<int>(i * stride + stride / 2.0);
+            pos = std::min(pos, total - 1);
+            // Probe forward for a PE site to convert (avoid clobbering
+            // the SMB pattern).
+            while (sites_[static_cast<std::size_t>(pos)] != BlockType::Pe)
+                pos = (pos + 1) % total;
+            sites_[static_cast<std::size_t>(pos)] = BlockType::Clb;
+        }
+    }
+}
+
+BlockType
+FpsaArch::siteType(int x, int y) const
+{
+    fpsa_assert(x >= 0 && x < params_.width && y >= 0 && y < params_.height,
+                "site (%d, %d) outside %dx%d grid", x, y, params_.width,
+                params_.height);
+    return sites_[static_cast<std::size_t>(y) * params_.width + x];
+}
+
+std::vector<std::pair<int, int>>
+FpsaArch::sitesOfType(BlockType t) const
+{
+    std::vector<std::pair<int, int>> out;
+    for (int y = 0; y < params_.height; ++y)
+        for (int x = 0; x < params_.width; ++x)
+            if (siteType(x, y) == t)
+                out.emplace_back(x, y);
+    return out;
+}
+
+int
+FpsaArch::countSites(BlockType t) const
+{
+    int n = 0;
+    for (const auto s : sites_)
+        n += s == t ? 1 : 0;
+    return n;
+}
+
+FpsaArch
+FpsaArch::forNetlist(const Netlist &netlist, double margin,
+                     int channel_width)
+{
+    fpsa_assert(margin >= 1.0, "margin below 1.0 cannot fit the netlist");
+    const int pe = netlist.countBlocks(BlockType::Pe);
+    const int smb = netlist.countBlocks(BlockType::Smb);
+    const int clb = netlist.countBlocks(BlockType::Clb);
+    const int total = pe + smb + clb;
+    fpsa_assert(total > 0, "empty netlist");
+
+    const int want = static_cast<int>(std::ceil(total * margin)) + 2;
+    const int side = static_cast<int>(std::ceil(std::sqrt(
+        static_cast<double>(want))));
+
+    ArchParams params;
+    params.width = side;
+    params.height = side;
+    params.channelWidth = channel_width;
+    const int sites = side * side;
+    // Fractions with one extra site of headroom per scarce type.
+    params.smbFraction =
+        std::min(0.45, static_cast<double>(smb + 1) / sites * margin);
+    params.clbFraction =
+        std::min(0.45, static_cast<double>(clb + 1) / sites * margin);
+
+    FpsaArch arch(params);
+    // Grow until every type fits (ceil interactions can undershoot).
+    while (arch.countSites(BlockType::Pe) < pe ||
+           arch.countSites(BlockType::Smb) < smb ||
+           arch.countSites(BlockType::Clb) < clb) {
+        params.width += 1;
+        params.height = params.width;
+        arch = FpsaArch(params);
+    }
+    return arch;
+}
+
+} // namespace fpsa

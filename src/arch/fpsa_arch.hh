@@ -1,0 +1,79 @@
+/**
+ * @file
+ * FPSA chip description: the island-style grid of function blocks under
+ * the ReRAM routing overlay (paper Fig. 3).
+ *
+ * The chip is a W x H grid of sites; each site hosts one function block
+ * (PE, SMB or CLB).  Routing channels run between sites horizontally and
+ * vertically, W tracks wide, with ReRAM connection boxes at block edges
+ * and ReRAM switch boxes at channel crossings.  The routing fabric is
+ * stacked in metal layers M5-M9 *over* the blocks (mrFPGA), so it adds
+ * no footprint as long as its area stays below the block area -- the
+ * area model checks that invariant.
+ */
+
+#ifndef FPSA_ARCH_FPSA_ARCH_HH
+#define FPSA_ARCH_FPSA_ARCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "mapper/netlist.hh"
+#include "routing/switch.hh"
+
+namespace fpsa
+{
+
+/** Grid/channel parameters of one FPSA chip instance. */
+struct ArchParams
+{
+    int width = 8;           //!< grid columns
+    int height = 8;          //!< grid rows
+    int channelWidth = 512;  //!< tracks per routing channel
+    SwitchParams switches;   //!< ReRAM CB/SB electrical model
+
+    /**
+     * Fraction of sites reserved for SMBs and CLBs.  The remainder are
+     * PEs.  The paper sizes CLBs/SMBs to be pin- and area-compatible
+     * with PEs so the grid stays regular.
+     */
+    double smbFraction = 0.10;
+    double clbFraction = 0.10;
+};
+
+/** A concrete chip: grid geometry plus per-site block types. */
+class FpsaArch
+{
+  public:
+    explicit FpsaArch(const ArchParams &params);
+
+    const ArchParams &params() const { return params_; }
+    int width() const { return params_.width; }
+    int height() const { return params_.height; }
+
+    /** Block type hosted at a site. */
+    BlockType siteType(int x, int y) const;
+
+    /** All sites of one type. */
+    std::vector<std::pair<int, int>> sitesOfType(BlockType t) const;
+
+    /** Count of sites of one type. */
+    int countSites(BlockType t) const;
+
+    /**
+     * Build the smallest near-square chip that fits a netlist's block
+     * demand, with a capacity margin so the placer has freedom.
+     */
+    static FpsaArch forNetlist(const Netlist &netlist,
+                               double margin = 1.10,
+                               int channel_width = 512);
+
+  private:
+    ArchParams params_;
+    std::vector<BlockType> sites_; //!< row-major [y * width + x]
+};
+
+} // namespace fpsa
+
+#endif // FPSA_ARCH_FPSA_ARCH_HH

@@ -1,0 +1,3 @@
+#include "baseline/digital.hh"
+
+// Published constants only; this translation unit anchors the header.

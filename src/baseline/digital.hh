@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Published reference points of other accelerators, for the
+ * computational-density comparison in Section 6.2 and the Eyeriss
+ * remark in Section 6.1.  These are constants from the respective
+ * papers, not simulated systems.
+ */
+
+#ifndef FPSA_BASELINE_DIGITAL_HH
+#define FPSA_BASELINE_DIGITAL_HH
+
+namespace fpsa
+{
+
+/** One published accelerator density data point. */
+struct PublishedDensity
+{
+    const char *name;
+    double topsPerMm2;
+};
+
+/** ReRAM accelerators the paper compares computational density with. */
+inline constexpr PublishedDensity kReramAccelerators[] = {
+    {"PRIME", 1.229},
+    {"PipeLayer", 1.485},
+    {"ISAAC", 0.479},
+};
+
+/** Eyeriss reference (65 nm digital): AlexNet on 12.25 mm^2. */
+struct EyerissReference
+{
+    double framesPerSecond = 35.0;
+    double latencyMs = 115.4;
+    double areaMm2 = 12.25;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_BASELINE_DIGITAL_HH

@@ -1,0 +1,4 @@
+#include "baseline/fp_prime.hh"
+
+// FpPrimeSystem is a parameter struct; this translation unit anchors
+// the header.

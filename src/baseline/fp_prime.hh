@@ -1,0 +1,37 @@
+/**
+ * @file
+ * FP-PRIME: the paper's intermediate design point -- PRIME's PE mounted
+ * on FPSA's reconfigurable routing architecture (Section 6.2).  Peak
+ * and ideal performance equal PRIME's; the communication bound is
+ * broken because each signal gets a dedicated routed channel carrying
+ * spike *counts* (n bits serially), not bus transactions.
+ */
+
+#ifndef FPSA_BASELINE_FP_PRIME_HH
+#define FPSA_BASELINE_FP_PRIME_HH
+
+#include "baseline/prime.hh"
+#include "common/types.hh"
+
+namespace fpsa
+{
+
+/** FP-PRIME = PRIME PE + FPSA wires. */
+struct FpPrimeSystem
+{
+    PrimePeParams pe;
+
+    /** Routed per-bit wire latency (from PnR; ~9.9 ns on VGG16). */
+    NanoSeconds wireDelayPerBit = 9.9;
+
+    /** Count transfer: io_bits serial bits over the routed net. */
+    NanoSeconds
+    commLatencyPerVmm() const
+    {
+        return pe.ioBits * wireDelayPerBit;
+    }
+};
+
+} // namespace fpsa
+
+#endif // FPSA_BASELINE_FP_PRIME_HH

@@ -1,0 +1,4 @@
+#include "baseline/prime.hh"
+
+// PrimePeParams / MemoryBusParams are parameter structs with inline
+// helpers; this translation unit anchors the header.

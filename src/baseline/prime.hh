@@ -1,0 +1,84 @@
+/**
+ * @file
+ * PRIME baseline model (Chi et al., ISCA 2016), the paper's primary
+ * comparison point.
+ *
+ * We do not have PRIME's implementation code (the FPSA authors obtained
+ * it privately), so the PE is modeled analytically from the numbers the
+ * paper publishes for it (Table 2: 34802.204 um^2 and 3064.7 ns for an
+ * 8-bit-weight, 6-bit-I/O 256x256 VMM), and its communication subsystem
+ * as a shared hierarchical memory bus with bandwidth calibrated to
+ * reproduce the ~21 us per-PE communication latency of Fig. 7 at
+ * VGG16's PE count.
+ */
+
+#ifndef FPSA_BASELINE_PRIME_HH
+#define FPSA_BASELINE_PRIME_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace fpsa
+{
+
+/** PRIME's PE, as published in the paper's Table 2. */
+struct PrimePeParams
+{
+    int rows = 256;
+    int logicalCols = 256;
+    SquareMicrons peArea = 34802.204;
+    NanoSeconds vmmLatency = 3064.7;
+    int ioBits = 6;
+    int weightBits = 8;
+
+    double opsPerVmm() const { return 2.0 * rows * logicalCols; }
+
+    /** ~1.229 TOPS/mm^2 (Table 2). */
+    double computationalDensity() const
+    {
+        return opsPerVmm() * perSecondFromNs(vmmLatency) /
+               um2ToMm2(peArea);
+    }
+};
+
+/** The shared memory bus connecting PRIME's PEs. */
+struct MemoryBusParams
+{
+    /**
+     * Aggregate bus bandwidth in bits per nanosecond.  620 bit/ns
+     * (77.5 GB/s) makes the per-PE communication latency at our VGG16
+     * minimum-storage configuration (~4245 PEs, including the
+     * synthesizer's pooling/reduction PEs) land on Fig. 7's ~21 us.
+     */
+    double bandwidthBitsPerNs = 620.0;
+
+    /** Bits a PE moves per VMM: 256 in + 256 out at I/O precision. */
+    double
+    bitsPerVmm(int rows, int cols, int io_bits) const
+    {
+        return static_cast<double>(rows + cols) * io_bits;
+    }
+
+    /**
+     * Average per-PE communication latency when `active_pes` contend
+     * for the bus: each waits for its slot among its peers.
+     */
+    NanoSeconds
+    perPeLatency(double bits_per_vmm, std::int64_t active_pes) const
+    {
+        return bits_per_vmm * static_cast<double>(active_pes) /
+               bandwidthBitsPerNs;
+    }
+};
+
+/** The full PRIME system model. */
+struct PrimeSystem
+{
+    PrimePeParams pe;
+    MemoryBusParams bus;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_BASELINE_PRIME_HH

@@ -1,0 +1,158 @@
+#include "clb/clb.hh"
+
+#include "common/logging.hh"
+
+namespace fpsa
+{
+
+ConfigurableLogicBlock::ConfigurableLogicBlock(const ClbParams &params)
+    : params_(params),
+      luts_(static_cast<std::size_t>(params.luts), Lut(params.lutInputs)),
+      inputSel_(static_cast<std::size_t>(params.luts),
+                std::vector<LutInputSel>(
+                    static_cast<std::size_t>(params.lutInputs))),
+      ffs_(static_cast<std::size_t>(params.luts), false)
+{
+}
+
+void
+ConfigurableLogicBlock::configureLut(int lut, const Lut &function)
+{
+    fpsa_assert(lut >= 0 && lut < lutCount(), "LUT index out of range");
+    fpsa_assert(function.inputs() == params_.lutInputs,
+                "function has %d inputs, CLB LUTs have %d",
+                function.inputs(), params_.lutInputs);
+    luts_[static_cast<std::size_t>(lut)] = function;
+}
+
+void
+ConfigurableLogicBlock::connectInput(int lut, int pin, LutInputSel sel)
+{
+    fpsa_assert(lut >= 0 && lut < lutCount(), "LUT index out of range");
+    fpsa_assert(pin >= 0 && pin < params_.lutInputs, "pin out of range");
+    if (sel.kind == LutInputSel::Kind::Flop) {
+        fpsa_assert(sel.index >= 0 && sel.index < lutCount(),
+                    "FF feedback index out of range");
+    }
+    inputSel_[static_cast<std::size_t>(lut)][static_cast<std::size_t>(pin)] =
+        sel;
+}
+
+bool
+ConfigurableLogicBlock::lutOutput(int lut,
+                                  const std::vector<bool> &extern_inputs)
+    const
+{
+    fpsa_assert(lut >= 0 && lut < lutCount(), "LUT index out of range");
+    std::uint32_t address = 0;
+    for (int pin = 0; pin < params_.lutInputs; ++pin) {
+        const LutInputSel &sel =
+            inputSel_[static_cast<std::size_t>(lut)]
+                     [static_cast<std::size_t>(pin)];
+        bool v = false;
+        switch (sel.kind) {
+          case LutInputSel::Kind::Zero:
+            v = false;
+            break;
+          case LutInputSel::Kind::One:
+            v = true;
+            break;
+          case LutInputSel::Kind::Extern:
+            fpsa_assert(sel.index >= 0 &&
+                            static_cast<std::size_t>(sel.index) <
+                                extern_inputs.size(),
+                        "external input %d not provided", sel.index);
+            v = extern_inputs[static_cast<std::size_t>(sel.index)];
+            break;
+          case LutInputSel::Kind::Flop:
+            v = ffs_[static_cast<std::size_t>(sel.index)];
+            break;
+        }
+        if (v)
+            address |= 1u << pin;
+    }
+    return luts_[static_cast<std::size_t>(lut)].evaluate(address);
+}
+
+void
+ConfigurableLogicBlock::clock(const std::vector<bool> &extern_inputs)
+{
+    std::vector<bool> next(ffs_.size());
+    for (int lut = 0; lut < lutCount(); ++lut)
+        next[static_cast<std::size_t>(lut)] = lutOutput(lut, extern_inputs);
+    ffs_ = next;
+}
+
+void
+ConfigurableLogicBlock::reset()
+{
+    ffs_.assign(ffs_.size(), false);
+}
+
+WindowController::WindowController(int bits) : bits_(bits)
+{
+    fpsa_assert(bits >= 1 && bits <= clb_.lutInputs(),
+                "counter width %d exceeds LUT inputs %d", bits,
+                clb_.lutInputs());
+
+    // Bit i toggles when all lower bits are one:
+    //   b_i' = b_i XOR (b_0 & ... & b_{i-1}).
+    for (int i = 0; i < bits; ++i) {
+        Lut fn(clb_.lutInputs());
+        for (std::uint32_t a = 0; a < fn.tableSize(); ++a) {
+            const bool bi = (a >> i) & 1u;
+            bool carry = true;
+            for (int j = 0; j < i; ++j)
+                carry = carry && ((a >> j) & 1u);
+            fn.setEntry(a, bi ^ carry);
+        }
+        clb_.configureLut(i, fn);
+        for (int pin = 0; pin < clb_.lutInputs(); ++pin) {
+            LutInputSel sel;
+            if (pin < bits) {
+                sel.kind = LutInputSel::Kind::Flop;
+                sel.index = pin;
+            }
+            clb_.connectInput(i, pin, sel);
+        }
+    }
+
+    // Wrap detector on LUT `bits`: AND of all counter bits.
+    Lut wrap(clb_.lutInputs());
+    for (std::uint32_t a = 0; a < wrap.tableSize(); ++a) {
+        bool all = true;
+        for (int j = 0; j < bits; ++j)
+            all = all && ((a >> j) & 1u);
+        wrap.setEntry(a, all);
+    }
+    clb_.configureLut(bits, wrap);
+    for (int pin = 0; pin < clb_.lutInputs(); ++pin) {
+        LutInputSel sel;
+        if (pin < bits) {
+            sel.kind = LutInputSel::Kind::Flop;
+            sel.index = pin;
+        }
+        clb_.connectInput(bits, pin, sel);
+    }
+}
+
+bool
+WindowController::tick()
+{
+    // The wrap output looks at the *current* count before the edge.
+    const bool wrap = clb_.lutOutput(bits_, {});
+    clb_.clock({});
+    return wrap;
+}
+
+std::uint32_t
+WindowController::count() const
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < bits_; ++i)
+        if (clb_.flop(i))
+            v |= 1u << i;
+    return v;
+}
+
+} // namespace fpsa

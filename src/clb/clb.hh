@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Configurable Logic Block (paper Section 4.4).
+ *
+ * A CLB bundles 128 six-input SRAM LUTs, one flip-flop per LUT, and input
+ * multiplexers.  FPSA uses CLBs to generate the control signals for PEs
+ * and SMBs: sampling-window framing (reset pulses), buffer slot
+ * sequencing, and pipeline-stage enables.  This model is a real small
+ * synchronous circuit: LUT input muxes select external inputs or FF
+ * feedback, and the block clocks all FFs simultaneously.
+ */
+
+#ifndef FPSA_CLB_CLB_HH
+#define FPSA_CLB_CLB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "clb/lut.hh"
+#include "pe/pe_params.hh"
+
+namespace fpsa
+{
+
+/** Where one LUT input pin is connected. */
+struct LutInputSel
+{
+    enum class Kind { Zero, One, Extern, Flop };
+    Kind kind = Kind::Zero;
+    int index = 0; //!< external-input or FF index for Extern/Flop
+};
+
+/** One configurable logic block. */
+class ConfigurableLogicBlock
+{
+  public:
+    explicit ConfigurableLogicBlock(const ClbParams &params =
+                                        TechnologyLibrary::fpsa45().clb);
+
+    int lutCount() const { return static_cast<int>(luts_.size()); }
+    int lutInputs() const { return params_.lutInputs; }
+
+    /** Program the function of one LUT. */
+    void configureLut(int lut, const Lut &function);
+
+    /** Connect one input pin of one LUT. */
+    void connectInput(int lut, int pin, LutInputSel sel);
+
+    /** Current FF value of a LUT site. */
+    bool flop(int lut) const { return ffs_[static_cast<std::size_t>(lut)]; }
+
+    /** Combinational LUT output given external inputs and current FFs. */
+    bool lutOutput(int lut, const std::vector<bool> &extern_inputs) const;
+
+    /** One clock edge: every FF latches its LUT's combinational output. */
+    void clock(const std::vector<bool> &extern_inputs);
+
+    /** Reset all FFs to zero. */
+    void reset();
+
+    const ClbParams &params() const { return params_; }
+
+  private:
+    ClbParams params_;
+    std::vector<Lut> luts_;
+    std::vector<std::vector<LutInputSel>> inputSel_;
+    std::vector<bool> ffs_;
+};
+
+/**
+ * A sampling-window controller synthesized onto a CLB: an n-bit binary
+ * counter (one LUT per bit, carry chain within the 6-input budget) plus a
+ * wrap detector.  Drives the PE/SMB reset at every window boundary --
+ * the control logic Algorithm 1's schedules rely on.
+ */
+class WindowController
+{
+  public:
+    /** @param bits counter width; window length = 2^bits cycles */
+    explicit WindowController(int bits);
+
+    /** Advance one cycle; returns true on the last cycle of a window. */
+    bool tick();
+
+    /** Current cycle index within the window. */
+    std::uint32_t count() const;
+
+    std::uint32_t window() const { return 1u << bits_; }
+
+    const ConfigurableLogicBlock &clb() const { return clb_; }
+
+  private:
+    int bits_;
+    ConfigurableLogicBlock clb_;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_CLB_CLB_HH

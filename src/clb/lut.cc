@@ -1,0 +1,66 @@
+#include "clb/lut.hh"
+
+#include "common/logging.hh"
+
+namespace fpsa
+{
+
+Lut::Lut(int inputs) : inputs_(inputs)
+{
+    fpsa_assert(inputs >= 1 && inputs <= 16, "LUT with %d inputs", inputs);
+    table_.assign(tableSize(), false);
+}
+
+void
+Lut::setEntry(std::uint32_t address, bool value)
+{
+    fpsa_assert(address < tableSize(), "LUT address out of range");
+    table_[address] = value;
+}
+
+void
+Lut::program(const std::vector<bool> &table)
+{
+    fpsa_assert(table.size() == table_.size(),
+                "truth table size %zu != %zu", table.size(), table_.size());
+    table_ = table;
+}
+
+bool
+Lut::evaluate(std::uint32_t address) const
+{
+    fpsa_assert(address < tableSize(), "LUT address out of range");
+    return table_[address];
+}
+
+Lut
+Lut::makeAnd(int inputs)
+{
+    Lut lut(inputs);
+    lut.setEntry(lut.tableSize() - 1, true);
+    return lut;
+}
+
+Lut
+Lut::makeOr(int inputs)
+{
+    Lut lut(inputs);
+    for (std::uint32_t a = 1; a < lut.tableSize(); ++a)
+        lut.setEntry(a, true);
+    return lut;
+}
+
+Lut
+Lut::makeXor(int inputs)
+{
+    Lut lut(inputs);
+    for (std::uint32_t a = 0; a < lut.tableSize(); ++a) {
+        bool parity = false;
+        for (int b = 0; b < inputs; ++b)
+            parity ^= ((a >> b) & 1u) != 0;
+        lut.setEntry(a, parity);
+    }
+    return lut;
+}
+
+} // namespace fpsa

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * SRAM look-up table, the basic logic element of a CLB (paper Sec. 4.4).
+ *
+ * A k-input LUT is a 2^k-bit SRAM whose address is the input vector; it
+ * realizes any k-ary boolean function.  The paper uses conventional
+ * 6-input SRAM LUTs because small ReRAM arrays lose to SRAM on area once
+ * sense amplifiers are counted (35.129 um^2 vs 172.229 um^2 for 64 bits
+ * under 45 nm, per NVSim).
+ */
+
+#ifndef FPSA_CLB_LUT_HH
+#define FPSA_CLB_LUT_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace fpsa
+{
+
+/** A configurable k-input look-up table. */
+class Lut
+{
+  public:
+    /** Create an all-zeros LUT with `inputs` address bits (<= 16). */
+    explicit Lut(int inputs = 6);
+
+    int inputs() const { return inputs_; }
+    std::uint32_t tableSize() const { return 1u << inputs_; }
+
+    /** Program one truth-table entry. */
+    void setEntry(std::uint32_t address, bool value);
+
+    /** Program the full truth table from a bit vector. */
+    void program(const std::vector<bool> &table);
+
+    /** Evaluate at a packed input vector (bit i = input i). */
+    bool evaluate(std::uint32_t address) const;
+
+    /** Convenience: configure as AND/OR/XOR/NOT-style reductions. */
+    static Lut makeAnd(int inputs);
+    static Lut makeOr(int inputs);
+    static Lut makeXor(int inputs);
+
+  private:
+    int inputs_;
+    std::vector<bool> table_;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_CLB_LUT_HH

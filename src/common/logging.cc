@@ -1,0 +1,85 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fpsa
+{
+
+namespace
+{
+LogLevel g_level = LogLevel::Normal;
+
+void
+vprint(const char *prefix, const char *fmt, va_list args)
+{
+    std::fputs(prefix, stderr);
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+}
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (g_level == LogLevel::Quiet)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vprint("info: ", fmt, args);
+    va_end(args);
+}
+
+void
+verbose(const char *fmt, ...)
+{
+    if (g_level != LogLevel::Verbose)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vprint("debug: ", fmt, args);
+    va_end(args);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vprint("warn: ", fmt, args);
+    va_end(args);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vprint("fatal: ", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vprint("panic: ", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+} // namespace fpsa

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * gem5-style status and error reporting: panic/fatal/warn/inform.
+ *
+ * panic()  - an internal invariant was violated (simulator bug); aborts.
+ * fatal()  - the user asked for something impossible (bad config); exits.
+ * warn()   - something works but is suspicious.
+ * inform() - progress/status messages.
+ */
+
+#ifndef FPSA_COMMON_LOGGING_HH
+#define FPSA_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace fpsa
+{
+
+/** Verbosity levels for inform() output. */
+enum class LogLevel { Quiet, Normal, Verbose };
+
+/** Set the global verbosity for inform()/verbose(). */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/** Print an informational message (printf-style) when not Quiet. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a message only at Verbose level. */
+void verbose(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning; never stops execution. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user-level error (bad configuration or
+ * arguments) and exit(1).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal invariant violation (a bug in this library) and
+ * abort().
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** panic() unless the condition holds. */
+#define fpsa_assert(cond, fmt, ...)                                         \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::fpsa::panic("assertion '%s' failed at %s:%d: " fmt, #cond,    \
+                          __FILE__, __LINE__, ##__VA_ARGS__);               \
+        }                                                                   \
+    } while (0)
+
+} // namespace fpsa
+
+#endif // FPSA_COMMON_LOGGING_HH

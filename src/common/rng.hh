@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deterministic random number generation for reproducible simulation.
+ *
+ * A thin wrapper around xoshiro256** with helpers for the distributions
+ * the FPSA models need (uniform, normal conductance variation, bernoulli
+ * spike generation).  Every stochastic component takes an explicit Rng so
+ * experiments are seedable and unit tests are repeatable.
+ */
+
+#ifndef FPSA_COMMON_RNG_HH
+#define FPSA_COMMON_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace fpsa
+{
+
+/** Seedable xoshiro256** PRNG with distribution helpers. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (SplitMix64-expanded). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Standard normal via Box-Muller (cached spare). */
+    double normal();
+
+    /** Normal with given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Bernoulli trial with probability p of true. */
+    bool bernoulli(double p);
+
+    /** Fisher-Yates shuffle of an index vector. */
+    void shuffle(std::vector<std::uint32_t> &v);
+
+    /** Fork a decorrelated child stream (for per-component RNGs). */
+    Rng fork();
+
+  private:
+    std::uint64_t s_[4];
+    double spare_ = 0.0;
+    bool hasSpare_ = false;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_COMMON_RNG_HH

@@ -1,0 +1,67 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <iomanip>
+
+namespace fpsa
+{
+
+void
+Distribution::sample(double v)
+{
+    ++count_;
+    sum_ += v;
+    sumSq_ += v * v;
+    if (v < min_)
+        min_ = v;
+    if (v > max_)
+        max_ = v;
+}
+
+double
+Distribution::stddev() const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double m = mean();
+    const double var = sumSq_ / count_ - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    sumSq_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    os << "---------- stats: " << name_ << " ----------\n";
+    for (const auto *s : scalars_) {
+        os << std::left << std::setw(40) << (name_ + "." + s->name())
+           << std::setw(0) << s->value() << "\n";
+    }
+    for (const auto *d : dists_) {
+        os << std::left << std::setw(40) << (name_ + "." + d->name())
+           << std::setw(0)
+           << "n=" << d->count() << " mean=" << d->mean()
+           << " sd=" << d->stddev() << " min=" << d->min()
+           << " max=" << d->max() << "\n";
+    }
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto *s : scalars_)
+        s->reset();
+    for (auto *d : dists_)
+        d->reset();
+}
+
+} // namespace fpsa

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Lightweight statistics collection, in the spirit of gem5's stats package.
+ *
+ * Components register named scalar counters and distributions with a
+ * StatGroup; reports can be dumped as text.  Used by the cycle simulator
+ * and the performance models to account events, latency and energy.
+ */
+
+#ifndef FPSA_COMMON_STATS_HH
+#define FPSA_COMMON_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fpsa
+{
+
+/** A named accumulating scalar statistic. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+    explicit Scalar(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+    double value() const { return value_; }
+
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    Scalar &operator++() { value_ += 1.0; return *this; }
+    void set(double v) { value_ = v; }
+    void reset() { value_ = 0.0; }
+
+  private:
+    std::string name_;
+    double value_ = 0.0;
+};
+
+/** A named sample distribution tracking min/max/mean/stddev. */
+class Distribution
+{
+  public:
+    Distribution() = default;
+    explicit Distribution(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    /** Record one sample. */
+    void sample(double v);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /** Population standard deviation of the samples. */
+    double stddev() const;
+
+    void reset();
+
+  private:
+    std::string name_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * A registry of statistics owned by one simulated component.
+ *
+ * The group does not own the stats; components declare Scalar/Distribution
+ * members and register pointers, exactly like gem5 SimObjects.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void add(Scalar *s) { scalars_.push_back(s); }
+    void add(Distribution *d) { dists_.push_back(d); }
+
+    const std::string &name() const { return name_; }
+
+    /** Write a human-readable dump of all registered stats. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every registered stat. */
+    void resetAll();
+
+  private:
+    std::string name_;
+    std::vector<Scalar *> scalars_;
+    std::vector<Distribution *> dists_;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_COMMON_STATS_HH

@@ -1,0 +1,86 @@
+#include "common/table.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace fpsa
+{
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    fpsa_assert(cells.size() == headers_.size(),
+                "row arity %zu != header arity %zu",
+                cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        os << "|";
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << " " << std::left << std::setw(widths[c]) << row[c] << " |";
+        os << "\n";
+    };
+
+    auto print_rule = [&]() {
+        os << "+";
+        for (std::size_t c = 0; c < widths.size(); ++c)
+            os << std::string(widths[c] + 2, '-') << "+";
+        os << "\n";
+    };
+
+    print_rule();
+    print_row(headers_);
+    print_rule();
+    for (const auto &row : rows_)
+        print_row(row);
+    print_rule();
+}
+
+std::string
+fmtDouble(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+fmtEng(double v, int decimals)
+{
+    static const struct { double scale; const char *suffix; } units[] = {
+        {1e12, "T"}, {1e9, "G"}, {1e6, "M"},  {1e3, "K"},
+        {1.0, ""},   {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"},
+        {1e-12, "p"},
+    };
+    if (v == 0.0)
+        return fmtDouble(0.0, decimals);
+    for (const auto &u : units) {
+        if (std::fabs(v) >= u.scale) {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%.*f%s", decimals,
+                          v / u.scale, u.suffix);
+            return buf;
+        }
+    }
+    return fmtDouble(v, decimals);
+}
+
+} // namespace fpsa

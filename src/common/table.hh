@@ -1,0 +1,48 @@
+/**
+ * @file
+ * ASCII table rendering used by the benchmark harness to print the
+ * paper's tables and figure series in a uniform format.
+ */
+
+#ifndef FPSA_COMMON_TABLE_HH
+#define FPSA_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace fpsa
+{
+
+/** A simple left/right aligned ASCII table. */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column separators and a header rule. */
+    void print(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given number of significant decimals. */
+std::string fmtDouble(double v, int decimals = 3);
+
+/**
+ * Format a quantity with an engineering suffix (K/M/G/T), e.g.\ 2.4K.
+ * Matches how the paper reports throughput and op counts.
+ */
+std::string fmtEng(double v, int decimals = 1);
+
+} // namespace fpsa
+
+#endif // FPSA_COMMON_TABLE_HH

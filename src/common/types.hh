@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fundamental scalar types and physical units used across the FPSA stack.
+ *
+ * The paper reports circuit quantities at 45 nm in nanoseconds (latency),
+ * picojoules (energy) and square micrometers (area).  We keep those units
+ * throughout and convert only at reporting boundaries.
+ */
+
+#ifndef FPSA_COMMON_TYPES_HH
+#define FPSA_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace fpsa
+{
+
+/** Simulation cycle index (one spiking clock tick). */
+using Cycle = std::uint64_t;
+
+/** Latency in nanoseconds. */
+using NanoSeconds = double;
+
+/** Energy in picojoules. */
+using PicoJoules = double;
+
+/** Area in square micrometers. */
+using SquareMicrons = double;
+
+/** Area in square millimeters (reporting unit for chip-level area). */
+using SquareMillimeters = double;
+
+/** Operations per second (1 MAC = 2 ops, following the paper). */
+using OpsPerSecond = double;
+
+/** Generic dense index. */
+using Index = std::int64_t;
+
+/** Convert um^2 to mm^2. */
+constexpr SquareMillimeters
+um2ToMm2(SquareMicrons a)
+{
+    return a * 1e-6;
+}
+
+/** Convert mm^2 to um^2. */
+constexpr SquareMicrons
+mm2ToUm2(SquareMillimeters a)
+{
+    return a * 1e6;
+}
+
+/** Convert a latency in ns to a rate in events per second. */
+constexpr double
+perSecondFromNs(NanoSeconds ns)
+{
+    return 1e9 / ns;
+}
+
+/** Tera-ops per second per mm^2, the paper's computational density unit. */
+constexpr double
+toTopsPerMm2(OpsPerSecond ops_per_s, SquareMillimeters area)
+{
+    return ops_per_s / area * 1e-12;
+}
+
+} // namespace fpsa
+
+#endif // FPSA_COMMON_TYPES_HH

@@ -1,0 +1,38 @@
+#include "compiler.hh"
+
+#include "common/logging.hh"
+
+namespace fpsa
+{
+
+CompileResult
+compileForFpsa(const Graph &graph, const CompileOptions &options)
+{
+    CompileResult result;
+    result.synthesis = synthesizeSummary(graph, options.synth);
+    result.allocation = allocateForDuplication(
+        result.synthesis, options.duplicationDegree);
+    result.netlist = netlistFromAllocation(result.synthesis,
+                                           result.allocation,
+                                           options.mapper);
+
+    FpsaPerfOptions perf = options.perf;
+    if (options.runPlaceAndRoute) {
+        PnrOptions pnr = options.pnr;
+        result.pnr = runPnr(result.netlist, pnr);
+        if (result.pnr->timing.avgNetDelay > 0.0)
+            perf.wireDelayPerBit = result.pnr->timing.avgNetDelay;
+        if (!result.pnr->routed) {
+            warn("placement & routing did not fully converge; timing is "
+                 "a lower bound");
+        }
+    }
+
+    result.performance =
+        evaluateFpsa(graph, result.synthesis, result.allocation, perf);
+    result.energy = fpsaEnergyReport(result.synthesis, result.allocation,
+                                     perf.ioBits, perf.wireDelayPerBit);
+    return result;
+}
+
+} // namespace fpsa

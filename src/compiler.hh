@@ -1,0 +1,64 @@
+/**
+ * @file
+ * End-to-end FPSA compilation facade: the one-call public API that runs
+ * the whole stack of Fig. 5 -- neural synthesizer, spatial-to-temporal
+ * mapper, placement & routing -- and evaluates the resulting
+ * configuration.
+ *
+ *     Graph model = buildVgg16();
+ *     CompileResult r = compileForFpsa(model, {.duplicationDegree = 64});
+ *     // r.performance.throughput, r.performance.area, ...
+ */
+
+#ifndef FPSA_COMPILER_HH
+#define FPSA_COMPILER_HH
+
+#include <optional>
+
+#include "mapper/allocation.hh"
+#include "mapper/mapper.hh"
+#include "nn/graph.hh"
+#include "pnr/pnr_flow.hh"
+#include "sim/energy_report.hh"
+#include "sim/perf_model.hh"
+#include "synth/synthesizer.hh"
+
+namespace fpsa
+{
+
+/** Whole-stack compilation knobs. */
+struct CompileOptions
+{
+    std::int64_t duplicationDegree = 64;
+    SynthOptions synth;
+    MapperOptions mapper;
+
+    /**
+     * Run placement & routing on the generated netlist and use the
+     * measured average net delay in the performance model (instead of
+     * the calibrated 9.9 ns default).  Expensive for large models.
+     */
+    bool runPlaceAndRoute = false;
+    PnrOptions pnr;
+
+    FpsaPerfOptions perf;
+};
+
+/** Everything the stack produces for one model. */
+struct CompileResult
+{
+    SynthesisSummary synthesis;
+    AllocationResult allocation;
+    Netlist netlist;
+    std::optional<PnrResult> pnr;
+    PerfReport performance;
+    EnergyReport energy;
+};
+
+/** Compile a computational graph onto FPSA and evaluate it. */
+CompileResult compileForFpsa(const Graph &graph,
+                             const CompileOptions &options = {});
+
+} // namespace fpsa
+
+#endif // FPSA_COMPILER_HH

@@ -1,0 +1,114 @@
+#include "mapper/allocation.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace fpsa
+{
+
+namespace
+{
+
+std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Build the allocation that hits an iteration target. */
+AllocationResult
+allocateForIterations(const SynthesisSummary &summary,
+                      std::int64_t target_iterations,
+                      const AllocationOptions &options)
+{
+    AllocationResult result;
+    result.groups.reserve(summary.groups.size());
+    std::int64_t edges = 0;
+    for (std::size_t i = 0; i < summary.groups.size(); ++i) {
+        const SynthGroup &g = summary.groups[i];
+        GroupAllocation a;
+        a.group = static_cast<int>(i);
+        a.duplication = std::clamp<std::int64_t>(
+            ceilDiv(g.instances, std::max<std::int64_t>(1,
+                                                        target_iterations)),
+            1, g.instances);
+        a.pes = a.duplication * g.tilesPerInstance;
+        a.iterations = ceilDiv(g.instances, a.duplication);
+        result.totalPes += a.pes;
+        result.maxIterations = std::max(result.maxIterations, a.iterations);
+        result.groups.push_back(a);
+        edges += static_cast<std::int64_t>(g.preds.size());
+        if (g.preds.empty())
+            ++edges; // external input feed still needs a landing buffer
+    }
+    result.smbBlocks = edges * options.smbsPerEdge;
+    result.clbBlocks = ceilDiv(result.totalPes, options.pesPerClb);
+    return result;
+}
+
+} // namespace
+
+AllocationResult
+allocateForDuplication(const SynthesisSummary &summary,
+                       std::int64_t duplication_degree,
+                       const AllocationOptions &options)
+{
+    fpsa_assert(duplication_degree >= 1, "duplication degree must be >= 1");
+    fpsa_assert(!summary.groups.empty(), "empty synthesis summary");
+    const std::int64_t max_reuse = std::max<std::int64_t>(
+        1, summary.maxReuse());
+    const std::int64_t in_model = std::min(duplication_degree, max_reuse);
+    const std::int64_t target = ceilDiv(max_reuse, in_model);
+    AllocationResult result =
+        allocateForIterations(summary, target, options);
+    result.duplicationDegree = duplication_degree;
+    // Duplication beyond the model's reuse replicates the whole
+    // pipeline for sample-level parallelism.
+    result.replicas = duplication_degree / in_model;
+    if (result.replicas > 1) {
+        result.totalPes *= result.replicas;
+        result.smbBlocks *= result.replicas;
+        result.clbBlocks *= result.replicas;
+    }
+    return result;
+}
+
+AllocationResult
+allocateForPeBudget(const SynthesisSummary &summary, std::int64_t pe_budget,
+                    const AllocationOptions &options)
+{
+    fpsa_assert(!summary.groups.empty(), "empty synthesis summary");
+    const std::int64_t min_pes = summary.minPes();
+    if (pe_budget < min_pes) {
+        fatal("PE budget %lld below the storage minimum %lld",
+              static_cast<long long>(pe_budget),
+              static_cast<long long>(min_pes));
+    }
+    // PEs(target) decreases as the iteration target grows; binary search
+    // the smallest target whose allocation fits.
+    std::int64_t lo = 1, hi = std::max<std::int64_t>(1, summary.maxReuse());
+    while (lo < hi) {
+        const std::int64_t mid = lo + (hi - lo) / 2;
+        if (allocateForIterations(summary, mid, options).totalPes <=
+            pe_budget) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    AllocationResult result = allocateForIterations(summary, lo, options);
+    // Name the configuration by the max-reuse group's duplication.
+    std::int64_t dup = 1;
+    for (const auto &a : result.groups) {
+        if (summary.groups[static_cast<std::size_t>(a.group)].instances ==
+            summary.maxReuse()) {
+            dup = a.duplication;
+            break;
+        }
+    }
+    result.duplicationDegree = dup;
+    return result;
+}
+
+} // namespace fpsa

@@ -1,0 +1,48 @@
+#include "mapper/control_gen.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace fpsa
+{
+
+ControlProgram
+generateControl(const CoreOpGraph &graph,
+                const std::vector<int> &pe_assignment,
+                const ScheduleResult &schedule, std::uint32_t window,
+                int pes_per_clb)
+{
+    fpsa_assert(pes_per_clb >= 1, "need at least one PE per CLB");
+    ControlProgram program;
+    program.window = window;
+
+    std::set<int> pes;
+    for (CoreOpId v = 0; v < static_cast<CoreOpId>(graph.size()); ++v) {
+        const auto &e = schedule.entries[static_cast<std::size_t>(v)];
+        const int pe = pe_assignment[static_cast<std::size_t>(v)];
+        pes.insert(pe);
+        program.events.push_back(
+            {e.start, ControlEvent::Kind::PeStart, pe});
+        program.events.push_back(
+            {e.end, ControlEvent::Kind::PeReset, pe});
+    }
+    for (const auto &[u, v] : schedule.bufferedEdges) {
+        const auto &ue = schedule.entries[static_cast<std::size_t>(u)];
+        const auto &ve = schedule.entries[static_cast<std::size_t>(v)];
+        program.events.push_back(
+            {ue.end, ControlEvent::Kind::BufferWrite, u});
+        program.events.push_back(
+            {ve.start, ControlEvent::Kind::BufferRead, u});
+    }
+    std::stable_sort(program.events.begin(), program.events.end(),
+                     [](const ControlEvent &a, const ControlEvent &b) {
+                         return a.cycle < b.cycle;
+                     });
+    program.clbsNeeded =
+        (static_cast<int>(pes.size()) + pes_per_clb - 1) / pes_per_clb;
+    return program;
+}
+
+} // namespace fpsa

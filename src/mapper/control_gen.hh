@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Control-signal generation (paper Sec. 5.2, last step): once every
+ * core-op has a start/end cycle, CLBs must produce the PE reset pulses
+ * at sampling-window boundaries and the SMB write/read strobes around
+ * buffered edges.  This module turns a schedule into an explicit event
+ * program and sizes the CLB demand.
+ */
+
+#ifndef FPSA_MAPPER_CONTROL_GEN_HH
+#define FPSA_MAPPER_CONTROL_GEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mapper/schedule.hh"
+#include "synth/core_op.hh"
+
+namespace fpsa
+{
+
+/** One control strobe. */
+struct ControlEvent
+{
+    enum class Kind { PeStart, PeReset, BufferWrite, BufferRead };
+    std::int64_t cycle = 0;
+    Kind kind = Kind::PeStart;
+    int target = 0; //!< PE index or buffer (producer op) index
+};
+
+/** A complete control program for one mapped netlist. */
+struct ControlProgram
+{
+    std::uint32_t window = 64;
+    std::vector<ControlEvent> events; //!< sorted by cycle
+    int clbsNeeded = 0;
+};
+
+/**
+ * Generate the control program of a schedule.
+ *
+ * @param pes_per_clb how many PEs one CLB's 128 LUTs can sequence
+ */
+ControlProgram generateControl(const CoreOpGraph &graph,
+                               const std::vector<int> &pe_assignment,
+                               const ScheduleResult &schedule,
+                               std::uint32_t window, int pes_per_clb = 8);
+
+} // namespace fpsa
+
+#endif // FPSA_MAPPER_CONTROL_GEN_HH

@@ -1,0 +1,44 @@
+#include "mapper/groups.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace fpsa
+{
+
+std::vector<std::int64_t>
+groupInstanceCounts(const CoreOpGraph &graph)
+{
+    std::vector<std::int64_t> counts(
+        static_cast<std::size_t>(graph.groupCount()), 0);
+    for (const auto &op : graph.ops()) {
+        fpsa_assert(op.group >= 0 &&
+                        static_cast<std::size_t>(op.group) < counts.size(),
+                    "core-op '%s' has no group", op.name.c_str());
+        ++counts[static_cast<std::size_t>(op.group)];
+    }
+    return counts;
+}
+
+std::vector<std::int64_t>
+duplicationForGraph(const CoreOpGraph &graph,
+                    std::int64_t duplication_degree)
+{
+    fpsa_assert(duplication_degree >= 1, "bad duplication degree");
+    const auto counts = groupInstanceCounts(graph);
+    std::int64_t max_reuse = 1;
+    for (std::int64_t c : counts)
+        max_reuse = std::max(max_reuse, c);
+    const std::int64_t dup = std::min(duplication_degree, max_reuse);
+    const std::int64_t target = (max_reuse + dup - 1) / dup;
+    std::vector<std::int64_t> result(counts.size(), 1);
+    for (std::size_t g = 0; g < counts.size(); ++g) {
+        result[g] = std::clamp<std::int64_t>(
+            (counts[g] + target - 1) / std::max<std::int64_t>(1, target),
+            1, std::max<std::int64_t>(1, counts[g]));
+    }
+    return result;
+}
+
+} // namespace fpsa

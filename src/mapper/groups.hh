@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Weight-group bookkeeping over explicit core-op graphs: instance
+ * counts (reuse degrees) and conversion of AllocationResult decisions
+ * into the per-group duplication vector the PE assigner wants.
+ */
+
+#ifndef FPSA_MAPPER_GROUPS_HH
+#define FPSA_MAPPER_GROUPS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mapper/allocation.hh"
+#include "synth/core_op.hh"
+
+namespace fpsa
+{
+
+/** Instances per weight group of an explicit core-op graph. */
+std::vector<std::int64_t> groupInstanceCounts(const CoreOpGraph &graph);
+
+/**
+ * Duplication per group from a reuse-proportional rule: the max-reuse
+ * group gets `duplication_degree` copies, others enough to match its
+ * iteration count (the explicit-graph analogue of
+ * allocateForDuplication).
+ */
+std::vector<std::int64_t> duplicationForGraph(
+    const CoreOpGraph &graph, std::int64_t duplication_degree);
+
+} // namespace fpsa
+
+#endif // FPSA_MAPPER_GROUPS_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The spatial-to-temporal mapper driver (paper Fig. 5, middle stage):
+ * synthesis summary + allocation in, function-block netlist out.
+ *
+ * Two entry points mirror the synthesizer's two paths:
+ *  - `netlistFromAllocation`: the analytic path for zoo-scale models --
+ *    PE blocks per group copy, SMBs on inter-group edges, CLB control
+ *    domains, and bus nets following group dataflow.
+ *  - `netlistFromSchedule`: the explicit path for small nets, deriving
+ *    blocks and nets from a scheduled core-op graph (buffered edges
+ *    become SMBs; unbuffered dataflow becomes direct PE-to-PE nets).
+ */
+
+#ifndef FPSA_MAPPER_MAPPER_HH
+#define FPSA_MAPPER_MAPPER_HH
+
+#include "mapper/allocation.hh"
+#include "mapper/netlist.hh"
+#include "mapper/schedule.hh"
+#include "synth/core_op.hh"
+#include "synth/synthesizer.hh"
+
+namespace fpsa
+{
+
+/** Netlist-generation knobs. */
+struct MapperOptions
+{
+    int busWidth = 256;     //!< wires per PE-to-PE spike bus
+    int controlWidth = 4;   //!< wires per CLB control net
+    int pesPerClb = 8;
+};
+
+/** Analytic netlist for a zoo-scale allocation. */
+Netlist netlistFromAllocation(const SynthesisSummary &summary,
+                              const AllocationResult &allocation,
+                              const MapperOptions &options = {});
+
+/** Explicit netlist for a scheduled core-op graph. */
+Netlist netlistFromSchedule(const CoreOpGraph &graph,
+                            const std::vector<int> &pe_assignment,
+                            int pe_count, const ScheduleResult &schedule,
+                            const MapperOptions &options = {});
+
+} // namespace fpsa
+
+#endif // FPSA_MAPPER_MAPPER_HH

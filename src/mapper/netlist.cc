@@ -1,0 +1,90 @@
+#include "mapper/netlist.hh"
+
+#include "common/logging.hh"
+
+namespace fpsa
+{
+
+const char *
+blockTypeName(BlockType t)
+{
+    switch (t) {
+      case BlockType::Pe:
+        return "PE";
+      case BlockType::Smb:
+        return "SMB";
+      case BlockType::Clb:
+        return "CLB";
+    }
+    return "?";
+}
+
+BlockId
+Netlist::addBlock(BlockType type, std::string name, std::int32_t group_id)
+{
+    blocks_.push_back(Block{type, std::move(name), group_id});
+    return static_cast<BlockId>(blocks_.size() - 1);
+}
+
+NetId
+Netlist::addNet(std::string name, BlockId driver, std::vector<BlockId> sinks,
+                int width)
+{
+    fpsa_assert(width > 0, "net '%s' with non-positive width %d",
+                name.c_str(), width);
+    nets_.push_back(Net{std::move(name), driver, std::move(sinks), width});
+    return static_cast<NetId>(nets_.size() - 1);
+}
+
+const Block &
+Netlist::block(BlockId id) const
+{
+    fpsa_assert(id >= 0 && static_cast<std::size_t>(id) < blocks_.size(),
+                "block id %d out of range", id);
+    return blocks_[static_cast<std::size_t>(id)];
+}
+
+const Net &
+Netlist::net(NetId id) const
+{
+    fpsa_assert(id >= 0 && static_cast<std::size_t>(id) < nets_.size(),
+                "net id %d out of range", id);
+    return nets_[static_cast<std::size_t>(id)];
+}
+
+int
+Netlist::countBlocks(BlockType type) const
+{
+    int n = 0;
+    for (const auto &b : blocks_)
+        n += b.type == type ? 1 : 0;
+    return n;
+}
+
+std::int64_t
+Netlist::totalWireDemand() const
+{
+    std::int64_t demand = 0;
+    for (const auto &n : nets_)
+        demand += n.width;
+    return demand;
+}
+
+void
+Netlist::validate() const
+{
+    for (const auto &n : nets_) {
+        fpsa_assert(n.driver >= 0 &&
+                        static_cast<std::size_t>(n.driver) < blocks_.size(),
+                    "net '%s' has invalid driver", n.name.c_str());
+        fpsa_assert(!n.sinks.empty(), "net '%s' has no sinks",
+                    n.name.c_str());
+        for (BlockId s : n.sinks) {
+            fpsa_assert(s >= 0 &&
+                            static_cast<std::size_t>(s) < blocks_.size(),
+                        "net '%s' has invalid sink", n.name.c_str());
+        }
+    }
+}
+
+} // namespace fpsa

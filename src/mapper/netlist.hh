@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The function-block netlist: the interface between the
+ * spatial-to-temporal mapper and placement & routing (paper Fig. 5).
+ *
+ * A netlist instantiates PEs, SMBs and CLBs and connects them with nets.
+ * FPSA signals are spike buses (one wire per crossbar row/column), so a
+ * net carries a `width` attribute: the router charges `width` tracks of
+ * channel capacity along its path.
+ */
+
+#ifndef FPSA_MAPPER_NETLIST_HH
+#define FPSA_MAPPER_NETLIST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fpsa
+{
+
+/** The three programmable function-block families of FPSA. */
+enum class BlockType { Pe, Smb, Clb };
+
+const char *blockTypeName(BlockType t);
+
+/** Index of a block within a Netlist. */
+using BlockId = std::int32_t;
+
+/** Index of a net within a Netlist. */
+using NetId = std::int32_t;
+
+/** One instantiated function block. */
+struct Block
+{
+    BlockType type = BlockType::Pe;
+    std::string name;
+
+    /**
+     * For PEs: which weight group this block serves (mapper bookkeeping,
+     * -1 when not applicable).
+     */
+    std::int32_t groupId = -1;
+};
+
+/** One spike-bus net: a driver block fanning out to sink blocks. */
+struct Net
+{
+    std::string name;
+    BlockId driver = -1;
+    std::vector<BlockId> sinks;
+    int width = 1; //!< wires in the bus (e.g.\ 256 for a PE output bus)
+};
+
+/** A complete function-block netlist. */
+class Netlist
+{
+  public:
+    /** Add a block; returns its id. */
+    BlockId addBlock(BlockType type, std::string name,
+                     std::int32_t group_id = -1);
+
+    /** Add a net; returns its id. */
+    NetId addNet(std::string name, BlockId driver,
+                 std::vector<BlockId> sinks, int width);
+
+    const std::vector<Block> &blocks() const { return blocks_; }
+    const std::vector<Net> &nets() const { return nets_; }
+
+    const Block &block(BlockId id) const;
+    const Net &net(NetId id) const;
+
+    /** Number of blocks of one type. */
+    int countBlocks(BlockType type) const;
+
+    /** Sum of width over all nets (wiring demand). */
+    std::int64_t totalWireDemand() const;
+
+    /** Verify driver/sink ids are in range; panics on corruption. */
+    void validate() const;
+
+  private:
+    std::vector<Block> blocks_;
+    std::vector<Net> nets_;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_MAPPER_NETLIST_HH

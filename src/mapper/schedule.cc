@@ -1,0 +1,221 @@
+#include "mapper/schedule.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace fpsa
+{
+
+std::pair<std::vector<int>, int>
+assignPes(const CoreOpGraph &graph,
+          const std::vector<std::int64_t> &group_duplication)
+{
+    std::vector<int> assignment(graph.size(), -1);
+    // Base PE index per group.
+    std::vector<int> base(group_duplication.size(), 0);
+    int next = 0;
+    for (std::size_t g = 0; g < group_duplication.size(); ++g) {
+        base[g] = next;
+        next += static_cast<int>(std::max<std::int64_t>(
+            1, group_duplication[g]));
+    }
+    std::vector<int> round(group_duplication.size(), 0);
+    for (CoreOpId id = 0; id < static_cast<CoreOpId>(graph.size()); ++id) {
+        const GroupId g = graph.op(id).group;
+        fpsa_assert(g >= 0 && static_cast<std::size_t>(g) <
+                                  group_duplication.size(),
+                    "core-op '%s' has unallocated group",
+                    graph.op(id).name.c_str());
+        const int dup = static_cast<int>(std::max<std::int64_t>(
+            1, group_duplication[static_cast<std::size_t>(g)]));
+        assignment[static_cast<std::size_t>(id)] =
+            base[static_cast<std::size_t>(g)] +
+            round[static_cast<std::size_t>(g)] % dup;
+        ++round[static_cast<std::size_t>(g)];
+    }
+    return {assignment, next};
+}
+
+ScheduleResult
+scheduleCoreOps(const CoreOpGraph &graph,
+                const std::vector<int> &pe_assignment, std::uint32_t window)
+{
+    fpsa_assert(pe_assignment.size() == graph.size(),
+                "assignment size mismatch");
+    const std::int64_t gamma = static_cast<std::int64_t>(window);
+
+    ScheduleResult result;
+    result.entries.assign(graph.size(), {});
+
+    // Per-PE earliest free cycle (RC bookkeeping).
+    std::map<int, std::int64_t> pe_free;
+    // Per-producer buffered-read times (BC bookkeeping).
+    std::map<CoreOpId, std::vector<std::int64_t>> buffer_reads;
+
+    for (CoreOpId v = 0; v < static_cast<CoreOpId>(graph.size()); ++v) {
+        const CoreOp &op = graph.op(v);
+        const int pe = pe_assignment[static_cast<std::size_t>(v)];
+
+        // Distinct producers of v.
+        std::vector<CoreOpId> preds;
+        for (const auto &in : op.inputs) {
+            if (in.producer >= 0 &&
+                (preds.empty() || preds.back() != in.producer)) {
+                preds.push_back(in.producer);
+            }
+        }
+        std::sort(preds.begin(), preds.end());
+        preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+
+        // Try NBD: stream one cycle behind every producer.  Streaming
+        // requires all producers to start at the same cycle.
+        std::int64_t nbd_start = 0;
+        bool nbd_possible = true;
+        for (std::size_t i = 0; i < preds.size(); ++i) {
+            const std::int64_t su =
+                result.entries[static_cast<std::size_t>(preds[i])].start;
+            if (i == 0) {
+                nbd_start = su + 1;
+            } else if (su + 1 != nbd_start) {
+                nbd_possible = false;
+            }
+        }
+
+        std::int64_t start = preds.empty() ? 0 : nbd_start;
+        // RC: respect the PE's previous occupant.
+        const auto it = pe_free.find(pe);
+        const std::int64_t free_at = it == pe_free.end() ? 0 : it->second;
+        if (start < free_at) {
+            start = free_at;
+            nbd_possible = false;
+        }
+
+        if (!nbd_possible && !preds.empty()) {
+            // Buffer every incoming edge (BD): start after producers end.
+            for (CoreOpId u : preds) {
+                result.bufferedEdges.insert({u, v});
+                const std::int64_t eu =
+                    result.entries[static_cast<std::size_t>(u)].end;
+                start = std::max(start, eu + 1);
+            }
+            // BC: reads of one buffer are a window apart.  A push for
+            // one producer's buffer can re-violate another's, so
+            // iterate to a fixpoint across all of them before
+            // committing the start time to any read list.
+            bool moved = true;
+            while (moved) {
+                moved = false;
+                for (CoreOpId u : preds) {
+                    for (const std::int64_t other : buffer_reads[u]) {
+                        // Consumer occupancy of the port is its whole
+                        // execution [start, start + gamma).
+                        if (std::llabs(other - start) <= gamma) {
+                            start = other + gamma + 1;
+                            moved = true;
+                        }
+                    }
+                }
+            }
+            for (CoreOpId u : preds)
+                buffer_reads[u].push_back(start);
+        } else if (!preds.empty()) {
+            // NBD succeeded; record nothing, edges stay unbuffered.
+        }
+
+        ScheduleEntry &e = result.entries[static_cast<std::size_t>(v)];
+        e.start = start;
+        e.end = start + gamma; // SW with equality
+        e.pe = pe;
+        pe_free[pe] = e.end + 1;
+        result.makespan = std::max(result.makespan, e.end);
+    }
+    result.buffersUsed = static_cast<int>(result.bufferedEdges.size());
+    return result;
+}
+
+std::string
+validateSchedule(const CoreOpGraph &graph,
+                 const std::vector<int> &pe_assignment,
+                 const ScheduleResult &schedule, std::uint32_t window)
+{
+    const std::int64_t gamma = static_cast<std::int64_t>(window);
+    std::ostringstream err;
+
+    // SW.
+    for (CoreOpId v = 0; v < static_cast<CoreOpId>(graph.size()); ++v) {
+        const auto &e = schedule.entries[static_cast<std::size_t>(v)];
+        if (e.start + gamma > e.end) {
+            err << "SW violated at op " << v;
+            return err.str();
+        }
+    }
+
+    // RC.
+    std::map<int, std::vector<CoreOpId>> by_pe;
+    for (CoreOpId v = 0; v < static_cast<CoreOpId>(graph.size()); ++v)
+        by_pe[pe_assignment[static_cast<std::size_t>(v)]].push_back(v);
+    for (const auto &[pe, ops] : by_pe) {
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+            for (std::size_t j = i + 1; j < ops.size(); ++j) {
+                const auto &a =
+                    schedule.entries[static_cast<std::size_t>(ops[i])];
+                const auto &b =
+                    schedule.entries[static_cast<std::size_t>(ops[j])];
+                if (!(a.end < b.start || b.end < a.start)) {
+                    err << "RC violated on PE " << pe << " between ops "
+                        << ops[i] << " and " << ops[j];
+                    return err.str();
+                }
+            }
+        }
+    }
+
+    // NBD or BD per edge.
+    for (CoreOpId v = 0; v < static_cast<CoreOpId>(graph.size()); ++v) {
+        for (const auto &in : graph.op(v).inputs) {
+            if (in.producer < 0)
+                continue;
+            const auto &u_e =
+                schedule.entries[static_cast<std::size_t>(in.producer)];
+            const auto &v_e = schedule.entries[static_cast<std::size_t>(v)];
+            const bool buffered =
+                schedule.bufferedEdges.count({in.producer, v}) > 0;
+            if (buffered) {
+                if (!(v_e.start > u_e.end)) {
+                    err << "BD violated on edge " << in.producer << "->"
+                        << v;
+                    return err.str();
+                }
+            } else {
+                if (!(v_e.start <= u_e.start + 1 &&
+                      v_e.end >= u_e.end + 1)) {
+                    err << "NBD violated on edge " << in.producer << "->"
+                        << v;
+                    return err.str();
+                }
+            }
+        }
+    }
+
+    // BC: buffered consumers of one producer are a window apart.
+    std::map<CoreOpId, std::vector<std::int64_t>> reads;
+    for (const auto &[u, v] : schedule.bufferedEdges)
+        reads[u].push_back(
+            schedule.entries[static_cast<std::size_t>(v)].start);
+    for (auto &[u, starts] : reads) {
+        std::sort(starts.begin(), starts.end());
+        for (std::size_t i = 1; i < starts.size(); ++i) {
+            if (starts[i] - starts[i - 1] <= gamma) {
+                err << "BC violated at buffer of op " << u;
+                return err.str();
+            }
+        }
+    }
+
+    return "";
+}
+
+} // namespace fpsa

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Core-op scheduling under the paper's constraints (Section 5.2,
+ * Formulas 7-11 and Algorithm 1).
+ *
+ *  RC  - two core-ops on the same PE must not overlap.
+ *  NBD - an unbuffered producer/consumer pair streams: the consumer
+ *        starts one cycle after the producer and ends one cycle later.
+ *  BD  - a buffered consumer starts strictly after the producer ends.
+ *  BC  - two consumers of the same buffer port are >= one sampling
+ *        window apart.
+ *  SW  - every core-op runs for at least one sampling window.
+ *
+ * The greedy scheduler walks the graph topologically, connecting PEs
+ * without buffers when the timing allows and inserting SMB buffers
+ * (marking the edge) when RC pushes a consumer away from its producer.
+ */
+
+#ifndef FPSA_MAPPER_SCHEDULE_HH
+#define FPSA_MAPPER_SCHEDULE_HH
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "synth/core_op.hh"
+
+namespace fpsa
+{
+
+/** One core-op's scheduled execution. */
+struct ScheduleEntry
+{
+    std::int64_t start = 0; //!< s_v, cycles
+    std::int64_t end = 0;   //!< e_v, cycles
+    int pe = 0;             //!< A_v
+};
+
+/** A complete schedule. */
+struct ScheduleResult
+{
+    std::vector<ScheduleEntry> entries;
+    /** Edges (producer, consumer) that received an SMB buffer. */
+    std::set<std::pair<CoreOpId, CoreOpId>> bufferedEdges;
+    std::int64_t makespan = 0;
+    int buffersUsed = 0;
+};
+
+/**
+ * Round-robin PE assignment within each weight group given per-group
+ * duplication counts; returns assignment[op] = PE index and the PE
+ * count.
+ */
+std::pair<std::vector<int>, int> assignPes(
+    const CoreOpGraph &graph,
+    const std::vector<std::int64_t> &group_duplication);
+
+/** Greedy Algorithm-1 scheduler. */
+ScheduleResult scheduleCoreOps(const CoreOpGraph &graph,
+                               const std::vector<int> &pe_assignment,
+                               std::uint32_t window);
+
+/**
+ * Check every constraint; returns an empty string when valid, or a
+ * human-readable violation description.
+ */
+std::string validateSchedule(const CoreOpGraph &graph,
+                             const std::vector<int> &pe_assignment,
+                             const ScheduleResult &schedule,
+                             std::uint32_t window);
+
+} // namespace fpsa
+
+#endif // FPSA_MAPPER_SCHEDULE_HH

@@ -1,0 +1,114 @@
+#include "nn/builder.hh"
+
+namespace fpsa
+{
+
+GraphBuilder::GraphBuilder(Shape input_shape)
+{
+    tip_ = graph_.addInput(std::move(input_shape));
+}
+
+GraphBuilder &
+GraphBuilder::at(NodeId node)
+{
+    tip_ = node;
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::conv(int out_channels, int kernel, int stride, int pad,
+                   int groups)
+{
+    OpAttrs attrs;
+    attrs.outChannels = out_channels;
+    attrs.kernel = kernel;
+    attrs.stride = stride;
+    attrs.pad = pad;
+    attrs.groups = groups;
+    tip_ = graph_.addOp(OpKind::Conv2d, {tip_}, attrs);
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::fc(int units)
+{
+    OpAttrs attrs;
+    attrs.units = units;
+    tip_ = graph_.addOp(OpKind::FullyConnected, {tip_}, attrs);
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::relu()
+{
+    tip_ = graph_.addOp(OpKind::Relu, {tip_}, {});
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::batchNorm()
+{
+    tip_ = graph_.addOp(OpKind::BatchNorm, {tip_}, {});
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::maxPool(int kernel, int stride, int pad)
+{
+    OpAttrs attrs;
+    attrs.kernel = kernel;
+    attrs.stride = stride;
+    attrs.pad = pad;
+    tip_ = graph_.addOp(OpKind::MaxPool, {tip_}, attrs);
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::avgPool(int kernel, int stride, int pad)
+{
+    OpAttrs attrs;
+    attrs.kernel = kernel;
+    attrs.stride = stride;
+    attrs.pad = pad;
+    tip_ = graph_.addOp(OpKind::AvgPool, {tip_}, attrs);
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::globalAvgPool()
+{
+    tip_ = graph_.addOp(OpKind::GlobalAvgPool, {tip_}, {});
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::flatten()
+{
+    tip_ = graph_.addOp(OpKind::Flatten, {tip_}, {});
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::add(const std::vector<NodeId> &others)
+{
+    std::vector<NodeId> inputs{tip_};
+    inputs.insert(inputs.end(), others.begin(), others.end());
+    tip_ = graph_.addOp(OpKind::Add, std::move(inputs), {});
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::concat(const std::vector<NodeId> &nodes)
+{
+    tip_ = graph_.addOp(OpKind::Concat, nodes, {});
+    return *this;
+}
+
+GraphBuilder &
+GraphBuilder::convRelu(int out_channels, int kernel, int stride, int pad,
+                       int groups)
+{
+    return conv(out_channels, kernel, stride, pad, groups).relu();
+}
+
+} // namespace fpsa

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fluent builder for computational graphs: the user-facing front end of
+ * the FPSA stack (stands in for the TensorFlow/MXNet/PyTorch importers
+ * the paper mentions).
+ *
+ * Linear chains read like the model definition; branches (inception,
+ * residual) use explicit node handles:
+ *
+ *     GraphBuilder b({3, 224, 224});
+ *     b.conv(64, 3, 1, 1).relu().maxPool(2, 2);
+ *     NodeId trunk = b.tip();
+ *     NodeId left  = b.conv(32, 1, 1, 0).tip();
+ *     NodeId right = b.at(trunk).conv(32, 3, 1, 1).tip();
+ *     b.concat({left, right});
+ */
+
+#ifndef FPSA_NN_BUILDER_HH
+#define FPSA_NN_BUILDER_HH
+
+#include <vector>
+
+#include "nn/graph.hh"
+
+namespace fpsa
+{
+
+/** Chainable graph construction helper. */
+class GraphBuilder
+{
+  public:
+    /** Start a graph with one input of the given per-sample shape. */
+    explicit GraphBuilder(Shape input_shape);
+
+    /** The node new layers attach to. */
+    NodeId tip() const { return tip_; }
+
+    /** Re-aim the builder at an existing node (for branches). */
+    GraphBuilder &at(NodeId node);
+
+    GraphBuilder &conv(int out_channels, int kernel, int stride, int pad,
+                       int groups = 1);
+    GraphBuilder &fc(int units);
+    GraphBuilder &relu();
+    GraphBuilder &batchNorm();
+    GraphBuilder &maxPool(int kernel, int stride, int pad = 0);
+    GraphBuilder &avgPool(int kernel, int stride, int pad = 0);
+    GraphBuilder &globalAvgPool();
+    GraphBuilder &flatten();
+
+    /** Elementwise add of the tip with other nodes. */
+    GraphBuilder &add(const std::vector<NodeId> &others);
+
+    /** Channel concat of explicit nodes (replaces the tip). */
+    GraphBuilder &concat(const std::vector<NodeId> &nodes);
+
+    /** Convenience: conv + relu. */
+    GraphBuilder &convRelu(int out_channels, int kernel, int stride,
+                           int pad, int groups = 1);
+
+    /** Finish and take the graph. */
+    Graph build() { return std::move(graph_); }
+
+    /** Access while building. */
+    Graph &graph() { return graph_; }
+    const Graph &graph() const { return graph_; }
+
+  private:
+    Graph graph_;
+    NodeId tip_;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_NN_BUILDER_HH

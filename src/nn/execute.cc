@@ -1,0 +1,220 @@
+#include "nn/execute.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "nn/ops.hh"
+#include "tensor/tensor.hh"
+
+namespace fpsa
+{
+
+void
+randomizeWeights(Graph &graph, Rng &rng)
+{
+    for (NodeId id = 0; id < static_cast<NodeId>(graph.size()); ++id) {
+        GraphNode &n = graph.node(id);
+        if (n.kind == OpKind::Conv2d) {
+            const Shape &in = graph.node(n.inputs[0]).outShape;
+            const std::int64_t cin_g = in[0] / n.attrs.groups;
+            Tensor w({n.attrs.outChannels, cin_g, n.attrs.kernel,
+                      n.attrs.kernel});
+            const double scale =
+                std::sqrt(2.0 / static_cast<double>(cin_g * n.attrs.kernel *
+                                                    n.attrs.kernel));
+            for (std::int64_t i = 0; i < w.numel(); ++i)
+                w[i] = static_cast<float>(rng.normal(0.0, scale));
+            n.weights = std::move(w);
+        } else if (n.kind == OpKind::FullyConnected) {
+            const std::int64_t in =
+                shapeNumel(graph.node(n.inputs[0]).outShape);
+            Tensor w({n.attrs.units, in});
+            const double scale = std::sqrt(2.0 / static_cast<double>(in));
+            for (std::int64_t i = 0; i < w.numel(); ++i)
+                w[i] = static_cast<float>(rng.normal(0.0, scale));
+            n.weights = std::move(w);
+        }
+    }
+}
+
+namespace
+{
+
+/** Zero-pad a CHW tensor symmetrically. */
+Tensor
+padChw(const Tensor &in, std::int64_t pad)
+{
+    if (pad == 0)
+        return in;
+    const std::int64_t c = in.dim(0), h = in.dim(1), w = in.dim(2);
+    Tensor out({c, h + 2 * pad, w + 2 * pad});
+    for (std::int64_t ch = 0; ch < c; ++ch)
+        for (std::int64_t y = 0; y < h; ++y)
+            for (std::int64_t x = 0; x < w; ++x)
+                out.data()[(ch * (h + 2 * pad) + y + pad) * (w + 2 * pad) +
+                           x + pad] =
+                    in.data()[(ch * h + y) * w + x];
+    return out;
+}
+
+/** Slice channels [from, to) of a CHW tensor. */
+Tensor
+sliceChannels(const Tensor &in, std::int64_t from, std::int64_t to)
+{
+    const std::int64_t h = in.dim(1), w = in.dim(2);
+    Tensor out({to - from, h, w});
+    for (std::int64_t c = from; c < to; ++c)
+        for (std::int64_t i = 0; i < h * w; ++i)
+            out.data()[(c - from) * h * w + i] = in.data()[c * h * w + i];
+    return out;
+}
+
+Tensor
+groupedConv(const Tensor &input, const Tensor &weight, int stride, int pad,
+            int groups)
+{
+    if (groups == 1)
+        return conv2d(input, weight, stride, pad);
+    const std::int64_t ci = input.dim(0);
+    const std::int64_t co = weight.dim(0);
+    const std::int64_t ci_g = ci / groups, co_g = co / groups;
+    Tensor out;
+    std::vector<Tensor> parts;
+    for (int g = 0; g < groups; ++g) {
+        Tensor in_g = sliceChannels(input, g * ci_g, (g + 1) * ci_g);
+        // Slice the weight's output channels for this group.
+        Tensor w_g({co_g, ci_g, weight.dim(2), weight.dim(3)});
+        const std::int64_t per_filter =
+            ci_g * weight.dim(2) * weight.dim(3);
+        for (std::int64_t f = 0; f < co_g; ++f)
+            for (std::int64_t i = 0; i < per_filter; ++i)
+                w_g.data()[f * per_filter + i] =
+                    weight.data()[(g * co_g + f) * per_filter + i];
+        parts.push_back(conv2d(in_g, w_g, stride, pad));
+    }
+    // Concatenate group outputs along channels.
+    const std::int64_t ho = parts[0].dim(1), wo = parts[0].dim(2);
+    out = Tensor({co, ho, wo});
+    for (int g = 0; g < groups; ++g)
+        for (std::int64_t c = 0; c < co_g; ++c)
+            for (std::int64_t i = 0; i < ho * wo; ++i)
+                out.data()[((g * co_g + c) * ho * wo) + i] =
+                    parts[static_cast<std::size_t>(g)]
+                        .data()[c * ho * wo + i];
+    return out;
+}
+
+} // namespace
+
+std::vector<Tensor>
+runGraph(const Graph &graph, const Tensor &input)
+{
+    std::vector<Tensor> outputs(graph.size());
+    for (NodeId id : graph.topoOrder()) {
+        const GraphNode &n = graph.node(id);
+        auto in = [&](std::size_t i) -> const Tensor & {
+            return outputs[static_cast<std::size_t>(n.inputs[i])];
+        };
+        switch (n.kind) {
+          case OpKind::Input:
+            fpsa_assert(input.shape() == n.outShape,
+                        "input shape %s does not match graph input %s",
+                        shapeToString(input.shape()).c_str(),
+                        shapeToString(n.outShape).c_str());
+            outputs[static_cast<std::size_t>(id)] = input;
+            break;
+          case OpKind::Conv2d: {
+            fpsa_assert(n.weights.has_value(),
+                        "node '%s' has no weights; call randomizeWeights",
+                        n.name.c_str());
+            outputs[static_cast<std::size_t>(id)] =
+                groupedConv(in(0), *n.weights, n.attrs.stride, n.attrs.pad,
+                            n.attrs.groups);
+            break;
+          }
+          case OpKind::FullyConnected: {
+            fpsa_assert(n.weights.has_value(),
+                        "node '%s' has no weights; call randomizeWeights",
+                        n.name.c_str());
+            Tensor flat({shapeNumel(in(0).shape())},
+                        std::vector<float>(in(0).data(),
+                                           in(0).data() + in(0).numel()));
+            outputs[static_cast<std::size_t>(id)] = matVec(*n.weights, flat);
+            break;
+          }
+          case OpKind::MaxPool: {
+            Tensor padded = padChw(in(0), n.attrs.pad);
+            outputs[static_cast<std::size_t>(id)] =
+                maxPool2d(padded, n.attrs.kernel, n.attrs.stride);
+            break;
+          }
+          case OpKind::AvgPool: {
+            Tensor padded = padChw(in(0), n.attrs.pad);
+            outputs[static_cast<std::size_t>(id)] =
+                avgPool2d(padded, n.attrs.kernel, n.attrs.stride);
+            break;
+          }
+          case OpKind::GlobalAvgPool: {
+            const Tensor &x = in(0);
+            Tensor out({x.dim(0)});
+            const std::int64_t hw = x.dim(1) * x.dim(2);
+            for (std::int64_t c = 0; c < x.dim(0); ++c) {
+                double acc = 0.0;
+                for (std::int64_t i = 0; i < hw; ++i)
+                    acc += x.data()[c * hw + i];
+                out[c] = static_cast<float>(acc / hw);
+            }
+            outputs[static_cast<std::size_t>(id)] = std::move(out);
+            break;
+          }
+          case OpKind::Relu:
+            outputs[static_cast<std::size_t>(id)] = relu(in(0));
+            break;
+          case OpKind::BatchNorm:
+            // Folded into the preceding conv at inference time.
+            outputs[static_cast<std::size_t>(id)] = in(0);
+            break;
+          case OpKind::Add: {
+            Tensor acc = in(0);
+            for (std::size_t i = 1; i < n.inputs.size(); ++i)
+                acc = add(acc, in(i));
+            outputs[static_cast<std::size_t>(id)] = std::move(acc);
+            break;
+          }
+          case OpKind::Concat: {
+            std::int64_t channels = 0;
+            for (std::size_t i = 0; i < n.inputs.size(); ++i)
+                channels += in(i).dim(0);
+            const std::int64_t h = in(0).dim(1), w = in(0).dim(2);
+            Tensor out({channels, h, w});
+            std::int64_t at = 0;
+            for (std::size_t i = 0; i < n.inputs.size(); ++i) {
+                const Tensor &x = in(i);
+                for (std::int64_t v = 0; v < x.numel(); ++v)
+                    out.data()[at * h * w + v] = x.data()[v];
+                at += x.dim(0);
+            }
+            outputs[static_cast<std::size_t>(id)] = std::move(out);
+            break;
+          }
+          case OpKind::Flatten: {
+            const Tensor &x = in(0);
+            outputs[static_cast<std::size_t>(id)] =
+                Tensor({x.numel()},
+                       std::vector<float>(x.data(), x.data() + x.numel()));
+            break;
+          }
+        }
+    }
+    return outputs;
+}
+
+Tensor
+runGraphFinal(const Graph &graph, const Tensor &input)
+{
+    auto outputs = runGraph(graph, input);
+    return outputs.back();
+}
+
+} // namespace fpsa

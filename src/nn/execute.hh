@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Reference forward executor for computational graphs.
+ *
+ * Runs a CG on real tensors using the golden tensor kernels.  This is
+ * the float "ground truth" the synthesizer's lowered core-op graphs and
+ * the spiking hardware simulation are validated against.  Intended for
+ * the small nets (MLP, LeNet, custom examples); the ImageNet-scale zoo
+ * models are evaluated analytically, not numerically.
+ */
+
+#ifndef FPSA_NN_EXECUTE_HH
+#define FPSA_NN_EXECUTE_HH
+
+#include <vector>
+
+#include "nn/graph.hh"
+
+namespace fpsa
+{
+
+class Rng;
+
+/**
+ * Materialize random weights for every conv/fc node (He-style scaling so
+ * activations keep a usable dynamic range).
+ */
+void randomizeWeights(Graph &graph, Rng &rng);
+
+/**
+ * Execute the graph on one input sample; returns every node's output.
+ * Requires weights to be materialized.
+ */
+std::vector<Tensor> runGraph(const Graph &graph, const Tensor &input);
+
+/** Execute and return only the final node's output. */
+Tensor runGraphFinal(const Graph &graph, const Tensor &input);
+
+} // namespace fpsa
+
+#endif // FPSA_NN_EXECUTE_HH

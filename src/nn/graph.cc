@@ -1,0 +1,150 @@
+#include "nn/graph.hh"
+
+#include "common/logging.hh"
+#include "nn/ops.hh"
+
+namespace fpsa
+{
+
+const char *
+opKindName(OpKind k)
+{
+    switch (k) {
+      case OpKind::Input:
+        return "input";
+      case OpKind::Conv2d:
+        return "conv2d";
+      case OpKind::FullyConnected:
+        return "fc";
+      case OpKind::MaxPool:
+        return "maxpool";
+      case OpKind::AvgPool:
+        return "avgpool";
+      case OpKind::GlobalAvgPool:
+        return "gavgpool";
+      case OpKind::Relu:
+        return "relu";
+      case OpKind::Add:
+        return "add";
+      case OpKind::Concat:
+        return "concat";
+      case OpKind::BatchNorm:
+        return "batchnorm";
+      case OpKind::Flatten:
+        return "flatten";
+    }
+    return "?";
+}
+
+NodeId
+Graph::addInput(Shape shape, std::string name)
+{
+    GraphNode node;
+    node.kind = OpKind::Input;
+    node.name = std::move(name);
+    node.outShape = std::move(shape);
+    nodes_.push_back(std::move(node));
+    return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId
+Graph::addOp(OpKind kind, std::vector<NodeId> inputs, OpAttrs attrs,
+             std::string name)
+{
+    fpsa_assert(kind != OpKind::Input, "use addInput for inputs");
+    std::vector<Shape> in_shapes;
+    in_shapes.reserve(inputs.size());
+    for (NodeId id : inputs) {
+        fpsa_assert(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(),
+                    "op input %d out of range", id);
+        in_shapes.push_back(nodes_[static_cast<std::size_t>(id)].outShape);
+    }
+    GraphNode node;
+    node.kind = kind;
+    node.name = name.empty() ? std::string(opKindName(kind)) + "_" +
+                                   std::to_string(nodes_.size())
+                             : std::move(name);
+    node.attrs = attrs;
+    node.inputs = std::move(inputs);
+    node.outShape = inferShape(kind, attrs, in_shapes);
+    nodes_.push_back(std::move(node));
+    return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+const GraphNode &
+Graph::node(NodeId id) const
+{
+    fpsa_assert(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(),
+                "node id %d out of range", id);
+    return nodes_[static_cast<std::size_t>(id)];
+}
+
+GraphNode &
+Graph::node(NodeId id)
+{
+    fpsa_assert(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(),
+                "node id %d out of range", id);
+    return nodes_[static_cast<std::size_t>(id)];
+}
+
+std::vector<NodeId>
+Graph::topoOrder() const
+{
+    // Creation order is topological by construction (inputs must exist
+    // before an op referencing them); validate anyway.
+    std::vector<NodeId> order;
+    order.reserve(nodes_.size());
+    for (NodeId id = 0; id < static_cast<NodeId>(nodes_.size()); ++id) {
+        for (NodeId in : nodes_[static_cast<std::size_t>(id)].inputs)
+            fpsa_assert(in < id, "graph is not in topological order");
+        order.push_back(id);
+    }
+    return order;
+}
+
+std::int64_t
+Graph::nodeWeightCount(NodeId id) const
+{
+    const GraphNode &n = node(id);
+    std::vector<Shape> in_shapes;
+    for (NodeId in : n.inputs)
+        in_shapes.push_back(node(in).outShape);
+    return weightCountOf(n.kind, n.attrs, in_shapes, n.outShape);
+}
+
+std::int64_t
+Graph::nodeOpCount(NodeId id) const
+{
+    const GraphNode &n = node(id);
+    std::vector<Shape> in_shapes;
+    for (NodeId in : n.inputs)
+        in_shapes.push_back(node(in).outShape);
+    return opCountOf(n.kind, n.attrs, in_shapes, n.outShape);
+}
+
+std::int64_t
+Graph::nodeReuseDegree(NodeId id) const
+{
+    const GraphNode &n = node(id);
+    return reuseDegreeOf(n.kind, n.outShape);
+}
+
+std::int64_t
+Graph::weightCount() const
+{
+    std::int64_t total = 0;
+    for (NodeId id = 0; id < static_cast<NodeId>(nodes_.size()); ++id)
+        total += nodeWeightCount(id);
+    return total;
+}
+
+std::int64_t
+Graph::opCount() const
+{
+    std::int64_t total = 0;
+    for (NodeId id = 0; id < static_cast<NodeId>(nodes_.size()); ++id)
+        total += nodeOpCount(id);
+    return total;
+}
+
+} // namespace fpsa

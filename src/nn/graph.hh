@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The computational graph (CG): the programming model deep-learning
+ * frameworks hand to the FPSA software stack (paper Section 5).
+ *
+ * Nodes are tensor operations over per-sample CHW tensors; edges are
+ * data dependencies.  The graph also carries the bookkeeping the
+ * evaluation needs: per-node weight counts and operation counts (1 MAC
+ * = 2 ops, counted for conv/fc only, matching Table 3 where the MLP's
+ * op count is exactly twice its weight count).
+ */
+
+#ifndef FPSA_NN_GRAPH_HH
+#define FPSA_NN_GRAPH_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace fpsa
+{
+
+/** Operation kinds supported by the CG. */
+enum class OpKind
+{
+    Input,
+    Conv2d,
+    FullyConnected,
+    MaxPool,
+    AvgPool,
+    GlobalAvgPool,
+    Relu,
+    Add,        //!< elementwise (residual connections)
+    Concat,     //!< channel concatenation (inception branches)
+    BatchNorm,  //!< folded at inference; weightless here
+    Flatten,
+};
+
+const char *opKindName(OpKind k);
+
+/** Node index within a Graph. */
+using NodeId = std::int32_t;
+
+/** Static attributes of an operation. */
+struct OpAttrs
+{
+    // Conv2d / pooling.
+    int kernel = 0;
+    int stride = 1;
+    int pad = 0;
+    int outChannels = 0;
+    int groups = 1;
+
+    // FullyConnected.
+    int units = 0;
+};
+
+/** One CG node. */
+struct GraphNode
+{
+    OpKind kind = OpKind::Input;
+    std::string name;
+    OpAttrs attrs;
+    std::vector<NodeId> inputs;
+    Shape outShape;
+
+    /** Weights, present once materialized (small graphs only). */
+    std::optional<Tensor> weights;
+};
+
+/** A computational graph. */
+class Graph
+{
+  public:
+    /** Add an input node with a per-sample shape. */
+    NodeId addInput(Shape shape, std::string name = "input");
+
+    /**
+     * Add an operation; output shape is inferred (fatals on illegal
+     * shapes).
+     */
+    NodeId addOp(OpKind kind, std::vector<NodeId> inputs, OpAttrs attrs,
+                 std::string name = "");
+
+    const std::vector<GraphNode> &nodes() const { return nodes_; }
+    const GraphNode &node(NodeId id) const;
+    GraphNode &node(NodeId id);
+
+    std::size_t size() const { return nodes_.size(); }
+
+    /** Nodes in a valid topological order (creation order, validated). */
+    std::vector<NodeId> topoOrder() const;
+
+    /** Total weight parameters (conv + fc). */
+    std::int64_t weightCount() const;
+
+    /** Total operations per sample (2 x MACs of conv + fc). */
+    std::int64_t opCount() const;
+
+    /** Weights of one node (0 for weightless ops). */
+    std::int64_t nodeWeightCount(NodeId id) const;
+
+    /** Operations of one node. */
+    std::int64_t nodeOpCount(NodeId id) const;
+
+    /**
+     * Weight reuse degree of a node: how many output positions share the
+     * node's weights (conv: Hout x Wout; fc: 1).  This is the quantity
+     * the spatial-to-temporal mapper balances (paper Sec. 5.2).
+     */
+    std::int64_t nodeReuseDegree(NodeId id) const;
+
+  private:
+    std::vector<GraphNode> nodes_;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_NN_GRAPH_HH

@@ -1,0 +1,235 @@
+#include "nn/models.hh"
+
+#include "common/logging.hh"
+#include "nn/builder.hh"
+
+namespace fpsa
+{
+
+const std::vector<ModelId> &
+allModels()
+{
+    static const std::vector<ModelId> models{
+        ModelId::Mlp500_100, ModelId::LeNet,     ModelId::Vgg17Cifar,
+        ModelId::AlexNet,    ModelId::Vgg16,     ModelId::GoogLeNet,
+        ModelId::ResNet152,
+    };
+    return models;
+}
+
+const char *
+modelName(ModelId id)
+{
+    switch (id) {
+      case ModelId::Mlp500_100:
+        return "MLP-500-100";
+      case ModelId::LeNet:
+        return "LeNet";
+      case ModelId::Vgg17Cifar:
+        return "VGG17";
+      case ModelId::AlexNet:
+        return "AlexNet";
+      case ModelId::Vgg16:
+        return "VGG16";
+      case ModelId::GoogLeNet:
+        return "GoogLeNet";
+      case ModelId::ResNet152:
+        return "ResNet152";
+    }
+    return "?";
+}
+
+PaperCounts
+paperCounts(ModelId id)
+{
+    switch (id) {
+      case ModelId::Mlp500_100:
+        return {443.0e3, 886.0e3};
+      case ModelId::LeNet:
+        return {430.5e3, 4.6e6};
+      case ModelId::Vgg17Cifar:
+        return {1.1e6, 333.4e6};
+      case ModelId::AlexNet:
+        return {60.6e6, 1.4e9};
+      case ModelId::Vgg16:
+        return {138.3e6, 30.9e9};
+      case ModelId::GoogLeNet:
+        return {7.0e6, 3.2e9};
+      case ModelId::ResNet152:
+        return {57.7e6, 22.6e9};
+    }
+    panic("unknown model");
+}
+
+Graph
+buildModel(ModelId id)
+{
+    switch (id) {
+      case ModelId::Mlp500_100:
+        return buildMlp(784, {500, 100}, 10);
+      case ModelId::LeNet:
+        return buildLeNet();
+      case ModelId::Vgg17Cifar:
+        return buildVgg17Cifar();
+      case ModelId::AlexNet:
+        return buildAlexNet();
+      case ModelId::Vgg16:
+        return buildVgg16();
+      case ModelId::GoogLeNet:
+        return buildGoogLeNet();
+      case ModelId::ResNet152:
+        return buildResNet152();
+    }
+    panic("unknown model");
+}
+
+Graph
+buildMlp(std::int64_t input_dim, const std::vector<int> &hidden, int classes)
+{
+    GraphBuilder b({input_dim});
+    for (int units : hidden)
+        b.fc(units).relu();
+    b.fc(classes);
+    return b.build();
+}
+
+Graph
+buildLeNet()
+{
+    GraphBuilder b({1, 28, 28});
+    b.conv(20, 5, 1, 0).maxPool(2, 2);
+    b.conv(50, 5, 1, 0).maxPool(2, 2);
+    b.flatten().fc(500).relu().fc(10);
+    return b.build();
+}
+
+Graph
+buildVgg17Cifar()
+{
+    // 17 weight layers; reconstructed to land near the paper's 1.1M
+    // weights (ours: ~1.15M) and 333.4M ops (ours: ~411M).
+    GraphBuilder b({3, 32, 32});
+    b.convRelu(48, 3, 1, 1).convRelu(48, 3, 1, 1).maxPool(2, 2);
+    b.convRelu(96, 3, 1, 1);
+    for (int i = 0; i < 7; ++i)
+        b.convRelu(96, 3, 1, 1);
+    b.maxPool(2, 2);
+    for (int i = 0; i < 4; ++i)
+        b.convRelu(96, 3, 1, 1);
+    b.maxPool(2, 2);
+    for (int i = 0; i < 2; ++i)
+        b.convRelu(96, 3, 1, 1);
+    b.maxPool(2, 2);
+    b.flatten().fc(10);
+    return b.build();
+}
+
+Graph
+buildAlexNet()
+{
+    GraphBuilder b({3, 227, 227});
+    b.convRelu(96, 11, 4, 0).maxPool(3, 2);
+    b.convRelu(256, 5, 1, 2, 2).maxPool(3, 2);
+    b.convRelu(384, 3, 1, 1);
+    b.convRelu(384, 3, 1, 1, 2);
+    b.convRelu(256, 3, 1, 1, 2).maxPool(3, 2);
+    b.flatten().fc(4096).relu().fc(4096).relu().fc(1000);
+    return b.build();
+}
+
+Graph
+buildVgg16()
+{
+    GraphBuilder b({3, 224, 224});
+    const int blocks[5][2] = {
+        {64, 2}, {128, 2}, {256, 3}, {512, 3}, {512, 3}};
+    for (const auto &[channels, layers] : blocks) {
+        for (int i = 0; i < layers; ++i)
+            b.convRelu(channels, 3, 1, 1);
+        b.maxPool(2, 2);
+    }
+    b.flatten().fc(4096).relu().fc(4096).relu().fc(1000);
+    return b.build();
+}
+
+namespace
+{
+
+/** One inception v1 module appended after `input`. */
+NodeId
+inception(GraphBuilder &b, NodeId input, int c1, int r3, int c3, int r5,
+          int c5, int pp)
+{
+    const NodeId branch1 = b.at(input).convRelu(c1, 1, 1, 0).tip();
+    const NodeId branch3 =
+        b.at(input).convRelu(r3, 1, 1, 0).convRelu(c3, 3, 1, 1).tip();
+    const NodeId branch5 =
+        b.at(input).convRelu(r5, 1, 1, 0).convRelu(c5, 5, 1, 2).tip();
+    const NodeId branchp =
+        b.at(input).maxPool(3, 1, 1).convRelu(pp, 1, 1, 0).tip();
+    return b.concat({branch1, branch3, branch5, branchp}).tip();
+}
+
+} // namespace
+
+Graph
+buildGoogLeNet()
+{
+    GraphBuilder b({3, 224, 224});
+    b.convRelu(64, 7, 2, 3).maxPool(3, 2, 1);
+    b.convRelu(64, 1, 1, 0).convRelu(192, 3, 1, 1).maxPool(3, 2, 1);
+    NodeId t = b.tip();
+    t = inception(b, t, 64, 96, 128, 16, 32, 32);   // 3a
+    t = inception(b, t, 128, 128, 192, 32, 96, 64); // 3b
+    t = b.at(t).maxPool(3, 2, 1).tip();
+    t = inception(b, t, 192, 96, 208, 16, 48, 64);  // 4a
+    t = inception(b, t, 160, 112, 224, 24, 64, 64); // 4b
+    t = inception(b, t, 128, 128, 256, 24, 64, 64); // 4c
+    t = inception(b, t, 112, 144, 288, 32, 64, 64); // 4d
+    t = inception(b, t, 256, 160, 320, 32, 128, 128); // 4e
+    t = b.at(t).maxPool(3, 2, 1).tip();
+    t = inception(b, t, 256, 160, 320, 32, 128, 128); // 5a
+    t = inception(b, t, 384, 192, 384, 48, 128, 128); // 5b
+    b.at(t).globalAvgPool().fc(1000);
+    return b.build();
+}
+
+namespace
+{
+
+/** One ResNet bottleneck: 1x1 down, 3x3, 1x1 up, residual add. */
+NodeId
+bottleneck(GraphBuilder &b, NodeId input, int mid, int out, int stride,
+           bool project)
+{
+    const NodeId shortcut =
+        project ? b.at(input).conv(out, 1, stride, 0).batchNorm().tip()
+                : input;
+    b.at(input)
+        .conv(mid, 1, 1, 0).batchNorm().relu()
+        .conv(mid, 3, stride, 1).batchNorm().relu()
+        .conv(out, 1, 1, 0).batchNorm();
+    return b.add({shortcut}).relu().tip();
+}
+
+} // namespace
+
+Graph
+buildResNet152()
+{
+    GraphBuilder b({3, 224, 224});
+    b.convRelu(64, 7, 2, 3).maxPool(3, 2, 1);
+    NodeId t = b.tip();
+    const struct { int blocks, mid, out, stride; } stages[4] = {
+        {3, 64, 256, 1}, {8, 128, 512, 2}, {36, 256, 1024, 2},
+        {3, 512, 2048, 2}};
+    for (const auto &st : stages) {
+        t = bottleneck(b, t, st.mid, st.out, st.stride, true);
+        for (int i = 1; i < st.blocks; ++i)
+            t = bottleneck(b, t, st.mid, st.out, 1, false);
+    }
+    b.at(t).globalAvgPool().fc(1000);
+    return b.build();
+}
+
+} // namespace fpsa

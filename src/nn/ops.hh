@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Per-operation shape inference and cost accounting for the CG.
+ */
+
+#ifndef FPSA_NN_OPS_HH
+#define FPSA_NN_OPS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/graph.hh"
+
+namespace fpsa
+{
+
+/** Infer the output shape of an op from its input shapes. */
+Shape inferShape(OpKind kind, const OpAttrs &attrs,
+                 const std::vector<Shape> &inputs);
+
+/** Weight parameters of an op (conv/fc only). */
+std::int64_t weightCountOf(OpKind kind, const OpAttrs &attrs,
+                           const std::vector<Shape> &inputs,
+                           const Shape &out);
+
+/** Operations (2 x MACs) of an op (conv/fc only). */
+std::int64_t opCountOf(OpKind kind, const OpAttrs &attrs,
+                       const std::vector<Shape> &inputs, const Shape &out);
+
+/** Weight-sharing reuse degree (output spatial positions). */
+std::int64_t reuseDegreeOf(OpKind kind, const Shape &out);
+
+} // namespace fpsa
+
+#endif // FPSA_NN_OPS_HH

@@ -1,0 +1,4 @@
+#include "pe/charging_unit.hh"
+
+// ChargingUnit is fully inline; this translation unit anchors the header
+// so include hygiene is compiler-checked.

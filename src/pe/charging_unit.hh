@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Charging unit: the one-transistor DAC at each crossbar row
+ * (paper Fig. 4-B).
+ *
+ * When the incoming digital spike is high, the transistor opens and the
+ * charging voltage Vdd is applied to the row for one clock cycle.  The
+ * unit also forwards the spike to the next charging unit in the daisy
+ * chain (the "to next charging unit" path in Fig. 4).
+ */
+
+#ifndef FPSA_PE_CHARGING_UNIT_HH
+#define FPSA_PE_CHARGING_UNIT_HH
+
+#include <cstdint>
+
+namespace fpsa
+{
+
+/** Per-row input driver of a PE. */
+class ChargingUnit
+{
+  public:
+    /**
+     * Drive one cycle.
+     *
+     * @param spike this cycle's digital input spike
+     * @return true iff the row is charged (voltage applied)
+     */
+    bool drive(bool spike)
+    {
+        ++cycles_;
+        if (spike)
+            ++activations_;
+        return spike;
+    }
+
+    /** Cycles observed (for energy accounting). */
+    std::uint64_t cycles() const { return cycles_; }
+
+    /** Cycles in which the row was actually charged. */
+    std::uint64_t activations() const { return activations_; }
+
+    void reset() { cycles_ = 0; activations_ = 0; }
+
+  private:
+    std::uint64_t cycles_ = 0;
+    std::uint64_t activations_ = 0;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_PE_CHARGING_UNIT_HH

@@ -1,0 +1,46 @@
+#include "pe/neuron_unit.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace fpsa
+{
+
+NeuronUnit::NeuronUnit(const NeuronParams &params) : params_(params)
+{
+    fpsa_assert(params_.eta > 0.0, "neuron threshold must be positive");
+}
+
+bool
+NeuronUnit::step(double conductance)
+{
+    fpsa_assert(conductance >= 0.0, "negative column conductance");
+    acc_ += conductance;
+    if (acc_ >= params_.eta) {
+        ++spikes_;
+        acc_ = params_.carryResidual ? acc_ - params_.eta : 0.0;
+        return true;
+    }
+    return false;
+}
+
+double
+NeuronUnit::membraneVoltage() const
+{
+    // Invert z = ln((Vdd - Vre)/(Vdd - U)); acc_ is z in eta units of the
+    // threshold crossing, i.e. z = acc_/eta * ln((Vdd-Vre)/(Vdd-Vth)).
+    const double z_th =
+        std::log((params_.vdd - params_.vre) / (params_.vdd - params_.vth));
+    const double z = acc_ / params_.eta * z_th;
+    return params_.vdd - (params_.vdd - params_.vre) * std::exp(-z);
+}
+
+void
+NeuronUnit::reset()
+{
+    acc_ = 0.0;
+    spikes_ = 0;
+}
+
+} // namespace fpsa

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Integrate-and-fire neuron unit (paper Fig. 4-D and Eq. 1-6).
+ *
+ * The analog circuit charges a capacitor through the equivalent
+ * resistance of the crossbar column; a spike fires when the voltage
+ * reaches Vth, and the discharging unit pulls the capacitor back to Vre.
+ *
+ * The RC recurrence (Eq. 1) is linear in the log domain:
+ *     z(T) = ln((Vdd - Vre) / (Vdd - U(T))) = (tau / C) * sum_t g(t)
+ * so the neuron fires when the accumulated column conductance reaches
+ *     eta = (C / tau) * ln((Vdd - Vre) / (Vdd - Vth))      (Eq. 2)
+ * We simulate exactly in this accumulated-conductance domain, which makes
+ * the cycle model numerically identical to the paper's closed form.
+ */
+
+#ifndef FPSA_PE_NEURON_UNIT_HH
+#define FPSA_PE_NEURON_UNIT_HH
+
+#include <cstdint>
+
+namespace fpsa
+{
+
+/** Electrical configuration of a neuron unit. */
+struct NeuronParams
+{
+    /**
+     * Firing threshold eta, in accumulated conductance units (uS): the
+     * neuron fires once sum_t g(t) crosses eta.  The synthesizer picks
+     * eta so that output spike counts stay inside the sampling window.
+     */
+    double eta = 1.0;
+
+    /**
+     * Whether charge above the threshold carries into the next
+     * integration period.  The real discharging unit resets the
+     * capacitor to Vre, losing the residual; the paper's closed form
+     * (Eq. 4) corresponds to carrying it.  Default models the circuit.
+     */
+    bool carryResidual = false;
+
+    /** Supply/threshold/reset voltages, only used for voltage readback. */
+    double vdd = 1.0;
+    double vth = 0.6321205588285577; //!< 1 - e^-1: eta maps to one RC unit
+    double vre = 0.0;
+};
+
+/** One column's integrate-and-fire neuron. */
+class NeuronUnit
+{
+  public:
+    explicit NeuronUnit(const NeuronParams &params = NeuronParams{});
+
+    /**
+     * Integrate one clock cycle of column conductance and report whether
+     * a spike fires this cycle.
+     *
+     * @param conductance this cycle's column conductance sum (uS)
+     */
+    bool step(double conductance);
+
+    /** Spikes fired since the last reset. */
+    std::uint32_t spikeCount() const { return spikes_; }
+
+    /** Accumulated conductance toward the next spike. */
+    double accumulated() const { return acc_; }
+
+    /**
+     * Current capacitor voltage implied by the accumulated conductance
+     * (for waveform inspection / analog-behaviour tests).
+     */
+    double membraneVoltage() const;
+
+    /** Sampling-window reset (the PE-wide reset signal in Fig. 4-D). */
+    void reset();
+
+    const NeuronParams &params() const { return params_; }
+
+  private:
+    NeuronParams params_;
+    double acc_ = 0.0;
+    std::uint32_t spikes_ = 0;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_PE_NEURON_UNIT_HH

@@ -1,0 +1,94 @@
+#include "pe/pe_params.hh"
+
+#include "common/logging.hh"
+
+namespace fpsa
+{
+
+SquareMicrons
+PeParams::componentAreaSum() const
+{
+    return chargingAreaTotal + reramAreaTotal + neuronAreaTotal +
+           subtracterAreaTotal;
+}
+
+NanoSeconds
+PeParams::componentLatencySum() const
+{
+    // The spiking pipeline within a cycle: charge -> integrate -> subtract;
+    // the crossbar's RC delay is negligible (paper: ~10 ps).
+    return chargingUnit.latency + reramMat.latency + neuronUnit.latency +
+           subtracter.latency;
+}
+
+std::uint32_t
+PeParams::samplingWindow(int io_bits)
+{
+    fpsa_assert(io_bits >= 1 && io_bits <= 16, "bad I/O precision %d",
+                io_bits);
+    return 1u << io_bits;
+}
+
+NanoSeconds
+PeParams::vmmLatency(int io_bits) const
+{
+    return static_cast<double>(samplingWindow(io_bits)) * peCycleLatency;
+}
+
+PicoJoules
+PeParams::vmmEnergy(int io_bits) const
+{
+    return static_cast<double>(samplingWindow(io_bits)) * peEnergyPerCycle;
+}
+
+double
+PeParams::opsPerVmm() const
+{
+    return 2.0 * rows * logicalCols;
+}
+
+double
+PeParams::computationalDensity(int io_bits) const
+{
+    const double ops_per_s = opsPerVmm() * perSecondFromNs(
+        vmmLatency(io_bits));
+    return ops_per_s / um2ToMm2(peArea);
+}
+
+PeParams
+PeParams::scaledTo(int rows_, int logical_cols) const
+{
+    fpsa_assert(rows_ >= 1 && logical_cols >= 1, "bad PE geometry %dx%d",
+                rows_, logical_cols);
+    PeParams p = *this;
+    const double row_f = static_cast<double>(rows_) / rows;
+    const double col_f = static_cast<double>(logical_cols) / logicalCols;
+    p.rows = rows_;
+    p.logicalCols = logical_cols;
+
+    p.chargingEnergyTotal *= row_f;
+    p.chargingAreaTotal *= row_f;
+    p.reramEnergyTotal *= row_f * col_f;
+    p.reramAreaTotal *= row_f * col_f;
+    p.neuronEnergyTotal *= col_f;
+    p.neuronAreaTotal *= col_f;
+    p.subtracterEnergyTotal *= col_f;
+    p.subtracterAreaTotal *= col_f;
+
+    p.peArea = p.componentAreaSum();
+    p.peEnergyPerCycle = peEnergyPerCycle *
+                         (p.chargingEnergyTotal + p.reramEnergyTotal +
+                          p.neuronEnergyTotal + p.subtracterEnergyTotal) /
+                         (chargingEnergyTotal + reramEnergyTotal +
+                          neuronEnergyTotal + subtracterEnergyTotal);
+    return p;
+}
+
+const TechnologyLibrary &
+TechnologyLibrary::fpsa45()
+{
+    static const TechnologyLibrary lib{};
+    return lib;
+}
+
+} // namespace fpsa

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Circuit-level parameters of the FPSA function blocks (paper Table 1,
+ * 45 nm process) and quantities derived from them.
+ *
+ * The paper obtained these numbers from NVSim (ReRAM mats, SMB, CLB) and
+ * Synopsys Design Compiler (peripheral circuits).  We embed them as the
+ * calibrated technology library; every area/latency/energy model in the
+ * repository derives from this single source.
+ */
+
+#ifndef FPSA_PE_PE_PARAMS_HH
+#define FPSA_PE_PE_PARAMS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace fpsa
+{
+
+/** Energy/area/latency triple for one circuit. */
+struct CircuitParams
+{
+    PicoJoules energy = 0.0;
+    SquareMicrons area = 0.0;
+    NanoSeconds latency = 0.0;
+};
+
+/** Per-unit and aggregate parameters of the FPSA PE (Table 1). */
+struct PeParams
+{
+    int rows = 256;              //!< crossbar input rows
+    int logicalCols = 256;       //!< logical output columns
+    int reramMats = 8;           //!< parallel 256x512 mats (8 cells/weight)
+
+    /** One charging unit (per row, per cycle when its input spikes). */
+    CircuitParams chargingUnit{0.001, 2.246, 0.070};
+    /** One 256x512 ReRAM mat access (per cycle). */
+    CircuitParams reramMat{0.131, 1061.683, 0.000};
+    /** One neuron unit (per physical column, per cycle). */
+    CircuitParams neuronUnit{0.039, 19.247, 1.463};
+    /** One spike subtracter (per logical column, per cycle). */
+    CircuitParams subtracter{0.031, 12.121, 0.910};
+
+    /**
+     * Aggregate values as published (Table 1's "xN" rows).  The paper's
+     * aggregates fold in shared row/column driver overheads, so they are
+     * authoritative; the per-unit values above are as printed.
+     */
+    PicoJoules chargingEnergyTotal = 0.229;
+    SquareMicrons chargingAreaTotal = 600.704;
+    PicoJoules reramEnergyTotal = 1.049;
+    SquareMicrons reramAreaTotal = 8493.466;
+    PicoJoules neuronEnergyTotal = 19.861;
+    SquareMicrons neuronAreaTotal = 9854.342;
+    PicoJoules subtracterEnergyTotal = 8.945;
+    SquareMicrons subtracterAreaTotal = 3102.902;
+
+    /** PE totals as published. */
+    PicoJoules peEnergyPerCycle = 29.094;
+    SquareMicrons peArea = 22051.414;
+    NanoSeconds peCycleLatency = 2.443;
+
+    /** Area recomputed from the aggregate component rows. */
+    SquareMicrons componentAreaSum() const;
+
+    /** Latency recomputed from the per-unit pipeline stages. */
+    NanoSeconds componentLatencySum() const;
+
+    /** Gamma = 2^io_bits sampling window (paper: 6-bit I/O -> 64). */
+    static std::uint32_t samplingWindow(int io_bits);
+
+    /** Latency of one full VMM at the given I/O precision. */
+    NanoSeconds vmmLatency(int io_bits) const;
+
+    /** Energy of one full VMM at the given I/O precision. */
+    PicoJoules vmmEnergy(int io_bits) const;
+
+    /** Operations per VMM: 1 MAC = 2 ops over rows x logicalCols. */
+    double opsPerVmm() const;
+
+    /** Computational density in OPS per mm^2 at the given precision. */
+    double computationalDensity(int io_bits) const;
+
+    /**
+     * NVSim-style scaling to a different crossbar geometry (paper
+     * Sec. 7.3 discusses heterogeneous PE sizes to improve spatial
+     * utilization).  Charging units scale with rows; mats with the
+     * cell count; neurons and subtracters with columns.  Per-cycle
+     * latency is geometry-independent (the stages are per-row/column
+     * circuits), matching the paper's fixed 2.443 ns.
+     */
+    PeParams scaledTo(int rows, int logical_cols) const;
+};
+
+/** CLB parameters: 128 six-input LUTs (Table 1). */
+struct ClbParams
+{
+    int luts = 128;
+    int lutInputs = 6;
+    CircuitParams block{3.106, 5998.272, 0.229};
+};
+
+/** SMB parameters: 16 Kb SRAM buffer (Table 1). */
+struct SmbParams
+{
+    std::int64_t capacityBits = 16 * 1024;
+    CircuitParams block{1.150, 5421.900, 0.578};
+};
+
+/** Default 45 nm FPSA technology library. */
+struct TechnologyLibrary
+{
+    PeParams pe;
+    ClbParams clb;
+    SmbParams smb;
+
+    static const TechnologyLibrary &fpsa45();
+};
+
+} // namespace fpsa
+
+#endif // FPSA_PE_PE_PARAMS_HH

@@ -1,0 +1,156 @@
+#include "pe/processing_element.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "spike/spike_train.hh"
+
+namespace fpsa
+{
+
+ProcessingElement::ProcessingElement(const PeConfig &config,
+                                     const PeParams &params)
+    : config_(config), params_(params), xbar_(config.xbar),
+      charging_(static_cast<std::size_t>(config.xbar.rows))
+{
+    etaLevels_ = config_.etaLevels > 0.0
+                     ? config_.etaLevels
+                     : static_cast<double>(xbar_.codec().maxLevel());
+    etaConductance_ = etaLevels_ * config_.xbar.cell.levelStep();
+    fpsa_assert(etaConductance_ > 0.0, "eta must be positive");
+}
+
+void
+ProcessingElement::programWeights(const std::vector<std::int32_t> &levels,
+                                  Rng &rng)
+{
+    xbar_.programWeights(levels, rng);
+}
+
+PeWindowResult
+ProcessingElement::computeWindow(
+    const std::vector<std::uint32_t> &input_counts)
+{
+    const std::uint32_t window = config_.window();
+    const int rows = config_.xbar.rows;
+    const int cols = config_.xbar.logicalCols;
+    fpsa_assert(input_counts.size() == static_cast<std::size_t>(rows),
+                "input count vector size %zu != rows %d",
+                input_counts.size(), rows);
+
+    // SMB-style uniform rate coding, phase-staggered per row so that
+    // rows with equal counts do not fire in lock-step (which would
+    // bunch column charge past the neurons' one-spike-per-cycle rate).
+    std::vector<SpikeTrain> trains;
+    trains.reserve(static_cast<std::size_t>(rows));
+    for (int r = 0; r < rows; ++r) {
+        fpsa_assert(input_counts[static_cast<std::size_t>(r)] <= window,
+                    "input count exceeds sampling window");
+        const std::uint32_t phase =
+            (static_cast<std::uint32_t>(r) * 2654435761u) % window;
+        trains.push_back(rotate(
+            encodeUniform(input_counts[static_cast<std::size_t>(r)],
+                          window),
+            phase));
+    }
+
+    NeuronParams np;
+    np.eta = etaConductance_;
+    np.carryResidual = config_.carryResidual;
+    std::vector<NeuronUnit> neurons(
+        static_cast<std::size_t>(config_.xbar.physicalCols()),
+        NeuronUnit(np));
+    std::vector<Subtracter> subs(static_cast<std::size_t>(cols));
+    for (auto &cu : charging_)
+        cu.reset();
+
+    PeWindowResult result;
+    result.outputCounts.assign(static_cast<std::size_t>(cols), 0);
+
+    std::vector<std::uint8_t> row_spikes(static_cast<std::size_t>(rows), 0);
+    for (std::uint32_t t = 0; t < window; ++t) {
+        for (int r = 0; r < rows; ++r) {
+            const bool s = trains[static_cast<std::size_t>(r)].spikeAt(t);
+            row_spikes[static_cast<std::size_t>(r)] =
+                charging_[static_cast<std::size_t>(r)].drive(s) ? 1 : 0;
+        }
+        const std::vector<double> currents = xbar_.columnCurrents(row_spikes);
+        for (int c = 0; c < cols; ++c) {
+            const bool pos = neurons[static_cast<std::size_t>(2 * c)].step(
+                currents[static_cast<std::size_t>(2 * c)]);
+            const bool neg =
+                neurons[static_cast<std::size_t>(2 * c + 1)].step(
+                    currents[static_cast<std::size_t>(2 * c + 1)]);
+            if (pos)
+                ++result.neuronFires;
+            if (neg)
+                ++result.neuronFires;
+            if (subs[static_cast<std::size_t>(c)].step(pos, neg) &&
+                result.outputCounts[static_cast<std::size_t>(c)] < window) {
+                ++result.outputCounts[static_cast<std::size_t>(c)];
+            }
+        }
+    }
+
+    for (const auto &cu : charging_)
+        result.chargingActivations += cu.activations();
+
+    // Energy model: charging units burn only on activations; mats,
+    // neurons and subtracters are clocked every cycle (Table 1).
+    result.energy =
+        static_cast<double>(result.chargingActivations) *
+            params_.chargingUnit.energy +
+        static_cast<double>(window) *
+            (params_.reramEnergyTotal + params_.neuronEnergyTotal +
+             params_.subtracterEnergyTotal);
+    result.latency = static_cast<double>(window) * params_.peCycleLatency;
+    return result;
+}
+
+std::vector<double>
+ProcessingElement::referenceOutput(
+    const std::vector<std::uint32_t> &input_counts) const
+{
+    const int rows = config_.xbar.rows;
+    const int cols = config_.xbar.logicalCols;
+    fpsa_assert(input_counts.size() == static_cast<std::size_t>(rows),
+                "input count vector size mismatch");
+    std::vector<double> x(static_cast<std::size_t>(rows));
+    for (int r = 0; r < rows; ++r)
+        x[static_cast<std::size_t>(r)] =
+            static_cast<double>(input_counts[static_cast<std::size_t>(r)]);
+    std::vector<double> acc = xbar_.idealVmm(x);
+    const double window = static_cast<double>(config_.window());
+    std::vector<double> y(static_cast<std::size_t>(cols));
+    for (int c = 0; c < cols; ++c) {
+        const double v = acc[static_cast<std::size_t>(c)] / etaLevels_;
+        y[static_cast<std::size_t>(c)] = std::clamp(v, 0.0, window);
+    }
+    return y;
+}
+
+std::vector<double>
+ProcessingElement::referenceNoisyOutput(
+    const std::vector<std::uint32_t> &input_counts) const
+{
+    const int rows = config_.xbar.rows;
+    const int cols = config_.xbar.logicalCols;
+    fpsa_assert(input_counts.size() == static_cast<std::size_t>(rows),
+                "input count vector size mismatch");
+    std::vector<double> x(static_cast<std::size_t>(rows));
+    for (int r = 0; r < rows; ++r)
+        x[static_cast<std::size_t>(r)] =
+            static_cast<double>(input_counts[static_cast<std::size_t>(r)]);
+    std::vector<double> acc = xbar_.noisyVmm(x);
+    const double window = static_cast<double>(config_.window());
+    std::vector<double> y(static_cast<std::size_t>(cols));
+    for (int c = 0; c < cols; ++c) {
+        const double v = acc[static_cast<std::size_t>(c)] / etaLevels_;
+        y[static_cast<std::size_t>(c)] = std::clamp(v, 0.0, window);
+    }
+    return y;
+}
+
+} // namespace fpsa

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The FPSA processing element (paper Fig. 4): charging units, ReRAM
+ * crossbar, per-physical-column IF neurons and per-logical-column spike
+ * subtracters, simulated cycle by cycle over one sampling window.
+ *
+ * The PE computes, in spike counts (Eq. 6):
+ *     Y_j = ReLU( sum_i (g+_ji - g-_ji) / eta * X_i )
+ * saturating at the window length Gamma = 2^ioBits.
+ */
+
+#ifndef FPSA_PE_PROCESSING_ELEMENT_HH
+#define FPSA_PE_PROCESSING_ELEMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pe/charging_unit.hh"
+#include "pe/neuron_unit.hh"
+#include "pe/pe_params.hh"
+#include "pe/subtracter.hh"
+#include "reram/crossbar.hh"
+
+namespace fpsa
+{
+
+class Rng;
+
+/** Configuration of one PE instance. */
+struct PeConfig
+{
+    CrossbarParams xbar;
+    int ioBits = 6;  //!< spike-count precision; Gamma = 2^ioBits
+
+    /**
+     * Firing threshold in weight-level units: an output spike fires per
+     * `etaLevels` of accumulated (weight-level x input-spike) product.
+     * 0 selects the codec's full-scale level, which maps a full-scale
+     * weight driven at full input rate to a full-rate output.
+     */
+    double etaLevels = 0.0;
+
+    bool carryResidual = false; //!< see NeuronParams::carryResidual
+
+    std::uint32_t window() const { return 1u << ioBits; }
+};
+
+/** Result of executing one sampling window on a PE. */
+struct PeWindowResult
+{
+    std::vector<std::uint32_t> outputCounts; //!< per logical column
+    PicoJoules energy = 0.0;                 //!< modeled window energy
+    NanoSeconds latency = 0.0;               //!< Gamma x cycle latency
+    std::uint64_t chargingActivations = 0;   //!< row-charge events
+    std::uint64_t neuronFires = 0;           //!< raw neuron spikes
+};
+
+/** A complete spiking processing element. */
+class ProcessingElement
+{
+  public:
+    explicit ProcessingElement(const PeConfig &config,
+                               const PeParams &params =
+                                   TechnologyLibrary::fpsa45().pe);
+
+    const PeConfig &config() const { return config_; }
+    const Crossbar &crossbar() const { return xbar_; }
+
+    /** Effective eta in weight-level units after defaulting. */
+    double etaLevels() const { return etaLevels_; }
+
+    /** Program the weight matrix (signed levels, rows x logicalCols). */
+    void programWeights(const std::vector<std::int32_t> &levels, Rng &rng);
+
+    /**
+     * Cycle-accurate execution of one sampling window.
+     *
+     * @param input_counts per-row spike counts, each <= Gamma
+     */
+    PeWindowResult computeWindow(
+        const std::vector<std::uint32_t> &input_counts);
+
+    /**
+     * Closed-form reference output (Eq. 6) from the *programmed* levels:
+     * clamp(ReLU(sum_i w_ji X_i / eta), 0, Gamma).  Unquantized (double)
+     * so tests can reason about rounding separately.
+     */
+    std::vector<double> referenceOutput(
+        const std::vector<std::uint32_t> &input_counts) const;
+
+    /** Reference using realized (noisy) conductances instead. */
+    std::vector<double> referenceNoisyOutput(
+        const std::vector<std::uint32_t> &input_counts) const;
+
+  private:
+    PeConfig config_;
+    PeParams params_;
+    Crossbar xbar_;
+    double etaLevels_;
+    double etaConductance_;
+    std::vector<ChargingUnit> charging_;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_PE_PROCESSING_ELEMENT_HH

@@ -1,0 +1,28 @@
+#include "pe/subtracter.hh"
+
+namespace fpsa
+{
+
+bool
+Subtracter::step(bool pos_spike, bool neg_spike)
+{
+    if (neg_spike)
+        ++pending_;
+    if (!pos_spike)
+        return false;
+    if (pending_ > 0) {
+        --pending_;
+        return false;
+    }
+    ++outputs_;
+    return true;
+}
+
+void
+Subtracter::reset()
+{
+    pending_ = 0;
+    outputs_ = 0;
+}
+
+} // namespace fpsa

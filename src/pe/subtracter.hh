@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Spike subtracter (paper Fig. 4-E).
+ *
+ * Two input spike trains arrive from the positive and negative neuron
+ * units of one logical column.  Each negative spike *blocks* the next
+ * positive spike; the output spike count is therefore
+ * max(pos - neg, 0) when the trains interleave (which rate-coded neuron
+ * outputs do), implementing the ReLU of Eq. 6.
+ */
+
+#ifndef FPSA_PE_SUBTRACTER_HH
+#define FPSA_PE_SUBTRACTER_HH
+
+#include <cstdint>
+
+namespace fpsa
+{
+
+/** Blocking spike subtracter for one logical column. */
+class Subtracter
+{
+  public:
+    /**
+     * Combine one cycle's positive and negative spikes.
+     *
+     * A negative spike arms a "block" that consumes the next positive
+     * spike (including one arriving the same cycle).
+     *
+     * @return true iff an output spike is emitted this cycle
+     */
+    bool step(bool pos_spike, bool neg_spike);
+
+    /** Output spikes emitted since reset. */
+    std::uint32_t outputCount() const { return outputs_; }
+
+    /** Blocks currently armed (negative spikes not yet consumed). */
+    std::uint32_t pendingBlocks() const { return pending_; }
+
+    void reset();
+
+  private:
+    std::uint32_t pending_ = 0;
+    std::uint32_t outputs_ = 0;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_PE_SUBTRACTER_HH

@@ -1,0 +1,116 @@
+#include "pnr/config_gen.hh"
+
+#include <iomanip>
+
+#include "common/logging.hh"
+#include "pe/pe_params.hh"
+
+namespace fpsa
+{
+
+int
+FpsaConfiguration::usedSites() const
+{
+    int used = 0;
+    for (const auto &s : sites_)
+        used += s.block >= 0 ? 1 : 0;
+    return used;
+}
+
+std::int64_t
+FpsaConfiguration::programmedSwitchCells() const
+{
+    std::int64_t cells = 0;
+    for (const auto &sw : switches_)
+        cells += sw.tracks;
+    return cells;
+}
+
+void
+FpsaConfiguration::writeText(std::ostream &os) const
+{
+    os << "FPSA configuration\n";
+    os << "==================\n";
+    int width = 0, height = 0;
+    for (const auto &s : sites_) {
+        width = std::max(width, s.x + 1);
+        height = std::max(height, s.y + 1);
+    }
+    os << "grid " << width << "x" << height << ", " << usedSites() << "/"
+       << sites_.size() << " sites used\n\n";
+
+    os << "site map ('P' PE, 'S' SMB, 'C' CLB; lowercase = unused):\n";
+    for (int y = height - 1; y >= 0; --y) {
+        for (const auto &s : sites_) {
+            if (s.y != y)
+                continue;
+            char c = s.type == BlockType::Pe    ? 'p'
+                     : s.type == BlockType::Smb ? 's'
+                                                : 'c';
+            if (s.block >= 0)
+                c = static_cast<char>(std::toupper(c));
+            os << c;
+        }
+        os << "\n";
+    }
+
+    os << "\nprogrammed routing switch points: " << switches_.size()
+       << " (" << programmedSwitchCells() << " ReRAM cells)\n";
+    os << "crossbar cell writes: " << crossbarWrites_ << "\n";
+}
+
+FpsaConfiguration
+FpsaConfiguration::generate(const Netlist &netlist, const PnrResult &pnr)
+{
+    fpsa_assert(pnr.routing.has_value(),
+                "configuration needs a fully routed PnR result");
+    FpsaConfiguration config;
+
+    // Site programs: invert the placement.
+    const FpsaArch &arch = pnr.arch;
+    std::map<std::pair<int, int>, BlockId> at_site;
+    for (BlockId b = 0;
+         b < static_cast<BlockId>(netlist.blocks().size()); ++b) {
+        at_site[pnr.placement.of(b)] = b;
+    }
+    for (int y = 0; y < arch.height(); ++y) {
+        for (int x = 0; x < arch.width(); ++x) {
+            SiteProgram site;
+            site.x = x;
+            site.y = y;
+            site.type = arch.siteType(x, y);
+            const auto it = at_site.find({x, y});
+            if (it != at_site.end()) {
+                site.block = it->second;
+                site.blockName = netlist.block(it->second).name;
+            }
+            config.sites_.push_back(std::move(site));
+        }
+    }
+
+    // Switch programs: every consecutive node pair of every routed
+    // path is one programmed CB/SB connection carrying the bus.
+    const RoutingResult &routing = *pnr.routing;
+    for (NetId n = 0; n < static_cast<NetId>(routing.nets.size()); ++n) {
+        const int width = netlist.net(n).width;
+        for (const auto &path : routing.nets[static_cast<std::size_t>(n)]
+                                    .sinkPaths) {
+            for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+                config.switches_.push_back(
+                    SwitchProgram{path[i], path[i + 1], n, width});
+            }
+        }
+    }
+
+    // Crossbar programming volume: every PE block holds a full
+    // physical crossbar (rows x 2 cols x cells-per-weight).
+    const PeParams &pe = TechnologyLibrary::fpsa45().pe;
+    const std::int64_t cells_per_pe = static_cast<std::int64_t>(pe.rows) *
+                                      (2 * pe.logicalCols) * pe.reramMats;
+    config.crossbarWrites_ =
+        static_cast<std::int64_t>(netlist.countBlocks(BlockType::Pe)) *
+        cells_per_pe;
+    return config;
+}
+
+} // namespace fpsa

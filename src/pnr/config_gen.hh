@@ -1,0 +1,84 @@
+/**
+ * @file
+ * FPSA configuration generation: the final artifact of the Fig. 5 flow
+ * ("FPSA Configuration").  After placement & routing, every programmable
+ * resource has a decided state: which block occupies each site, which
+ * ReRAM cells in each CB/SB are driven to low resistance (pass) for
+ * each routed net, and how wide each crossbar/LUT program is.  This
+ * module assembles that state into a queryable object and a textual
+ * dump (the repository's stand-in for a binary bitstream).
+ */
+
+#ifndef FPSA_PNR_CONFIG_GEN_HH
+#define FPSA_PNR_CONFIG_GEN_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "mapper/netlist.hh"
+#include "pnr/pnr_flow.hh"
+#include "routing/rr_graph.hh"
+
+namespace fpsa
+{
+
+/** One programmed switch point in a CB or SB. */
+struct SwitchProgram
+{
+    RrNodeId from = -1;
+    RrNodeId to = -1;
+    NetId net = -1;
+    int tracks = 1; //!< bus width passing through this point
+};
+
+/** One configured site. */
+struct SiteProgram
+{
+    int x = 0;
+    int y = 0;
+    BlockType type = BlockType::Pe;
+    BlockId block = -1; //!< -1 when the site is unused
+    std::string blockName;
+};
+
+/** The complete chip configuration. */
+class FpsaConfiguration
+{
+  public:
+    const std::vector<SiteProgram> &sites() const { return sites_; }
+    const std::vector<SwitchProgram> &switches() const
+    {
+        return switches_;
+    }
+
+    /** Sites actually occupied by netlist blocks. */
+    int usedSites() const;
+
+    /** Programmed (low-resistance) switch points. */
+    std::int64_t programmedSwitchCells() const;
+
+    /** ReRAM cell writes to program all crossbars (PE weights). */
+    std::int64_t crossbarCellWrites() const { return crossbarWrites_; }
+
+    /** Human-readable dump (site map + switch list + summary). */
+    void writeText(std::ostream &os) const;
+
+    /**
+     * Assemble the configuration of a placed-and-routed netlist.
+     * Requires a full-route PnR result (fatals on estimate-only runs).
+     */
+    static FpsaConfiguration generate(const Netlist &netlist,
+                                      const PnrResult &pnr);
+
+  private:
+    std::vector<SiteProgram> sites_;
+    std::vector<SwitchProgram> switches_;
+    std::int64_t crossbarWrites_ = 0;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_PNR_CONFIG_GEN_HH

@@ -1,0 +1,236 @@
+#include "pnr/placement.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace fpsa
+{
+
+double
+netHpwl(const Net &net, const Placement &placement)
+{
+    const auto &[dx, dy] = placement.of(net.driver);
+    int min_x = dx, max_x = dx, min_y = dy, max_y = dy;
+    for (BlockId s : net.sinks) {
+        const auto &[sx, sy] = placement.of(s);
+        min_x = std::min(min_x, sx);
+        max_x = std::max(max_x, sx);
+        min_y = std::min(min_y, sy);
+        max_y = std::max(max_y, sy);
+    }
+    return static_cast<double>((max_x - min_x) + (max_y - min_y)) *
+           net.width;
+}
+
+double
+placementCost(const Netlist &netlist, const Placement &placement)
+{
+    double cost = 0.0;
+    for (const auto &net : netlist.nets())
+        cost += netHpwl(net, placement);
+    return cost;
+}
+
+SaPlacer::SaPlacer(const PlacerParams &params) : params_(params)
+{
+}
+
+Placement
+SaPlacer::initialPlacement(const Netlist &netlist, const FpsaArch &arch,
+                           Rng &rng) const
+{
+    Placement p;
+    p.loc.resize(netlist.blocks().size());
+    for (BlockType t : {BlockType::Pe, BlockType::Smb, BlockType::Clb}) {
+        auto sites = arch.sitesOfType(t);
+        const int demand = netlist.countBlocks(t);
+        if (demand > static_cast<int>(sites.size())) {
+            fatal("netlist needs %d %s sites but the chip has only %zu",
+                  demand, blockTypeName(t), sites.size());
+        }
+        // Random site order, assign in netlist order.
+        std::vector<std::uint32_t> order(sites.size());
+        for (std::size_t i = 0; i < sites.size(); ++i)
+            order[i] = static_cast<std::uint32_t>(i);
+        rng.shuffle(order);
+        std::size_t next = 0;
+        for (std::size_t b = 0; b < netlist.blocks().size(); ++b) {
+            if (netlist.blocks()[b].type != t)
+                continue;
+            p.loc[b] = sites[order[next++]];
+        }
+    }
+    return p;
+}
+
+namespace
+{
+
+/** Incremental-cost bookkeeping for the annealer. */
+struct MoveContext
+{
+    const Netlist *netlist;
+    /** Nets touching each block. */
+    std::vector<std::vector<NetId>> fanout;
+
+    explicit MoveContext(const Netlist &nl) : netlist(&nl)
+    {
+        fanout.resize(nl.blocks().size());
+        for (NetId n = 0; n < static_cast<NetId>(nl.nets().size()); ++n) {
+            const Net &net = nl.net(n);
+            fanout[static_cast<std::size_t>(net.driver)].push_back(n);
+            for (BlockId s : net.sinks) {
+                auto &f = fanout[static_cast<std::size_t>(s)];
+                if (f.empty() || f.back() != n)
+                    f.push_back(n);
+            }
+        }
+    }
+
+    /** Cost of all nets touching either block. */
+    double
+    localCost(const Placement &p, BlockId a, BlockId b) const
+    {
+        double cost = 0.0;
+        for (NetId n : fanout[static_cast<std::size_t>(a)])
+            cost += netHpwl(netlist->net(n), p);
+        if (b >= 0) {
+            for (NetId n : fanout[static_cast<std::size_t>(b)]) {
+                // Avoid double counting nets shared by both blocks.
+                bool shared = false;
+                for (NetId m : fanout[static_cast<std::size_t>(a)])
+                    if (m == n) {
+                        shared = true;
+                        break;
+                    }
+                if (!shared)
+                    cost += netHpwl(netlist->net(n), p);
+            }
+        }
+        return cost;
+    }
+};
+
+} // namespace
+
+Placement
+SaPlacer::place(const Netlist &netlist, const FpsaArch &arch) const
+{
+    netlist.validate();
+    Rng rng(params_.seed);
+    Placement p = initialPlacement(netlist, arch, rng);
+    const std::size_t num_blocks = netlist.blocks().size();
+    if (num_blocks <= 1 || netlist.nets().empty())
+        return p;
+
+    // Site occupancy: -1 for empty.
+    std::vector<BlockId> site_block(
+        static_cast<std::size_t>(arch.width() * arch.height()), -1);
+    auto site_index = [&](int x, int y) {
+        return static_cast<std::size_t>(y) * arch.width() + x;
+    };
+    for (std::size_t b = 0; b < num_blocks; ++b)
+        site_block[site_index(p.loc[b].first, p.loc[b].second)] =
+            static_cast<BlockId>(b);
+
+    // Candidate sites per type, for random target selection.
+    std::vector<std::vector<std::pair<int, int>>> sites_by_type(3);
+    sites_by_type[0] = arch.sitesOfType(BlockType::Pe);
+    sites_by_type[1] = arch.sitesOfType(BlockType::Smb);
+    sites_by_type[2] = arch.sitesOfType(BlockType::Clb);
+
+    MoveContext ctx(netlist);
+    double cost = placementCost(netlist, p);
+
+    // Estimate the starting temperature from random-move deltas.
+    double delta_abs_sum = 0.0;
+    const int probes = std::min<std::size_t>(200, num_blocks * 4);
+    for (int i = 0; i < probes; ++i) {
+        const BlockId a = static_cast<BlockId>(rng.uniformInt(num_blocks));
+        const auto type = netlist.blocks()[static_cast<std::size_t>(a)].type;
+        const auto &sites = sites_by_type[static_cast<int>(type)];
+        const auto target = sites[rng.uniformInt(sites.size())];
+        const BlockId b = site_block[site_index(target.first,
+                                                target.second)];
+        if (b == a)
+            continue;
+        const double before = ctx.localCost(p, a, b);
+        const auto old_a = p.loc[static_cast<std::size_t>(a)];
+        p.loc[static_cast<std::size_t>(a)] = target;
+        if (b >= 0)
+            p.loc[static_cast<std::size_t>(b)] = old_a;
+        delta_abs_sum += std::fabs(ctx.localCost(p, a, b) - before);
+        // Revert.
+        p.loc[static_cast<std::size_t>(a)] = old_a;
+        if (b >= 0)
+            p.loc[static_cast<std::size_t>(b)] = target;
+    }
+    double temperature = probes > 0 ? 2.0 * delta_abs_sum / probes : 1.0;
+    if (temperature <= 0.0)
+        temperature = 1.0;
+
+    const double t_stop = params_.tStopFraction *
+                          std::max(1.0, cost / netlist.nets().size());
+    const int inner =
+        std::max(64, params_.innerScale * static_cast<int>(num_blocks));
+
+    for (int temp_step = 0; temp_step < params_.maxTemperatures &&
+                            temperature > t_stop;
+         ++temp_step) {
+        int accepted = 0;
+        for (int it = 0; it < inner; ++it) {
+            const BlockId a =
+                static_cast<BlockId>(rng.uniformInt(num_blocks));
+            const auto type =
+                netlist.blocks()[static_cast<std::size_t>(a)].type;
+            const auto &sites = sites_by_type[static_cast<int>(type)];
+            const auto target = sites[rng.uniformInt(sites.size())];
+            const std::size_t tgt_idx =
+                site_index(target.first, target.second);
+            const BlockId b = site_block[tgt_idx];
+            if (b == a)
+                continue;
+
+            const double before = ctx.localCost(p, a, b);
+            const auto old_a = p.loc[static_cast<std::size_t>(a)];
+            const std::size_t old_idx = site_index(old_a.first,
+                                                   old_a.second);
+            p.loc[static_cast<std::size_t>(a)] = target;
+            if (b >= 0)
+                p.loc[static_cast<std::size_t>(b)] = old_a;
+            const double delta = ctx.localCost(p, a, b) - before;
+
+            const bool accept =
+                delta <= 0.0 ||
+                rng.uniform() < std::exp(-delta / temperature);
+            if (accept) {
+                site_block[tgt_idx] = a;
+                site_block[old_idx] = b;
+                cost += delta;
+                ++accepted;
+            } else {
+                p.loc[static_cast<std::size_t>(a)] = old_a;
+                if (b >= 0)
+                    p.loc[static_cast<std::size_t>(b)] = target;
+            }
+        }
+        // VPR-flavoured adaptive cooling: cool slower near the sweet
+        // spot of ~44% acceptance.
+        const double rate = static_cast<double>(accepted) / inner;
+        double alpha = params_.coolingAlpha;
+        if (rate > 0.96)
+            alpha = 0.5;
+        else if (rate > 0.8)
+            alpha = 0.9;
+        else if (rate < 0.15)
+            alpha = 0.8;
+        temperature *= alpha;
+    }
+    verbose("placement cost %.1f after annealing", cost);
+    return p;
+}
+
+} // namespace fpsa

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Simulated-annealing placement (paper Section 5.3).
+ *
+ * The paper adopts the mature FPGA flow: VPR-style simulated annealing
+ * minimizing half-perimeter wirelength (HPWL), weighted by net width
+ * since FPSA nets are spike buses.  Blocks may only sit on sites of
+ * their own type.
+ */
+
+#ifndef FPSA_PNR_PLACEMENT_HH
+#define FPSA_PNR_PLACEMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/fpsa_arch.hh"
+#include "mapper/netlist.hh"
+
+namespace fpsa
+{
+
+class Rng;
+
+/** A complete block-to-site assignment. */
+struct Placement
+{
+    /** Per-block (x, y) site coordinates. */
+    std::vector<std::pair<int, int>> loc;
+
+    const std::pair<int, int> &of(BlockId b) const
+    {
+        return loc[static_cast<std::size_t>(b)];
+    }
+};
+
+/** Annealer tuning knobs. */
+struct PlacerParams
+{
+    std::uint64_t seed = 1;
+    /** Moves per temperature = innerScale * num_blocks. */
+    int innerScale = 10;
+    double coolingAlpha = 0.92;
+    /** Stop when acceptance temperature drops below this fraction of
+     *  the per-net average cost. */
+    double tStopFraction = 0.002;
+    int maxTemperatures = 120;
+};
+
+/** Weighted HPWL of one net under a placement. */
+double netHpwl(const Net &net, const Placement &placement);
+
+/** Total weighted HPWL cost of a placement. */
+double placementCost(const Netlist &netlist, const Placement &placement);
+
+/** VPR-flavoured simulated-annealing placer. */
+class SaPlacer
+{
+  public:
+    explicit SaPlacer(const PlacerParams &params = PlacerParams{});
+
+    /**
+     * Place a netlist onto a chip.  Fatals if the chip lacks sites for
+     * any block type.
+     */
+    Placement place(const Netlist &netlist, const FpsaArch &arch) const;
+
+    /** Random (but legal) initial placement, exposed for testing. */
+    Placement initialPlacement(const Netlist &netlist, const FpsaArch &arch,
+                               Rng &rng) const;
+
+  private:
+    PlacerParams params_;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_PNR_PLACEMENT_HH

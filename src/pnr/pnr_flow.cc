@@ -1,0 +1,50 @@
+#include "pnr/pnr_flow.hh"
+
+#include "common/logging.hh"
+#include "routing/rr_graph.hh"
+
+namespace fpsa
+{
+
+PnrResult
+runPnrOnArch(const Netlist &netlist, const FpsaArch &arch,
+             const PnrOptions &options)
+{
+    SaPlacer placer(options.placer);
+    Placement placement = placer.place(netlist, arch);
+
+    PnrResult result{arch, std::move(placement), {}, false, std::nullopt,
+                     0.0};
+    result.placementHpwl = placementCost(netlist, result.placement);
+
+    if (options.fullRoute) {
+        RrGraph graph(arch);
+        PathFinderRouter router(options.router);
+        RoutingResult routing =
+            router.route(netlist, graph, result.placement);
+        result.routed = routing.success;
+        result.timing = analyzeRouting(routing);
+        result.routing = std::move(routing);
+        if (!result.routed) {
+            warn("routing left %lld overused segments after %d iterations",
+                 static_cast<long long>(
+                     result.routing->overusedSegments),
+                 result.routing->iterations);
+        }
+    } else {
+        result.timing = estimateTiming(netlist, result.placement,
+                                       arch.params().switches);
+        result.routed = true; // estimation never models congestion failure
+    }
+    return result;
+}
+
+PnrResult
+runPnr(const Netlist &netlist, const PnrOptions &options)
+{
+    const FpsaArch arch = FpsaArch::forNetlist(netlist, options.archMargin,
+                                               options.channelWidth);
+    return runPnrOnArch(netlist, arch, options);
+}
+
+} // namespace fpsa

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The combined placement & routing flow (paper Fig. 5, bottom stage):
+ * netlist in, placed-and-routed implementation with timing out.
+ *
+ * Two fidelity levels:
+ *  - Full: SA placement + PathFinder routing on the RR graph.  Used for
+ *    tests, examples and calibration netlists.
+ *  - Fast: SA placement + geometric delay estimation.  Used by the
+ *    benchmark sweeps where thousands of configurations are evaluated
+ *    (mirrors how mrVPR reports feed the paper's simulator).
+ */
+
+#ifndef FPSA_PNR_PNR_FLOW_HH
+#define FPSA_PNR_PNR_FLOW_HH
+
+#include <optional>
+
+#include "arch/fpsa_arch.hh"
+#include "mapper/netlist.hh"
+#include "pnr/placement.hh"
+#include "pnr/router.hh"
+#include "pnr/timing.hh"
+
+namespace fpsa
+{
+
+/** PnR flow configuration. */
+struct PnrOptions
+{
+    bool fullRoute = true;       //!< false selects fast (estimated) mode
+    PlacerParams placer;
+    RouterParams router;
+    int channelWidth = 512;
+    double archMargin = 1.15;    //!< site headroom when auto-sizing
+};
+
+/** Output of the flow. */
+struct PnrResult
+{
+    FpsaArch arch;               //!< the (possibly auto-sized) chip
+    Placement placement;
+    TimingReport timing;
+    bool routed = false;         //!< congestion-free (full mode only)
+    std::optional<RoutingResult> routing; //!< present in full mode
+    double placementHpwl = 0.0;
+};
+
+/**
+ * Run the flow on an auto-sized chip.
+ */
+PnrResult runPnr(const Netlist &netlist, const PnrOptions &options);
+
+/**
+ * Run the flow on a caller-provided chip (fatals if the netlist does
+ * not fit).
+ */
+PnrResult runPnrOnArch(const Netlist &netlist, const FpsaArch &arch,
+                       const PnrOptions &options);
+
+} // namespace fpsa
+
+#endif // FPSA_PNR_PNR_FLOW_HH

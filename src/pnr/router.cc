@@ -1,0 +1,211 @@
+#include "pnr/router.hh"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace fpsa
+{
+
+PathFinderRouter::PathFinderRouter(const RouterParams &params)
+    : params_(params)
+{
+}
+
+namespace
+{
+
+/** Dijkstra state entry. */
+struct QueueEntry
+{
+    double cost;
+    RrNodeId node;
+    bool operator>(const QueueEntry &o) const { return cost > o.cost; }
+};
+
+/** Per-node congestion bookkeeping shared across iterations. */
+struct CongestionState
+{
+    std::vector<std::int64_t> usage;     //!< tracks in use
+    std::vector<double> history;         //!< accumulated overuse
+    const RrGraph *graph;
+
+    explicit CongestionState(const RrGraph &g)
+        : usage(g.nodeCount(), 0), history(g.nodeCount(), 0.0), graph(&g)
+    {
+    }
+
+    bool
+    capacitated(RrNodeId id) const
+    {
+        return graph->node(id).capacity > 0;
+    }
+
+    double
+    nodeCost(RrNodeId id, int width, double pres_fac) const
+    {
+        const RrNode &n = graph->node(id);
+        double cost = n.delay;
+        if (capacitated(id)) {
+            cost += history[static_cast<std::size_t>(id)];
+            const std::int64_t over =
+                usage[static_cast<std::size_t>(id)] + width - n.capacity;
+            if (over > 0) {
+                cost += pres_fac * n.delay *
+                        (1.0 + static_cast<double>(over) / n.capacity);
+            }
+        }
+        return cost;
+    }
+};
+
+} // namespace
+
+RoutingResult
+PathFinderRouter::route(const Netlist &netlist, const RrGraph &graph,
+                        const Placement &placement) const
+{
+    netlist.validate();
+    RoutingResult result;
+    result.nets.resize(netlist.nets().size());
+
+    CongestionState cong(graph);
+    // Per-net set of channel nodes charged to the net (route tree).
+    std::vector<std::vector<RrNodeId>> net_nodes(netlist.nets().size());
+
+    std::vector<double> dist(graph.nodeCount());
+    std::vector<RrNodeId> prev(graph.nodeCount());
+
+    double pres_fac = params_.presFacFirst;
+    for (int iter = 1; iter <= params_.maxIterations; ++iter) {
+        result.iterations = iter;
+
+        for (NetId n = 0; n < static_cast<NetId>(netlist.nets().size());
+             ++n) {
+            const Net &net = netlist.net(n);
+
+            // Rip up this net's previous route.
+            for (RrNodeId id : net_nodes[static_cast<std::size_t>(n)])
+                cong.usage[static_cast<std::size_t>(id)] -= net.width;
+            net_nodes[static_cast<std::size_t>(n)].clear();
+            RoutedNet &routed = result.nets[static_cast<std::size_t>(n)];
+            routed.sinkPaths.assign(net.sinks.size(), {});
+
+            const auto &[sx, sy] = placement.of(net.driver);
+            const RrNodeId source = graph.sourceAt(sx, sy);
+
+            // Nodes already owned by this net route for free (fanout
+            // shares the bus).
+            std::vector<std::uint8_t> owned(graph.nodeCount(), 0);
+
+            for (std::size_t k = 0; k < net.sinks.size(); ++k) {
+                const auto &[tx, ty] = placement.of(net.sinks[k]);
+                const RrNodeId target = graph.sinkAt(tx, ty);
+
+                std::fill(dist.begin(), dist.end(),
+                          std::numeric_limits<double>::infinity());
+                std::fill(prev.begin(), prev.end(), -1);
+                std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                                    std::greater<QueueEntry>> pq;
+                dist[static_cast<std::size_t>(source)] = 0.0;
+                pq.push({0.0, source});
+                while (!pq.empty()) {
+                    const auto [cost, node] = pq.top();
+                    pq.pop();
+                    if (cost > dist[static_cast<std::size_t>(node)])
+                        continue;
+                    if (node == target)
+                        break;
+                    for (RrNodeId next : graph.adjacent(node)) {
+                        double step =
+                            owned[static_cast<std::size_t>(next)]
+                                ? 0.0
+                                : cong.nodeCost(next, net.width, pres_fac);
+                        const double nd = cost + step;
+                        if (nd < dist[static_cast<std::size_t>(next)]) {
+                            dist[static_cast<std::size_t>(next)] = nd;
+                            prev[static_cast<std::size_t>(next)] = node;
+                            pq.push({nd, next});
+                        }
+                    }
+                }
+                fpsa_assert(prev[static_cast<std::size_t>(target)] >= 0 ||
+                                target == source,
+                            "net '%s' sink unreachable", net.name.c_str());
+
+                // Unwind the path and charge new nodes to the net.
+                std::vector<RrNodeId> path;
+                for (RrNodeId at = target; at != -1;
+                     at = prev[static_cast<std::size_t>(at)]) {
+                    path.push_back(at);
+                    if (at == source)
+                        break;
+                }
+                std::reverse(path.begin(), path.end());
+                for (RrNodeId id : path) {
+                    if (owned[static_cast<std::size_t>(id)])
+                        continue;
+                    owned[static_cast<std::size_t>(id)] = 1;
+                    if (cong.capacitated(id)) {
+                        cong.usage[static_cast<std::size_t>(id)] +=
+                            net.width;
+                        net_nodes[static_cast<std::size_t>(n)].push_back(
+                            id);
+                    }
+                }
+                routed.sinkPaths[k] = std::move(path);
+            }
+        }
+
+        // Congestion accounting.
+        std::int64_t overused = 0;
+        double peak_util = 0.0;
+        for (std::size_t id = 0; id < graph.nodeCount(); ++id) {
+            const RrNode &node = graph.node(static_cast<RrNodeId>(id));
+            if (node.capacity <= 0)
+                continue;
+            const std::int64_t over = cong.usage[id] - node.capacity;
+            peak_util = std::max(
+                peak_util,
+                static_cast<double>(cong.usage[id]) / node.capacity);
+            if (over > 0) {
+                ++overused;
+                cong.history[id] += params_.histFac * node.delay *
+                                    static_cast<double>(over) /
+                                    node.capacity;
+            }
+        }
+        result.peakChannelUtilization = peak_util;
+        result.overusedSegments = overused;
+        if (overused == 0) {
+            result.success = true;
+            break;
+        }
+        pres_fac *= params_.presFacMult;
+    }
+
+    // Delay extraction from the final routes.
+    double delay_sum = 0.0;
+    for (std::size_t n = 0; n < result.nets.size(); ++n) {
+        RoutedNet &routed = result.nets[n];
+        NanoSeconds worst = 0.0;
+        for (const auto &path : routed.sinkPaths) {
+            NanoSeconds d = 0.0;
+            for (RrNodeId id : path)
+                d += graph.node(id).delay;
+            worst = std::max(worst, d);
+        }
+        routed.delay = worst;
+        routed.segmentsUsed =
+            static_cast<int>(net_nodes[n].size());
+        delay_sum += worst;
+        result.maxNetDelay = std::max(result.maxNetDelay, worst);
+    }
+    result.avgNetDelay =
+        result.nets.empty() ? 0.0 : delay_sum / result.nets.size();
+    return result;
+}
+
+} // namespace fpsa

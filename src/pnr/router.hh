@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Net routing on the ReRAM routing fabric: Dijkstra shortest paths with
+ * PathFinder-style negotiated congestion (paper Sec. 5.3 uses Dijkstra
+ * to minimize critical-path latency; PathFinder iteration resolves the
+ * capacity conflicts that single-shot Dijkstra leaves behind).
+ */
+
+#ifndef FPSA_PNR_ROUTER_HH
+#define FPSA_PNR_ROUTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "pnr/placement.hh"
+#include "routing/rr_graph.hh"
+
+namespace fpsa
+{
+
+/** Router tuning knobs. */
+struct RouterParams
+{
+    int maxIterations = 24;
+    double presFacFirst = 0.6;  //!< present-congestion factor, iter 1
+    double presFacMult = 1.7;   //!< growth per iteration
+    double histFac = 0.35;      //!< historical congestion accumulation
+};
+
+/** One routed net: a path per sink plus delay bookkeeping. */
+struct RoutedNet
+{
+    /** Node sequence (source..sink) for every sink, in sink order. */
+    std::vector<std::vector<RrNodeId>> sinkPaths;
+
+    /** Worst sink delay of this net. */
+    NanoSeconds delay = 0.0;
+
+    /** Channel segments used (unique across the net's route tree). */
+    int segmentsUsed = 0;
+};
+
+/** Result of routing a whole netlist. */
+struct RoutingResult
+{
+    bool success = false;       //!< no overused channel remains
+    int iterations = 0;         //!< PathFinder iterations executed
+    std::vector<RoutedNet> nets;
+
+    NanoSeconds avgNetDelay = 0.0;
+    NanoSeconds maxNetDelay = 0.0;   //!< the critical net
+    double peakChannelUtilization = 0.0; //!< max usage/capacity
+    std::int64_t overusedSegments = 0;   //!< left when success == false
+};
+
+/** PathFinder negotiated-congestion router. */
+class PathFinderRouter
+{
+  public:
+    explicit PathFinderRouter(const RouterParams &params = RouterParams{});
+
+    /**
+     * Route every net of the netlist on the graph under the placement.
+     * Fails (success = false) if congestion cannot be negotiated away
+     * within maxIterations.
+     */
+    RoutingResult route(const Netlist &netlist, const RrGraph &graph,
+                        const Placement &placement) const;
+
+  private:
+    RouterParams params_;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_PNR_ROUTER_HH

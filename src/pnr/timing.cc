@@ -1,0 +1,57 @@
+#include "pnr/timing.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace fpsa
+{
+
+TimingReport
+analyzeRouting(const RoutingResult &routing)
+{
+    TimingReport report;
+    report.netDelay.reserve(routing.nets.size());
+    double sum = 0.0;
+    for (const auto &net : routing.nets) {
+        report.netDelay.push_back(net.delay);
+        sum += net.delay;
+        report.maxNetDelay = std::max(report.maxNetDelay, net.delay);
+    }
+    report.avgNetDelay =
+        routing.nets.empty() ? 0.0 : sum / routing.nets.size();
+    return report;
+}
+
+NanoSeconds
+estimateNetDelay(const Net &net, const Placement &placement,
+                 const SwitchParams &switches)
+{
+    const auto &[dx, dy] = placement.of(net.driver);
+    int worst = 0;
+    for (BlockId s : net.sinks) {
+        const auto &[sx, sy] = placement.of(s);
+        worst = std::max(worst, std::abs(sx - dx) + std::abs(sy - dy));
+    }
+    // A same-site or adjacent connection still crosses one segment.
+    return switches.pathDelay(std::max(1, worst));
+}
+
+TimingReport
+estimateTiming(const Netlist &netlist, const Placement &placement,
+               const SwitchParams &switches)
+{
+    TimingReport report;
+    report.netDelay.reserve(netlist.nets().size());
+    double sum = 0.0;
+    for (const auto &net : netlist.nets()) {
+        const NanoSeconds d = estimateNetDelay(net, placement, switches);
+        report.netDelay.push_back(d);
+        sum += d;
+        report.maxNetDelay = std::max(report.maxNetDelay, d);
+    }
+    report.avgNetDelay =
+        netlist.nets().empty() ? 0.0 : sum / netlist.nets().size();
+    return report;
+}
+
+} // namespace fpsa

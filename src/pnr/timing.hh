@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Timing analysis over routed (or estimated) netlists.
+ *
+ * FPSA's configured data-path is fixed at runtime, so worst-case
+ * communication latency is statically analyzable (paper Sec. 4.1).  The
+ * analyzer reports per-net delays and the spike-transfer latencies the
+ * performance model consumes: a value moves as a serial bit stream, so
+ * transferring b bits over a net of delay d costs b * d (each bit must
+ * propagate the full path before the next is launched by the source
+ * register).
+ */
+
+#ifndef FPSA_PNR_TIMING_HH
+#define FPSA_PNR_TIMING_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "pnr/placement.hh"
+#include "pnr/router.hh"
+#include "routing/switch.hh"
+
+namespace fpsa
+{
+
+/** Net-delay summary of one implementation. */
+struct TimingReport
+{
+    std::vector<NanoSeconds> netDelay; //!< per net, worst sink
+    NanoSeconds avgNetDelay = 0.0;
+    NanoSeconds maxNetDelay = 0.0;
+
+    /** Latency to move an n-bit value bit-serially over the avg net. */
+    NanoSeconds serialTransferLatency(int bits) const
+    {
+        return bits * avgNetDelay;
+    }
+
+    /** Same over the critical net. */
+    NanoSeconds serialTransferLatencyWorst(int bits) const
+    {
+        return bits * maxNetDelay;
+    }
+};
+
+/** Extract a timing report from a routed result. */
+TimingReport analyzeRouting(const RoutingResult &routing);
+
+/**
+ * Estimate a net's routed delay from placement geometry alone (fast
+ * mode): Manhattan distance to the furthest sink plus one segment,
+ * through the CB/SB chain of SwitchParams.
+ */
+NanoSeconds estimateNetDelay(const Net &net, const Placement &placement,
+                             const SwitchParams &switches);
+
+/** Fast-mode timing report over all nets. */
+TimingReport estimateTiming(const Netlist &netlist,
+                            const Placement &placement,
+                            const SwitchParams &switches);
+
+} // namespace fpsa
+
+#endif // FPSA_PNR_TIMING_HH

@@ -1,0 +1,54 @@
+#include "reram/cell.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace fpsa
+{
+
+void
+Cell::program(int level, Rng &rng)
+{
+    fpsa_assert(params_ != nullptr, "cell has no technology parameters");
+    fpsa_assert(level >= 0 && level < params_->levels(),
+                "level %d out of range [0, %d)", level, params_->levels());
+    ++writes_;
+
+    if (!stuckChecked_) {
+        stuckChecked_ = true;
+        stuck_ = params_->variation.stuckAtRate > 0.0 &&
+                 rng.bernoulli(params_->variation.stuckAtRate);
+        if (stuck_) {
+            // Stuck-at faults freeze the cell at an endpoint state.
+            const bool at_lrs = rng.bernoulli(0.5);
+            conductance_ = at_lrs ? params_->gMax : params_->gMin;
+            level_ = at_lrs ? params_->levels() - 1 : 0;
+        }
+    }
+    if (stuck_)
+        return;
+
+    level_ = level;
+    const double target = params_->levelConductance(level);
+    const double range = params_->gMax - params_->gMin;
+    const double noisy =
+        target + params_->variation.sampleError(rng) * range;
+    conductance_ = std::clamp(noisy, params_->gMin, params_->gMax);
+}
+
+double
+Cell::targetConductance() const
+{
+    fpsa_assert(params_ != nullptr, "cell has no technology parameters");
+    return params_->levelConductance(level_);
+}
+
+bool
+Cell::wornOut() const
+{
+    return params_ != nullptr && writes_ > params_->endurance;
+}
+
+} // namespace fpsa

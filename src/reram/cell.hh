@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Single ReRAM cell model.
+ *
+ * A cell stores one of 2^bits conductance levels between gMin (high
+ * resistance state) and gMax (low resistance state).  Programming writes
+ * a target level; the realized conductance deviates per the variation
+ * model.  Cells also track write endurance (the paper notes ~1e12 writes,
+ * the reason SMBs use SRAM rather than ReRAM).
+ */
+
+#ifndef FPSA_RERAM_CELL_HH
+#define FPSA_RERAM_CELL_HH
+
+#include <cstdint>
+
+#include "reram/variation.hh"
+
+namespace fpsa
+{
+
+class Rng;
+
+/** Technology parameters shared by all cells of one crossbar. */
+struct CellParams
+{
+    int bits = 4;               //!< levels = 2^bits (paper: 4-bit cells)
+    double gMin = 0.0;          //!< HRS conductance, microsiemens
+    double gMax = 100.0;        //!< LRS conductance, microsiemens
+    VariationModel variation;   //!< programming-noise corner
+    std::uint64_t endurance = 1000000000000ULL; //!< ~1e12 writes
+
+    int levels() const { return 1 << bits; }
+
+    /** Conductance step between adjacent levels. */
+    double levelStep() const { return (gMax - gMin) / (levels() - 1); }
+
+    /** Ideal conductance of a level. */
+    double levelConductance(int level) const
+    {
+        return gMin + level * levelStep();
+    }
+};
+
+/** One programmable ReRAM cell. */
+class Cell
+{
+  public:
+    Cell() = default;
+    explicit Cell(const CellParams *params) : params_(params) {}
+
+    /**
+     * Program a target level; realized conductance picks up variation
+     * noise drawn from the crossbar's RNG.  Counts against endurance.
+     */
+    void program(int level, Rng &rng);
+
+    /** Realized (noisy) conductance in microsiemens. */
+    double conductance() const { return conductance_; }
+
+    /** The ideal conductance the last program targeted. */
+    double targetConductance() const;
+
+    /** Level requested by the last program. */
+    int level() const { return level_; }
+
+    /** Total writes so far. */
+    std::uint64_t writes() const { return writes_; }
+
+    /** True once writes exceed the endurance budget. */
+    bool wornOut() const;
+
+  private:
+    const CellParams *params_ = nullptr;
+    int level_ = 0;
+    double conductance_ = 0.0;
+    std::uint64_t writes_ = 0;
+    bool stuck_ = false;
+    bool stuckChecked_ = false;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_RERAM_CELL_HH

@@ -1,0 +1,167 @@
+#include "reram/crossbar.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace fpsa
+{
+
+Crossbar::Crossbar(const CrossbarParams &params)
+    : params_(params),
+      codec_(params.method, params.cell.bits, params.cellsPerWeight)
+{
+    fpsa_assert(params_.rows > 0 && params_.logicalCols > 0,
+                "degenerate crossbar %dx%d", params_.rows,
+                params_.logicalCols);
+    const std::size_t groups = static_cast<std::size_t>(params_.rows) *
+                               params_.physicalCols();
+    cells_.resize(groups);
+    for (auto &group : cells_)
+        group.assign(static_cast<std::size_t>(params_.cellsPerWeight),
+                     Cell(&params_.cell));
+    programmed_.assign(static_cast<std::size_t>(params_.rows) *
+                           params_.logicalCols,
+                       0);
+    groupG_.assign(groups, params_.cell.gMin * params_.cellsPerWeight);
+}
+
+std::size_t
+Crossbar::groupIndex(int row, int col, bool negative) const
+{
+    fpsa_assert(row >= 0 && row < params_.rows, "row %d out of range", row);
+    fpsa_assert(col >= 0 && col < params_.logicalCols,
+                "col %d out of range", col);
+    const int phys_col = 2 * col + (negative ? 1 : 0);
+    return static_cast<std::size_t>(row) * params_.physicalCols() + phys_col;
+}
+
+void
+Crossbar::programWeights(const std::vector<std::int32_t> &levels, Rng &rng)
+{
+    fpsa_assert(levels.size() == programmed_.size(),
+                "weight matrix size %zu != %zu", levels.size(),
+                programmed_.size());
+    const std::int64_t max_level = codec_.maxLevel();
+    for (int r = 0; r < params_.rows; ++r) {
+        for (int c = 0; c < params_.logicalCols; ++c) {
+            const std::int32_t w =
+                levels[static_cast<std::size_t>(r) * params_.logicalCols + c];
+            fpsa_assert(std::abs(static_cast<std::int64_t>(w)) <= max_level,
+                        "weight level %d exceeds codec max %lld", w,
+                        static_cast<long long>(max_level));
+            programmed_[static_cast<std::size_t>(r) * params_.logicalCols +
+                        c] = w;
+            const auto pos_levels =
+                codec_.encodeMagnitude(w > 0 ? w : 0);
+            const auto neg_levels =
+                codec_.encodeMagnitude(w < 0 ? -static_cast<std::int64_t>(w)
+                                             : 0);
+            for (int polarity = 0; polarity < 2; ++polarity) {
+                const bool negative = polarity == 1;
+                const auto &lv = negative ? neg_levels : pos_levels;
+                const std::size_t gi = groupIndex(r, c, negative);
+                double g_sum = 0.0;
+                for (int k = 0; k < params_.cellsPerWeight; ++k) {
+                    cells_[gi][static_cast<std::size_t>(k)].program(lv[k],
+                                                                    rng);
+                    g_sum += cells_[gi][static_cast<std::size_t>(k)]
+                                 .conductance();
+                }
+                groupG_[gi] = g_sum;
+            }
+        }
+    }
+}
+
+std::int32_t
+Crossbar::programmedLevel(int row, int col) const
+{
+    return programmed_[static_cast<std::size_t>(row) * params_.logicalCols +
+                       col];
+}
+
+double
+Crossbar::posConductance(int row, int col) const
+{
+    return groupG_[groupIndex(row, col, false)];
+}
+
+double
+Crossbar::negConductance(int row, int col) const
+{
+    return groupG_[groupIndex(row, col, true)];
+}
+
+double
+Crossbar::effectiveWeight(int row, int col) const
+{
+    const double step = params_.cell.levelStep();
+    // The gMin baseline cancels in the differential pair.
+    return (posConductance(row, col) - negConductance(row, col)) / step;
+}
+
+std::vector<double>
+Crossbar::columnCurrents(const std::vector<std::uint8_t> &row_spikes) const
+{
+    fpsa_assert(row_spikes.size() == static_cast<std::size_t>(params_.rows),
+                "spike vector size %zu != rows %d", row_spikes.size(),
+                params_.rows);
+    std::vector<double> currents(
+        static_cast<std::size_t>(params_.physicalCols()), 0.0);
+    for (int r = 0; r < params_.rows; ++r) {
+        if (!row_spikes[static_cast<std::size_t>(r)])
+            continue;
+        const std::size_t base =
+            static_cast<std::size_t>(r) * params_.physicalCols();
+        for (int pc = 0; pc < params_.physicalCols(); ++pc)
+            currents[static_cast<std::size_t>(pc)] += groupG_[base + pc];
+    }
+    return currents;
+}
+
+std::vector<double>
+Crossbar::idealVmm(const std::vector<double> &x) const
+{
+    fpsa_assert(x.size() == static_cast<std::size_t>(params_.rows),
+                "input size %zu != rows %d", x.size(), params_.rows);
+    std::vector<double> y(static_cast<std::size_t>(params_.logicalCols),
+                          0.0);
+    for (int r = 0; r < params_.rows; ++r) {
+        const double xv = x[static_cast<std::size_t>(r)];
+        if (xv == 0.0)
+            continue;
+        const std::size_t base =
+            static_cast<std::size_t>(r) * params_.logicalCols;
+        for (int c = 0; c < params_.logicalCols; ++c)
+            y[static_cast<std::size_t>(c)] += xv * programmed_[base + c];
+    }
+    return y;
+}
+
+std::vector<double>
+Crossbar::noisyVmm(const std::vector<double> &x) const
+{
+    fpsa_assert(x.size() == static_cast<std::size_t>(params_.rows),
+                "input size %zu != rows %d", x.size(), params_.rows);
+    std::vector<double> y(static_cast<std::size_t>(params_.logicalCols),
+                          0.0);
+    for (int r = 0; r < params_.rows; ++r) {
+        const double xv = x[static_cast<std::size_t>(r)];
+        if (xv == 0.0)
+            continue;
+        for (int c = 0; c < params_.logicalCols; ++c)
+            y[static_cast<std::size_t>(c)] += xv * effectiveWeight(r, c);
+    }
+    return y;
+}
+
+std::int64_t
+Crossbar::cellCount() const
+{
+    return static_cast<std::int64_t>(params_.rows) * params_.physicalCols() *
+           params_.cellsPerWeight;
+}
+
+} // namespace fpsa

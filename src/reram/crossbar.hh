@@ -1,0 +1,105 @@
+/**
+ * @file
+ * ReRAM crossbar array model (paper Fig. 1 and Sec. 4.2 configuration).
+ *
+ * The physical array is `rows x 2*logicalCols` columns: each logical
+ * column is a positive/negative physical pair, and every intersection
+ * holds `cellsPerWeight` parallel cells combined by the weight codec
+ * (paper: 8 parallel 4-bit cells per intersection, add method).
+ *
+ * The crossbar computes I = G V: with spike inputs the per-column current
+ * sums the conductances of rows that spiked this cycle.
+ */
+
+#ifndef FPSA_RERAM_CROSSBAR_HH
+#define FPSA_RERAM_CROSSBAR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "reram/cell.hh"
+#include "reram/weight_mapping.hh"
+
+namespace fpsa
+{
+
+class Rng;
+
+/** Configuration of one crossbar instance. */
+struct CrossbarParams
+{
+    int rows = 256;        //!< input rows
+    int logicalCols = 256; //!< logical output columns (512 physical)
+    CellParams cell;       //!< technology parameters
+    WeightMethod method = WeightMethod::Add;
+    int cellsPerWeight = 8;
+
+    int physicalCols() const { return 2 * logicalCols; }
+};
+
+/** One crossbar with programmable weights. */
+class Crossbar
+{
+  public:
+    explicit Crossbar(const CrossbarParams &params);
+
+    const CrossbarParams &params() const { return params_; }
+    const WeightCodec &codec() const { return codec_; }
+
+    /**
+     * Program a signed weight-level matrix (row-major, rows x logicalCols,
+     * each level in [-maxLevel, +maxLevel]).  Positive magnitudes go to
+     * the positive column group, negative to the negative group.
+     */
+    void programWeights(const std::vector<std::int32_t> &levels, Rng &rng);
+
+    /** Signed level requested at (row, logical col) by the last program. */
+    std::int32_t programmedLevel(int row, int col) const;
+
+    /**
+     * Realized signed weight (in level units) at (row, logical col):
+     * (sum of positive-group conductances - negative-group) / level step.
+     * This is the weight the analog computation actually applies.
+     */
+    double effectiveWeight(int row, int col) const;
+
+    /**
+     * One spiking cycle: given the set of rows that spike this cycle,
+     * return per-*physical*-column current (conductance-sum, uS).
+     */
+    std::vector<double> columnCurrents(
+        const std::vector<std::uint8_t> &row_spikes) const;
+
+    /**
+     * Full ideal VMM: y[c] = sum_r levels[r][c] * x[r] using programmed
+     * (noise-free) levels.  Reference for tests.
+     */
+    std::vector<double> idealVmm(const std::vector<double> &x) const;
+
+    /** Full noisy VMM using realized conductances. */
+    std::vector<double> noisyVmm(const std::vector<double> &x) const;
+
+    /** Sum of conductance on the positive group at (row, col). */
+    double posConductance(int row, int col) const;
+
+    /** Sum of conductance on the negative group at (row, col). */
+    double negConductance(int row, int col) const;
+
+    /** Total cell count (for area/energy accounting). */
+    std::int64_t cellCount() const;
+
+  private:
+    std::size_t groupIndex(int row, int col, bool negative) const;
+
+    CrossbarParams params_;
+    WeightCodec codec_;
+    /** cells_[groupIndex][k]: the k-th parallel cell of a group. */
+    std::vector<std::vector<Cell>> cells_;
+    std::vector<std::int32_t> programmed_;
+    /** Cached per-group conductance sums for fast VMM. */
+    std::vector<double> groupG_;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_RERAM_CROSSBAR_HH

@@ -1,0 +1,86 @@
+#include "reram/variation.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace fpsa
+{
+
+double
+VariationModel::sampleError(Rng &rng) const
+{
+    return rng.normal(0.0, sigmaOfRange);
+}
+
+VariationModel
+VariationModel::ideal()
+{
+    VariationModel m;
+    m.sigmaOfRange = 0.0;
+    return m;
+}
+
+VariationModel
+VariationModel::fabricated()
+{
+    return VariationModel{};
+}
+
+double
+spliceNormalizedDeviation(int num_cells, int cell_bits, double sigma_of_range)
+{
+    fpsa_assert(num_cells >= 1 && cell_bits >= 1, "bad splice config");
+    // Coefficients are 2^(cell_bits * i); one cell's sigma in LSB units is
+    // sigma_of_range * (2^cell_bits - 1).
+    const double per_level = (1 << cell_bits) - 1;
+    double sum_sq = 0.0;
+    double range = 0.0;
+    for (int i = 0; i < num_cells; ++i) {
+        const double a = std::ldexp(1.0, cell_bits * i);
+        sum_sq += a * a;
+        range += a * per_level;
+    }
+    return std::sqrt(sum_sq) * sigma_of_range * per_level / range;
+}
+
+double
+addNormalizedDeviation(int num_cells, int cell_bits, double sigma_of_range)
+{
+    fpsa_assert(num_cells >= 1 && cell_bits >= 1, "bad add config");
+    // Equal coefficients: deviation shrinks by sqrt(k).
+    return sigma_of_range / std::sqrt(static_cast<double>(num_cells));
+}
+
+double
+coefficientNormalizedDeviation(const double *coeffs, int num_cells,
+                               int cell_bits, double sigma_of_range)
+{
+    fpsa_assert(num_cells >= 1, "need at least one cell");
+    const double per_level = (1 << cell_bits) - 1;
+    double sum_sq = 0.0;
+    double sum_abs = 0.0;
+    for (int i = 0; i < num_cells; ++i) {
+        sum_sq += coeffs[i] * coeffs[i];
+        sum_abs += std::fabs(coeffs[i]);
+    }
+    fpsa_assert(sum_abs > 0.0, "all-zero coefficients");
+    return std::sqrt(sum_sq) * sigma_of_range * per_level /
+           (sum_abs * per_level);
+}
+
+long
+addRepresentableLevels(int num_cells, int cell_bits)
+{
+    return static_cast<long>(num_cells) * ((1L << cell_bits) - 1) + 1;
+}
+
+double
+addEffectiveBits(int num_cells, int cell_bits)
+{
+    return std::log2(static_cast<double>(
+        addRepresentableLevels(num_cells, cell_bits)));
+}
+
+} // namespace fpsa

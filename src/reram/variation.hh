@@ -1,0 +1,80 @@
+/**
+ * @file
+ * ReRAM conductance variation model (paper Section 7.2).
+ *
+ * The paper models a programmed cell's conductance as a normal random
+ * variable N(mu, sigma^2) around the target, with sigma derived from
+ * measurements of fabricated devices (Yao et al., Nature Communications
+ * 2017).  We do not have the raw silicon data, so this module provides a
+ * parametric model with the published magnitude: the cycle-to-cycle
+ * standard deviation is a fixed fraction of the full conductance range.
+ * All of the splice/add deviation algebra in the paper depends only on
+ * this normalized sigma, so the substitution preserves Fig. 9 exactly up
+ * to the calibration constant.
+ */
+
+#ifndef FPSA_RERAM_VARIATION_HH
+#define FPSA_RERAM_VARIATION_HH
+
+namespace fpsa
+{
+
+class Rng;
+
+/** Device-variation parameters for one ReRAM technology corner. */
+struct VariationModel
+{
+    /**
+     * Programming standard deviation as a fraction of the full
+     * conductance range (g_max - g_min).  Default follows the fabricated
+     * 4-bit analog devices of Yao et al. (~2.4% of range).
+     */
+    double sigmaOfRange = 0.024;
+
+    /** Retention drift per second, fraction of range (0 = ignore). */
+    double driftPerSecond = 0.0;
+
+    /** Stuck-at-fault probability per cell (0 = ideal yield). */
+    double stuckAtRate = 0.0;
+
+    /** Sample a programming error in conductance-range units. */
+    double sampleError(Rng &rng) const;
+
+    /** Ideal corner: no variation at all. */
+    static VariationModel ideal();
+
+    /** The default fabricated-device corner (Yao et al.). */
+    static VariationModel fabricated();
+};
+
+/**
+ * Normalized deviation of the *splice* method (paper Sec. 7.2):
+ * k cells of `cell_bits` bits splice into a (k * cell_bits)-bit number
+ * with binary-weighted coefficients.  Returns stddev / value-range.
+ */
+double spliceNormalizedDeviation(int num_cells, int cell_bits,
+                                 double sigma_of_range);
+
+/**
+ * Normalized deviation of the *add* method: k equal-coefficient cells
+ * summed.  Shrinks as 1/sqrt(k) (Cauchy bound in the paper).
+ */
+double addNormalizedDeviation(int num_cells, int cell_bits,
+                              double sigma_of_range);
+
+/**
+ * Generic coefficient form: deviation of sum(a_i * X_i) normalized by the
+ * representable range sum(|a_i|) * (2^cell_bits - 1).
+ */
+double coefficientNormalizedDeviation(const double *coeffs, int num_cells,
+                                      int cell_bits, double sigma_of_range);
+
+/** Number of distinct levels the add method can represent with k cells. */
+long addRepresentableLevels(int num_cells, int cell_bits);
+
+/** Effective bits of the add method (log2 of representable levels). */
+double addEffectiveBits(int num_cells, int cell_bits);
+
+} // namespace fpsa
+
+#endif // FPSA_RERAM_VARIATION_HH

@@ -1,0 +1,124 @@
+#include "reram/weight_mapping.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "reram/variation.hh"
+
+namespace fpsa
+{
+
+const char *
+weightMethodName(WeightMethod m)
+{
+    switch (m) {
+      case WeightMethod::Splice:
+        return "splice";
+      case WeightMethod::Add:
+        return "add";
+    }
+    return "?";
+}
+
+WeightCodec::WeightCodec(WeightMethod method, int cell_bits,
+                         int cells_per_weight)
+    : method_(method), cellBits_(cell_bits), cellsPerWeight_(cells_per_weight)
+{
+    fpsa_assert(cell_bits >= 1 && cell_bits <= 8, "cell bits %d unsupported",
+                cell_bits);
+    fpsa_assert(cells_per_weight >= 1 && cells_per_weight <= 64,
+                "cells per weight %d unsupported", cells_per_weight);
+}
+
+std::int64_t
+WeightCodec::maxLevel() const
+{
+    const std::int64_t per_cell = (1LL << cellBits_) - 1;
+    if (method_ == WeightMethod::Add)
+        return per_cell * cellsPerWeight_;
+    // Splice: k digits of base 2^b, saturated at 62 bits so the level
+    // arithmetic stays in int64 (cells beyond that hold zero digits).
+    const int bits = std::min(62, cellBits_ * cellsPerWeight_);
+    return (1LL << bits) - 1;
+}
+
+double
+WeightCodec::coefficient(int i) const
+{
+    fpsa_assert(i >= 0 && i < cellsPerWeight_, "cell index out of range");
+    if (method_ == WeightMethod::Add)
+        return 1.0;
+    return std::ldexp(1.0, cellBits_ * i);
+}
+
+std::vector<int>
+WeightCodec::encodeMagnitude(std::int64_t magnitude) const
+{
+    fpsa_assert(magnitude >= 0 && magnitude <= maxLevel(),
+                "magnitude %lld out of range [0, %lld]",
+                static_cast<long long>(magnitude),
+                static_cast<long long>(maxLevel()));
+    std::vector<int> cells(static_cast<std::size_t>(cellsPerWeight_), 0);
+    if (method_ == WeightMethod::Add) {
+        // Spread as evenly as possible: base value on each cell, the
+        // remainder distributed one level at a time.
+        const std::int64_t base = magnitude / cellsPerWeight_;
+        std::int64_t rem = magnitude % cellsPerWeight_;
+        for (int i = 0; i < cellsPerWeight_; ++i) {
+            cells[i] = static_cast<int>(base + (i < rem ? 1 : 0));
+        }
+    } else {
+        std::int64_t v = magnitude;
+        const std::int64_t radix = 1LL << cellBits_;
+        for (int i = 0; i < cellsPerWeight_; ++i) {
+            cells[i] = static_cast<int>(v % radix);
+            v /= radix;
+        }
+    }
+    return cells;
+}
+
+std::int64_t
+WeightCodec::decodeMagnitude(const std::vector<int> &cell_levels) const
+{
+    fpsa_assert(cell_levels.size() ==
+                    static_cast<std::size_t>(cellsPerWeight_),
+                "wrong number of cell levels");
+    std::int64_t v = 0;
+    for (int i = 0; i < cellsPerWeight_; ++i)
+        v += static_cast<std::int64_t>(coefficient(i)) * cell_levels[i];
+    return v;
+}
+
+double
+WeightCodec::decodeAnalog(const std::vector<double> &cell_values) const
+{
+    fpsa_assert(cell_values.size() ==
+                    static_cast<std::size_t>(cellsPerWeight_),
+                "wrong number of cell values");
+    double v = 0.0;
+    for (int i = 0; i < cellsPerWeight_; ++i)
+        v += coefficient(i) * cell_values[i];
+    return v;
+}
+
+double
+WeightCodec::normalizedDeviation(double sigma_of_range) const
+{
+    if (method_ == WeightMethod::Add) {
+        return addNormalizedDeviation(cellsPerWeight_, cellBits_,
+                                      sigma_of_range);
+    }
+    return spliceNormalizedDeviation(cellsPerWeight_, cellBits_,
+                                     sigma_of_range);
+}
+
+double
+WeightCodec::effectiveSignedBits() const
+{
+    // Differential pos/neg groups represent levels -max..+max.
+    return std::log2(2.0 * static_cast<double>(maxLevel()) + 1.0);
+}
+
+} // namespace fpsa

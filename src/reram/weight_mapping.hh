@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Weight-to-cell mapping: the splice and add representation methods.
+ *
+ * A signed logical weight level is realized by two groups of cells (one
+ * on the positive physical column, one on the negative, paper Sec. 4.2).
+ * Within a group, `cellsPerWeight` cells combine either by
+ *
+ *  - *splice*: binary-weighted coefficients 2^(b*i) (the method of
+ *    PRIME/ISAAC), or
+ *  - *add*: equal coefficients (this paper's proposal, Sec. 7.2), which
+ *    cuts the normalized deviation by sqrt(k).
+ */
+
+#ifndef FPSA_RERAM_WEIGHT_MAPPING_HH
+#define FPSA_RERAM_WEIGHT_MAPPING_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace fpsa
+{
+
+/** How multiple cells combine into one weight value. */
+enum class WeightMethod { Splice, Add };
+
+const char *weightMethodName(WeightMethod m);
+
+/** Encoder/decoder between signed weight levels and per-cell levels. */
+class WeightCodec
+{
+  public:
+    /**
+     * @param method splice or add
+     * @param cell_bits bits per cell (paper: 4)
+     * @param cells_per_weight cells in each polarity group (paper: 8)
+     */
+    WeightCodec(WeightMethod method, int cell_bits, int cells_per_weight);
+
+    WeightMethod method() const { return method_; }
+    int cellBits() const { return cellBits_; }
+    int cellsPerWeight() const { return cellsPerWeight_; }
+
+    /** Largest representable magnitude in weight levels. */
+    std::int64_t maxLevel() const;
+
+    /** Coefficient of the i-th cell within a group. */
+    double coefficient(int i) const;
+
+    /**
+     * Split a magnitude (0..maxLevel) into per-cell levels.  For add,
+     * levels are spread as evenly as possible (the paper's "add the
+     * conductance values evenly"); for splice they are base-2^b digits.
+     */
+    std::vector<int> encodeMagnitude(std::int64_t magnitude) const;
+
+    /** Recombine per-cell levels into the represented magnitude. */
+    std::int64_t decodeMagnitude(const std::vector<int> &cell_levels) const;
+
+    /**
+     * Recombine noisy per-cell values (in units of cell levels) into the
+     * represented real-valued magnitude.
+     */
+    double decodeAnalog(const std::vector<double> &cell_values) const;
+
+    /**
+     * Normalized deviation (stddev / weight range) this codec exposes to
+     * software given a per-cell sigma (fraction of cell range).
+     */
+    double normalizedDeviation(double sigma_of_range) const;
+
+    /**
+     * Effective representable bits of a *signed* weight using this codec
+     * with differential (pos/neg) groups.
+     */
+    double effectiveSignedBits() const;
+
+  private:
+    WeightMethod method_;
+    int cellBits_;
+    int cellsPerWeight_;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_RERAM_WEIGHT_MAPPING_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Routing-resource graph of the island-style ReRAM fabric.
+ *
+ * The graph abstracts each channel segment (the bundle of
+ * `channelWidth` parallel tracks spanning one tile pitch) as one node
+ * with integer capacity.  Edges follow the island-style topology:
+ *
+ *   Source(x,y) -CB-> adjacent channel segments
+ *   segment -SB-> segments sharing a switch-box corner
+ *   segment -CB-> Sink(x,y)
+ *
+ * A net of width w consumes w tracks of every segment on its path.
+ * This channel-level abstraction keeps VGG16-scale routing tractable
+ * while preserving what the paper measures: per-net delay (CB/SB/wire
+ * RC chain) and channel congestion.
+ */
+
+#ifndef FPSA_ROUTING_RR_GRAPH_HH
+#define FPSA_ROUTING_RR_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/fpsa_arch.hh"
+#include "common/types.hh"
+
+namespace fpsa
+{
+
+/** Node index in the routing-resource graph. */
+using RrNodeId = std::int32_t;
+
+/** Kind of a routing resource. */
+enum class RrKind : std::uint8_t { Source, Sink, ChanX, ChanY };
+
+/** One routing-resource node. */
+struct RrNode
+{
+    RrKind kind = RrKind::ChanX;
+    std::int16_t x = 0;
+    std::int16_t y = 0;
+    std::int32_t capacity = 0;   //!< tracks (Source/Sink: unbounded)
+    NanoSeconds delay = 0.0;     //!< cost of traversing this node
+};
+
+/** The routing-resource graph for one chip. */
+class RrGraph
+{
+  public:
+    explicit RrGraph(const FpsaArch &arch);
+
+    const FpsaArch &arch() const { return *arch_; }
+
+    std::size_t nodeCount() const { return nodes_.size(); }
+    const RrNode &node(RrNodeId id) const
+    {
+        return nodes_[static_cast<std::size_t>(id)];
+    }
+
+    /** Out-edges of a node. */
+    const std::vector<RrNodeId> &adjacent(RrNodeId id) const
+    {
+        return adj_[static_cast<std::size_t>(id)];
+    }
+
+    /** Virtual source node of the block at a site. */
+    RrNodeId sourceAt(int x, int y) const;
+
+    /** Virtual sink node of the block at a site. */
+    RrNodeId sinkAt(int x, int y) const;
+
+    /** Horizontal channel segment id; x in [0,W), y in [0,H]. */
+    RrNodeId chanX(int x, int y) const;
+
+    /** Vertical channel segment id; x in [0,W], y in [0,H). */
+    RrNodeId chanY(int x, int y) const;
+
+    /** Total channel-segment nodes (wiring supply diagnostic). */
+    std::size_t channelSegmentCount() const { return numChan_; }
+
+  private:
+    void addEdge(RrNodeId from, RrNodeId to);
+
+    const FpsaArch *arch_;
+    std::vector<RrNode> nodes_;
+    std::vector<std::vector<RrNodeId>> adj_;
+    std::size_t numChan_ = 0;
+    // Layout offsets into the node array.
+    std::int32_t chanXBase_ = 0;
+    std::int32_t chanYBase_ = 0;
+    std::int32_t srcBase_ = 0;
+    std::int32_t sinkBase_ = 0;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_ROUTING_RR_GRAPH_HH

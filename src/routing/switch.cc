@@ -1,0 +1,4 @@
+#include "routing/switch.hh"
+
+// SwitchParams is a plain parameter struct with inline helpers; this
+// translation unit anchors the header for include hygiene.

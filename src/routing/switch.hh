@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Electrical model of the ReRAM-based programmable routing switches
+ * (mrFPGA, Cong & Xiao 2011; adopted by the paper in Section 4.1).
+ *
+ * Connections inside CBs and SBs are single ReRAM cells: low resistance
+ * = connected, high resistance = open.  A routed wire therefore crosses
+ * a CB out of the driver, a chain of SBs, and a CB into the sink; its
+ * delay is the sum of the per-stage RC delays below.  The default values
+ * are calibrated so that routed VGG16-scale netlists average ~9.9 ns per
+ * wire, reproducing the paper's Fig. 7 communication latencies
+ * (6-bit count transfer = 59.4 ns, 64-spike train = 633.9 ns).
+ */
+
+#ifndef FPSA_ROUTING_SWITCH_HH
+#define FPSA_ROUTING_SWITCH_HH
+
+#include "common/types.hh"
+
+namespace fpsa
+{
+
+/** Per-stage delay/energy/area of the ReRAM routing fabric. */
+struct SwitchParams
+{
+    /** Crossing one switch box through a programmed ReRAM cell. */
+    NanoSeconds sbDelay = 1.25;
+
+    /** Entering/leaving the fabric through a connection box. */
+    NanoSeconds cbDelay = 0.45;
+
+    /** RC of one wire segment spanning one tile pitch. */
+    NanoSeconds segmentDelay = 0.15;
+
+    /** Energy to move one bit across one segment+switch. */
+    PicoJoules energyPerBitHop = 0.005;
+
+    /**
+     * Area of one ReRAM switch cell (4F^2 at F = 45 nm), only used to
+     * check the routing overlay stays smaller than the block area.
+     */
+    SquareMicrons switchCellArea = 4 * 0.045 * 0.045;
+
+    /** Delay of a path with the given number of segments. */
+    NanoSeconds pathDelay(int segments) const
+    {
+        if (segments <= 0)
+            return 2.0 * cbDelay + segmentDelay;
+        // segments wire pieces, segments-1 SB crossings, 2 CB ends.
+        return 2.0 * cbDelay + segments * segmentDelay +
+               (segments - 1) * sbDelay;
+    }
+};
+
+} // namespace fpsa
+
+#endif // FPSA_ROUTING_SWITCH_HH

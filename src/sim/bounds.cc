@@ -1,0 +1,171 @@
+#include "sim/bounds.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace fpsa
+{
+
+const char *
+systemKindName(SystemKind k)
+{
+    switch (k) {
+      case SystemKind::Fpsa:
+        return "FPSA";
+      case SystemKind::Prime:
+        return "PRIME";
+      case SystemKind::FpPrime:
+        return "FP-PRIME";
+    }
+    return "?";
+}
+
+bool
+allocateForArea(const SynthesisSummary &summary, double area_mm2,
+                SquareMicrons pe_area, AllocationResult &out)
+{
+    // Binary search the PE budget whose allocation area fits.
+    const AllocationResult min_alloc = allocateForDuplication(summary, 1);
+    if (allocationArea(min_alloc, pe_area) > area_mm2)
+        return false;
+    std::int64_t lo = summary.minPes();
+    std::int64_t hi = std::max<std::int64_t>(
+        lo, static_cast<std::int64_t>(mm2ToUm2(area_mm2) / pe_area));
+    // Cap the search: beyond full duplication more PEs do nothing.
+    const AllocationResult full = allocateForDuplication(
+        summary, std::max<std::int64_t>(1, summary.maxReuse()));
+    hi = std::min(hi, full.totalPes);
+    AllocationResult best = min_alloc;
+    while (lo <= hi) {
+        const std::int64_t mid = lo + (hi - lo) / 2;
+        AllocationResult a = allocateForPeBudget(summary, mid);
+        if (allocationArea(a, pe_area) <= area_mm2) {
+            best = a;
+            lo = mid + 1;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    out = best;
+    return true;
+}
+
+namespace
+{
+
+/** Peak OPS of an all-PE chip of the given area. */
+OpsPerSecond
+peakPerformance(double area_mm2, SquareMicrons pe_area,
+                double ops_per_vmm, NanoSeconds vmm_latency)
+{
+    const double pes = mm2ToUm2(area_mm2) / pe_area;
+    return pes * ops_per_vmm * perSecondFromNs(vmm_latency);
+}
+
+} // namespace
+
+std::vector<BoundsPoint>
+sweepArea(const Graph &graph, const SynthesisSummary &summary,
+          const std::vector<double> &areas_mm2,
+          const BoundsSweepOptions &options)
+{
+    const TechnologyLibrary &tech = TechnologyLibrary::fpsa45();
+    std::vector<BoundsPoint> points;
+    points.reserve(areas_mm2.size());
+
+    for (double area : areas_mm2) {
+        BoundsPoint p;
+        p.area = area;
+
+        SquareMicrons pe_area;
+        double ops_per_vmm;
+        NanoSeconds vmm_latency;
+        if (options.system == SystemKind::Fpsa) {
+            pe_area = tech.pe.peArea;
+            ops_per_vmm = tech.pe.opsPerVmm();
+            vmm_latency = tech.pe.vmmLatency(options.fpsa.ioBits);
+        } else {
+            const PrimePeParams &pe = options.system == SystemKind::Prime
+                                          ? options.prime.pe
+                                          : options.fpPrime.pe;
+            pe_area = pe.peArea;
+            ops_per_vmm = pe.opsPerVmm();
+            vmm_latency = pe.vmmLatency;
+        }
+        p.peak = peakPerformance(area, pe_area, ops_per_vmm, vmm_latency);
+
+        AllocationResult alloc;
+        if (!allocateForArea(summary, area, pe_area, alloc)) {
+            points.push_back(p); // model does not fit: zeros
+            continue;
+        }
+        p.pes = alloc.totalPes;
+        p.duplication = alloc.duplicationDegree;
+
+        switch (options.system) {
+          case SystemKind::Fpsa: {
+            FpsaPerfOptions ideal = options.fpsa;
+            ideal.wireDelayPerBit = 0.0;
+            p.ideal = evaluateFpsa(graph, summary, alloc, ideal, tech)
+                          .performance;
+            p.real = evaluateFpsa(graph, summary, alloc, options.fpsa,
+                                  tech)
+                         .performance;
+            break;
+          }
+          case SystemKind::Prime: {
+            PrimeSystem ideal = options.prime;
+            // Infinite bandwidth: contention vanishes.
+            ideal.bus.bandwidthBitsPerNs = 1e18;
+            p.ideal = evaluatePrime(graph, summary, alloc, ideal)
+                          .performance;
+            p.real = evaluatePrime(graph, summary, alloc, options.prime)
+                         .performance;
+            break;
+          }
+          case SystemKind::FpPrime: {
+            FpPrimeSystem ideal = options.fpPrime;
+            ideal.wireDelayPerBit = 0.0;
+            p.ideal = evaluateFpPrime(graph, summary, alloc, ideal)
+                          .performance;
+            p.real = evaluateFpPrime(graph, summary, alloc,
+                                     options.fpPrime)
+                         .performance;
+            break;
+          }
+        }
+        points.push_back(p);
+    }
+    return points;
+}
+
+DensityBounds
+densityBounds(const Graph &graph, const SynthesisSummary &summary,
+              const AllocationResult &allocation,
+              const FpsaPerfOptions &options, const TechnologyLibrary &tech)
+{
+    DensityBounds d;
+    d.peak = tech.pe.opsPerVmm() *
+             perSecondFromNs(tech.pe.vmmLatency(options.ioBits)) /
+             um2ToMm2(tech.pe.peArea);
+
+    // Spatial bound: only useful cells compute useful MACs.  Weighted
+    // by executions, independent of duplication (Fig. 8c: flat lines).
+    d.spatialBound = d.peak * summary.spatialUtilization();
+
+    // Temporal bound: ideal communication, real load balance.
+    FpsaPerfOptions ideal = options;
+    ideal.wireDelayPerBit = 0.0;
+    const PerfReport ideal_report =
+        evaluateFpsa(graph, summary, allocation, ideal, tech);
+    d.temporalBound = ideal_report.performance / ideal_report.area;
+
+    const PerfReport real_report =
+        evaluateFpsa(graph, summary, allocation, options, tech);
+    d.real = real_report.performance / real_report.area;
+    return d;
+}
+
+} // namespace fpsa

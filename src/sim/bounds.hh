@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Performance-bound analysis (paper Section 3, Fig. 2/6/8c).
+ *
+ *  - Computation bound ("peak"): PE count x per-PE rate, i.e.\ all chip
+ *    area spent on PEs running flat out.
+ *  - Utilization bound ("ideal"): best achievable with infinite
+ *    communication bandwidth -- limited by load balance (temporal) and
+ *    crossbar-fit (spatial) only.
+ *  - Real: with the actual communication subsystem.
+ *
+ * The area sweep allocates the largest balanced configuration that fits
+ * each chip area and evaluates all three curves for FPSA, PRIME and
+ * FP-PRIME.
+ */
+
+#ifndef FPSA_SIM_BOUNDS_HH
+#define FPSA_SIM_BOUNDS_HH
+
+#include <vector>
+
+#include "sim/perf_model.hh"
+
+namespace fpsa
+{
+
+/** Which system an area sweep models. */
+enum class SystemKind { Fpsa, Prime, FpPrime };
+
+const char *systemKindName(SystemKind k);
+
+/** One point of a performance-vs-area curve. */
+struct BoundsPoint
+{
+    SquareMillimeters area = 0.0;   //!< requested chip area
+    OpsPerSecond peak = 0.0;
+    OpsPerSecond ideal = 0.0;
+    OpsPerSecond real = 0.0;
+    std::int64_t pes = 0;
+    std::int64_t duplication = 1;
+};
+
+/** Sweep options. */
+struct BoundsSweepOptions
+{
+    SystemKind system = SystemKind::Fpsa;
+    FpsaPerfOptions fpsa;
+    PrimeSystem prime;
+    FpPrimeSystem fpPrime;
+};
+
+/**
+ * Evaluate the three curves at the given chip areas (mm^2).  Areas too
+ * small to store the model report zero performance.
+ */
+std::vector<BoundsPoint> sweepArea(const Graph &graph,
+                                   const SynthesisSummary &summary,
+                                   const std::vector<double> &areas_mm2,
+                                   const BoundsSweepOptions &options);
+
+/** Fig. 8c quantities for one duplication degree. */
+struct DensityBounds
+{
+    double peak = 0.0;          //!< OPS/mm^2, all-PE chip at full rate
+    double spatialBound = 0.0;  //!< x crossbar-fit utilization
+    double temporalBound = 0.0; //!< ideal-communication density
+    double real = 0.0;          //!< measured density
+};
+
+/** Compute Fig. 8c's density stack for one allocation. */
+DensityBounds densityBounds(const Graph &graph,
+                            const SynthesisSummary &summary,
+                            const AllocationResult &allocation,
+                            const FpsaPerfOptions &options = {},
+                            const TechnologyLibrary &tech =
+                                TechnologyLibrary::fpsa45());
+
+/**
+ * Largest allocation whose block area fits `area_mm2`; returns false if
+ * even the storage minimum does not fit.
+ */
+bool allocateForArea(const SynthesisSummary &summary, double area_mm2,
+                     SquareMicrons pe_area, AllocationResult &out);
+
+} // namespace fpsa
+
+#endif // FPSA_SIM_BOUNDS_HH

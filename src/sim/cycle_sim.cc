@@ -1,0 +1,112 @@
+#include "sim/cycle_sim.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "pe/processing_element.hh"
+
+namespace fpsa
+{
+
+CycleSimResult
+simulateSpiking(const FunctionalSynthesis &synth,
+                const std::vector<int> &pe_assignment, int pe_count,
+                const ScheduleResult &schedule,
+                const std::vector<std::uint32_t> &input_counts,
+                const CycleSimOptions &options)
+{
+    fpsa_assert(pe_assignment.size() == synth.coreOps.size(),
+                "assignment size mismatch");
+    fpsa_assert(schedule.entries.size() == synth.coreOps.size(),
+                "schedule size mismatch");
+    const std::uint32_t window = 1u << synth.options.ioBits;
+    Rng rng(options.seed);
+
+    // Execute in schedule start order (ties broken by id, which is
+    // topological).
+    std::vector<CoreOpId> order(synth.coreOps.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](CoreOpId a, CoreOpId b) {
+                         return schedule
+                                    .entries[static_cast<std::size_t>(a)]
+                                    .start <
+                                schedule
+                                    .entries[static_cast<std::size_t>(b)]
+                                    .start;
+                     });
+
+    CycleSimResult result;
+    std::vector<std::vector<std::uint32_t>> op_out(synth.coreOps.size());
+    std::uint64_t busy_pe_cycles = 0;
+
+    for (CoreOpId id : order) {
+        const CoreOp &op = synth.coreOps.op(id);
+        // Producers must have completed or be streaming ahead of us.
+        for (const auto &in : op.inputs) {
+            if (in.producer < 0)
+                continue;
+            fpsa_assert(
+                !op_out[static_cast<std::size_t>(in.producer)].empty(),
+                "schedule executed '%s' before its producer",
+                op.name.c_str());
+        }
+
+        // Gather input counts.
+        std::vector<std::uint32_t> x;
+        x.reserve(static_cast<std::size_t>(op.rows));
+        for (const auto &in : op.inputs) {
+            const std::uint32_t *src =
+                in.producer < 0
+                    ? input_counts.data()
+                    : op_out[static_cast<std::size_t>(in.producer)].data();
+            for (int i = 0; i < in.length; ++i)
+                x.push_back(src[in.offset + i]);
+        }
+        if (op.offsetLevels > 0)
+            x.push_back(window);
+
+        // Build a real PE for this op's crossbar and run one window.
+        PeConfig cfg;
+        cfg.xbar.rows = op.rows;
+        cfg.xbar.logicalCols = op.cols;
+        cfg.xbar.cell.variation = options.variation;
+        cfg.ioBits = synth.options.ioBits;
+        cfg.etaLevels = op.etaLevels;
+        cfg.carryResidual = options.carryResidual;
+        ProcessingElement pe(cfg);
+        pe.programWeights(op.weightLevels, rng);
+        PeWindowResult window_result = pe.computeWindow(x);
+
+        op_out[static_cast<std::size_t>(id)] =
+            std::move(window_result.outputCounts);
+        result.energy += window_result.energy;
+        result.neuronFires += window_result.neuronFires;
+        result.chargingActivations += window_result.chargingActivations;
+        busy_pe_cycles += window;
+    }
+
+    result.cycles = schedule.makespan;
+    result.wallTime = static_cast<double>(schedule.makespan) *
+                      TechnologyLibrary::fpsa45().pe.peCycleLatency;
+    if (pe_count > 0 && schedule.makespan > 0) {
+        result.avgPeUtilization =
+            static_cast<double>(busy_pe_cycles) /
+            (static_cast<double>(pe_count) *
+             static_cast<double>(schedule.makespan));
+    }
+
+    result.outputCounts.resize(synth.outputs.size());
+    for (std::size_t i = 0; i < synth.outputs.size(); ++i) {
+        const OutputRef &r = synth.outputs[i];
+        result.outputCounts[i] =
+            r.op < 0 ? input_counts[static_cast<std::size_t>(r.col)]
+                     : op_out[static_cast<std::size_t>(r.op)]
+                             [static_cast<std::size_t>(r.col)];
+    }
+    return result;
+}
+
+} // namespace fpsa

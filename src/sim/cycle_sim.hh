@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Spiking cycle simulation of a scheduled core-op graph.
+ *
+ * The deepest validation level of the stack: every core-op is executed
+ * on a real ProcessingElement instance (charging units, IF neurons,
+ * subtracters, cycle by cycle) in schedule order, with SMB-style count
+ * buffering between PEs.  Results are comparable against the count-
+ * domain executor (runCoreOps); timing and energy come from the actual
+ * window executions.
+ */
+
+#ifndef FPSA_SIM_CYCLE_SIM_HH
+#define FPSA_SIM_CYCLE_SIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/energy_model.hh"
+#include "mapper/schedule.hh"
+#include "reram/variation.hh"
+#include "synth/synthesizer.hh"
+
+namespace fpsa
+{
+
+class Rng;
+
+/** Result of a spiking simulation run. */
+struct CycleSimResult
+{
+    std::vector<std::uint32_t> outputCounts;
+    std::int64_t cycles = 0;          //!< schedule makespan
+    NanoSeconds wallTime = 0.0;       //!< cycles x PE cycle latency
+    PicoJoules energy = 0.0;          //!< summed PE window energies
+    double avgPeUtilization = 0.0;    //!< busy PE-cycles / capacity
+    std::uint64_t neuronFires = 0;
+    std::uint64_t chargingActivations = 0;
+};
+
+/** Knobs for the spiking simulation. */
+struct CycleSimOptions
+{
+    /** Device corner for crossbar programming. */
+    VariationModel variation = VariationModel::ideal();
+
+    /** Carry IF-neuron residuals (closed-form mode) or drop (circuit). */
+    bool carryResidual = true;
+
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Execute a functional synthesis on real spiking PEs following a
+ * schedule.  The schedule's makespan provides the time axis.
+ */
+CycleSimResult simulateSpiking(const FunctionalSynthesis &synth,
+                               const std::vector<int> &pe_assignment,
+                               int pe_count,
+                               const ScheduleResult &schedule,
+                               const std::vector<std::uint32_t>
+                                   &input_counts,
+                               const CycleSimOptions &options = {});
+
+} // namespace fpsa
+
+#endif // FPSA_SIM_CYCLE_SIM_HH

@@ -1,0 +1,54 @@
+#include "sim/energy_report.hh"
+
+#include <algorithm>
+
+#include "pe/pe_params.hh"
+#include "routing/switch.hh"
+
+namespace fpsa
+{
+
+EnergyEvents
+fpsaEnergyEvents(const SynthesisSummary &summary,
+                 const AllocationResult &allocation, int io_bits,
+                 NanoSeconds wire_delay_per_bit)
+{
+    EnergyEvents events;
+    const double gamma =
+        static_cast<double>(PeParams::samplingWindow(io_bits));
+    events.peWindows =
+        static_cast<std::uint64_t>(summary.totalCoreOpRuns());
+    std::int64_t smb_accesses = 0;
+    for (const auto &g : summary.groups) {
+        smb_accesses += 2 * 256 * g.instances *
+                        static_cast<std::int64_t>(std::max<std::size_t>(
+                            1, g.preds.size()));
+    }
+    events.smbAccesses = static_cast<std::uint64_t>(smb_accesses);
+    events.clbCycles = static_cast<std::uint64_t>(
+        static_cast<double>(allocation.clbBlocks) *
+        static_cast<double>(allocation.maxIterations) * gamma);
+    const SwitchParams switches;
+    const double hops =
+        std::max(1.0, wire_delay_per_bit / switches.sbDelay);
+    events.routedBitHops = static_cast<std::uint64_t>(
+        static_cast<double>(summary.totalCoreOpRuns()) * gamma * 256.0 *
+        hops);
+    return events;
+}
+
+EnergyReport
+fpsaEnergyReport(const SynthesisSummary &summary,
+                 const AllocationResult &allocation, int io_bits,
+                 NanoSeconds wire_delay_per_bit,
+                 const TechnologyLibrary &tech)
+{
+    EnergyReport report;
+    const SwitchParams switches;
+    report.breakdown = energyOf(
+        fpsaEnergyEvents(summary, allocation, io_bits, wire_delay_per_bit),
+        io_bits, switches, tech);
+    return report;
+}
+
+} // namespace fpsa

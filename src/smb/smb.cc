@@ -1,0 +1,64 @@
+#include "smb/smb.hh"
+
+#include "common/logging.hh"
+
+namespace fpsa
+{
+
+SpikingMemoryBlock::SpikingMemoryBlock(std::uint32_t window,
+                                       const SmbParams &params)
+    : params_(params), window_(window), bitsPerValue_(windowBits(window))
+{
+    fpsa_assert(bitsPerValue_ > 0, "window must be at least 2");
+    counts_.assign(capacityValues(), 0);
+}
+
+std::uint32_t
+SpikingMemoryBlock::capacityValues() const
+{
+    return static_cast<std::uint32_t>(params_.capacityBits /
+                                      bitsPerValue_);
+}
+
+void
+SpikingMemoryBlock::storeCount(std::uint32_t slot, std::uint32_t count)
+{
+    fpsa_assert(slot < counts_.size(), "SMB slot %u out of range", slot);
+    // A full window of spikes saturates to window-1 representable counts
+    // plus the implicit all-ones value; we clamp to the storable maximum.
+    const std::uint32_t max_count = (1u << bitsPerValue_) - 1;
+    counts_[slot] = count > max_count ? max_count : count;
+    bitWrites_ += bitsPerValue_;
+}
+
+std::uint32_t
+SpikingMemoryBlock::loadCount(std::uint32_t slot) const
+{
+    fpsa_assert(slot < counts_.size(), "SMB slot %u out of range", slot);
+    return counts_[slot];
+}
+
+void
+SpikingMemoryBlock::captureTrain(std::uint32_t slot, const SpikeTrain &train)
+{
+    fpsa_assert(train.window() == window_,
+                "train window %u != SMB window %u", train.window(), window_);
+    SpikeCounter counter(window_);
+    for (std::uint32_t t = 0; t < window_; ++t)
+        counter.observe(train.spikeAt(t));
+    storeCount(slot, counter.count());
+}
+
+SpikeTrain
+SpikingMemoryBlock::replayTrain(std::uint32_t slot) const
+{
+    const std::uint32_t count = loadCount(slot);
+    SpikeGenerator gen(window_);
+    gen.load(count);
+    SpikeTrain train(window_);
+    for (std::uint32_t t = 0; t < window_; ++t)
+        train.setSpike(t, gen.step());
+    return train;
+}
+
+} // namespace fpsa

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Spiking Memory Block (paper Section 4.3).
+ *
+ * SMBs buffer intermediate data between pipeline stages.  To keep the
+ * buffer small they store spike *counts*, not trains: embedded counters
+ * accumulate incoming spikes; embedded generators replay stored counts as
+ * uniformly spaced trains.  The SRAM is indexed by bits so any sampling
+ * window size 2^n packs exactly (capacity / n) values.
+ *
+ * SMBs use SRAM, not ReRAM: ReRAM's ~1e12 write endurance cannot sustain
+ * a buffer's write rate, and small ReRAM arrays waste area on sense
+ * amplifiers (paper Sections 4.3-4.4).
+ */
+
+#ifndef FPSA_SMB_SMB_HH
+#define FPSA_SMB_SMB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pe/pe_params.hh"
+#include "spike/codec.hh"
+
+namespace fpsa
+{
+
+/** One spiking memory block instance. */
+class SpikingMemoryBlock
+{
+  public:
+    /**
+     * @param window sampling window (power of two); values are stored as
+     *        log2(window)-bit counts
+     * @param params capacity/energy/area (Table 1: 16 Kb SRAM)
+     */
+    explicit SpikingMemoryBlock(std::uint32_t window,
+                                const SmbParams &params =
+                                    TechnologyLibrary::fpsa45().smb);
+
+    std::uint32_t window() const { return window_; }
+
+    /** Bits per stored value (n for a 2^n window). */
+    std::uint32_t bitsPerValue() const { return bitsPerValue_; }
+
+    /** Number of values this block can hold at the current window. */
+    std::uint32_t capacityValues() const;
+
+    /** Store a count directly (port used by count-writing producers). */
+    void storeCount(std::uint32_t slot, std::uint32_t count);
+
+    /** Read a stored count. */
+    std::uint32_t loadCount(std::uint32_t slot) const;
+
+    /**
+     * Record an entire spike train arriving over a window into a slot
+     * (the embedded counter path).
+     */
+    void captureTrain(std::uint32_t slot, const SpikeTrain &train);
+
+    /**
+     * Replay a slot as a uniformly spaced spike train (the embedded
+     * generator path).
+     */
+    SpikeTrain replayTrain(std::uint32_t slot) const;
+
+    /** Total SRAM bit writes so far (for energy accounting). */
+    std::uint64_t bitWrites() const { return bitWrites_; }
+
+    /** Modeled access energy for one stored value. */
+    PicoJoules accessEnergy() const { return params_.block.energy; }
+
+    /** Modeled access latency. */
+    NanoSeconds accessLatency() const { return params_.block.latency; }
+
+    const SmbParams &params() const { return params_; }
+
+  private:
+    SmbParams params_;
+    std::uint32_t window_;
+    std::uint32_t bitsPerValue_;
+    std::vector<std::uint32_t> counts_;
+    std::uint64_t bitWrites_ = 0;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_SMB_SMB_HH

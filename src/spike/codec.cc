@@ -1,0 +1,54 @@
+#include "spike/codec.hh"
+
+#include "common/logging.hh"
+
+namespace fpsa
+{
+
+void
+SpikeGenerator::load(std::uint32_t count)
+{
+    fpsa_assert(count <= window_, "generator count %u exceeds window %u",
+                count, window_);
+    count_ = count;
+    cycle_ = 0;
+    acc_ = 0;
+}
+
+bool
+SpikeGenerator::step()
+{
+    fpsa_assert(cycle_ < window_, "generator stepped past its window");
+    ++cycle_;
+    acc_ += count_;
+    if (acc_ >= window_) {
+        acc_ -= window_;
+        return true;
+    }
+    return false;
+}
+
+std::uint32_t
+windowBits(std::uint32_t window)
+{
+    fpsa_assert(window > 0 && (window & (window - 1)) == 0,
+                "sampling window %u must be a power of two", window);
+    std::uint32_t bits = 0;
+    while ((1u << bits) < window)
+        ++bits;
+    return bits;
+}
+
+std::uint32_t
+countTrafficBits(std::uint32_t window)
+{
+    return windowBits(window);
+}
+
+std::uint32_t
+trainTrafficBits(std::uint32_t window)
+{
+    return window;
+}
+
+} // namespace fpsa

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Spike count <-> spike train codecs, matching the encoder/decoder
+ * circuits embedded in SMBs (paper Section 4.3).
+ *
+ * SMBs store only the counts: the counter sums incoming spikes, the
+ * generator replays a stored count as a uniformly spaced train.  The
+ * codec also captures the traffic/latency difference the paper exploits:
+ * transmitting a count needs n bits; transmitting the train needs
+ * 2^n bits (Section 7.1).
+ */
+
+#ifndef FPSA_SPIKE_CODEC_HH
+#define FPSA_SPIKE_CODEC_HH
+
+#include <cstdint>
+
+#include "spike/spike_train.hh"
+
+namespace fpsa
+{
+
+/** Hardware spike counter: accumulates spikes cycle by cycle. */
+class SpikeCounter
+{
+  public:
+    explicit SpikeCounter(std::uint32_t window) : window_(window) {}
+
+    /** Observe one cycle's input bit. */
+    void observe(bool spike)
+    {
+        if (spike && count_ < window_)
+            ++count_;
+    }
+
+    /** Current accumulated count. */
+    std::uint32_t count() const { return count_; }
+
+    /** Clear at the start of a new sampling window. */
+    void reset() { count_ = 0; }
+
+    std::uint32_t window() const { return window_; }
+
+  private:
+    std::uint32_t window_;
+    std::uint32_t count_ = 0;
+};
+
+/**
+ * Hardware spike generator: replays a stored count as an evenly spaced
+ * train, one bit per cycle.
+ */
+class SpikeGenerator
+{
+  public:
+    explicit SpikeGenerator(std::uint32_t window) : window_(window) {}
+
+    /** Load a count to replay; resets the cycle pointer. */
+    void load(std::uint32_t count);
+
+    /** Emit the next cycle's bit. */
+    bool step();
+
+    /** True once the whole window has been replayed. */
+    bool done() const { return cycle_ >= window_; }
+
+    std::uint32_t window() const { return window_; }
+
+  private:
+    std::uint32_t window_;
+    std::uint32_t count_ = 0;
+    std::uint32_t cycle_ = 0;
+    std::uint32_t acc_ = 0;
+};
+
+/** Bits on the wire to move one value as a spike *count* (n bits). */
+std::uint32_t countTrafficBits(std::uint32_t window);
+
+/** Bits on the wire to move one value as a spike *train* (2^n bits). */
+std::uint32_t trainTrafficBits(std::uint32_t window);
+
+/** log2 of a power-of-two window; fatals on non-powers. */
+std::uint32_t windowBits(std::uint32_t window);
+
+} // namespace fpsa
+
+#endif // FPSA_SPIKE_CODEC_HH

@@ -1,0 +1,104 @@
+#include "spike/spike_train.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace fpsa
+{
+
+SpikeTrain::SpikeTrain(std::uint32_t window) : bits_(window, false)
+{
+}
+
+std::uint32_t
+SpikeTrain::count() const
+{
+    return static_cast<std::uint32_t>(
+        std::count(bits_.begin(), bits_.end(), true));
+}
+
+double
+SpikeTrain::rate() const
+{
+    return bits_.empty() ? 0.0 : static_cast<double>(count()) / window();
+}
+
+std::uint32_t
+SpikeTrain::nthSpikeCycle(std::uint32_t k) const
+{
+    std::uint32_t seen = 0;
+    for (std::uint32_t c = 0; c < window(); ++c) {
+        if (bits_[c]) {
+            if (seen == k)
+                return c;
+            ++seen;
+        }
+    }
+    return window();
+}
+
+SpikeTrain
+encodeUniform(std::uint32_t count, std::uint32_t window)
+{
+    fpsa_assert(count <= window, "spike count %u exceeds window %u", count,
+                window);
+    SpikeTrain t(window);
+    if (count == 0)
+        return t;
+    // Bresenham-style even spacing: spike when the accumulated rate
+    // crosses an integer boundary.
+    std::uint32_t acc = 0;
+    for (std::uint32_t c = 0; c < window; ++c) {
+        acc += count;
+        if (acc >= window) {
+            acc -= window;
+            t.setSpike(c);
+        }
+    }
+    return t;
+}
+
+SpikeTrain
+encodeBernoulli(std::uint32_t count, std::uint32_t window, Rng &rng)
+{
+    fpsa_assert(count <= window, "spike count %u exceeds window %u", count,
+                window);
+    // Draw exactly `count` distinct cycles (reservoir-free: shuffle of a
+    // cycle permutation prefix) so the encoded number is exact.
+    std::vector<std::uint32_t> cycles(window);
+    for (std::uint32_t c = 0; c < window; ++c)
+        cycles[c] = c;
+    rng.shuffle(cycles);
+    SpikeTrain t(window);
+    for (std::uint32_t i = 0; i < count; ++i)
+        t.setSpike(cycles[i]);
+    return t;
+}
+
+SpikeTrain
+encodeBurst(std::uint32_t count, std::uint32_t window)
+{
+    fpsa_assert(count <= window, "spike count %u exceeds window %u", count,
+                window);
+    SpikeTrain t(window);
+    for (std::uint32_t c = 0; c < count; ++c)
+        t.setSpike(c);
+    return t;
+}
+
+SpikeTrain
+rotate(const SpikeTrain &train, std::uint32_t offset)
+{
+    const std::uint32_t window = train.window();
+    if (window == 0)
+        return train;
+    SpikeTrain out(window);
+    for (std::uint32_t c = 0; c < window; ++c)
+        if (train.spikeAt(c))
+            out.setSpike((c + offset) % window);
+    return out;
+}
+
+} // namespace fpsa

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Spike train representation for the FPSA spiking schema.
+ *
+ * FPSA PEs exchange digital spike trains: a number v in [0, 1) with n-bit
+ * precision is represented by its spike count within a sampling window of
+ * Gamma = 2^n cycles (paper Section 4.2).  A SpikeTrain is the dense
+ * cycle-by-cycle bit pattern inside one window.
+ */
+
+#ifndef FPSA_SPIKE_SPIKE_TRAIN_HH
+#define FPSA_SPIKE_SPIKE_TRAIN_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace fpsa
+{
+
+class Rng;
+
+/** One signal's spikes across a sampling window. */
+class SpikeTrain
+{
+  public:
+    SpikeTrain() = default;
+
+    /** Empty (silent) train over a window of the given length. */
+    explicit SpikeTrain(std::uint32_t window);
+
+    /** Window length in cycles (Gamma). */
+    std::uint32_t window() const
+    {
+        return static_cast<std::uint32_t>(bits_.size());
+    }
+
+    /** Whether a spike fires at the given cycle. */
+    bool spikeAt(std::uint32_t cycle) const { return bits_[cycle]; }
+
+    /** Set/clear a spike at the given cycle. */
+    void setSpike(std::uint32_t cycle, bool fire = true)
+    {
+        bits_[cycle] = fire;
+    }
+
+    /** Total number of spikes in the window. */
+    std::uint32_t count() const;
+
+    /** Rate = count / window, the encoded number in [0, 1]. */
+    double rate() const;
+
+    /** Cycle index of the k-th spike (0-based); window() if absent. */
+    std::uint32_t nthSpikeCycle(std::uint32_t k) const;
+
+  private:
+    std::vector<bool> bits_;
+};
+
+/**
+ * Deterministic uniform rate coding: `count` spikes spread evenly across
+ * the window, which is what SMB spike generators emit.
+ */
+SpikeTrain encodeUniform(std::uint32_t count, std::uint32_t window);
+
+/** Stochastic Bernoulli rate coding with probability count/window. */
+SpikeTrain encodeBernoulli(std::uint32_t count, std::uint32_t window,
+                           Rng &rng);
+
+/**
+ * Clocked "burst" coding: the first `count` cycles spike back-to-back.
+ * The cheapest generator circuit; used as a property-test alternative
+ * because the IF neuron result must be coding-invariant.
+ */
+SpikeTrain encodeBurst(std::uint32_t count, std::uint32_t window);
+
+/**
+ * Cyclic rotation of a train by `offset` cycles (count-preserving).
+ * SMB generators stagger the phases of different rows this way so that
+ * simultaneously active rows do not bunch their charge into the same
+ * cycles, which would exceed the IF neuron's one-spike-per-cycle
+ * output rate.
+ */
+SpikeTrain rotate(const SpikeTrain &train, std::uint32_t offset);
+
+} // namespace fpsa
+
+#endif // FPSA_SPIKE_SPIKE_TRAIN_HH

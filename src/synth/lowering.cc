@@ -1,0 +1,185 @@
+#include "synth/lowering.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "nn/ops.hh"
+
+namespace fpsa
+{
+
+namespace
+{
+
+double
+cellsPerCrossbar(const SynthOptions &o)
+{
+    return static_cast<double>(o.crossbarRows) * o.crossbarCols;
+}
+
+/** Weight-bearing matrix group (+ optional reduce group). */
+int
+lowerMatrix(const std::string &name, NodeId id, std::int64_t rows,
+            std::int64_t cols, std::int64_t copies, std::int64_t instances,
+            std::int64_t macs_per_instance, const SynthOptions &o,
+            std::vector<SynthGroup> &out)
+{
+    Tiling t{rows, cols, o.crossbarRows, o.crossbarCols};
+    SynthGroup g;
+    g.name = name;
+    g.sourceNode = id;
+    g.role = CoreOpRole::Weight;
+    g.tilesPerInstance = copies * t.tiles();
+    g.instances = instances;
+    g.macsPerInstance = macs_per_instance;
+    g.utilization = t.utilization();
+    g.stageDepth = 1;
+    out.push_back(g);
+
+    if (t.rowTiles() > 1) {
+        SynthGroup r;
+        r.name = name + ".reduce";
+        r.sourceNode = id;
+        r.role = CoreOpRole::Reduce;
+        r.tilesPerInstance = copies * t.reduceTiles();
+        r.instances = instances;
+        r.macsPerInstance = 0;
+        // A reduce crossbar connects rowTiles partials per output; its
+        // useful cells are rowTiles x cols spread over the tiles.
+        r.utilization = std::min(
+            1.0, static_cast<double>(t.rowTiles() * cols) /
+                     (static_cast<double>(t.reduceTiles()) *
+                      cellsPerCrossbar(o)));
+        r.stageDepth = 1;
+        out.push_back(r);
+        return 2;
+    }
+    return 1;
+}
+
+} // namespace
+
+int
+lowerNodeAnalytic(const Graph &graph, NodeId id, const SynthOptions &o,
+                  std::vector<SynthGroup> &out)
+{
+    const GraphNode &n = graph.node(id);
+    switch (n.kind) {
+      case OpKind::Input:
+      case OpKind::Relu:      // folded into the producing core-op
+      case OpKind::BatchNorm: // folded into conv weights
+      case OpKind::Flatten:   // wiring only
+      case OpKind::Concat:    // wiring only
+        return 0;
+
+      case OpKind::Conv2d: {
+        const Shape &in = graph.node(n.inputs[0]).outShape;
+        const std::int64_t rows =
+            in[0] / n.attrs.groups * n.attrs.kernel * n.attrs.kernel;
+        const std::int64_t cols = n.attrs.outChannels / n.attrs.groups;
+        const std::int64_t instances = n.outShape[1] * n.outShape[2];
+        return lowerMatrix(n.name, id, rows, cols, n.attrs.groups,
+                           instances, graph.nodeWeightCount(id), o, out);
+      }
+
+      case OpKind::FullyConnected: {
+        const std::int64_t rows =
+            shapeNumel(graph.node(n.inputs[0]).outShape);
+        return lowerMatrix(n.name, id, rows, n.attrs.units, 1, 1,
+                           graph.nodeWeightCount(id), o, out);
+      }
+
+      case OpKind::MaxPool: {
+        // Two-stage comparator MLP per window (Ji et al.): hidden layer
+        // of k^2 comparator units, then a combining layer.  P windows
+        // pack into one core-op subject to the crossbar rows.
+        const std::int64_t k2 = static_cast<std::int64_t>(n.attrs.kernel) *
+                                n.attrs.kernel;
+        const std::int64_t windows =
+            n.outShape[0] * n.outShape[1] * n.outShape[2];
+        const std::int64_t pack =
+            std::max<std::int64_t>(1, o.crossbarRows / k2);
+        const std::int64_t instances = (windows + pack - 1) / pack;
+
+        SynthGroup s1;
+        s1.name = n.name + ".cmp";
+        s1.sourceNode = id;
+        s1.role = CoreOpRole::Pool;
+        s1.tilesPerInstance = 1;
+        s1.instances = instances;
+        s1.macsPerInstance = 0;
+        s1.utilization = std::min(
+            1.0, static_cast<double>(pack * k2 * k2) / cellsPerCrossbar(o));
+        s1.stageDepth = 1;
+        out.push_back(s1);
+
+        SynthGroup s2;
+        s2.name = n.name + ".sel";
+        s2.sourceNode = id;
+        s2.role = CoreOpRole::Pool;
+        s2.tilesPerInstance = 1;
+        s2.instances = instances;
+        s2.macsPerInstance = 0;
+        s2.utilization = std::min(
+            1.0, static_cast<double>(pack * k2) / cellsPerCrossbar(o));
+        s2.stageDepth = 1;
+        out.push_back(s2);
+        return 2;
+      }
+
+      case OpKind::AvgPool:
+      case OpKind::GlobalAvgPool: {
+        const Shape &in = graph.node(n.inputs[0]).outShape;
+        const std::int64_t k2 =
+            n.kind == OpKind::GlobalAvgPool
+                ? in[1] * in[2]
+                : static_cast<std::int64_t>(n.attrs.kernel) *
+                      n.attrs.kernel;
+        const std::int64_t windows =
+            n.kind == OpKind::GlobalAvgPool
+                ? in[0]
+                : n.outShape[0] * n.outShape[1] * n.outShape[2];
+        if (k2 > o.crossbarRows) {
+            // Rare: a global pool over a huge map splits like a matrix.
+            return lowerMatrix(n.name, id, k2, 1, 1, windows, 0, o, out);
+        }
+        const std::int64_t pack =
+            std::max<std::int64_t>(1, o.crossbarRows / k2);
+        SynthGroup g;
+        g.name = n.name;
+        g.sourceNode = id;
+        g.role = CoreOpRole::Eltwise;
+        g.tilesPerInstance = 1;
+        g.instances = (windows + pack - 1) / pack;
+        g.macsPerInstance = 0;
+        g.utilization = std::min(
+            1.0, static_cast<double>(pack * k2) / cellsPerCrossbar(o));
+        g.stageDepth = 1;
+        out.push_back(g);
+        return 1;
+      }
+
+      case OpKind::Add: {
+        const std::int64_t arity =
+            static_cast<std::int64_t>(n.inputs.size());
+        const std::int64_t numel = shapeNumel(n.outShape);
+        const std::int64_t pack =
+            std::max<std::int64_t>(1, o.crossbarRows / arity);
+        SynthGroup g;
+        g.name = n.name;
+        g.sourceNode = id;
+        g.role = CoreOpRole::Eltwise;
+        g.tilesPerInstance = 1;
+        g.instances = (numel + pack - 1) / pack;
+        g.macsPerInstance = 0;
+        g.utilization = std::min(
+            1.0, static_cast<double>(pack * arity) / cellsPerCrossbar(o));
+        g.stageDepth = 1;
+        out.push_back(g);
+        return 1;
+      }
+    }
+    panic("unhandled op kind in analytic lowering");
+}
+
+} // namespace fpsa

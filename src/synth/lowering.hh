@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Analytic lowering rules: CG node -> synthesis groups.
+ *
+ * Shared by synthesizeSummary (whole-graph driver in synthesizer.cc).
+ * Each rule mirrors the constructions of Ji et al.'s NN compiler:
+ * conv/fc become tiled weight matrices plus partial-sum reduction trees;
+ * max pooling becomes packed two-stage comparator MLPs; average pooling
+ * and element-wise adds become small linear maps.
+ */
+
+#ifndef FPSA_SYNTH_LOWERING_HH
+#define FPSA_SYNTH_LOWERING_HH
+
+#include <vector>
+
+#include "nn/graph.hh"
+#include "synth/synthesizer.hh"
+
+namespace fpsa
+{
+
+/**
+ * Lower one CG node into zero or more synthesis groups.  Returns the
+ * pipeline stage depth the node contributes on its dataflow path.
+ */
+int lowerNodeAnalytic(const Graph &graph, NodeId id,
+                      const SynthOptions &options,
+                      std::vector<SynthGroup> &out);
+
+} // namespace fpsa
+
+#endif // FPSA_SYNTH_LOWERING_HH

@@ -1,0 +1,42 @@
+#include "synth/tiling.hh"
+
+#include "common/logging.hh"
+
+namespace fpsa
+{
+
+std::int64_t
+Tiling::reduceTiles() const
+{
+    const std::int64_t k = rowTiles();
+    if (k <= 1)
+        return 0;
+    // Each output tile needs its k partial sums summed.  A reduce
+    // core-op takes up to crossbarRows inputs, so k partials for up to
+    // crossbarCols outputs fit while k * outputs <= crossbarRows; the
+    // number of reduce crossbars per output tile is ceil(k * cols_tile /
+    // crossbarRows) in a single tree level (k <= 256 always holds for
+    // sane matrices), repeated per output tile.
+    std::int64_t total = 0;
+    for (std::int64_t ct = 0; ct < colTiles(); ++ct) {
+        const std::int64_t cols_tile =
+            ct + 1 < colTiles() || cols % crossbarCols == 0
+                ? crossbarCols
+                : cols % crossbarCols;
+        total += (k * cols_tile + crossbarRows - 1) / crossbarRows;
+    }
+    return total;
+}
+
+double
+tilingUtilizationWithReduce(const Tiling &t)
+{
+    const double useful = static_cast<double>(t.rows) * t.cols;
+    const double allocated =
+        static_cast<double>(t.tiles() + t.reduceTiles()) * t.crossbarRows *
+        t.crossbarCols;
+    fpsa_assert(allocated > 0.0, "empty tiling");
+    return useful / allocated;
+}
+
+} // namespace fpsa

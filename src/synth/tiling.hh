@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Crossbar tiling arithmetic: how weight matrices split across 256x256
+ * logical crossbars, and the spatial-utilization accounting that feeds
+ * Fig. 8c's "Spatial Utilization Bound".
+ */
+
+#ifndef FPSA_SYNTH_TILING_HH
+#define FPSA_SYNTH_TILING_HH
+
+#include <cstdint>
+
+namespace fpsa
+{
+
+/** Tiling of one [rows x cols] matrix onto fixed-size crossbars. */
+struct Tiling
+{
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+    int crossbarRows = 256;
+    int crossbarCols = 256;
+
+    /** Tiles along the input dimension. */
+    std::int64_t rowTiles() const
+    {
+        return (rows + crossbarRows - 1) / crossbarRows;
+    }
+
+    /** Tiles along the output dimension. */
+    std::int64_t colTiles() const
+    {
+        return (cols + crossbarCols - 1) / crossbarCols;
+    }
+
+    /** Total crossbars for one copy of the matrix. */
+    std::int64_t tiles() const { return rowTiles() * colTiles(); }
+
+    /**
+     * Extra crossbars to reduce partial sums when the input dimension
+     * spans multiple row tiles: a tree of adders, ceil(k/256-ary) but in
+     * practice one reduce op per output tile per (rowTiles - 1) inputs
+     * packed 256 at a time.
+     */
+    std::int64_t reduceTiles() const;
+
+    /** Useful cells / allocated cells for the weight tiles. */
+    double utilization() const
+    {
+        return static_cast<double>(rows * cols) /
+               (static_cast<double>(tiles()) * crossbarRows * crossbarCols);
+    }
+};
+
+/** Utilization including the reduction tiles. */
+double tilingUtilizationWithReduce(const Tiling &t);
+
+} // namespace fpsa
+
+#endif // FPSA_SYNTH_TILING_HH

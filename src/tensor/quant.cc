@@ -1,0 +1,80 @@
+#include "tensor/quant.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace fpsa
+{
+
+Tensor
+QuantTensor::dequantize() const
+{
+    Tensor t(shape);
+    for (std::size_t i = 0; i < levels.size(); ++i)
+        t[static_cast<std::int64_t>(i)] = levels[i] * spec.scale;
+    return t;
+}
+
+QuantTensor
+quantizeSymmetric(const Tensor &t, int bits)
+{
+    fpsa_assert(bits >= 2 && bits <= 16, "unsupported bit width %d", bits);
+    const float amax = t.absMax();
+    const std::int32_t qmax = (1 << (bits - 1)) - 1;
+    const float scale = amax > 0.0f ? amax / qmax : 1.0f;
+    return quantizeWithScale(t, bits, scale);
+}
+
+QuantTensor
+quantizeWithScale(const Tensor &t, int bits, float scale)
+{
+    fpsa_assert(scale > 0.0f, "scale must be positive");
+    QuantTensor q;
+    q.shape = t.shape();
+    q.spec = QuantSpec{bits, scale};
+    const std::int32_t qmax = q.spec.maxLevel();
+    q.levels.resize(static_cast<std::size_t>(t.numel()));
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        const float v = t[i] / scale;
+        const std::int32_t lv =
+            static_cast<std::int32_t>(std::lround(std::clamp(
+                v, static_cast<float>(-qmax), static_cast<float>(qmax))));
+        q.levels[static_cast<std::size_t>(i)] = lv;
+    }
+    return q;
+}
+
+QuantTensor
+quantizeUnsigned(const Tensor &t, int bits, float scale)
+{
+    fpsa_assert(scale > 0.0f, "scale must be positive");
+    QuantTensor q;
+    q.shape = t.shape();
+    q.spec = QuantSpec{bits, scale};
+    const std::int32_t qmax = (1 << bits) - 1;
+    q.levels.resize(static_cast<std::size_t>(t.numel()));
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        const float v = t[i] / scale;
+        const std::int32_t lv = static_cast<std::int32_t>(
+            std::lround(std::clamp(v, 0.0f, static_cast<float>(qmax))));
+        q.levels[static_cast<std::size_t>(i)] = lv;
+    }
+    return q;
+}
+
+double
+quantizationRmse(const Tensor &t, const QuantTensor &q)
+{
+    const Tensor d = q.dequantize();
+    fpsa_assert(d.numel() == t.numel(), "rmse over mismatched tensors");
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        const double e = static_cast<double>(t[i]) - d[i];
+        acc += e * e;
+    }
+    return t.numel() ? std::sqrt(acc / t.numel()) : 0.0;
+}
+
+} // namespace fpsa

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fixed-point quantization used at the software/hardware boundary.
+ *
+ * FPSA stores 8-bit weights in the crossbar and exchanges 6-bit activation
+ * values as spike counts (paper Table 2 configuration).  The quantizer
+ * maps float tensors onto those integer grids and back, and reports the
+ * scale factors the mapper needs for correct end-to-end composition.
+ */
+
+#ifndef FPSA_TENSOR_QUANT_HH
+#define FPSA_TENSOR_QUANT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace fpsa
+{
+
+/** A symmetric linear quantization grid with `bits` signed bits. */
+struct QuantSpec
+{
+    int bits = 8;       //!< total bit width (signed, symmetric)
+    float scale = 1.0f; //!< real value represented by one LSB
+
+    /** Largest representable magnitude level, e.g.\ 127 for 8 bits. */
+    std::int32_t maxLevel() const { return (1 << (bits - 1)) - 1; }
+};
+
+/** Quantized tensor: integer levels plus the grid they live on. */
+struct QuantTensor
+{
+    Shape shape;
+    std::vector<std::int32_t> levels;
+    QuantSpec spec;
+
+    /** Reconstruct the real-valued tensor (levels * scale). */
+    Tensor dequantize() const;
+};
+
+/**
+ * Choose a symmetric scale covering the tensor's absolute maximum and
+ * quantize to `bits` signed bits (round-to-nearest, saturating).
+ */
+QuantTensor quantizeSymmetric(const Tensor &t, int bits);
+
+/** Quantize with a fixed, externally chosen scale. */
+QuantTensor quantizeWithScale(const Tensor &t, int bits, float scale);
+
+/**
+ * Unsigned activation quantization to `bits` bits in [0, 1): the spike
+ * count representation.  Values are clamped to [0, max] where max is
+ * (2^bits - 1) * scale.
+ */
+QuantTensor quantizeUnsigned(const Tensor &t, int bits, float scale);
+
+/** Root-mean-square quantization error between t and q.dequantize(). */
+double quantizationRmse(const Tensor &t, const QuantTensor &q);
+
+} // namespace fpsa
+
+#endif // FPSA_TENSOR_QUANT_HH

@@ -1,0 +1,239 @@
+#include "tensor/tensor.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace fpsa
+{
+
+std::int64_t
+shapeNumel(const Shape &shape)
+{
+    std::int64_t n = 1;
+    for (auto d : shape)
+        n *= d;
+    return n;
+}
+
+std::string
+shapeToString(const Shape &shape)
+{
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t i = 0; i < shape.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << shape[i];
+    }
+    os << "]";
+    return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shapeNumel(shape_)), 0.0f)
+{
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data))
+{
+    fpsa_assert(shapeNumel(shape_) ==
+                    static_cast<std::int64_t>(data_.size()),
+                "shape %s does not match data size %zu",
+                shapeToString(shape_).c_str(), data_.size());
+}
+
+float &
+Tensor::at(std::int64_t r, std::int64_t c)
+{
+    fpsa_assert(rank() == 2, "at(r, c) requires rank 2, got %zu", rank());
+    return data_[r * shape_[1] + c];
+}
+
+float
+Tensor::at(std::int64_t r, std::int64_t c) const
+{
+    fpsa_assert(rank() == 2, "at(r, c) requires rank 2, got %zu", rank());
+    return data_[r * shape_[1] + c];
+}
+
+float &
+Tensor::at4(std::int64_t a, std::int64_t b, std::int64_t c, std::int64_t d)
+{
+    fpsa_assert(rank() == 4, "at4 requires rank 4, got %zu", rank());
+    return data_[((a * shape_[1] + b) * shape_[2] + c) * shape_[3] + d];
+}
+
+float
+Tensor::at4(std::int64_t a, std::int64_t b, std::int64_t c,
+            std::int64_t d) const
+{
+    fpsa_assert(rank() == 4, "at4 requires rank 4, got %zu", rank());
+    return data_[((a * shape_[1] + b) * shape_[2] + c) * shape_[3] + d];
+}
+
+void
+Tensor::fill(float v)
+{
+    std::fill(data_.begin(), data_.end(), v);
+}
+
+float
+Tensor::absMax() const
+{
+    float m = 0.0f;
+    for (float v : data_)
+        m = std::max(m, std::fabs(v));
+    return m;
+}
+
+Tensor
+matVec(const Tensor &w, const Tensor &x)
+{
+    fpsa_assert(w.rank() == 2 && x.rank() == 1, "matVec needs [m,n] and [n]");
+    const std::int64_t m = w.dim(0), n = w.dim(1);
+    fpsa_assert(x.dim(0) == n, "matVec dim mismatch: %lld vs %lld",
+                static_cast<long long>(x.dim(0)), static_cast<long long>(n));
+    Tensor y({m});
+    for (std::int64_t i = 0; i < m; ++i) {
+        double acc = 0.0;
+        for (std::int64_t j = 0; j < n; ++j)
+            acc += static_cast<double>(w.at(i, j)) * x[j];
+        y[i] = static_cast<float>(acc);
+    }
+    return y;
+}
+
+Tensor
+matMul(const Tensor &a, const Tensor &b)
+{
+    fpsa_assert(a.rank() == 2 && b.rank() == 2, "matMul needs rank-2 args");
+    const std::int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+    fpsa_assert(b.dim(0) == k, "matMul inner dims differ");
+    Tensor c({m, n});
+    for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t p = 0; p < k; ++p) {
+            const float av = a.at(i, p);
+            if (av == 0.0f)
+                continue;
+            for (std::int64_t j = 0; j < n; ++j)
+                c.at(i, j) += av * b.at(p, j);
+        }
+    }
+    return c;
+}
+
+Tensor
+relu(const Tensor &x)
+{
+    Tensor y(x.shape());
+    for (std::int64_t i = 0; i < x.numel(); ++i)
+        y[i] = std::max(0.0f, x[i]);
+    return y;
+}
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    fpsa_assert(a.shape() == b.shape(), "add requires equal shapes");
+    Tensor c(a.shape());
+    for (std::int64_t i = 0; i < a.numel(); ++i)
+        c[i] = a[i] + b[i];
+    return c;
+}
+
+Tensor
+conv2d(const Tensor &input, const Tensor &weight, std::int64_t stride,
+       std::int64_t pad)
+{
+    fpsa_assert(input.rank() == 3 && weight.rank() == 4,
+                "conv2d needs CHW input and OIHW weight");
+    const std::int64_t ci = input.dim(0), hi = input.dim(1),
+                       wi = input.dim(2);
+    const std::int64_t co = weight.dim(0), kh = weight.dim(2),
+                       kw = weight.dim(3);
+    fpsa_assert(weight.dim(1) == ci, "conv2d channel mismatch");
+    const std::int64_t ho = (hi + 2 * pad - kh) / stride + 1;
+    const std::int64_t wo = (wi + 2 * pad - kw) / stride + 1;
+    Tensor out({co, ho, wo});
+    for (std::int64_t oc = 0; oc < co; ++oc) {
+        for (std::int64_t oy = 0; oy < ho; ++oy) {
+            for (std::int64_t ox = 0; ox < wo; ++ox) {
+                double acc = 0.0;
+                for (std::int64_t ic = 0; ic < ci; ++ic) {
+                    for (std::int64_t ky = 0; ky < kh; ++ky) {
+                        const std::int64_t iy = oy * stride + ky - pad;
+                        if (iy < 0 || iy >= hi)
+                            continue;
+                        for (std::int64_t kx = 0; kx < kw; ++kx) {
+                            const std::int64_t ix = ox * stride + kx - pad;
+                            if (ix < 0 || ix >= wi)
+                                continue;
+                            acc += static_cast<double>(
+                                       weight.at4(oc, ic, ky, kx)) *
+                                   input.data()[(ic * hi + iy) * wi + ix];
+                        }
+                    }
+                }
+                out.data()[(oc * ho + oy) * wo + ox] =
+                    static_cast<float>(acc);
+            }
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+template <typename Reduce>
+Tensor
+pool2d(const Tensor &input, std::int64_t k, std::int64_t stride, float init,
+       Reduce reduce, bool average)
+{
+    fpsa_assert(input.rank() == 3, "pool2d needs CHW input");
+    const std::int64_t c = input.dim(0), hi = input.dim(1),
+                       wi = input.dim(2);
+    const std::int64_t ho = (hi - k) / stride + 1;
+    const std::int64_t wo = (wi - k) / stride + 1;
+    Tensor out({c, ho, wo});
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+        for (std::int64_t oy = 0; oy < ho; ++oy) {
+            for (std::int64_t ox = 0; ox < wo; ++ox) {
+                float acc = init;
+                for (std::int64_t ky = 0; ky < k; ++ky)
+                    for (std::int64_t kx = 0; kx < k; ++kx)
+                        acc = reduce(acc,
+                                     input.data()[(ch * hi + oy * stride +
+                                                   ky) * wi +
+                                                  ox * stride + kx]);
+                if (average)
+                    acc /= static_cast<float>(k * k);
+                out.data()[(ch * ho + oy) * wo + ox] = acc;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Tensor
+maxPool2d(const Tensor &input, std::int64_t k, std::int64_t stride)
+{
+    return pool2d(input, k, stride, -1e30f,
+                  [](float a, float b) { return std::max(a, b); }, false);
+}
+
+Tensor
+avgPool2d(const Tensor &input, std::int64_t k, std::int64_t stride)
+{
+    return pool2d(input, k, stride, 0.0f,
+                  [](float a, float b) { return a + b; }, true);
+}
+
+} // namespace fpsa

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * A minimal dense float tensor used for NN weights, reference execution
+ * and functional verification of the spiking hardware models.
+ *
+ * This is deliberately simple: row-major storage, explicit shapes, and
+ * the handful of kernels (matmul, conv2d, pooling) that the synthesizer's
+ * correctness tests need as a golden reference.
+ */
+
+#ifndef FPSA_TENSOR_TENSOR_HH
+#define FPSA_TENSOR_TENSOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fpsa
+{
+
+/** Tensor shape: a small vector of dimensions. */
+using Shape = std::vector<std::int64_t>;
+
+/** Number of elements in a shape. */
+std::int64_t shapeNumel(const Shape &shape);
+
+/** Human-readable shape, e.g. [3, 224, 224]. */
+std::string shapeToString(const Shape &shape);
+
+/** Dense row-major float tensor. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Construct zero-filled with the given shape. */
+    explicit Tensor(Shape shape);
+
+    /** Construct with explicit data (size must match the shape). */
+    Tensor(Shape shape, std::vector<float> data);
+
+    const Shape &shape() const { return shape_; }
+    std::int64_t numel() const { return static_cast<std::int64_t>(data_.size()); }
+    std::int64_t dim(std::size_t i) const { return shape_.at(i); }
+    std::size_t rank() const { return shape_.size(); }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    float &operator[](std::int64_t i) { return data_[i]; }
+    float operator[](std::int64_t i) const { return data_[i]; }
+
+    /** 2-D accessor (requires rank 2). */
+    float &at(std::int64_t r, std::int64_t c);
+    float at(std::int64_t r, std::int64_t c) const;
+
+    /** 4-D accessor (requires rank 4, NCHW or OIHW layout). */
+    float &at4(std::int64_t a, std::int64_t b, std::int64_t c,
+               std::int64_t d);
+    float at4(std::int64_t a, std::int64_t b, std::int64_t c,
+              std::int64_t d) const;
+
+    /** Fill with a constant. */
+    void fill(float v);
+
+    /** Maximum absolute element (0 for empty tensors). */
+    float absMax() const;
+
+  private:
+    Shape shape_;
+    std::vector<float> data_;
+};
+
+/** y = W x for a [m, n] matrix and length-n vector; returns length m. */
+Tensor matVec(const Tensor &w, const Tensor &x);
+
+/** C = A B for [m, k] x [k, n]. */
+Tensor matMul(const Tensor &a, const Tensor &b);
+
+/** Elementwise ReLU. */
+Tensor relu(const Tensor &x);
+
+/** Elementwise sum of two equally shaped tensors. */
+Tensor add(const Tensor &a, const Tensor &b);
+
+/**
+ * conv2d on CHW input with OIHW weights, stride and symmetric padding;
+ * returns O x H' x W'.
+ */
+Tensor conv2d(const Tensor &input, const Tensor &weight, std::int64_t stride,
+              std::int64_t pad);
+
+/** 2-D max pooling on CHW input. */
+Tensor maxPool2d(const Tensor &input, std::int64_t k, std::int64_t stride);
+
+/** 2-D average pooling on CHW input. */
+Tensor avgPool2d(const Tensor &input, std::int64_t k, std::int64_t stride);
+
+} // namespace fpsa
+
+#endif // FPSA_TENSOR_TENSOR_HH

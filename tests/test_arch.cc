@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the chip grid, netlist container, area and energy
+ * models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/area_model.hh"
+#include "arch/energy_model.hh"
+#include "arch/fpsa_arch.hh"
+#include "mapper/netlist.hh"
+
+namespace fpsa
+{
+namespace
+{
+
+TEST(Netlist, BuildAndQuery)
+{
+    Netlist nl;
+    const BlockId pe0 = nl.addBlock(BlockType::Pe, "pe0", 3);
+    const BlockId pe1 = nl.addBlock(BlockType::Pe, "pe1");
+    const BlockId smb = nl.addBlock(BlockType::Smb, "buf");
+    const NetId n0 = nl.addNet("pe0_out", pe0, {pe1, smb}, 256);
+    EXPECT_EQ(nl.countBlocks(BlockType::Pe), 2);
+    EXPECT_EQ(nl.countBlocks(BlockType::Smb), 1);
+    EXPECT_EQ(nl.countBlocks(BlockType::Clb), 0);
+    EXPECT_EQ(nl.net(n0).width, 256);
+    EXPECT_EQ(nl.block(pe0).groupId, 3);
+    EXPECT_EQ(nl.totalWireDemand(), 256);
+    nl.validate();
+}
+
+TEST(Arch, SiteMixMatchesFractions)
+{
+    ArchParams params;
+    params.width = 10;
+    params.height = 10;
+    params.smbFraction = 0.10;
+    params.clbFraction = 0.10;
+    FpsaArch arch(params);
+    EXPECT_EQ(arch.countSites(BlockType::Smb), 10);
+    EXPECT_EQ(arch.countSites(BlockType::Clb), 10);
+    EXPECT_EQ(arch.countSites(BlockType::Pe), 80);
+}
+
+TEST(Arch, SitesOfTypeRoundTrips)
+{
+    ArchParams params;
+    params.width = 6;
+    params.height = 6;
+    FpsaArch arch(params);
+    int total = 0;
+    for (BlockType t : {BlockType::Pe, BlockType::Smb, BlockType::Clb}) {
+        for (auto [x, y] : arch.sitesOfType(t)) {
+            EXPECT_EQ(arch.siteType(x, y), t);
+            ++total;
+        }
+    }
+    EXPECT_EQ(total, 36);
+}
+
+TEST(Arch, ForNetlistFitsDemand)
+{
+    Netlist nl;
+    for (int i = 0; i < 23; ++i)
+        nl.addBlock(BlockType::Pe, "pe");
+    for (int i = 0; i < 5; ++i)
+        nl.addBlock(BlockType::Smb, "smb");
+    for (int i = 0; i < 3; ++i)
+        nl.addBlock(BlockType::Clb, "clb");
+    FpsaArch arch = FpsaArch::forNetlist(nl);
+    EXPECT_GE(arch.countSites(BlockType::Pe), 23);
+    EXPECT_GE(arch.countSites(BlockType::Smb), 5);
+    EXPECT_GE(arch.countSites(BlockType::Clb), 3);
+}
+
+TEST(AreaModel, NetlistAreaUsesTable1)
+{
+    Netlist nl;
+    nl.addBlock(BlockType::Pe, "pe");
+    nl.addBlock(BlockType::Smb, "smb");
+    nl.addBlock(BlockType::Clb, "clb");
+    const AreaBreakdown a = netlistArea(nl);
+    EXPECT_NEAR(a.pe, 22051.414, 1e-3);
+    EXPECT_NEAR(a.smb, 5421.900, 1e-3);
+    EXPECT_NEAR(a.clb, 5998.272, 1e-3);
+    EXPECT_NEAR(a.blockTotal(), 22051.414 + 5421.900 + 5998.272, 1e-3);
+}
+
+TEST(AreaModel, RoutingOverlayHidesUnderBlocks)
+{
+    // The mrFPGA claim: ReRAM switches stacked over blocks add no
+    // footprint, even at the default massive channel width.
+    ArchParams params;
+    params.width = 16;
+    params.height = 16;
+    params.channelWidth = 512;
+    FpsaArch arch(params);
+    const AreaBreakdown a = archArea(arch);
+    EXPECT_TRUE(a.overlayFits());
+    EXPECT_DOUBLE_EQ(a.chipArea(), a.blockTotal());
+    // Per-tile overlay stays well below the smallest block.
+    EXPECT_LT(routingOverlayPerTile(params), 5421.900);
+}
+
+TEST(AreaModel, OverlayScalesWithChannelWidth)
+{
+    ArchParams narrow, wide;
+    narrow.channelWidth = 64;
+    wide.channelWidth = 1024;
+    EXPECT_GT(routingOverlayPerTile(wide),
+              routingOverlayPerTile(narrow) * 10.0);
+}
+
+TEST(EnergyModel, EventAccounting)
+{
+    EnergyEvents ev;
+    ev.peWindows = 10;
+    ev.smbAccesses = 100;
+    ev.clbCycles = 640;
+    ev.routedBitHops = 1000;
+    SwitchParams sw;
+    const EnergyBreakdown e = energyOf(ev, 6, sw);
+    const PeParams &pe = TechnologyLibrary::fpsa45().pe;
+    EXPECT_NEAR(e.pe, 10.0 * 64.0 * pe.peEnergyPerCycle, 1e-9);
+    EXPECT_NEAR(e.smb, 100.0 * 1.150, 1e-9);
+    EXPECT_NEAR(e.clb, 640.0 * 3.106, 1e-9);
+    EXPECT_NEAR(e.routing, 1000.0 * sw.energyPerBitHop, 1e-9);
+    EXPECT_NEAR(e.total(), e.pe + e.smb + e.clb + e.routing, 1e-9);
+}
+
+} // namespace
+} // namespace fpsa

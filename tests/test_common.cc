@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for common utilities: RNG, stats, table rendering, units.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/types.hh"
+
+namespace fpsa
+{
+namespace
+{
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntUnbiasedEnough)
+{
+    Rng rng(11);
+    std::vector<int> buckets(7, 0);
+    const int n = 70000;
+    for (int i = 0; i < n; ++i)
+        ++buckets[rng.uniformInt(7)];
+    for (int b : buckets) {
+        EXPECT_NEAR(b, n / 7, n / 7 * 0.1);
+    }
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(13);
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal();
+        sum += v;
+        sum_sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, NormalScaled)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, ForkDecorrelates)
+{
+    Rng parent(3);
+    Rng child = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += parent.next() == child.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(5);
+    std::vector<std::uint32_t> v{0, 1, 2, 3, 4, 5, 6, 7};
+    auto copy = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, copy);
+}
+
+TEST(Stats, ScalarAccumulates)
+{
+    Scalar s("events");
+    s += 2.5;
+    ++s;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(Stats, DistributionMoments)
+{
+    Distribution d("lat");
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 4.0);
+    EXPECT_NEAR(d.stddev(), std::sqrt(1.25), 1e-12);
+}
+
+TEST(Stats, GroupDumpContainsNames)
+{
+    Scalar s("count");
+    Distribution d("delay");
+    StatGroup g("pe0");
+    g.add(&s);
+    g.add(&d);
+    s += 7;
+    d.sample(3.0);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("pe0.count"), std::string::npos);
+    EXPECT_NE(os.str().find("pe0.delay"), std::string::npos);
+}
+
+TEST(Table, RendersAllCells)
+{
+    Table t({"model", "ops"});
+    t.addRow({"vgg16", "30.9G"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("vgg16"), std::string::npos);
+    EXPECT_NE(os.str().find("30.9G"), std::string::npos);
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, FmtEng)
+{
+    EXPECT_EQ(fmtEng(443.0e3), "443.0K");
+    EXPECT_EQ(fmtEng(30.9e9), "30.9G");
+    EXPECT_EQ(fmtEng(1.229e12), "1.2T");
+    EXPECT_EQ(fmtEng(12.0), "12.0");
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_DOUBLE_EQ(um2ToMm2(1e6), 1.0);
+    EXPECT_DOUBLE_EQ(mm2ToUm2(2.0), 2e6);
+    EXPECT_DOUBLE_EQ(perSecondFromNs(1.0), 1e9);
+    // 131072 ops in 156.4 ns over 22051.414 um^2 is ~38 TOPS/mm^2
+    // (paper Table 2).
+    const double ops_per_s = 131072.0 * perSecondFromNs(156.4);
+    EXPECT_NEAR(toTopsPerMm2(ops_per_s, um2ToMm2(22051.414)), 38.0, 0.1);
+}
+
+} // namespace
+} // namespace fpsa

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the extension features: PE geometry scaling (Sec. 7.3
+ * heterogeneous PEs) and sampling-window (I/O precision) sweeps
+ * through the functional stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "nn/builder.hh"
+#include "nn/execute.hh"
+#include "nn/models.hh"
+#include "pe/pe_params.hh"
+#include "synth/synthesizer.hh"
+
+namespace fpsa
+{
+namespace
+{
+
+TEST(PeScaling, IdentityAtDefaultGeometry)
+{
+    const PeParams &base = TechnologyLibrary::fpsa45().pe;
+    const PeParams same = base.scaledTo(256, 256);
+    EXPECT_NEAR(same.peArea, base.peArea, 1e-9);
+    EXPECT_NEAR(same.peEnergyPerCycle, base.peEnergyPerCycle, 1e-9);
+    EXPECT_DOUBLE_EQ(same.peCycleLatency, base.peCycleLatency);
+}
+
+TEST(PeScaling, QuarterCrossbarShrinksComponents)
+{
+    const PeParams &base = TechnologyLibrary::fpsa45().pe;
+    const PeParams half = base.scaledTo(128, 128);
+    // Mats scale with rows x cols (1/4), drivers with their dimension.
+    EXPECT_NEAR(half.reramAreaTotal, base.reramAreaTotal / 4.0, 1e-6);
+    EXPECT_NEAR(half.chargingAreaTotal, base.chargingAreaTotal / 2.0,
+                1e-6);
+    EXPECT_NEAR(half.neuronAreaTotal, base.neuronAreaTotal / 2.0, 1e-6);
+    EXPECT_LT(half.peArea, base.peArea / 2.0);
+    EXPECT_GT(half.peArea, base.peArea / 4.0);
+    // Latency is per-stage, geometry independent.
+    EXPECT_DOUBLE_EQ(half.peCycleLatency, base.peCycleLatency);
+}
+
+TEST(PeScaling, DensityPeaksNearSquareFullCrossbars)
+{
+    // A PE that computes the same VMM in the same time on half the
+    // area doubles density; smaller crossbars pay relatively more
+    // peripheral area per cell, so density drops.
+    const PeParams &base = TechnologyLibrary::fpsa45().pe;
+    const double d256 = base.computationalDensity(6);
+    const double d64 = base.scaledTo(64, 64).computationalDensity(6);
+    EXPECT_LT(d64, d256);
+}
+
+class CrossbarSizeSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CrossbarSizeSweep, SynthesisAdaptsTiling)
+{
+    const int size = GetParam();
+    Graph g = buildMlp(600, {300}, 10);
+    SynthOptions opt;
+    opt.crossbarRows = size;
+    opt.crossbarCols = size;
+    SynthesisSummary s = synthesizeSummary(g, opt);
+    // Tiles must cover the weights: minPes x size^2 >= weights.
+    EXPECT_GE(s.minPes() * static_cast<std::int64_t>(size) * size,
+              g.weightCount());
+    EXPECT_GT(s.spatialUtilization(), 0.0);
+    EXPECT_LE(s.spatialUtilization(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CrossbarSizeSweep,
+                         ::testing::Values(64, 128, 256, 512));
+
+TEST(CrossbarSizeSweep, SmallerCrossbarsImproveGoogLeNetUtilization)
+{
+    // The Sec. 7.3 observation, as a regression guarantee.
+    Graph g = buildModel(ModelId::GoogLeNet);
+    SynthOptions small, large;
+    small.crossbarRows = small.crossbarCols = 64;
+    large.crossbarRows = large.crossbarCols = 512;
+    const double u_small =
+        synthesizeSummary(g, small).spatialUtilization();
+    const double u_large =
+        synthesizeSummary(g, large).spatialUtilization();
+    EXPECT_GT(u_small, u_large * 2.0);
+}
+
+class WindowSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(WindowSweep, FunctionalStackWorksAcrossPrecisions)
+{
+    const int io_bits = GetParam();
+    GraphBuilder b({16});
+    b.fc(8).relu();
+    Graph g = b.build();
+    Rng rng(77);
+    randomizeWeights(g, rng);
+    Tensor x({16});
+    for (std::int64_t i = 0; i < 16; ++i)
+        x[i] = 0.1f + 0.05f * static_cast<float>(i);
+
+    SynthOptions opt;
+    opt.ioBits = io_bits;
+    FunctionalSynthesis synth = synthesizeFunctional(g, x, opt);
+    const auto counts = runCoreOps(synth, encodeInputCounts(synth, x));
+    const auto values = decodeOutputValues(synth, counts);
+    const Tensor ref = relu(runGraphFinal(g, x));
+
+    double num = 0.0, den = 1e-12;
+    for (std::int64_t i = 0; i < ref.numel(); ++i) {
+        const double r = std::max(0.0, static_cast<double>(ref[i]));
+        num += (r - values[static_cast<std::size_t>(i)]) *
+               (r - values[static_cast<std::size_t>(i)]);
+        den += r * r;
+    }
+    const double rel = std::sqrt(num / den);
+    // Error shrinks with precision: generous per-precision bounds.
+    const double bound = io_bits >= 8 ? 0.04 : io_bits >= 6 ? 0.09 : 0.35;
+    EXPECT_LT(rel, bound) << "ioBits=" << io_bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WindowSweep, ::testing::Values(4, 6, 8));
+
+TEST(WindowSweep, HigherPrecisionIsMoreAccurate)
+{
+    GraphBuilder b({24});
+    b.fc(12).relu();
+    Graph g = b.build();
+    Rng rng(78);
+    randomizeWeights(g, rng);
+    Tensor x({24});
+    for (std::int64_t i = 0; i < 24; ++i)
+        x[i] = 0.3f + 0.02f * static_cast<float>(i);
+    const Tensor ref = relu(runGraphFinal(g, x));
+
+    double prev_err = 1e18;
+    for (int bits : {4, 6, 8, 10}) {
+        SynthOptions opt;
+        opt.ioBits = bits;
+        FunctionalSynthesis synth = synthesizeFunctional(g, x, opt);
+        const auto counts =
+            runCoreOps(synth, encodeInputCounts(synth, x));
+        const auto values = decodeOutputValues(synth, counts);
+        double err = 0.0;
+        for (std::int64_t i = 0; i < ref.numel(); ++i)
+            err += std::fabs(std::max(0.0f, ref[i]) -
+                             values[static_cast<std::size_t>(i)]);
+        EXPECT_LT(err, prev_err * 1.2) << "bits=" << bits;
+        prev_err = err;
+    }
+}
+
+TEST(WindowSweep, VmmLatencyScalesWithWindow)
+{
+    const PeParams &pe = TechnologyLibrary::fpsa45().pe;
+    EXPECT_NEAR(pe.vmmLatency(8) / pe.vmmLatency(6), 4.0, 1e-9);
+    EXPECT_NEAR(pe.vmmLatency(4) / pe.vmmLatency(6), 0.25, 1e-9);
+}
+
+} // namespace
+} // namespace fpsa

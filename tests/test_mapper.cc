@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Unit tests for the spatial-to-temporal mapper: allocation,
+ * Algorithm-1 scheduling (constraints RC/NBD/BD/BC/SW), control
+ * generation, and netlist emission.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "mapper/allocation.hh"
+#include "mapper/control_gen.hh"
+#include "mapper/groups.hh"
+#include "mapper/mapper.hh"
+#include "mapper/schedule.hh"
+#include "nn/builder.hh"
+#include "nn/execute.hh"
+#include "nn/models.hh"
+#include "synth/synthesizer.hh"
+
+namespace fpsa
+{
+namespace
+{
+
+TEST(Allocation, MinimumStorageAtDupOne)
+{
+    Graph g = buildModel(ModelId::Vgg16);
+    SynthesisSummary s = synthesizeSummary(g);
+    AllocationResult a = allocateForDuplication(s, 1);
+    EXPECT_EQ(a.duplicationDegree, 1);
+    EXPECT_EQ(a.totalPes, s.minPes());
+    EXPECT_EQ(a.maxIterations, s.maxReuse());
+}
+
+TEST(Allocation, DuplicationCutsIterations)
+{
+    Graph g = buildModel(ModelId::Vgg16);
+    SynthesisSummary s = synthesizeSummary(g);
+    AllocationResult a1 = allocateForDuplication(s, 1);
+    AllocationResult a64 = allocateForDuplication(s, 64);
+    EXPECT_EQ(a64.duplicationDegree, 64);
+    EXPECT_NEAR(static_cast<double>(a1.maxIterations) /
+                    static_cast<double>(a64.maxIterations),
+                64.0, 1.0);
+    EXPECT_GT(a64.totalPes, a1.totalPes);
+    // Super-linear scalability premise: 64x duplication costs much less
+    // than 64x the PEs (paper Fig. 8b).
+    EXPECT_LT(static_cast<double>(a64.totalPes),
+              8.0 * static_cast<double>(a1.totalPes));
+}
+
+TEST(Allocation, MlpDuplicatesByReplication)
+{
+    Graph g = buildMlp(784, {500, 100}, 10);
+    SynthesisSummary s = synthesizeSummary(g);
+    AllocationResult a1 = allocateForDuplication(s, 1);
+    AllocationResult a64 = allocateForDuplication(s, 64);
+    // No weight sharing: reuse is 1 everywhere, so extra duplication
+    // replicates the whole pipeline (sample parallelism).
+    EXPECT_EQ(a1.replicas, 1);
+    EXPECT_EQ(a64.replicas, 64);
+    EXPECT_EQ(a64.totalPes, a1.totalPes * 64);
+    EXPECT_EQ(a64.maxIterations, a1.maxIterations);
+}
+
+TEST(Allocation, BudgetSearchRespectsBudget)
+{
+    Graph g = buildModel(ModelId::AlexNet);
+    SynthesisSummary s = synthesizeSummary(g);
+    const std::int64_t min_pes = s.minPes();
+    for (std::int64_t budget :
+         {min_pes, min_pes * 2, min_pes * 4}) {
+        AllocationResult a = allocateForPeBudget(s, budget);
+        EXPECT_LE(a.totalPes, budget);
+        EXPECT_GE(a.totalPes, min_pes);
+    }
+}
+
+TEST(Allocation, MoreBudgetNeverSlower)
+{
+    Graph g = buildModel(ModelId::Vgg16);
+    SynthesisSummary s = synthesizeSummary(g);
+    const std::int64_t min_pes = s.minPes();
+    std::int64_t prev_iter = INT64_MAX;
+    for (std::int64_t budget = min_pes; budget <= min_pes * 8;
+         budget *= 2) {
+        AllocationResult a = allocateForPeBudget(s, budget);
+        EXPECT_LE(a.maxIterations, prev_iter);
+        prev_iter = a.maxIterations;
+    }
+}
+
+/** Toy core-op graph: a chain with a shared-weight group in front. */
+CoreOpGraph
+toyGraph(int shared_instances, int chain_len)
+{
+    CoreOpGraph g;
+    const GroupId shared = g.newGroup();
+    CoreOpId prev = -1;
+    for (int i = 0; i < shared_instances; ++i) {
+        CoreOp op;
+        op.name = "conv.p" + std::to_string(i);
+        op.rows = 4;
+        op.cols = 4;
+        op.group = shared;
+        op.weightLevels.assign(16, 1);
+        op.etaLevels = 4.0;
+        op.inputs.push_back(CoreOpInput{-1, 0, 4});
+        prev = g.add(std::move(op));
+    }
+    for (int i = 0; i < chain_len; ++i) {
+        CoreOp op;
+        op.name = "fc" + std::to_string(i);
+        op.rows = 4;
+        op.cols = 4;
+        op.group = g.newGroup();
+        op.weightLevels.assign(16, 1);
+        op.etaLevels = 4.0;
+        op.inputs.push_back(CoreOpInput{prev, 0, 4});
+        prev = g.add(std::move(op));
+    }
+    return g;
+}
+
+TEST(Schedule, ChainWithoutConflictsUsesNoBuffers)
+{
+    CoreOpGraph g = toyGraph(1, 4);
+    const auto dup = duplicationForGraph(g, 1);
+    const auto [assign, pes] = assignPes(g, dup);
+    EXPECT_EQ(pes, 5);
+    ScheduleResult sched = scheduleCoreOps(g, assign, 64);
+    EXPECT_EQ(validateSchedule(g, assign, sched, 64), "");
+    EXPECT_EQ(sched.buffersUsed, 0);
+    // Streaming chain: each stage starts one cycle after its producer.
+    for (std::size_t i = 1; i < sched.entries.size(); ++i)
+        EXPECT_EQ(sched.entries[i].start, sched.entries[i - 1].start + 1);
+}
+
+/** A fan-in consumer over serialized producers: NBD cannot hold. */
+CoreOpGraph
+fanInGraph(int producers)
+{
+    CoreOpGraph g;
+    const GroupId shared = g.newGroup();
+    for (int i = 0; i < producers; ++i) {
+        CoreOp op;
+        op.name = "p" + std::to_string(i);
+        op.rows = 4;
+        op.cols = 4;
+        op.group = shared; // one PE -> RC serializes the producers
+        op.weightLevels.assign(16, 1);
+        op.etaLevels = 4.0;
+        op.inputs.push_back(CoreOpInput{-1, 0, 4});
+        g.add(std::move(op));
+    }
+    CoreOp join;
+    join.name = "join";
+    join.rows = 4 * producers;
+    join.cols = 4;
+    join.group = g.newGroup();
+    join.weightLevels.assign(static_cast<std::size_t>(16 * producers), 1);
+    join.etaLevels = 4.0 * producers;
+    for (int i = 0; i < producers; ++i)
+        join.inputs.push_back(CoreOpInput{i, 0, 4});
+    g.add(std::move(join));
+    return g;
+}
+
+TEST(Schedule, SharedPeForcesBuffers)
+{
+    // Producers serialized on one PE feed one consumer: their start
+    // times differ, so streaming (NBD) is impossible and the scheduler
+    // must buffer the fan-in edges.
+    CoreOpGraph g = fanInGraph(4);
+    std::vector<std::int64_t> dup{1, 1};
+    const auto [assign, pes] = assignPes(g, dup);
+    ScheduleResult sched = scheduleCoreOps(g, assign, 64);
+    EXPECT_EQ(validateSchedule(g, assign, sched, 64), "");
+    EXPECT_GT(sched.buffersUsed, 0);
+    // RC must serialize the 4 instances on the shared PE.
+    EXPECT_GE(sched.makespan, 4 * 64);
+}
+
+TEST(Schedule, DuplicationShortensMakespan)
+{
+    CoreOpGraph g = toyGraph(8, 0);
+    std::vector<std::int64_t> d1{1};
+    std::vector<std::int64_t> d4{4};
+    const auto [a1, p1] = assignPes(g, d1);
+    const auto [a4, p4] = assignPes(g, d4);
+    ScheduleResult s1 = scheduleCoreOps(g, a1, 64);
+    ScheduleResult s4 = scheduleCoreOps(g, a4, 64);
+    EXPECT_EQ(validateSchedule(g, a1, s1, 64), "");
+    EXPECT_EQ(validateSchedule(g, a4, s4, 64), "");
+    EXPECT_LT(s4.makespan, s1.makespan);
+}
+
+TEST(Schedule, ValidatorCatchesViolations)
+{
+    CoreOpGraph g = toyGraph(1, 1);
+    const auto dup = duplicationForGraph(g, 1);
+    const auto [assign, pes] = assignPes(g, dup);
+    ScheduleResult sched = scheduleCoreOps(g, assign, 64);
+    ASSERT_EQ(validateSchedule(g, assign, sched, 64), "");
+    // Corrupt: make the consumer start before the producer.
+    sched.entries[1].start = 0;
+    sched.entries[1].end = 64;
+    EXPECT_NE(validateSchedule(g, assign, sched, 64), "");
+}
+
+TEST(Schedule, RealNetScheduleIsValid)
+{
+    // Schedule the functional lowering of a small CNN end to end.
+    GraphBuilder b({1, 8, 8});
+    b.conv(4, 3, 1, 0).relu().maxPool(2, 2).flatten().fc(6).relu();
+    Graph graph = b.build();
+    Rng rng(3);
+    randomizeWeights(graph, rng);
+    Tensor x({1, 8, 8});
+    x.fill(0.5f);
+    FunctionalSynthesis synth = synthesizeFunctional(graph, x);
+
+    for (std::int64_t dup_degree : {1, 4, 16}) {
+        const auto dup = duplicationForGraph(synth.coreOps, dup_degree);
+        const auto [assign, pes] = assignPes(synth.coreOps, dup);
+        ScheduleResult sched = scheduleCoreOps(synth.coreOps, assign, 64);
+        EXPECT_EQ(validateSchedule(synth.coreOps, assign, sched, 64), "")
+            << "dup " << dup_degree;
+    }
+}
+
+TEST(ControlGen, EventsCoverEveryOp)
+{
+    CoreOpGraph g = toyGraph(4, 2);
+    const auto dup = duplicationForGraph(g, 2);
+    const auto [assign, pes] = assignPes(g, dup);
+    ScheduleResult sched = scheduleCoreOps(g, assign, 64);
+    ControlProgram prog = generateControl(g, assign, sched, 64, 2);
+    // Start + reset per op, plus write/read per buffered edge.
+    EXPECT_EQ(prog.events.size(),
+              2 * g.size() + 2 * sched.bufferedEdges.size());
+    for (std::size_t i = 1; i < prog.events.size(); ++i)
+        EXPECT_LE(prog.events[i - 1].cycle, prog.events[i].cycle);
+    EXPECT_GE(prog.clbsNeeded, (pes + 1) / 2);
+}
+
+TEST(Netlist, FromAllocationHasExpectedBlocks)
+{
+    Graph g = buildMlp(784, {500, 100}, 10);
+    SynthesisSummary s = synthesizeSummary(g);
+    AllocationResult a = allocateForDuplication(s, 1);
+    Netlist nl = netlistFromAllocation(s, a);
+    EXPECT_EQ(nl.countBlocks(BlockType::Pe),
+              static_cast<int>(a.totalPes));
+    EXPECT_GT(nl.countBlocks(BlockType::Smb), 0);
+    EXPECT_EQ(nl.countBlocks(BlockType::Clb),
+              static_cast<int>((a.totalPes + 7) / 8));
+    nl.validate();
+}
+
+TEST(Netlist, FromScheduleBuffersBecomeSmbs)
+{
+    CoreOpGraph g = fanInGraph(4);
+    std::vector<std::int64_t> dup{1, 1};
+    const auto [assign, pes] = assignPes(g, dup);
+    ScheduleResult sched = scheduleCoreOps(g, assign, 64);
+    Netlist nl = netlistFromSchedule(g, assign, pes, sched);
+    EXPECT_EQ(nl.countBlocks(BlockType::Pe), pes);
+    EXPECT_GT(nl.countBlocks(BlockType::Smb), 0);
+    nl.validate();
+}
+
+TEST(Netlist, BusWidthsPropagate)
+{
+    Graph g = buildMlp(64, {32}, 10);
+    SynthesisSummary s = synthesizeSummary(g);
+    AllocationResult a = allocateForDuplication(s, 1);
+    MapperOptions opt;
+    opt.busWidth = 128;
+    Netlist nl = netlistFromAllocation(s, a, opt);
+    bool found = false;
+    for (const auto &net : nl.nets())
+        if (net.width == 128)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+} // namespace
+} // namespace fpsa

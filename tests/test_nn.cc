@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the computational graph: shape inference, counting,
+ * builder branches, and the reference executor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "nn/builder.hh"
+#include "nn/execute.hh"
+#include "nn/graph.hh"
+#include "nn/ops.hh"
+
+namespace fpsa
+{
+namespace
+{
+
+TEST(GraphShapes, ConvPoolChain)
+{
+    GraphBuilder b({3, 32, 32});
+    b.conv(16, 3, 1, 1);
+    EXPECT_EQ(b.graph().node(b.tip()).outShape, (Shape{16, 32, 32}));
+    b.maxPool(2, 2);
+    EXPECT_EQ(b.graph().node(b.tip()).outShape, (Shape{16, 16, 16}));
+    b.conv(32, 3, 2, 1);
+    EXPECT_EQ(b.graph().node(b.tip()).outShape, (Shape{32, 8, 8}));
+    b.globalAvgPool();
+    EXPECT_EQ(b.graph().node(b.tip()).outShape, (Shape{32}));
+    b.fc(10);
+    EXPECT_EQ(b.graph().node(b.tip()).outShape, (Shape{10}));
+}
+
+TEST(GraphShapes, ConcatSumsChannels)
+{
+    GraphBuilder b({8, 14, 14});
+    const NodeId in = b.tip();
+    const NodeId l = b.at(in).conv(4, 1, 1, 0).tip();
+    const NodeId r = b.at(in).conv(6, 3, 1, 1).tip();
+    b.concat({l, r});
+    EXPECT_EQ(b.graph().node(b.tip()).outShape, (Shape{10, 14, 14}));
+}
+
+TEST(GraphShapes, AddRequiresMatchingShapes)
+{
+    GraphBuilder b({4, 8, 8});
+    const NodeId in = b.tip();
+    const NodeId path = b.conv(4, 3, 1, 1).tip();
+    b.at(path).add({in});
+    EXPECT_EQ(b.graph().node(b.tip()).outShape, (Shape{4, 8, 8}));
+}
+
+TEST(GraphCounts, MlpOpsAreTwiceWeights)
+{
+    GraphBuilder b({784});
+    b.fc(500).relu().fc(100).relu().fc(10);
+    Graph g = b.build();
+    EXPECT_EQ(g.weightCount(), 443000);
+    EXPECT_EQ(g.opCount(), 886000);
+}
+
+TEST(GraphCounts, ConvWeightAndOps)
+{
+    GraphBuilder b({3, 224, 224});
+    b.conv(64, 3, 1, 1);
+    Graph g = b.build();
+    EXPECT_EQ(g.weightCount(), 3 * 9 * 64);
+    EXPECT_EQ(g.opCount(), 2LL * 3 * 9 * 64 * 224 * 224);
+}
+
+TEST(GraphCounts, GroupedConvHalvesWeights)
+{
+    GraphBuilder full({96, 27, 27}), grouped({96, 27, 27});
+    full.conv(256, 5, 1, 2, 1);
+    grouped.conv(256, 5, 1, 2, 2);
+    EXPECT_EQ(grouped.build().weightCount(),
+              full.build().weightCount() / 2);
+}
+
+TEST(GraphCounts, ReuseDegreeIsSpatialPositions)
+{
+    GraphBuilder b({3, 224, 224});
+    b.conv(64, 3, 1, 1);
+    const Graph g = b.graph();
+    EXPECT_EQ(g.nodeReuseDegree(b.tip()), 224 * 224);
+    GraphBuilder fcb({100});
+    fcb.fc(10);
+    EXPECT_EQ(fcb.graph().nodeReuseDegree(fcb.tip()), 1);
+}
+
+TEST(GraphTopo, OrderIsValid)
+{
+    GraphBuilder b({4, 8, 8});
+    const NodeId in = b.tip();
+    const NodeId l = b.at(in).conv(4, 3, 1, 1).tip();
+    b.at(l).add({in}).relu();
+    const Graph g = b.graph();
+    const auto order = g.topoOrder();
+    EXPECT_EQ(order.size(), g.size());
+}
+
+TEST(Executor, FcComputesMatVec)
+{
+    GraphBuilder b({3});
+    b.fc(2);
+    Graph g = b.build();
+    g.node(1).weights = Tensor({2, 3}, {1, 2, 3, 4, 5, 6});
+    Tensor out = runGraphFinal(g, Tensor({3}, {1, 1, 1}));
+    EXPECT_FLOAT_EQ(out[0], 6.0f);
+    EXPECT_FLOAT_EQ(out[1], 15.0f);
+}
+
+TEST(Executor, ReluAddConcatFlatten)
+{
+    GraphBuilder b({2, 2, 2});
+    const NodeId in = b.tip();
+    const NodeId r = b.at(in).relu().tip();
+    b.at(r).add({in});
+    b.concat({b.tip(), in});
+    b.flatten();
+    Graph g = b.build();
+    Tensor x({2, 2, 2}, {-1, 2, -3, 4, 5, -6, 7, -8});
+    Tensor out = runGraphFinal(g, x);
+    EXPECT_EQ(out.shape(), (Shape{16}));
+    // add = relu(x) + x: first element relu(-1) + (-1) = -1.
+    EXPECT_FLOAT_EQ(out[0], -1.0f);
+    // concat second half is x itself.
+    EXPECT_FLOAT_EQ(out[8], -1.0f);
+}
+
+TEST(Executor, PaddedPoolingMatchesManual)
+{
+    GraphBuilder b({1, 2, 2});
+    b.maxPool(3, 2, 1);
+    Graph g = b.build();
+    Tensor x({1, 2, 2}, {1, 2, 3, 4});
+    Tensor out = runGraphFinal(g, x);
+    EXPECT_EQ(out.shape(), (Shape{1, 1, 1}));
+    EXPECT_FLOAT_EQ(out[0], 4.0f);
+}
+
+TEST(Executor, GroupedConvSplitsChannels)
+{
+    GraphBuilder b({2, 1, 1});
+    b.conv(2, 1, 1, 0, 2);
+    Graph g = b.build();
+    // Group 0: out0 = 3 * in0; group 1: out1 = 5 * in1.
+    g.node(1).weights = Tensor({2, 1, 1, 1}, {3, 5});
+    Tensor out = runGraphFinal(g, Tensor({2, 1, 1}, {10, 100}));
+    EXPECT_FLOAT_EQ(out[0], 30.0f);
+    EXPECT_FLOAT_EQ(out[1], 500.0f);
+}
+
+TEST(Executor, RandomizedLeNetRuns)
+{
+    GraphBuilder b({1, 28, 28});
+    b.conv(20, 5, 1, 0).maxPool(2, 2).conv(50, 5, 1, 0).maxPool(2, 2);
+    b.flatten().fc(500).relu().fc(10);
+    Graph g = b.build();
+    Rng rng(42);
+    randomizeWeights(g, rng);
+    Tensor x({1, 28, 28});
+    for (std::int64_t i = 0; i < x.numel(); ++i)
+        x[i] = 0.5f;
+    Tensor out = runGraphFinal(g, x);
+    EXPECT_EQ(out.shape(), (Shape{10}));
+    bool finite = true;
+    for (std::int64_t i = 0; i < out.numel(); ++i)
+        finite = finite && std::isfinite(out[i]);
+    EXPECT_TRUE(finite);
+}
+
+} // namespace
+} // namespace fpsa

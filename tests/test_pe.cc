@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Unit tests for the PE circuit models: neuron RC math (Eq. 1-6),
+ * subtracter blocking, Table 1 parameters, and end-to-end spiking VMM.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "pe/neuron_unit.hh"
+#include "pe/pe_params.hh"
+#include "pe/processing_element.hh"
+#include "pe/subtracter.hh"
+#include "spike/spike_train.hh"
+
+namespace fpsa
+{
+namespace
+{
+
+TEST(PeParams, Table1Aggregates)
+{
+    const PeParams &pe = TechnologyLibrary::fpsa45().pe;
+    // Area: components sum exactly to the published PE area.
+    EXPECT_NEAR(pe.componentAreaSum(), pe.peArea, 1e-3);
+    // Latency: charging + neuron + subtracter stages.
+    EXPECT_NEAR(pe.componentLatencySum(), pe.peCycleLatency, 1e-3);
+}
+
+TEST(PeParams, Table2DerivedQuantities)
+{
+    const PeParams &pe = TechnologyLibrary::fpsa45().pe;
+    // 6-bit I/O -> Gamma = 64 -> 156.4 ns VMM latency (Table 2).
+    EXPECT_EQ(PeParams::samplingWindow(6), 64u);
+    EXPECT_NEAR(pe.vmmLatency(6), 156.4, 0.2);
+    // Computational density ~38 TOPS/mm^2 (Table 2).
+    EXPECT_NEAR(pe.computationalDensity(6) * 1e-12, 38.0, 0.2);
+}
+
+TEST(NeuronUnit, FiresAtThreshold)
+{
+    NeuronParams np;
+    np.eta = 10.0;
+    NeuronUnit n(np);
+    EXPECT_FALSE(n.step(4.0));
+    EXPECT_FALSE(n.step(4.0));
+    EXPECT_TRUE(n.step(4.0)); // 12 >= 10
+    EXPECT_EQ(n.spikeCount(), 1u);
+}
+
+TEST(NeuronUnit, ResidualPolicy)
+{
+    NeuronParams drop;
+    drop.eta = 10.0;
+    drop.carryResidual = false;
+    NeuronParams carry = drop;
+    carry.carryResidual = true;
+
+    NeuronUnit nd(drop), nc(carry);
+    for (int i = 0; i < 10; ++i) {
+        nd.step(7.0);
+        nc.step(7.0);
+    }
+    // Total drive = 70. Carry: floor(70/10) = 7 spikes. Drop loses the
+    // 4-unit overshoot each fire: fires every ceil(10/7)=2 steps -> 5.
+    EXPECT_EQ(nc.spikeCount(), 7u);
+    EXPECT_EQ(nd.spikeCount(), 5u);
+}
+
+TEST(NeuronUnit, CarryResidualMatchesClosedForm)
+{
+    // Eq. 4: total fires = floor(sum_t g(t) / eta) with carry.
+    NeuronParams np;
+    np.eta = 3.7;
+    np.carryResidual = true;
+    NeuronUnit n(np);
+    double total = 0.0;
+    Rng rng(20);
+    for (int t = 0; t < 200; ++t) {
+        const double g = rng.uniform(0.0, 1.0);
+        total += g;
+        n.step(g);
+    }
+    EXPECT_EQ(n.spikeCount(),
+              static_cast<std::uint32_t>(std::floor(total / np.eta)));
+}
+
+TEST(NeuronUnit, MembraneVoltageFollowsRcCurve)
+{
+    // Constant conductance: voltage follows Vdd(1 - e^{-t g tau/C}).
+    NeuronParams np;
+    np.eta = 100.0; // never fires in this test
+    NeuronUnit n(np);
+    double prev = n.membraneVoltage();
+    EXPECT_DOUBLE_EQ(prev, np.vre);
+    for (int t = 0; t < 20; ++t) {
+        n.step(1.0);
+        const double v = n.membraneVoltage();
+        EXPECT_GT(v, prev);       // monotone rise
+        EXPECT_LT(v, np.vdd);     // asymptote below Vdd
+        prev = v;
+    }
+    // Exact: z = acc/eta * z_th with acc=20 -> closed form.
+    const double z_th = std::log((np.vdd - np.vre) / (np.vdd - np.vth));
+    const double expect =
+        np.vdd - (np.vdd - np.vre) * std::exp(-20.0 / 100.0 * z_th);
+    EXPECT_NEAR(prev, expect, 1e-12);
+}
+
+TEST(NeuronUnit, ResetClearsState)
+{
+    NeuronUnit n(NeuronParams{5.0, false, 1.0, 0.6321205588285577, 0.0});
+    n.step(20.0);
+    n.reset();
+    EXPECT_EQ(n.spikeCount(), 0u);
+    EXPECT_DOUBLE_EQ(n.accumulated(), 0.0);
+}
+
+TEST(Subtracter, PassesWithoutNegatives)
+{
+    Subtracter s;
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(s.step(true, false));
+    EXPECT_EQ(s.outputCount(), 5u);
+}
+
+TEST(Subtracter, NegativeBlocksNextPositive)
+{
+    Subtracter s;
+    EXPECT_FALSE(s.step(false, true)); // arm block
+    EXPECT_FALSE(s.step(true, false)); // blocked
+    EXPECT_TRUE(s.step(true, false));  // passes
+    EXPECT_EQ(s.outputCount(), 1u);
+}
+
+TEST(Subtracter, SameCycleNegBlocksPos)
+{
+    Subtracter s;
+    EXPECT_FALSE(s.step(true, true));
+    EXPECT_EQ(s.pendingBlocks(), 0u);
+}
+
+TEST(Subtracter, InterleavedTrainsComputeMax)
+{
+    // Uniformly interleaved trains: output = max(P - N, 0) exactly.
+    for (std::uint32_t p = 0; p <= 16; p += 4) {
+        for (std::uint32_t n = 0; n <= 16; n += 4) {
+            SpikeTrain pt = encodeUniform(p, 16);
+            SpikeTrain nt = encodeUniform(n, 16);
+            Subtracter s;
+            for (std::uint32_t t = 0; t < 16; ++t)
+                s.step(pt.spikeAt(t), nt.spikeAt(t));
+            const std::uint32_t expect = p > n ? p - n : 0;
+            EXPECT_EQ(s.outputCount(), expect)
+                << "p=" << p << " n=" << n;
+        }
+    }
+}
+
+PeConfig
+smallPeConfig(int rows, int cols)
+{
+    PeConfig cfg;
+    cfg.xbar.rows = rows;
+    cfg.xbar.logicalCols = cols;
+    cfg.xbar.cell.variation = VariationModel::ideal();
+    cfg.ioBits = 6;
+    cfg.carryResidual = true;
+    return cfg;
+}
+
+TEST(ProcessingElement, PositiveWeightsMatchClosedForm)
+{
+    // Single row, positive weight: Y = floor(w * X / eta) exactly when
+    // residual carries.
+    PeConfig cfg = smallPeConfig(1, 1);
+    cfg.etaLevels = 120.0;
+    ProcessingElement pe(cfg);
+    Rng rng(30);
+    pe.programWeights({60}, rng); // half-scale weight
+    for (std::uint32_t x : {0u, 8u, 16u, 32u, 64u}) {
+        const auto result = pe.computeWindow({x});
+        EXPECT_EQ(result.outputCounts[0], x / 2) << "x=" << x;
+    }
+}
+
+TEST(ProcessingElement, ImplementsReluOnNegativeResults)
+{
+    PeConfig cfg = smallPeConfig(2, 2);
+    cfg.etaLevels = 120.0;
+    ProcessingElement pe(cfg);
+    Rng rng(31);
+    // Col 0: w = (+60, -120); col 1: w = (-60, +30).
+    pe.programWeights({60, -60, -120, 30}, rng);
+    const auto result = pe.computeWindow({32, 32});
+    // Col 0: (60*32 - 120*32)/120 = -16 -> ReLU -> 0.
+    EXPECT_EQ(result.outputCounts[0], 0u);
+    // Col 1: (-60*32 + 30*32)/120 = -8 -> 0.
+    EXPECT_EQ(result.outputCounts[1], 0u);
+}
+
+TEST(ProcessingElement, MatchesReferenceWithinQuantization)
+{
+    PeConfig cfg = smallPeConfig(16, 8);
+    cfg.etaLevels = 16.0 * 120.0; // full-scale row sum cannot saturate
+    ProcessingElement pe(cfg);
+    Rng wr(32);
+    std::vector<std::int32_t> w(16 * 8);
+    for (auto &v : w)
+        v = static_cast<std::int32_t>(wr.uniformInt(241)) - 120;
+    Rng rng(33);
+    pe.programWeights(w, rng);
+
+    std::vector<std::uint32_t> x(16);
+    for (auto &v : x)
+        v = static_cast<std::uint32_t>(wr.uniformInt(65));
+    const auto result = pe.computeWindow(x);
+    const auto ref = pe.referenceOutput(x);
+    for (std::size_t c = 0; c < ref.size(); ++c) {
+        EXPECT_NEAR(static_cast<double>(result.outputCounts[c]), ref[c],
+                    2.0)
+            << "col " << c;
+    }
+}
+
+TEST(ProcessingElement, EnergyAndLatencyModel)
+{
+    PeConfig cfg = smallPeConfig(4, 4);
+    ProcessingElement pe(cfg);
+    Rng rng(34);
+    pe.programWeights(std::vector<std::int32_t>(16, 10), rng);
+    const auto result = pe.computeWindow({64, 64, 64, 64});
+    const PeParams &pp = TechnologyLibrary::fpsa45().pe;
+    EXPECT_NEAR(result.latency, 64.0 * pp.peCycleLatency, 1e-9);
+    // 4 rows, all firing every cycle: 256 charging activations.
+    EXPECT_EQ(result.chargingActivations, 256u);
+    EXPECT_GT(result.energy, 0.0);
+}
+
+class PeSaturationSweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(PeSaturationSweep, OutputNeverExceedsWindow)
+{
+    const std::uint32_t x = GetParam();
+    PeConfig cfg = smallPeConfig(1, 1);
+    cfg.etaLevels = 10.0; // very low threshold: saturation territory
+    ProcessingElement pe(cfg);
+    Rng rng(35);
+    pe.programWeights({120}, rng);
+    const auto result = pe.computeWindow({x});
+    EXPECT_LE(result.outputCounts[0], cfg.window());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PeSaturationSweep,
+                         ::testing::Values(0u, 1u, 16u, 48u, 64u));
+
+} // namespace
+} // namespace fpsa

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Unit tests for the ReRAM device layer: cells, variation algebra,
+ * splice/add weight mapping, and crossbar VMM.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "reram/cell.hh"
+#include "reram/crossbar.hh"
+#include "reram/variation.hh"
+#include "reram/weight_mapping.hh"
+
+namespace fpsa
+{
+namespace
+{
+
+TEST(Cell, IdealProgramHitsTarget)
+{
+    CellParams params;
+    params.variation = VariationModel::ideal();
+    Cell cell(&params);
+    Rng rng(1);
+    cell.program(7, rng);
+    EXPECT_DOUBLE_EQ(cell.conductance(), params.levelConductance(7));
+    EXPECT_EQ(cell.level(), 7);
+    EXPECT_EQ(cell.writes(), 1u);
+}
+
+TEST(Cell, VariationHasExpectedSigma)
+{
+    CellParams params;
+    params.variation.sigmaOfRange = 0.02;
+    Cell cell(&params);
+    Rng rng(2);
+    const double target = params.levelConductance(8);
+    const double range = params.gMax - params.gMin;
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        cell.program(8, rng);
+        const double e = (cell.conductance() - target) / range;
+        sum += e;
+        sum_sq += e * e;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 2e-3);
+    EXPECT_NEAR(std::sqrt(sum_sq / n), 0.02, 2e-3);
+}
+
+TEST(Cell, ConductanceClampedToRange)
+{
+    CellParams params;
+    params.variation.sigmaOfRange = 0.5; // absurd corner
+    Cell cell(&params);
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        cell.program(15, rng);
+        EXPECT_GE(cell.conductance(), params.gMin);
+        EXPECT_LE(cell.conductance(), params.gMax);
+    }
+}
+
+TEST(Cell, StuckAtFreezesState)
+{
+    CellParams params;
+    params.variation.stuckAtRate = 1.0;
+    Cell cell(&params);
+    Rng rng(4);
+    cell.program(5, rng);
+    const double g0 = cell.conductance();
+    cell.program(9, rng);
+    EXPECT_DOUBLE_EQ(cell.conductance(), g0);
+}
+
+TEST(Cell, EnduranceTracked)
+{
+    CellParams params;
+    params.endurance = 3;
+    Cell cell(&params);
+    Rng rng(5);
+    for (int i = 0; i < 3; ++i)
+        cell.program(1, rng);
+    EXPECT_FALSE(cell.wornOut());
+    cell.program(1, rng);
+    EXPECT_TRUE(cell.wornOut());
+}
+
+TEST(Variation, SpliceBarelyImproves)
+{
+    // Paper Sec. 7.2: splicing keeps normalized deviation ~ the one-cell
+    // value sigma/(2^n - 1) in LSB terms -> sigma_of_range here.
+    const double sigma = 0.024;
+    const double one = spliceNormalizedDeviation(1, 4, sigma);
+    const double two = spliceNormalizedDeviation(2, 4, sigma);
+    const double four = spliceNormalizedDeviation(4, 4, sigma);
+    EXPECT_NEAR(one, sigma, 1e-12);
+    // sqrt(2^2n + 1) / (2^2n - 1) sits ~6% under sigma for n=4; more
+    // spliced cells converge toward ~sigma * 2^n/(2^n+1) but never gain
+    // the sqrt(k) shrink the add method gets.
+    EXPECT_NEAR(two, sigma, sigma * 0.07);
+    EXPECT_NEAR(four, sigma, sigma * 0.07);
+    EXPECT_GT(two, sigma * 0.9);
+    EXPECT_GT(four, sigma * 0.9);
+}
+
+TEST(Variation, AddShrinksBySqrtN)
+{
+    const double sigma = 0.024;
+    for (int k : {1, 2, 4, 8, 16}) {
+        EXPECT_NEAR(addNormalizedDeviation(k, 4, sigma),
+                    sigma / std::sqrt(static_cast<double>(k)), 1e-12);
+    }
+}
+
+TEST(Variation, EqualCoefficientsAreOptimal)
+{
+    // Cauchy bound: equal |a_i| minimizes deviation.
+    const double sigma = 0.024;
+    const double eq[4] = {1, 1, 1, 1};
+    const double uneq[4] = {4, 1, 1, 1};
+    EXPECT_LT(coefficientNormalizedDeviation(eq, 4, 4, sigma),
+              coefficientNormalizedDeviation(uneq, 4, 4, sigma));
+}
+
+TEST(Variation, AddLevelBounds)
+{
+    EXPECT_EQ(addRepresentableLevels(1, 4), 16L);
+    EXPECT_EQ(addRepresentableLevels(8, 4), 121L);
+    EXPECT_EQ(addRepresentableLevels(16, 4), 241L);
+    EXPECT_NEAR(addEffectiveBits(16, 4), std::log2(241.0), 1e-12);
+}
+
+TEST(WeightCodec, MaxLevels)
+{
+    WeightCodec add(WeightMethod::Add, 4, 8);
+    WeightCodec splice(WeightMethod::Splice, 4, 2);
+    EXPECT_EQ(add.maxLevel(), 120);
+    EXPECT_EQ(splice.maxLevel(), 255);
+}
+
+TEST(WeightCodec, PaperConfigIsEffectively8Bit)
+{
+    // 8 pos + 8 neg 4-bit cells: signed levels -120..120, ~7.9 bits.
+    WeightCodec codec(WeightMethod::Add, 4, 8);
+    EXPECT_NEAR(codec.effectiveSignedBits(), std::log2(241.0), 1e-12);
+}
+
+class CodecRoundTrip
+    : public ::testing::TestWithParam<std::tuple<WeightMethod, int>>
+{
+};
+
+TEST_P(CodecRoundTrip, EncodeDecodeIdentity)
+{
+    const auto [method, cells] = GetParam();
+    WeightCodec codec(method, 4, cells);
+    const std::int64_t max = codec.maxLevel();
+    const std::int64_t step = std::max<std::int64_t>(1, max / 37);
+    for (std::int64_t m = 0; m <= max; m += step) {
+        const auto enc = codec.encodeMagnitude(m);
+        EXPECT_EQ(codec.decodeMagnitude(enc), m);
+        for (int lv : enc) {
+            EXPECT_GE(lv, 0);
+            EXPECT_LT(lv, 16);
+        }
+    }
+    EXPECT_EQ(codec.decodeMagnitude(codec.encodeMagnitude(max)), max);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CodecRoundTrip,
+    ::testing::Combine(::testing::Values(WeightMethod::Splice,
+                                         WeightMethod::Add),
+                       ::testing::Values(1, 2, 4, 8, 16)));
+
+TEST(WeightCodec, AddSpreadsEvenly)
+{
+    WeightCodec codec(WeightMethod::Add, 4, 8);
+    const auto enc = codec.encodeMagnitude(100);
+    int mn = 100, mx = 0;
+    for (int lv : enc) {
+        mn = std::min(mn, lv);
+        mx = std::max(mx, lv);
+    }
+    EXPECT_LE(mx - mn, 1); // even spread property
+}
+
+TEST(Crossbar, IdealVmmMatchesProgrammedLevels)
+{
+    CrossbarParams params;
+    params.rows = 8;
+    params.logicalCols = 4;
+    params.cell.variation = VariationModel::ideal();
+    Crossbar xbar(params);
+    std::vector<std::int32_t> w(8 * 4);
+    for (int r = 0; r < 8; ++r)
+        for (int c = 0; c < 4; ++c)
+            w[r * 4 + c] = (r + 1) * (c % 2 ? -1 : 1);
+    Rng rng(6);
+    xbar.programWeights(w, rng);
+    std::vector<double> x(8, 1.0);
+    const auto y = xbar.idealVmm(x);
+    EXPECT_DOUBLE_EQ(y[0], 36.0);
+    EXPECT_DOUBLE_EQ(y[1], -36.0);
+}
+
+TEST(Crossbar, EffectiveWeightTracksProgrammedWithoutNoise)
+{
+    CrossbarParams params;
+    params.rows = 4;
+    params.logicalCols = 4;
+    params.cell.variation = VariationModel::ideal();
+    Crossbar xbar(params);
+    std::vector<std::int32_t> w(16);
+    for (int i = 0; i < 16; ++i)
+        w[i] = i * 14 - 100; // mixed signs, within the +/-120 codec range
+    Rng rng(7);
+    xbar.programWeights(w, rng);
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            EXPECT_NEAR(xbar.effectiveWeight(r, c), w[r * 4 + c], 1e-9);
+}
+
+TEST(Crossbar, ColumnCurrentsSumActiveRows)
+{
+    CrossbarParams params;
+    params.rows = 4;
+    params.logicalCols = 2;
+    params.cell.variation = VariationModel::ideal();
+    Crossbar xbar(params);
+    // Weight +8 at every (row, col).
+    std::vector<std::int32_t> w(8, 8);
+    Rng rng(8);
+    xbar.programWeights(w, rng);
+    std::vector<std::uint8_t> spikes{1, 0, 1, 0};
+    const auto currents = xbar.columnCurrents(spikes);
+    // Positive physical column: 2 active rows x 8 levels x step.
+    const double expect = 2.0 * 8.0 * params.cell.levelStep();
+    EXPECT_NEAR(currents[0], expect, 1e-9);
+    EXPECT_NEAR(currents[1], 0.0, 1e-9); // negative column silent
+}
+
+TEST(Crossbar, NoisyVmmConvergesToIdealAsSigmaShrinks)
+{
+    std::vector<double> errs;
+    for (double sigma : {0.05, 0.005}) {
+        CrossbarParams params;
+        params.rows = 16;
+        params.logicalCols = 8;
+        params.cell.variation.sigmaOfRange = sigma;
+        Crossbar xbar(params);
+        std::vector<std::int32_t> w(16 * 8);
+        Rng wr(9);
+        for (auto &v : w)
+            v = static_cast<std::int32_t>(wr.uniformInt(241)) - 120;
+        Rng rng(10);
+        xbar.programWeights(w, rng);
+        std::vector<double> x(16, 1.0);
+        const auto ideal = xbar.idealVmm(x);
+        const auto noisy = xbar.noisyVmm(x);
+        double err = 0.0;
+        for (std::size_t i = 0; i < ideal.size(); ++i)
+            err += std::fabs(ideal[i] - noisy[i]);
+        errs.push_back(err);
+    }
+    EXPECT_LT(errs[1], errs[0] * 0.5);
+}
+
+TEST(Crossbar, AddMethodRealizesLowerErrorThanSplice)
+{
+    // The architectural claim behind Fig. 9, measured on real crossbars.
+    auto mean_abs_weight_err = [](WeightMethod method, int cells) {
+        CrossbarParams params;
+        params.rows = 16;
+        params.logicalCols = 16;
+        params.method = method;
+        params.cellsPerWeight = cells;
+        params.cell.variation.sigmaOfRange = 0.024;
+        Crossbar xbar(params);
+        const std::int64_t max = 120; // common representable range
+        std::vector<std::int32_t> w(16 * 16);
+        Rng wr(11);
+        for (auto &v : w)
+            v = static_cast<std::int32_t>(wr.uniformInt(2 * max + 1)) -
+                max;
+        Rng rng(12);
+        xbar.programWeights(w, rng);
+        double err = 0.0;
+        for (int r = 0; r < 16; ++r)
+            for (int c = 0; c < 16; ++c)
+                err += std::fabs(xbar.effectiveWeight(r, c) -
+                                 w[r * 16 + c]);
+        return err / (16.0 * 16.0);
+    };
+    const double add8 = mean_abs_weight_err(WeightMethod::Add, 8);
+    const double splice2 = mean_abs_weight_err(WeightMethod::Splice, 2);
+    EXPECT_LT(add8, splice2 * 0.6);
+}
+
+TEST(Crossbar, CellCount)
+{
+    CrossbarParams params; // 256 x 256 logical, 8 cells/weight
+    Crossbar xbar(params);
+    EXPECT_EQ(xbar.cellCount(), 256LL * 512 * 8);
+}
+
+} // namespace
+} // namespace fpsa

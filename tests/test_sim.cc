@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Unit tests for the performance model, bounds analyzer, energy report,
+ * spiking cycle simulation, and the PRIME/FP-PRIME baselines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/digital.hh"
+#include "common/rng.hh"
+#include "mapper/groups.hh"
+#include "nn/builder.hh"
+#include "nn/execute.hh"
+#include "nn/models.hh"
+#include "sim/bounds.hh"
+#include "sim/cycle_sim.hh"
+#include "sim/energy_report.hh"
+#include "sim/perf_model.hh"
+
+namespace fpsa
+{
+namespace
+{
+
+struct Vgg16Fixture
+{
+    Graph graph = buildModel(ModelId::Vgg16);
+    SynthesisSummary summary = synthesizeSummary(graph);
+};
+
+Vgg16Fixture &
+vgg16()
+{
+    static Vgg16Fixture fixture;
+    return fixture;
+}
+
+TEST(PrimeBaseline, PublishedDensity)
+{
+    PrimePeParams pe;
+    EXPECT_NEAR(pe.computationalDensity() * 1e-12, 1.229, 0.01);
+}
+
+TEST(PrimeBaseline, BusLatencyMatchesFig7)
+{
+    // Our VGG16 minimum-storage config (~4245 PEs) contending for the
+    // bus: ~21 us per-PE comm latency (Fig. 7).
+    MemoryBusParams bus;
+    const double bits = bus.bitsPerVmm(256, 256, 6);
+    EXPECT_NEAR(bus.perPeLatency(bits, 4245), 21000.0, 1000.0);
+}
+
+TEST(FpPrimeBaseline, CountTransferLatency)
+{
+    FpPrimeSystem sys;
+    EXPECT_NEAR(sys.commLatencyPerVmm(), 59.4, 0.1);
+}
+
+TEST(PerfModel, Fig7LatencyBreakdown)
+{
+    auto &f = vgg16();
+    AllocationResult alloc = allocateForDuplication(f.summary, 1);
+
+    const PerfReport fpsa =
+        evaluateFpsa(f.graph, f.summary, alloc);
+    EXPECT_NEAR(fpsa.computePerPe, 156.4, 0.5);   // 64 x 2.443
+    EXPECT_NEAR(fpsa.commPerPe, 633.6, 2.0);      // 64 x 9.9
+
+    const PerfReport prime = evaluatePrime(f.graph, f.summary, alloc);
+    EXPECT_NEAR(prime.computePerPe, 3064.7, 0.1);
+    EXPECT_GT(prime.commPerPe, 10000.0); // bus contention dominates
+
+    const PerfReport fp = evaluateFpPrime(f.graph, f.summary, alloc);
+    EXPECT_NEAR(fp.computePerPe, 3064.7, 0.1);
+    EXPECT_NEAR(fp.commPerPe, 59.4, 0.1);
+    // FP-PRIME: communication negligible vs computation (paper Fig. 7).
+    EXPECT_LT(fp.commPerPe, fp.computePerPe / 10.0);
+}
+
+TEST(PerfModel, FpsaBeatsPrimeByOrdersOfMagnitude)
+{
+    // The headline claim (Fig. 6): at equal chip area, FPSA outruns
+    // PRIME by two to three orders of magnitude on VGG16, growing with
+    // area because PRIME saturates on its bus.
+    auto &f = vgg16();
+    BoundsSweepOptions fpsa_opt, prime_opt;
+    fpsa_opt.system = SystemKind::Fpsa;
+    prime_opt.system = SystemKind::Prime;
+    const std::vector<double> areas{400.0, 4000.0};
+    const auto fpsa = sweepArea(f.graph, f.summary, areas, fpsa_opt);
+    const auto prime = sweepArea(f.graph, f.summary, areas, prime_opt);
+    ASSERT_GT(prime[0].pes, 0);
+    const double speedup_small = fpsa[0].real / prime[0].real;
+    const double speedup_large = fpsa[1].real / prime[1].real;
+    EXPECT_GT(speedup_small, 80.0);
+    EXPECT_GT(speedup_large, 500.0);
+    EXPECT_LT(speedup_large, 30000.0);
+    EXPECT_GT(speedup_large, speedup_small);
+}
+
+TEST(PerfModel, DuplicationScalesThroughputSuperlinearlyInArea)
+{
+    auto &f = vgg16();
+    AllocationResult a1 = allocateForDuplication(f.summary, 1);
+    AllocationResult a64 = allocateForDuplication(f.summary, 64);
+    const PerfReport r1 = evaluateFpsa(f.graph, f.summary, a1);
+    const PerfReport r64 = evaluateFpsa(f.graph, f.summary, a64);
+    const double perf_gain = r64.performance / r1.performance;
+    const double area_gain = r64.area / r1.area;
+    EXPECT_GT(perf_gain, 30.0);     // ~64x fewer iterations
+    EXPECT_LT(area_gain, 2.0);      // paper: +1.5x area at 64x for VGG16
+    EXPECT_GT(perf_gain / area_gain, 20.0);
+}
+
+TEST(PerfModel, IdealCommunicationIsFaster)
+{
+    auto &f = vgg16();
+    AllocationResult alloc = allocateForDuplication(f.summary, 16);
+    FpsaPerfOptions real, ideal;
+    ideal.wireDelayPerBit = 0.0;
+    const PerfReport r = evaluateFpsa(f.graph, f.summary, alloc, real);
+    const PerfReport i = evaluateFpsa(f.graph, f.summary, alloc, ideal);
+    EXPECT_GT(i.performance, r.performance);
+    // Spike trains: the gap is wireDelay/cycle ~ 9.9/2.443 ~ 4x.
+    EXPECT_NEAR(i.performance / r.performance, 9.9 / 2.443, 0.5);
+}
+
+TEST(PerfModel, Table3Vgg16Magnitudes)
+{
+    auto &f = vgg16();
+    AllocationResult a64 = allocateForDuplication(f.summary, 64);
+    const PerfReport r = evaluateFpsa(f.graph, f.summary, a64);
+    // Paper: 2.4K samples/s, 671.8 us latency, 68.09 mm^2.  Same order.
+    EXPECT_GT(r.throughput, 800.0);
+    EXPECT_LT(r.throughput, 10000.0);
+    EXPECT_GT(r.latency, 100e3);  // > 100 us
+    EXPECT_LT(r.latency, 3e6);    // < 3 ms
+    EXPECT_GT(r.area, 30.0);
+    EXPECT_LT(r.area, 200.0);
+}
+
+TEST(Bounds, AreaSweepOrdering)
+{
+    auto &f = vgg16();
+    BoundsSweepOptions opt;
+    opt.system = SystemKind::Fpsa;
+    const std::vector<double> areas{50.0, 100.0, 200.0, 400.0};
+    const auto points = sweepArea(f.graph, f.summary, areas, opt);
+    ASSERT_EQ(points.size(), areas.size());
+    for (const auto &p : points) {
+        if (p.pes == 0)
+            continue; // too small to fit
+        EXPECT_GE(p.peak, p.ideal * 0.99);
+        EXPECT_GE(p.ideal, p.real * 0.99);
+        EXPECT_GT(p.real, 0.0);
+    }
+}
+
+TEST(Bounds, PrimeIsCommunicationBound)
+{
+    auto &f = vgg16();
+    BoundsSweepOptions opt;
+    opt.system = SystemKind::Prime;
+    // PRIME PE is larger; sweep bigger areas so the model fits.
+    const std::vector<double> areas{200.0, 400.0, 800.0, 1600.0};
+    const auto points = sweepArea(f.graph, f.summary, areas, opt);
+    // At large areas the real perf saturates (bus-bound) while ideal
+    // keeps growing: the Fig. 2 gap.
+    const auto &last = points.back();
+    ASSERT_GT(last.pes, 0);
+    EXPECT_GT(last.ideal / last.real, 5.0);
+}
+
+TEST(Bounds, FpPrimeBreaksCommunicationBound)
+{
+    auto &f = vgg16();
+    BoundsSweepOptions opt;
+    const std::vector<double> areas{400.0, 1600.0};
+    opt.system = SystemKind::Prime;
+    const auto prime = sweepArea(f.graph, f.summary, areas, opt);
+    opt.system = SystemKind::FpPrime;
+    const auto fp = sweepArea(f.graph, f.summary, areas, opt);
+    // FP-PRIME real tracks its ideal closely (Fig. 6).
+    ASSERT_GT(fp.back().pes, 0);
+    EXPECT_GT(fp.back().real, 0.9 * fp.back().ideal);
+    EXPECT_GT(fp.back().real, prime.back().real * 3.0);
+}
+
+TEST(Bounds, DensityStackOrdering)
+{
+    auto &f = vgg16();
+    for (std::int64_t dup : {1, 4, 16, 64}) {
+        AllocationResult alloc = allocateForDuplication(f.summary, dup);
+        const DensityBounds d = densityBounds(f.graph, f.summary, alloc);
+        EXPECT_GE(d.peak, d.spatialBound) << "dup " << dup;
+        EXPECT_GE(d.spatialBound * 1.01, d.temporalBound) << "dup " << dup;
+        EXPECT_GE(d.temporalBound, d.real) << "dup " << dup;
+        EXPECT_GT(d.real, 0.0);
+    }
+}
+
+TEST(Bounds, TemporalBoundRisesWithDuplication)
+{
+    auto &f = vgg16();
+    AllocationResult a1 = allocateForDuplication(f.summary, 1);
+    AllocationResult a64 = allocateForDuplication(f.summary, 64);
+    const DensityBounds d1 = densityBounds(f.graph, f.summary, a1);
+    const DensityBounds d64 = densityBounds(f.graph, f.summary, a64);
+    // Fig. 8c: temporal bound grows with resources, spatial stays flat.
+    EXPECT_GT(d64.temporalBound, d1.temporalBound * 4.0);
+    EXPECT_NEAR(d64.spatialBound, d1.spatialBound,
+                d1.spatialBound * 1e-9);
+}
+
+TEST(Bounds, MlpBoundsCoincide)
+{
+    // No weight sharing: temporal utilization == spatial utilization
+    // (Fig. 8c, MLP column).
+    Graph g = buildMlp(784, {500, 100}, 10);
+    SynthesisSummary s = synthesizeSummary(g);
+    AllocationResult a = allocateForDuplication(s, 64);
+    const DensityBounds d = densityBounds(g, s, a);
+    EXPECT_NEAR(d.temporalBound / d.spatialBound, 1.0, 0.35);
+}
+
+TEST(Energy, ReportDecomposes)
+{
+    auto &f = vgg16();
+    AllocationResult alloc = allocateForDuplication(f.summary, 4);
+    const EnergyReport e = fpsaEnergyReport(f.summary, alloc);
+    EXPECT_GT(e.breakdown.pe, 0.0);
+    EXPECT_GT(e.breakdown.smb, 0.0);
+    EXPECT_GT(e.breakdown.clb, 0.0);
+    EXPECT_GT(e.breakdown.routing, 0.0);
+    EXPECT_NEAR(e.perSample(),
+                e.breakdown.pe + e.breakdown.smb + e.breakdown.clb +
+                    e.breakdown.routing,
+                1e-6);
+    // Sanity: a VGG16 sample costs microjoules-to-millijoules.
+    EXPECT_GT(e.perSample(), 1e6);   // > 1 uJ in pJ
+    EXPECT_LT(e.perSample(), 1e12);
+}
+
+TEST(Energy, PowerAtThroughput)
+{
+    EnergyReport e;
+    e.breakdown.pe = 1e9; // 1 mJ per sample in pJ
+    EXPECT_NEAR(e.wattsAt(1000.0), 1.0, 1e-9);
+}
+
+TEST(CycleSim, MatchesCountDomainExecutor)
+{
+    GraphBuilder b({1, 6, 6});
+    b.conv(3, 3, 1, 0).relu().maxPool(2, 2).flatten().fc(5).relu();
+    Graph g = b.build();
+    Rng rng(21);
+    randomizeWeights(g, rng);
+    Tensor x({1, 6, 6});
+    for (std::int64_t i = 0; i < x.numel(); ++i)
+        x[i] = 0.25f + 0.5f * static_cast<float>(i) /
+                           static_cast<float>(x.numel());
+
+    FunctionalSynthesis synth = synthesizeFunctional(g, x);
+    const auto in_counts = encodeInputCounts(synth, x);
+    const auto expect = runCoreOps(synth, in_counts);
+
+    const auto dup = duplicationForGraph(synth.coreOps, 4);
+    const auto [assign, pes] = assignPes(synth.coreOps, dup);
+    ScheduleResult sched = scheduleCoreOps(synth.coreOps, assign, 64);
+    ASSERT_EQ(validateSchedule(synth.coreOps, assign, sched, 64), "");
+
+    CycleSimResult sim =
+        simulateSpiking(synth, assign, pes, sched, in_counts);
+    ASSERT_EQ(sim.outputCounts.size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_NEAR(static_cast<double>(sim.outputCounts[i]),
+                    static_cast<double>(expect[i]), 3.0)
+            << "output " << i;
+    }
+    EXPECT_GT(sim.energy, 0.0);
+    EXPECT_GT(sim.cycles, 0);
+    EXPECT_GT(sim.avgPeUtilization, 0.0);
+    EXPECT_LE(sim.avgPeUtilization, 1.0);
+}
+
+TEST(CycleSim, DeviceVariationPerturbsOutputs)
+{
+    GraphBuilder b({8});
+    b.fc(4).relu();
+    Graph g = b.build();
+    Rng rng(22);
+    randomizeWeights(g, rng);
+    Tensor x({8});
+    x.fill(0.7f);
+    FunctionalSynthesis synth = synthesizeFunctional(g, x);
+    const auto in_counts = encodeInputCounts(synth, x);
+    const auto dup = duplicationForGraph(synth.coreOps, 1);
+    const auto [assign, pes] = assignPes(synth.coreOps, dup);
+    ScheduleResult sched = scheduleCoreOps(synth.coreOps, assign, 64);
+
+    CycleSimOptions ideal, noisy;
+    noisy.variation.sigmaOfRange = 0.10; // exaggerated corner
+    const auto clean =
+        simulateSpiking(synth, assign, pes, sched, in_counts, ideal);
+    // Across seeds, a noisy device should disagree somewhere.
+    bool differs = false;
+    for (std::uint64_t seed = 1; seed <= 5 && !differs; ++seed) {
+        noisy.seed = seed;
+        const auto pert =
+            simulateSpiking(synth, assign, pes, sched, in_counts, noisy);
+        differs = pert.outputCounts != clean.outputCounts;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Baselines, PublishedDensityTable)
+{
+    // Section 6.2's comparison constants are available for the bench.
+    EXPECT_EQ(std::string(kReramAccelerators[0].name), "PRIME");
+    EXPECT_NEAR(kReramAccelerators[1].topsPerMm2, 1.485, 1e-9);
+    EXPECT_NEAR(kReramAccelerators[2].topsPerMm2, 0.479, 1e-9);
+}
+
+} // namespace
+} // namespace fpsa

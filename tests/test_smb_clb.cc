@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the SMB buffer and the CLB logic fabric.
+ */
+
+#include <gtest/gtest.h>
+
+#include "clb/clb.hh"
+#include "clb/lut.hh"
+#include "smb/smb.hh"
+#include "spike/spike_train.hh"
+
+namespace fpsa
+{
+namespace
+{
+
+TEST(Smb, CapacityScalesWithWindowBits)
+{
+    // 16 Kb / 6 bits for a 64-cycle window (paper Sec. 4.3: bit-indexed).
+    SpikingMemoryBlock smb64(64);
+    EXPECT_EQ(smb64.bitsPerValue(), 6u);
+    EXPECT_EQ(smb64.capacityValues(), 16u * 1024u / 6u);
+    SpikingMemoryBlock smb256(256);
+    EXPECT_EQ(smb256.bitsPerValue(), 8u);
+    EXPECT_EQ(smb256.capacityValues(), 2048u);
+}
+
+TEST(Smb, StoreLoadRoundTrip)
+{
+    SpikingMemoryBlock smb(64);
+    smb.storeCount(0, 17);
+    smb.storeCount(1, 63);
+    EXPECT_EQ(smb.loadCount(0), 17u);
+    EXPECT_EQ(smb.loadCount(1), 63u);
+    EXPECT_EQ(smb.bitWrites(), 12u);
+}
+
+TEST(Smb, CaptureAndReplayPreserveCount)
+{
+    SpikingMemoryBlock smb(64);
+    const SpikeTrain in = encodeUniform(29, 64);
+    smb.captureTrain(5, in);
+    EXPECT_EQ(smb.loadCount(5), 29u);
+    const SpikeTrain out = smb.replayTrain(5);
+    EXPECT_EQ(out.count(), 29u);
+    EXPECT_EQ(out.window(), 64u);
+}
+
+TEST(Smb, ReplayIsUniformlySpaced)
+{
+    SpikingMemoryBlock smb(16);
+    smb.storeCount(0, 4);
+    const SpikeTrain t = smb.replayTrain(0);
+    std::uint32_t prev = t.nthSpikeCycle(0);
+    for (std::uint32_t k = 1; k < 4; ++k) {
+        EXPECT_EQ(t.nthSpikeCycle(k) - prev, 4u);
+        prev = t.nthSpikeCycle(k);
+    }
+}
+
+TEST(Lut, ProgrammedFunctionEvaluates)
+{
+    Lut lut(2);
+    lut.program({false, true, true, false}); // XOR
+    EXPECT_FALSE(lut.evaluate(0b00));
+    EXPECT_TRUE(lut.evaluate(0b01));
+    EXPECT_TRUE(lut.evaluate(0b10));
+    EXPECT_FALSE(lut.evaluate(0b11));
+}
+
+TEST(Lut, FactoryFunctions)
+{
+    Lut lut_and = Lut::makeAnd(3);
+    Lut lut_or = Lut::makeOr(3);
+    Lut lut_xor = Lut::makeXor(3);
+    for (std::uint32_t a = 0; a < 8; ++a) {
+        EXPECT_EQ(lut_and.evaluate(a), a == 7u);
+        EXPECT_EQ(lut_or.evaluate(a), a != 0u);
+        bool parity = false;
+        for (int b = 0; b < 3; ++b)
+            parity ^= ((a >> b) & 1u) != 0;
+        EXPECT_EQ(lut_xor.evaluate(a), parity);
+    }
+}
+
+TEST(Clb, HasPaperConfiguration)
+{
+    ConfigurableLogicBlock clb;
+    EXPECT_EQ(clb.lutCount(), 128);
+    EXPECT_EQ(clb.lutInputs(), 6);
+}
+
+TEST(Clb, ExternalInputRouting)
+{
+    ConfigurableLogicBlock clb;
+    // LUT 0 = AND(extern0, extern1).
+    clb.configureLut(0, Lut::makeAnd(6));
+    clb.connectInput(0, 0, {LutInputSel::Kind::Extern, 0});
+    clb.connectInput(0, 1, {LutInputSel::Kind::Extern, 1});
+    for (int pin = 2; pin < 6; ++pin)
+        clb.connectInput(0, pin, {LutInputSel::Kind::One, 0});
+    EXPECT_FALSE(clb.lutOutput(0, {true, false}));
+    EXPECT_TRUE(clb.lutOutput(0, {true, true}));
+}
+
+TEST(Clb, FlopFeedbackToggles)
+{
+    ConfigurableLogicBlock clb;
+    // LUT 0 = NOT(FF 0): a toggle flip-flop.
+    Lut inv(6);
+    for (std::uint32_t a = 0; a < inv.tableSize(); ++a)
+        inv.setEntry(a, (a & 1u) == 0);
+    clb.configureLut(0, inv);
+    clb.connectInput(0, 0, {LutInputSel::Kind::Flop, 0});
+    EXPECT_FALSE(clb.flop(0));
+    clb.clock({});
+    EXPECT_TRUE(clb.flop(0));
+    clb.clock({});
+    EXPECT_FALSE(clb.flop(0));
+}
+
+TEST(WindowController, CountsModuloWindow)
+{
+    WindowController ctrl(4); // 16-cycle window
+    for (std::uint32_t t = 0; t < 48; ++t) {
+        EXPECT_EQ(ctrl.count(), t % 16u);
+        const bool wrap = ctrl.tick();
+        EXPECT_EQ(wrap, (t % 16u) == 15u) << "t=" << t;
+    }
+}
+
+TEST(WindowController, SixBitWindowMatchesPaperGamma)
+{
+    WindowController ctrl(6); // Gamma = 64, the Table 2 configuration
+    std::uint32_t wraps = 0;
+    for (std::uint32_t t = 0; t < 64 * 3; ++t)
+        wraps += ctrl.tick() ? 1 : 0;
+    EXPECT_EQ(wraps, 3u);
+}
+
+} // namespace
+} // namespace fpsa

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for spike trains and codecs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "spike/codec.hh"
+#include "spike/spike_train.hh"
+
+namespace fpsa
+{
+namespace
+{
+
+TEST(SpikeTrain, EmptyTrain)
+{
+    SpikeTrain t(64);
+    EXPECT_EQ(t.window(), 64u);
+    EXPECT_EQ(t.count(), 0u);
+    EXPECT_DOUBLE_EQ(t.rate(), 0.0);
+}
+
+TEST(SpikeTrain, SetAndCount)
+{
+    SpikeTrain t(8);
+    t.setSpike(0);
+    t.setSpike(7);
+    EXPECT_EQ(t.count(), 2u);
+    EXPECT_DOUBLE_EQ(t.rate(), 0.25);
+    EXPECT_EQ(t.nthSpikeCycle(0), 0u);
+    EXPECT_EQ(t.nthSpikeCycle(1), 7u);
+    EXPECT_EQ(t.nthSpikeCycle(2), 8u);
+}
+
+class EncodingSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t,
+                                                 std::uint32_t>>
+{
+};
+
+TEST_P(EncodingSweep, AllEncodersPreserveCount)
+{
+    const auto [count, window] = GetParam();
+    if (count > window)
+        GTEST_SKIP();
+    Rng rng(99);
+    EXPECT_EQ(encodeUniform(count, window).count(), count);
+    EXPECT_EQ(encodeBurst(count, window).count(), count);
+    EXPECT_EQ(encodeBernoulli(count, window, rng).count(), count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EncodingSweep,
+    ::testing::Combine(::testing::Values(0u, 1u, 3u, 17u, 31u, 32u, 63u,
+                                         64u),
+                       ::testing::Values(2u, 8u, 64u, 256u)));
+
+TEST(Encoding, UniformIsEvenlySpaced)
+{
+    // 4 spikes in 16 cycles: gaps of exactly 4.
+    SpikeTrain t = encodeUniform(4, 16);
+    std::uint32_t prev = t.nthSpikeCycle(0);
+    for (std::uint32_t k = 1; k < 4; ++k) {
+        const std::uint32_t c = t.nthSpikeCycle(k);
+        EXPECT_EQ(c - prev, 4u);
+        prev = c;
+    }
+}
+
+TEST(Encoding, FullRateSpikesEveryCycle)
+{
+    SpikeTrain t = encodeUniform(16, 16);
+    for (std::uint32_t c = 0; c < 16; ++c)
+        EXPECT_TRUE(t.spikeAt(c));
+}
+
+TEST(Codec, CounterAccumulates)
+{
+    SpikeCounter ctr(8);
+    SpikeTrain t = encodeUniform(5, 8);
+    for (std::uint32_t c = 0; c < 8; ++c)
+        ctr.observe(t.spikeAt(c));
+    EXPECT_EQ(ctr.count(), 5u);
+    ctr.reset();
+    EXPECT_EQ(ctr.count(), 0u);
+}
+
+TEST(Codec, GeneratorRoundTrip)
+{
+    for (std::uint32_t count = 0; count <= 16; ++count) {
+        SpikeGenerator gen(16);
+        gen.load(count);
+        std::uint32_t emitted = 0;
+        for (std::uint32_t c = 0; c < 16; ++c)
+            emitted += gen.step() ? 1 : 0;
+        EXPECT_EQ(emitted, count) << "count=" << count;
+        EXPECT_TRUE(gen.done());
+    }
+}
+
+TEST(Codec, GeneratorMatchesUniformEncoder)
+{
+    SpikeGenerator gen(32);
+    gen.load(11);
+    SpikeTrain expect = encodeUniform(11, 32);
+    for (std::uint32_t c = 0; c < 32; ++c)
+        EXPECT_EQ(gen.step(), expect.spikeAt(c)) << "cycle " << c;
+}
+
+TEST(Codec, TrafficCosts)
+{
+    // Section 7.1: count transfer needs n bits, train transfer 2^n bits.
+    EXPECT_EQ(countTrafficBits(64), 6u);
+    EXPECT_EQ(trainTrafficBits(64), 64u);
+    EXPECT_EQ(windowBits(256), 8u);
+}
+
+} // namespace
+} // namespace fpsa

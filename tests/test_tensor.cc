@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for the tensor substrate: shapes, kernels, quantization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/quant.hh"
+#include "tensor/tensor.hh"
+
+namespace fpsa
+{
+namespace
+{
+
+TEST(Tensor, ShapeNumel)
+{
+    EXPECT_EQ(shapeNumel({3, 4, 5}), 60);
+    EXPECT_EQ(shapeNumel({}), 1);
+    EXPECT_EQ(shapeToString({3, 224, 224}), "[3, 224, 224]");
+}
+
+TEST(Tensor, ZeroInitAndFill)
+{
+    Tensor t({2, 3});
+    EXPECT_EQ(t.numel(), 6);
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        EXPECT_EQ(t[i], 0.0f);
+    t.fill(2.5f);
+    EXPECT_EQ(t.at(1, 2), 2.5f);
+}
+
+TEST(Tensor, MatVec)
+{
+    Tensor w({2, 3}, {1, 2, 3, 4, 5, 6});
+    Tensor x({3}, {1, 0, -1});
+    Tensor y = matVec(w, x);
+    EXPECT_EQ(y.dim(0), 2);
+    EXPECT_FLOAT_EQ(y[0], -2.0f);
+    EXPECT_FLOAT_EQ(y[1], -2.0f);
+}
+
+TEST(Tensor, MatMulMatchesManual)
+{
+    Tensor a({2, 2}, {1, 2, 3, 4});
+    Tensor b({2, 2}, {5, 6, 7, 8});
+    Tensor c = matMul(a, b);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 19.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 22.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 43.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(Tensor, ReluAndAdd)
+{
+    Tensor x({4}, {-1, 0, 2, -3});
+    Tensor r = relu(x);
+    EXPECT_FLOAT_EQ(r[0], 0.0f);
+    EXPECT_FLOAT_EQ(r[2], 2.0f);
+    Tensor s = add(x, x);
+    EXPECT_FLOAT_EQ(s[3], -6.0f);
+}
+
+TEST(Tensor, Conv2dIdentityKernel)
+{
+    // 1x3x3 input, 1x1x1x1 kernel of value 2 => scaled copy.
+    Tensor in({1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+    Tensor w({1, 1, 1, 1}, {2});
+    Tensor out = conv2d(in, w, 1, 0);
+    EXPECT_EQ(out.shape(), (Shape{1, 3, 3}));
+    EXPECT_FLOAT_EQ(out[4], 10.0f);
+}
+
+TEST(Tensor, Conv2dKnownResult)
+{
+    // 1x3x3 input, 3x3 averaging-like kernel, valid conv -> 1x1x1.
+    Tensor in({1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+    Tensor w({1, 1, 3, 3}, {1, 1, 1, 1, 1, 1, 1, 1, 1});
+    Tensor out = conv2d(in, w, 1, 0);
+    EXPECT_EQ(out.shape(), (Shape{1, 1, 1}));
+    EXPECT_FLOAT_EQ(out[0], 45.0f);
+}
+
+TEST(Tensor, Conv2dPaddingAndStride)
+{
+    Tensor in({1, 4, 4});
+    in.fill(1.0f);
+    Tensor w({2, 1, 3, 3});
+    w.fill(1.0f);
+    Tensor out = conv2d(in, w, 2, 1);
+    EXPECT_EQ(out.shape(), (Shape{2, 2, 2}));
+    // Corner position sees a 2x2 window of ones under pad=1 stride=2.
+    EXPECT_FLOAT_EQ(out[0], 4.0f);
+}
+
+TEST(Tensor, MaxAndAvgPool)
+{
+    Tensor in({1, 2, 2}, {1, 2, 3, 4});
+    Tensor mx = maxPool2d(in, 2, 2);
+    Tensor av = avgPool2d(in, 2, 2);
+    EXPECT_FLOAT_EQ(mx[0], 4.0f);
+    EXPECT_FLOAT_EQ(av[0], 2.5f);
+}
+
+TEST(Quant, RoundTripSymmetric)
+{
+    Tensor t({5}, {-1.0f, -0.5f, 0.0f, 0.5f, 1.0f});
+    QuantTensor q = quantizeSymmetric(t, 8);
+    EXPECT_EQ(q.spec.maxLevel(), 127);
+    Tensor d = q.dequantize();
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        EXPECT_NEAR(d[i], t[i], 1.0f / 127.0f);
+}
+
+TEST(Quant, SaturatesAtMaxLevel)
+{
+    Tensor t({2}, {10.0f, -10.0f});
+    QuantTensor q = quantizeWithScale(t, 4, 1.0f);
+    EXPECT_EQ(q.levels[0], 7);
+    EXPECT_EQ(q.levels[1], -7);
+}
+
+TEST(Quant, UnsignedClampsNegatives)
+{
+    Tensor t({3}, {-1.0f, 0.25f, 2.0f});
+    QuantTensor q = quantizeUnsigned(t, 6, 1.0f / 63.0f);
+    EXPECT_EQ(q.levels[0], 0);
+    EXPECT_EQ(q.levels[1], 16);
+    EXPECT_EQ(q.levels[2], 63);
+}
+
+TEST(Quant, RmseDecreasesWithBits)
+{
+    Tensor t({101});
+    for (int i = 0; i <= 100; ++i)
+        t[i] = std::sin(i * 0.1f);
+    const double e4 = quantizationRmse(t, quantizeSymmetric(t, 4));
+    const double e8 = quantizationRmse(t, quantizeSymmetric(t, 8));
+    EXPECT_LT(e8, e4 / 4.0);
+}
+
+class QuantBitsSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(QuantBitsSweep, ErrorBoundedByHalfLsb)
+{
+    const int bits = GetParam();
+    Tensor t({41});
+    for (int i = 0; i < 41; ++i)
+        t[i] = -1.0f + i * 0.05f;
+    QuantTensor q = quantizeSymmetric(t, bits);
+    Tensor d = q.dequantize();
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        EXPECT_LE(std::fabs(d[i] - t[i]), q.spec.scale * 0.5f + 1e-6f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuantBitsSweep,
+                         ::testing::Values(2, 3, 4, 6, 8, 10, 12));
+
+} // namespace
+} // namespace fpsa
