@@ -168,11 +168,21 @@ ablatePeSize()
     const PeParams &base = TechnologyLibrary::fpsa45().pe;
     Table t({"Crossbar", "Min PEs", "Spatial utilization",
              "Storage area (mm^2)"});
+    // Crossbar size scopes to the synthesizer, so each sweep point
+    // re-runs exactly the synthesis stage of one pipeline.
+    Pipeline pipeline(g);
     for (int size : {64, 128, 256, 512}) {
         SynthOptions opt;
         opt.crossbarRows = size;
         opt.crossbarCols = size;
-        SynthesisSummary s = synthesizeSummary(g, opt);
+        pipeline.setSynthOptions(opt);
+        auto synthesis = pipeline.synthesize();
+        if (!synthesis.ok()) {
+            std::cerr << "synthesis failed: "
+                      << synthesis.status().toString() << "\n";
+            continue;
+        }
+        const SynthesisSummary &s = **synthesis;
         const PeParams pe = base.scaledTo(size, size);
         t.addRow({std::to_string(size) + "x" + std::to_string(size),
                   std::to_string(s.minPes()),

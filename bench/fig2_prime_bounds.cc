@@ -12,6 +12,7 @@
 
 #include "common/table.hh"
 #include "nn/models.hh"
+#include "pipeline.hh"
 #include "sim/bounds.hh"
 
 using namespace fpsa;
@@ -20,7 +21,14 @@ int
 main()
 {
     Graph graph = buildModel(ModelId::Vgg16);
-    SynthesisSummary summary = synthesizeSummary(graph);
+    Pipeline pipeline(graph);
+    auto synthesis = pipeline.synthesize();
+    if (!synthesis.ok()) {
+        std::cerr << "synthesis failed: "
+                  << synthesis.status().toString() << "\n";
+        return 1;
+    }
+    const SynthesisSummary &summary = **synthesis;
 
     std::cout << "==== Fig. 2: Performance vs. area, PRIME on VGG16 "
                  "(45 nm) ====\n";

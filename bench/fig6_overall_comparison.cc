@@ -14,6 +14,7 @@
 
 #include "common/table.hh"
 #include "nn/models.hh"
+#include "pipeline.hh"
 #include "sim/bounds.hh"
 
 using namespace fpsa;
@@ -22,7 +23,14 @@ int
 main()
 {
     Graph graph = buildModel(ModelId::Vgg16);
-    SynthesisSummary summary = synthesizeSummary(graph);
+    Pipeline pipeline(graph);
+    auto synthesis = pipeline.synthesize();
+    if (!synthesis.ok()) {
+        std::cerr << "synthesis failed: "
+                  << synthesis.status().toString() << "\n";
+        return 1;
+    }
+    const SynthesisSummary &summary = **synthesis;
 
     std::vector<double> areas;
     for (double a = 100.0; a <= 10000.0 * 1.001; a *= std::sqrt(10.0))

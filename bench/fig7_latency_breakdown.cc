@@ -12,7 +12,7 @@
 
 #include "common/table.hh"
 #include "nn/models.hh"
-#include "sim/perf_model.hh"
+#include "pipeline.hh"
 
 using namespace fpsa;
 
@@ -20,12 +20,27 @@ int
 main()
 {
     Graph graph = buildModel(ModelId::Vgg16);
-    SynthesisSummary summary = synthesizeSummary(graph);
-    AllocationResult alloc = allocateForDuplication(summary, 1);
+    CompileOptions options;
+    options.duplicationDegree = 1;
+    Pipeline pipeline(graph, options);
+
+    // The baselines evaluate the pipeline's cached synthesis/allocation
+    // artifacts; FPSA itself comes from the evaluation stage.
+    auto mapped = pipeline.map();
+    auto eval = pipeline.evaluate();
+    if (!mapped.ok() || !eval.ok()) {
+        std::cerr << "pipeline failed: "
+                  << (mapped.ok() ? eval.status() : mapped.status())
+                         .toString()
+                  << "\n";
+        return 1;
+    }
+    const SynthesisSummary &summary = *pipeline.synthesisArtifact();
+    const AllocationResult &alloc = (*mapped)->allocation;
 
     const PerfReport prime = evaluatePrime(graph, summary, alloc);
     const PerfReport fp = evaluateFpPrime(graph, summary, alloc);
-    const PerfReport fpsa = evaluateFpsa(graph, summary, alloc);
+    const PerfReport &fpsa = (*eval)->performance;
 
     std::cout << "==== Fig. 7: Per-PE latency breakdown, VGG16 ====\n";
     Table t({"System", "Computation (ns)", "Communication (ns)",

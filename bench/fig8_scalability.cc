@@ -11,6 +11,7 @@
 
 #include "common/table.hh"
 #include "nn/models.hh"
+#include "pipeline.hh"
 #include "sim/bounds.hh"
 
 using namespace fpsa;
@@ -36,13 +37,26 @@ main()
         Row row;
         row.name = modelName(id);
         Graph graph = buildModel(id);
-        SynthesisSummary summary = synthesizeSummary(graph);
+        // One pipeline per model: synthesis runs once, each duplication
+        // degree re-runs only mapping + evaluation.
+        Pipeline pipeline(graph);
         for (std::int64_t d : dups) {
-            AllocationResult alloc = allocateForDuplication(summary, d);
-            row.reports.push_back(evaluateFpsa(graph, summary, alloc));
-            row.density.push_back(densityBounds(graph, summary, alloc));
+            pipeline.setDuplicationDegree(d);
+            auto eval = pipeline.evaluate();
+            if (!eval.ok()) {
+                std::cerr << row.name << " at " << d << "x: "
+                          << eval.status().toString() << "\n";
+                break; // a partial row would misalign the columns
+            }
+            row.reports.push_back((*eval)->performance);
+            row.density.push_back(densityBounds(
+                graph, *pipeline.synthesisArtifact(),
+                pipeline.mapArtifact()->allocation));
         }
-        rows.push_back(std::move(row));
+        if (row.reports.size() == dups.size())
+            rows.push_back(std::move(row));
+        else
+            std::cerr << row.name << ": skipped (incomplete sweep)\n";
     }
 
     for (const auto &row : rows) {

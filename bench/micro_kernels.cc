@@ -15,6 +15,7 @@
 #include "nn/execute.hh"
 #include "nn/models.hh"
 #include "pe/processing_element.hh"
+#include "pipeline.hh"
 #include "pnr/pnr_flow.hh"
 #include "reram/crossbar.hh"
 #include "synth/synthesizer.hh"
@@ -80,6 +81,24 @@ BM_SynthesizeVgg16Summary(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SynthesizeVgg16Summary);
+
+void
+BM_PipelineSweepPoint(benchmark::State &state)
+{
+    // The design-space-sweep hot path: one sweep point = invalidate
+    // mapping onward, re-run map + evaluate on the cached synthesis.
+    Graph graph = buildModel(ModelId::Vgg16);
+    Pipeline pipeline(graph);
+    pipeline.evaluate(); // warm the synthesis cache outside the timing
+    std::int64_t degree = 1;
+    for (auto _ : state) {
+        degree = degree >= 64 ? 1 : degree * 4;
+        pipeline.setDuplicationDegree(degree);
+        auto eval = pipeline.evaluate();
+        benchmark::DoNotOptimize(eval);
+    }
+}
+BENCHMARK(BM_PipelineSweepPoint)->Unit(benchmark::kMillisecond);
 
 void
 BM_PlaceAndRouteChain(benchmark::State &state)

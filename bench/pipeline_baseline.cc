@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Baseline perf log: compiles a representative model set through the
+ * staged `Pipeline` and emits one JSON document per configuration via
+ * `Pipeline::report()` -- per-stage wall-clock timings, cache counters
+ * and the full evaluation -- so successive PRs have a comparable
+ * machine-readable perf trajectory.
+ *
+ *   $ ./pipeline_baseline > baseline.jsonl      # one JSON object/line
+ */
+
+#include <iostream>
+
+#include "common/json.hh"
+#include "nn/models.hh"
+#include "pipeline.hh"
+
+using namespace fpsa;
+
+int
+main()
+{
+    const std::vector<std::int64_t> degrees{1, 64};
+
+    for (ModelId id : allModels()) {
+        Graph graph = buildModel(id);
+        Pipeline pipeline(graph);
+        for (std::int64_t degree : degrees) {
+            pipeline.setDuplicationDegree(degree);
+            Status status = pipeline.run();
+            if (!status.ok()) {
+                std::cerr << modelName(id) << " at " << degree << "x: "
+                          << status.toString() << "\n";
+                continue;
+            }
+            // Wrap the stage report with the model identity so a line
+            // is self-describing.
+            JsonWriter j;
+            j.beginObject();
+            j.field("model", modelName(id));
+            j.field("weights", graph.weightCount());
+            j.field("ops", graph.opCount());
+            j.key("pipeline").raw(pipeline.report());
+            j.endObject();
+            std::cout << j.str() << "\n";
+        }
+    }
+    return 0;
+}

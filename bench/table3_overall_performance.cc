@@ -9,7 +9,7 @@
 
 #include "common/table.hh"
 #include "nn/models.hh"
-#include "sim/perf_model.hh"
+#include "pipeline.hh"
 
 using namespace fpsa;
 
@@ -57,9 +57,16 @@ main()
 
     for (ModelId id : allModels()) {
         Graph graph = buildModel(id);
-        SynthesisSummary summary = synthesizeSummary(graph);
-        AllocationResult alloc = allocateForDuplication(summary, 64);
-        const PerfReport r = evaluateFpsa(graph, summary, alloc);
+        CompileOptions options;
+        options.duplicationDegree = 64;
+        Pipeline pipeline(graph, options);
+        auto eval = pipeline.evaluate();
+        if (!eval.ok()) {
+            std::cerr << modelName(id) << ": "
+                      << eval.status().toString() << "\n";
+            continue;
+        }
+        const PerfReport &r = (*eval)->performance;
         const PaperRow p = paperRow(id);
         t.addRow({modelName(id),
                   fmtEng(static_cast<double>(graph.weightCount())),

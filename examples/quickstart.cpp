@@ -1,7 +1,7 @@
 /**
  * @file
- * Quickstart: define a network with the builder API, compile it onto
- * FPSA with one call, and read the evaluation report.
+ * Quickstart: define a network with the builder API, compile it with
+ * the staged `Pipeline` API, and read each stage's artifact.
  *
  *   $ ./quickstart
  */
@@ -32,38 +32,74 @@ main()
               << fmtEng(static_cast<double>(model.opCount()))
               << " ops per sample\n";
 
-    // 2. Compile onto FPSA: synthesizer -> mapper -> evaluation.
+    // 2. Build the pipeline: synthesizer -> mapper -> evaluation.
+    //    Stages run on demand and cache their artifacts; errors come
+    //    back as Status values instead of aborts.
     CompileOptions options;
     options.duplicationDegree = 16;
-    CompileResult result = compileForFpsa(model, options);
+    Pipeline pipeline(model, options);
 
-    // 3. Inspect what the stack produced.
-    std::cout << "\nsynthesis: " << result.synthesis.groups.size()
-              << " weight groups, min " << result.synthesis.minPes()
+    // 3. Walk the stages and inspect what each one produced.
+    auto synthesis = pipeline.synthesize();
+    if (!synthesis.ok()) {
+        std::cerr << "synthesis failed: "
+                  << synthesis.status().toString() << "\n";
+        return 1;
+    }
+    std::cout << "\nsynthesis: " << (*synthesis)->groups.size()
+              << " weight groups, min " << (*synthesis)->minPes()
               << " PEs, spatial utilization "
-              << fmtDouble(result.synthesis.spatialUtilization(), 3)
+              << fmtDouble((*synthesis)->spatialUtilization(), 3)
               << "\n";
-    std::cout << "allocation: " << result.allocation.totalPes
-              << " PEs, " << result.allocation.smbBlocks << " SMBs, "
-              << result.allocation.clbBlocks << " CLBs ("
-              << result.allocation.duplicationDegree
+
+    auto mapped = pipeline.map();
+    if (!mapped.ok()) {
+        std::cerr << "mapping failed: " << mapped.status().toString()
+                  << "\n";
+        return 1;
+    }
+    std::cout << "allocation: " << (*mapped)->allocation.totalPes
+              << " PEs, " << (*mapped)->allocation.smbBlocks << " SMBs, "
+              << (*mapped)->allocation.clbBlocks << " CLBs ("
+              << (*mapped)->allocation.duplicationDegree
               << "x duplication)\n";
-    std::cout << "netlist: " << result.netlist.blocks().size()
-              << " blocks, " << result.netlist.nets().size()
+    std::cout << "netlist: " << (*mapped)->netlist.blocks().size()
+              << " blocks, " << (*mapped)->netlist.nets().size()
               << " nets\n";
 
+    auto eval = pipeline.evaluate();
+    if (!eval.ok()) {
+        std::cerr << "evaluation failed: " << eval.status().toString()
+                  << "\n";
+        return 1;
+    }
+    const PerfReport &perf = (*eval)->performance;
+    const EnergyReport &energy = (*eval)->energy;
+
     std::cout << "\nperformance:\n";
-    std::cout << "  throughput " << fmtEng(result.performance.throughput)
+    std::cout << "  throughput " << fmtEng(perf.throughput)
               << " samples/s\n";
     std::cout << "  latency    "
-              << fmtDouble(result.performance.latency / 1000.0, 2)
-              << " us\n";
-    std::cout << "  area       " << fmtDouble(result.performance.area, 2)
-              << " mm^2\n";
-    std::cout << "  energy     "
-              << fmtEng(result.energy.perSample() * 1e-12) << " J/sample ("
-              << fmtDouble(result.energy.wattsAt(
-                               result.performance.throughput), 2)
+              << fmtDouble(perf.latency / 1000.0, 2) << " us\n";
+    std::cout << "  area       " << fmtDouble(perf.area, 2) << " mm^2\n";
+    std::cout << "  energy     " << fmtEng(energy.perSample() * 1e-12)
+              << " J/sample ("
+              << fmtDouble(energy.wattsAt(perf.throughput), 2)
               << " W at full rate)\n";
+
+    // 4. Re-evaluating under a changed evaluation knob reuses the
+    //    synthesis and mapping caches (see duplication_sweep for a full
+    //    design-space sweep).
+    FpsaPerfOptions ideal = options.perf;
+    ideal.wireDelayPerBit = 0.0;
+    pipeline.setPerfOptions(ideal);
+    auto bound = pipeline.evaluate();
+    if (bound.ok()) {
+        std::cout << "\nideal-wire bound: "
+                  << fmtEng((*bound)->performance.throughput)
+                  << " samples/s (synthesize ran "
+                  << pipeline.stats(Stage::Synthesize).runs
+                  << "x total)\n";
+    }
     return 0;
 }

@@ -3,6 +3,9 @@
  * Scalability study on VGG16: how duplication degree trades area for
  * throughput, where the bounds lie, and how FPSA compares to PRIME and
  * FP-PRIME at equal area -- the Section 6.2/6.3 story in one run.
+ *
+ * The duplication sweep rides the staged `Pipeline`: synthesis runs
+ * once and each degree re-runs only mapping + evaluation.
  */
 
 #include <iostream>
@@ -15,7 +18,15 @@ int
 main()
 {
     Graph model = buildModel(ModelId::Vgg16);
-    SynthesisSummary summary = synthesizeSummary(model);
+    Pipeline pipeline(model);
+
+    auto synthesis = pipeline.synthesize();
+    if (!synthesis.ok()) {
+        std::cerr << "synthesis failed: "
+                  << synthesis.status().toString() << "\n";
+        return 1;
+    }
+    const SynthesisSummary &summary = **synthesis;
 
     std::cout << "VGG16: "
               << fmtEng(static_cast<double>(model.weightCount()))
@@ -25,12 +36,21 @@ main()
               << summary.pipelineDepth << ", max reuse "
               << summary.maxReuse() << "\n\n";
 
-    std::cout << "-- duplication sweep --\n";
+    std::cout << "-- duplication sweep (synthesize once) --\n";
     Table t({"Dup", "PEs", "Area (mm^2)", "Throughput", "Latency (us)",
              "Density (TOPS/mm^2)"});
+    std::shared_ptr<const MapArtifact> map64;
     for (std::int64_t dup : {1, 4, 16, 64, 256}) {
-        AllocationResult alloc = allocateForDuplication(summary, dup);
-        const PerfReport r = evaluateFpsa(model, summary, alloc);
+        pipeline.setDuplicationDegree(dup);
+        auto eval = pipeline.evaluate();
+        if (!eval.ok()) {
+            std::cerr << "degree " << dup << ": "
+                      << eval.status().toString() << "\n";
+            continue;
+        }
+        if (dup == 64)
+            map64 = pipeline.mapArtifact();
+        const PerfReport &r = (*eval)->performance;
         t.addRow({std::to_string(dup), std::to_string(r.pes),
                   fmtDouble(r.area, 2), fmtEng(r.throughput),
                   fmtDouble(r.latency / 1000.0, 1),
@@ -39,8 +59,12 @@ main()
     t.print(std::cout);
 
     std::cout << "\n-- bounds at 64x --\n";
-    AllocationResult a64 = allocateForDuplication(summary, 64);
-    const DensityBounds d = densityBounds(model, summary, a64);
+    if (!map64) {
+        std::cerr << "no 64x mapping available for the bounds study\n";
+        return 1;
+    }
+    const DensityBounds d = densityBounds(model, summary,
+                                          map64->allocation);
     std::cout << "peak " << fmtEng(d.peak) << "  spatial "
               << fmtEng(d.spatialBound) << "  temporal "
               << fmtEng(d.temporalBound) << "  real " << fmtEng(d.real)

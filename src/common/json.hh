@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Minimal JSON emitter for machine-readable reports (Pipeline::report(),
+ * bench baselines).  Write-only by design: the stack never parses JSON,
+ * it only hands structured results to external tooling.
+ */
+
+#ifndef FPSA_COMMON_JSON_HH
+#define FPSA_COMMON_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fpsa
+{
+
+/**
+ * Streaming JSON writer with automatic comma placement.
+ *
+ *     JsonWriter j;
+ *     j.beginObject();
+ *     j.field("throughput", 1.3e8);
+ *     j.key("stages").beginArray();
+ *     ...
+ *     j.endArray();
+ *     j.endObject();
+ *     std::string text = j.str();
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; follow with a value or begin*(). */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v);
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+
+    /**
+     * Emit an already-serialized JSON value verbatim (e.g. splicing one
+     * report into a larger document).  The caller guarantees it is
+     * valid JSON.
+     */
+    JsonWriter &raw(const std::string &json);
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &name, T v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    const std::string &str() const { return out_; }
+
+    static std::string escape(const std::string &s);
+
+  private:
+    void separate();
+
+    std::string out_;
+    /** Per nesting level: whether a value has been emitted yet. */
+    std::vector<bool> hasItem_;
+    bool pendingKey_ = false;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_COMMON_JSON_HH

@@ -1,0 +1,19 @@
+#include "common/status.hh"
+
+namespace fpsa
+{
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "OK";
+      case StatusCode::InvalidArgument: return "INVALID_ARGUMENT";
+      case StatusCode::Infeasible: return "INFEASIBLE";
+      case StatusCode::Unroutable: return "UNROUTABLE";
+      case StatusCode::Internal: return "INTERNAL";
+    }
+    return "UNKNOWN";
+}
+
+} // namespace fpsa

@@ -1,6 +1,9 @@
 #include "compiler.hh"
 
+#include <utility>
+
 #include "common/logging.hh"
+#include "pipeline.hh"
 
 namespace fpsa
 {
@@ -8,31 +11,13 @@ namespace fpsa
 CompileResult
 compileForFpsa(const Graph &graph, const CompileOptions &options)
 {
-    CompileResult result;
-    result.synthesis = synthesizeSummary(graph, options.synth);
-    result.allocation = allocateForDuplication(
-        result.synthesis, options.duplicationDegree);
-    result.netlist = netlistFromAllocation(result.synthesis,
-                                           result.allocation,
-                                           options.mapper);
-
-    FpsaPerfOptions perf = options.perf;
-    if (options.runPlaceAndRoute) {
-        PnrOptions pnr = options.pnr;
-        result.pnr = runPnr(result.netlist, pnr);
-        if (result.pnr->timing.avgNetDelay > 0.0)
-            perf.wireDelayPerBit = result.pnr->timing.avgNetDelay;
-        if (!result.pnr->routed) {
-            warn("placement & routing did not fully converge; timing is "
-                 "a lower bound");
-        }
+    Pipeline pipeline(graph, options);
+    StatusOr<CompileResult> result = pipeline.result();
+    if (!result.ok()) {
+        fatal("compileForFpsa: %s",
+              result.status().toString().c_str());
     }
-
-    result.performance =
-        evaluateFpsa(graph, result.synthesis, result.allocation, perf);
-    result.energy = fpsaEnergyReport(result.synthesis, result.allocation,
-                                     perf.ioBits, perf.wireDelayPerBit);
-    return result;
+    return std::move(result).value();
 }
 
 } // namespace fpsa

@@ -1,13 +1,19 @@
 /**
  * @file
- * End-to-end FPSA compilation facade: the one-call public API that runs
- * the whole stack of Fig. 5 -- neural synthesizer, spatial-to-temporal
- * mapper, placement & routing -- and evaluates the resulting
- * configuration.
+ * One-shot FPSA compilation wrapper, kept for callers that want the
+ * whole Fig. 5 stack -- neural synthesizer, spatial-to-temporal mapper,
+ * placement & routing, evaluation -- in a single call:
  *
  *     Graph model = buildVgg16();
  *     CompileResult r = compileForFpsa(model, {.duplicationDegree = 64});
  *     // r.performance.throughput, r.performance.area, ...
+ *
+ * The primary entry point is now `fpsa::Pipeline` (pipeline.hh), which
+ * exposes the same stages individually with cached intermediate
+ * artifacts and a non-throwing `Status` error channel; use it whenever
+ * you re-evaluate a model under several option settings (design-space
+ * sweeps re-run only the invalidated stages).  `compileForFpsa()` is a
+ * thin wrapper that runs a `Pipeline` end to end and fatals on error.
  */
 
 #ifndef FPSA_COMPILER_HH
@@ -31,6 +37,7 @@ struct CompileOptions
 {
     std::int64_t duplicationDegree = 64;
     SynthOptions synth;
+    AllocationOptions allocation;
     MapperOptions mapper;
 
     /**
@@ -42,6 +49,8 @@ struct CompileOptions
     PnrOptions pnr;
 
     FpsaPerfOptions perf;
+
+    bool operator==(const CompileOptions &) const = default;
 };
 
 /** Everything the stack produces for one model. */
@@ -55,7 +64,13 @@ struct CompileResult
     EnergyReport energy;
 };
 
-/** Compile a computational graph onto FPSA and evaluate it. */
+/**
+ * Compile a computational graph onto FPSA and evaluate it.
+ *
+ * Equivalent to running every stage of a `Pipeline` and assembling the
+ * artifacts; fatals on pipeline errors (e.g.\ a zero-size layer).  Use
+ * `Pipeline` directly for sweeps or recoverable error handling.
+ */
 CompileResult compileForFpsa(const Graph &graph,
                              const CompileOptions &options = {});
 

@@ -10,7 +10,9 @@
  *                 mapper/ (spatial-to-temporal mapper)
  *   evaluation  - sim/ (performance, bounds, energy, spiking cycle sim),
  *                 baseline/ (PRIME, FP-PRIME), accuracy/ (Fig. 9)
- *   facade      - compiler.hh (one-call compile + evaluate)
+ *   facade      - pipeline.hh (staged compile pipeline with cached
+ *                 artifacts; the primary entry point),
+ *                 compiler.hh (one-call compile + evaluate wrapper)
  */
 
 #ifndef FPSA_FPSA_HH
@@ -28,9 +30,11 @@
 #include "baseline/prime.hh"
 #include "clb/clb.hh"
 #include "clb/lut.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
+#include "common/status.hh"
 #include "common/table.hh"
 #include "common/types.hh"
 #include "compiler.hh"
@@ -46,6 +50,7 @@
 #include "nn/models.hh"
 #include "pe/pe_params.hh"
 #include "pe/processing_element.hh"
+#include "pipeline.hh"
 #include "pnr/config_gen.hh"
 #include "pnr/pnr_flow.hh"
 #include "reram/crossbar.hh"

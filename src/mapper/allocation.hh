@@ -60,6 +60,8 @@ struct AllocationOptions
 {
     int pesPerClb = 8;    //!< PEs sharing one control CLB
     int smbsPerEdge = 1;  //!< SMBs per buffered inter-group edge
+
+    bool operator==(const AllocationOptions &) const = default;
 };
 
 /**

@@ -30,6 +30,8 @@ struct MapperOptions
     int busWidth = 256;     //!< wires per PE-to-PE spike bus
     int controlWidth = 4;   //!< wires per CLB control net
     int pesPerClb = 8;
+
+    bool operator==(const MapperOptions &) const = default;
 };
 
 /** Analytic netlist for a zoo-scale allocation. */

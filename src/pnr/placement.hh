@@ -45,6 +45,8 @@ struct PlacerParams
      *  the per-net average cost. */
     double tStopFraction = 0.002;
     int maxTemperatures = 120;
+
+    bool operator==(const PlacerParams &) const = default;
 };
 
 /** Weighted HPWL of one net under a placement. */

@@ -33,6 +33,8 @@ struct PnrOptions
     RouterParams router;
     int channelWidth = 512;
     double archMargin = 1.15;    //!< site headroom when auto-sizing
+
+    bool operator==(const PnrOptions &) const = default;
 };
 
 /** Output of the flow. */

@@ -26,6 +26,8 @@ struct RouterParams
     double presFacFirst = 0.6;  //!< present-congestion factor, iter 1
     double presFacMult = 1.7;   //!< growth per iteration
     double histFac = 0.35;      //!< historical congestion accumulation
+
+    bool operator==(const RouterParams &) const = default;
 };
 
 /** One routed net: a path per sink plus delay bookkeeping. */

@@ -61,6 +61,8 @@ struct FpsaPerfOptions
      * bound.
      */
     NanoSeconds wireDelayPerBit = 9.9;
+
+    bool operator==(const FpsaPerfOptions &) const = default;
 };
 
 /** Evaluate FPSA on a synthesized model with a given allocation. */

@@ -43,6 +43,8 @@ struct SynthOptions
 
     /** Max signed weight level (paper add-method config: +/-120). */
     std::int32_t maxWeightLevel = 120;
+
+    bool operator==(const SynthOptions &) const = default;
 };
 
 /** Analytic description of one weight group after lowering. */
