@@ -68,7 +68,7 @@ ablateChannelWidth()
         PnrOptions opt;
         opt.fullRoute = true;
         opt.channelWidth = cw;
-        const PnrResult r = runPnr(nl, opt);
+        const PnrResult r = runPnr(nl, opt).value();
         t.addRow({std::to_string(cw), r.routed ? "yes" : "NO",
                   fmtDouble(r.timing.avgNetDelay, 2),
                   r.routing ? fmtDouble(

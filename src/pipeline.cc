@@ -263,16 +263,20 @@ Pipeline::placeAndRoute()
     }
 
     const auto start = Clock::now();
-    pnr_ = std::make_shared<PnrResult>(
-        runPnr((*mapped)->netlist, options_.pnr));
-
     Status status;
-    if (options_.pnr.fullRoute && !pnr_->routed) {
-        // The partial implementation stays cached (pnrArtifact());
-        // evaluate() degrades it to a warning like the legacy facade.
-        status = Status::error(
-            StatusCode::Unroutable,
-            "placement & routing did not fully converge");
+    auto pnr = runPnr((*mapped)->netlist, options_.pnr);
+    if (!pnr.ok()) {
+        // e.g. an infeasible placement: no artifact to cache.
+        status = pnr.status();
+    } else {
+        pnr_ = std::make_shared<PnrResult>(std::move(pnr).value());
+        if (options_.pnr.fullRoute && !pnr_->routed) {
+            // The partial implementation stays cached (pnrArtifact());
+            // evaluate() degrades it to a warning like the legacy facade.
+            status = Status::error(
+                StatusCode::Unroutable,
+                "placement & routing did not fully converge");
+        }
     }
 
     attempted_[idx] = true;
@@ -489,6 +493,15 @@ Pipeline::report() const
         j.field("avgNetDelay", pnr_->timing.avgNetDelay);
         j.field("maxNetDelay", pnr_->timing.maxNetDelay);
         j.field("placementHpwl", pnr_->placementHpwl);
+        j.field("placeMillis", pnr_->placeMillis);
+        j.field("routeMillis", pnr_->routeMillis);
+        if (pnr_->routing) {
+            j.field("routeIterations", pnr_->routing->iterations);
+            j.field("netsRouted", pnr_->routing->netsRouted);
+            j.field("totalWirelength", pnr_->routing->totalWirelength);
+            j.field("peakChannelUtilization",
+                    pnr_->routing->peakChannelUtilization);
+        }
         j.endObject();
     } else {
         j.null();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -38,7 +39,7 @@ SaPlacer::SaPlacer(const PlacerParams &params) : params_(params)
 {
 }
 
-Placement
+StatusOr<Placement>
 SaPlacer::initialPlacement(const Netlist &netlist, const FpsaArch &arch,
                            Rng &rng) const
 {
@@ -48,8 +49,11 @@ SaPlacer::initialPlacement(const Netlist &netlist, const FpsaArch &arch,
         auto sites = arch.sitesOfType(t);
         const int demand = netlist.countBlocks(t);
         if (demand > static_cast<int>(sites.size())) {
-            fatal("netlist needs %d %s sites but the chip has only %zu",
-                  demand, blockTypeName(t), sites.size());
+            return Status::error(
+                StatusCode::Infeasible,
+                "netlist needs " + std::to_string(demand) + " " +
+                    blockTypeName(t) + " sites but the chip has only " +
+                    std::to_string(sites.size()));
         }
         // Random site order, assign in netlist order.
         std::vector<std::uint32_t> order(sites.size());
@@ -69,7 +73,7 @@ SaPlacer::initialPlacement(const Netlist &netlist, const FpsaArch &arch,
 namespace
 {
 
-/** Incremental-cost bookkeeping for the annealer. */
+/** Incremental-cost bookkeeping for the reference annealer. */
 struct MoveContext
 {
     const Netlist *netlist;
@@ -114,17 +118,512 @@ struct MoveContext
     }
 };
 
+// --------------------------------------------------------------------
+// Incremental annealer: cached per-net bounding boxes.
+// --------------------------------------------------------------------
+
+/** Cached bounding box of one net, with pin counts on each edge so a
+ *  move updates it in O(1) unless the moved pin was the edge's sole
+ *  support (then the net is rescanned, VPR-style). */
+struct NetBounds
+{
+    int min_x = 0, max_x = 0, min_y = 0, max_y = 0;
+    int cmin_x = 0, cmax_x = 0, cmin_y = 0, cmax_y = 0;
+    double hpwl = 0.0; //!< width-weighted
+
+    void
+    setHpwl(int width)
+    {
+        hpwl = static_cast<double>((max_x - min_x) + (max_y - min_y)) *
+               width;
+    }
+};
+
+/** One block's membership in one net (with pin multiplicity). */
+struct FanoutEntry
+{
+    NetId net;
+    int pins;
+};
+
+/** A proposed new bounding box for one affected net. */
+struct Proposal
+{
+    NetId net;
+    NetBounds nb;
+};
+
+class IncrementalCost
+{
+  public:
+    IncrementalCost(const Netlist &nl, const Placement &p) : netlist_(&nl)
+    {
+        fanout_.resize(nl.blocks().size());
+        for (NetId n = 0; n < static_cast<NetId>(nl.nets().size()); ++n) {
+            const Net &net = nl.net(n);
+            addPin(net.driver, n);
+            for (BlockId s : net.sinks)
+                addPin(s, n);
+        }
+        // Sorted unique (net, multiplicity) lists: shared-net handling
+        // becomes an O(fanout) merge instead of a quadratic scan.
+        for (auto &f : fanout_) {
+            std::sort(f.begin(), f.end(),
+                      [](const FanoutEntry &x, const FanoutEntry &y) {
+                          return x.net < y.net;
+                      });
+            std::size_t out = 0;
+            for (std::size_t i = 0; i < f.size(); ++i) {
+                if (out > 0 && f[out - 1].net == f[i].net) {
+                    f[out - 1].pins += f[i].pins;
+                } else {
+                    f[out++] = f[i];
+                }
+            }
+            f.resize(out);
+        }
+
+        bounds_.resize(nl.nets().size());
+        for (NetId n = 0; n < static_cast<NetId>(nl.nets().size()); ++n)
+            bounds_[static_cast<std::size_t>(n)] =
+                scanNet(n, p, -1, {0, 0}, -1, {0, 0});
+    }
+
+    /**
+     * Cost delta of moving `a` old_a -> new_a and (when b >= 0) `b`
+     * old_b -> new_b, with the proposed per-net bounds appended to
+     * `out` for a later commit().  `p` still holds the old positions.
+     */
+    double
+    evalMove(const Placement &p, BlockId a, std::pair<int, int> new_a,
+             BlockId b, std::pair<int, int> new_b,
+             std::vector<Proposal> &out) const
+    {
+        out.clear();
+        const auto &fa = fanout_[static_cast<std::size_t>(a)];
+        static const std::vector<FanoutEntry> kEmpty;
+        const auto &fb =
+            b >= 0 ? fanout_[static_cast<std::size_t>(b)] : kEmpty;
+        const std::pair<int, int> old_a = p.of(a);
+        const std::pair<int, int> old_b =
+            b >= 0 ? p.of(b) : std::pair<int, int>{0, 0};
+
+        double delta = 0.0;
+        std::size_t i = 0, j = 0;
+        while (i < fa.size() || j < fb.size()) {
+            NetId n;
+            int ma = 0, mb = 0;
+            if (j >= fb.size() ||
+                (i < fa.size() && fa[i].net <= fb[j].net)) {
+                n = fa[i].net;
+                ma = fa[i].pins;
+                ++i;
+                if (j < fb.size() && fb[j].net == n) {
+                    mb = fb[j].pins;
+                    ++j;
+                }
+            } else {
+                n = fb[j].net;
+                mb = fb[j].pins;
+                ++j;
+            }
+
+            NetBounds nb = bounds_[static_cast<std::size_t>(n)];
+            bool rescan = false;
+            if (ma > 0)
+                applyRemove(nb, old_a, ma, rescan);
+            if (mb > 0)
+                applyRemove(nb, old_b, mb, rescan);
+            if (rescan) {
+                nb = scanNet(n, p, a, new_a, b, new_b);
+            } else {
+                if (ma > 0)
+                    applyAdd(nb, new_a, ma);
+                if (mb > 0)
+                    applyAdd(nb, new_b, mb);
+                nb.setHpwl(netlist_->net(n).width);
+            }
+            delta += nb.hpwl - bounds_[static_cast<std::size_t>(n)].hpwl;
+            out.push_back({n, nb});
+        }
+        return delta;
+    }
+
+    void
+    commit(const std::vector<Proposal> &proposals)
+    {
+        for (const Proposal &pr : proposals)
+            bounds_[static_cast<std::size_t>(pr.net)] = pr.nb;
+    }
+
+  private:
+    void
+    addPin(BlockId b, NetId n)
+    {
+        auto &f = fanout_[static_cast<std::size_t>(b)];
+        if (!f.empty() && f.back().net == n)
+            ++f.back().pins;
+        else
+            f.push_back({n, 1});
+    }
+
+    static void
+    applyRemove(NetBounds &nb, const std::pair<int, int> &pos, int m,
+                bool &rescan)
+    {
+        if (pos.first == nb.min_x && (nb.cmin_x -= m) <= 0)
+            rescan = true;
+        if (pos.first == nb.max_x && (nb.cmax_x -= m) <= 0)
+            rescan = true;
+        if (pos.second == nb.min_y && (nb.cmin_y -= m) <= 0)
+            rescan = true;
+        if (pos.second == nb.max_y && (nb.cmax_y -= m) <= 0)
+            rescan = true;
+    }
+
+    static void
+    applyAdd(NetBounds &nb, const std::pair<int, int> &pos, int m)
+    {
+        if (pos.first < nb.min_x) {
+            nb.min_x = pos.first;
+            nb.cmin_x = m;
+        } else if (pos.first == nb.min_x) {
+            nb.cmin_x += m;
+        }
+        if (pos.first > nb.max_x) {
+            nb.max_x = pos.first;
+            nb.cmax_x = m;
+        } else if (pos.first == nb.max_x) {
+            nb.cmax_x += m;
+        }
+        if (pos.second < nb.min_y) {
+            nb.min_y = pos.second;
+            nb.cmin_y = m;
+        } else if (pos.second == nb.min_y) {
+            nb.cmin_y += m;
+        }
+        if (pos.second > nb.max_y) {
+            nb.max_y = pos.second;
+            nb.cmax_y = m;
+        } else if (pos.second == nb.max_y) {
+            nb.cmax_y += m;
+        }
+    }
+
+    /** Recompute one net's bounds, seeing `a`/`b` at their new sites. */
+    NetBounds
+    scanNet(NetId n, const Placement &p, BlockId a,
+            std::pair<int, int> new_a, BlockId b,
+            std::pair<int, int> new_b) const
+    {
+        const Net &net = netlist_->net(n);
+        auto pos = [&](BlockId blk) -> std::pair<int, int> {
+            if (blk == a)
+                return new_a;
+            if (blk == b)
+                return new_b;
+            return p.of(blk);
+        };
+        NetBounds nb;
+        const auto [dx, dy] = pos(net.driver);
+        nb.min_x = nb.max_x = dx;
+        nb.min_y = nb.max_y = dy;
+        nb.cmin_x = nb.cmax_x = nb.cmin_y = nb.cmax_y = 1;
+        for (BlockId s : net.sinks) {
+            const auto [x, y] = pos(s);
+            if (x < nb.min_x) {
+                nb.min_x = x;
+                nb.cmin_x = 1;
+            } else if (x == nb.min_x) {
+                ++nb.cmin_x;
+            }
+            if (x > nb.max_x) {
+                nb.max_x = x;
+                nb.cmax_x = 1;
+            } else if (x == nb.max_x) {
+                ++nb.cmax_x;
+            }
+            if (y < nb.min_y) {
+                nb.min_y = y;
+                nb.cmin_y = 1;
+            } else if (y == nb.min_y) {
+                ++nb.cmin_y;
+            }
+            if (y > nb.max_y) {
+                nb.max_y = y;
+                nb.cmax_y = 1;
+            } else if (y == nb.max_y) {
+                ++nb.cmax_y;
+            }
+        }
+        nb.setHpwl(net.width);
+        return nb;
+    }
+
+    const Netlist *netlist_;
+    std::vector<std::vector<FanoutEntry>> fanout_;
+    std::vector<NetBounds> bounds_;
+};
+
+/**
+ * Sites of one block type bucketed by grid row, so the annealer can
+ * sample uniformly among the sites inside a move window in
+ * O(window height) instead of rejection-sampling the global list
+ * (which almost never hits a small window).
+ */
+class SiteIndex
+{
+  public:
+    SiteIndex() = default;
+
+    SiteIndex(std::vector<std::pair<int, int>> sites, int height)
+        : sites_(std::move(sites)), rowBegin_(
+              static_cast<std::size_t>(height) + 1, 0)
+    {
+        std::sort(sites_.begin(), sites_.end(),
+                  [](const auto &a, const auto &b) {
+                      if (a.second != b.second)
+                          return a.second < b.second;
+                      return a.first < b.first;
+                  });
+        std::size_t at = 0;
+        for (int y = 0; y < height; ++y) {
+            while (at < sites_.size() && sites_[at].second < y)
+                ++at;
+            rowBegin_[static_cast<std::size_t>(y)] =
+                static_cast<std::uint32_t>(at);
+            while (at < sites_.size() && sites_[at].second == y)
+                ++at;
+        }
+        rowBegin_[static_cast<std::size_t>(height)] =
+            static_cast<std::uint32_t>(sites_.size());
+        for (const auto &s : sites_)
+            spanX_ = std::max(spanX_, s.first);
+    }
+
+    std::size_t size() const { return sites_.size(); }
+    const std::pair<int, int> &site(std::size_t i) const
+    {
+        return sites_[i];
+    }
+
+    /**
+     * Uniform random site with |x - cx| <= r and |y - cy| <= r; falls
+     * back to the whole list when the window is empty or spans the
+     * grid.  Consumes exactly one rng draw on the common paths; the
+     * per-row ranges are searched once and cached in a reused scratch
+     * buffer (this runs on every annealer move).
+     */
+    std::pair<int, int>
+    sample(Rng &rng, int cx, int cy, int r) const
+    {
+        const int height = static_cast<int>(rowBegin_.size()) - 1;
+        if (r >= height && r >= spanX_)
+            return sites_[rng.uniformInt(sites_.size())];
+        const int y0 = std::max(0, cy - r);
+        const int y1 = std::min(height - 1, cy + r);
+
+        rowSpan_.clear();
+        std::size_t total = 0;
+        for (int y = y0; y <= y1; ++y) {
+            const auto row_lo =
+                sites_.begin() + rowBegin_[static_cast<std::size_t>(y)];
+            const auto row_hi =
+                sites_.begin() +
+                rowBegin_[static_cast<std::size_t>(y) + 1];
+            const auto it_lo = std::lower_bound(
+                row_lo, row_hi, cx - r,
+                [](const std::pair<int, int> &s, int x) {
+                    return s.first < x;
+                });
+            const auto it_hi = std::upper_bound(
+                it_lo, row_hi, cx + r,
+                [](int x, const std::pair<int, int> &s) {
+                    return x < s.first;
+                });
+            rowSpan_.push_back(
+                {static_cast<std::uint32_t>(it_lo - sites_.begin()),
+                 static_cast<std::uint32_t>(it_hi - it_lo)});
+            total += static_cast<std::size_t>(it_hi - it_lo);
+        }
+        if (total == 0)
+            return sites_[rng.uniformInt(sites_.size())];
+        std::size_t k = rng.uniformInt(total);
+        for (const auto &[lo, cnt] : rowSpan_) {
+            if (k < cnt)
+                return sites_[lo + k];
+            k -= cnt;
+        }
+        return sites_[rng.uniformInt(sites_.size())]; // unreachable
+    }
+
+  private:
+    std::vector<std::pair<int, int>> sites_;
+    std::vector<std::uint32_t> rowBegin_;
+    /** (first-site index, count) per window row, reused across calls. */
+    mutable std::vector<std::pair<std::uint32_t, std::uint32_t>> rowSpan_;
+    int spanX_ = 0;
+};
+
 } // namespace
 
-Placement
+StatusOr<Placement>
 SaPlacer::place(const Netlist &netlist, const FpsaArch &arch) const
 {
     netlist.validate();
     Rng rng(params_.seed);
-    Placement p = initialPlacement(netlist, arch, rng);
-    const std::size_t num_blocks = netlist.blocks().size();
-    if (num_blocks <= 1 || netlist.nets().empty())
+    auto initial = initialPlacement(netlist, arch, rng);
+    if (!initial.ok())
+        return initial.status();
+    Placement p = std::move(initial).value();
+    if (netlist.blocks().size() <= 1 || netlist.nets().empty())
         return p;
+    if (params_.algorithm == PlacerAlgorithm::Reference)
+        return placeReference(netlist, arch, std::move(p), rng);
+    return placeIncremental(netlist, arch, std::move(p), rng);
+}
+
+Placement
+SaPlacer::placeIncremental(const Netlist &netlist, const FpsaArch &arch,
+                           Placement p, Rng &rng) const
+{
+    const std::size_t num_blocks = netlist.blocks().size();
+
+    // Site occupancy: -1 for empty.
+    std::vector<BlockId> site_block(
+        static_cast<std::size_t>(arch.width() * arch.height()), -1);
+    auto site_index = [&](int x, int y) {
+        return static_cast<std::size_t>(y) * arch.width() + x;
+    };
+    for (std::size_t b = 0; b < num_blocks; ++b)
+        site_block[site_index(p.loc[b].first, p.loc[b].second)] =
+            static_cast<BlockId>(b);
+
+    // Candidate sites per type, row-bucketed for windowed sampling.
+    SiteIndex sites_by_type[3] = {
+        SiteIndex(arch.sitesOfType(BlockType::Pe), arch.height()),
+        SiteIndex(arch.sitesOfType(BlockType::Smb), arch.height()),
+        SiteIndex(arch.sitesOfType(BlockType::Clb), arch.height()),
+    };
+
+    IncrementalCost ctx(netlist, p);
+    double cost = placementCost(netlist, p);
+    std::vector<Proposal> proposals;
+
+    // Adaptive move window (VPR): start spanning the whole chip, then
+    // track the acceptance rate towards the target.
+    const double max_rlim =
+        static_cast<double>(std::max(arch.width(), arch.height()));
+    double rlim = max_rlim;
+
+    // Uniform random same-type target site inside the current window
+    // around the block.
+    auto pick_target = [&](BlockId a) {
+        const auto type =
+            netlist.blocks()[static_cast<std::size_t>(a)].type;
+        const auto &at = p.loc[static_cast<std::size_t>(a)];
+        return sites_by_type[static_cast<int>(type)].sample(
+            rng, at.first, at.second, static_cast<int>(rlim));
+    };
+
+    // Estimate the starting temperature from random-move deltas.
+    double delta_abs_sum = 0.0;
+    const int probes = std::min<std::size_t>(200, num_blocks * 4);
+    for (int i = 0; i < probes; ++i) {
+        const BlockId a = static_cast<BlockId>(rng.uniformInt(num_blocks));
+        const auto target = pick_target(a);
+        const BlockId b = site_block[site_index(target.first,
+                                                target.second)];
+        if (b == a)
+            continue;
+        const auto old_a = p.loc[static_cast<std::size_t>(a)];
+        delta_abs_sum += std::fabs(
+            ctx.evalMove(p, a, target, b, old_a, proposals));
+    }
+    double temperature = probes > 0 ? 2.0 * delta_abs_sum / probes : 1.0;
+    if (temperature <= 0.0)
+        temperature = 1.0;
+
+    const double t_stop = params_.tStopFraction *
+                          std::max(1.0, cost / netlist.nets().size());
+    // The windowed sampler keeps low-temperature moves local (and thus
+    // frequently accepted), so each sweep is far more productive than
+    // the reference annealer's global moves: half the sweep length
+    // reaches the same quality in half the time.
+    const int inner =
+        std::max(64, params_.innerScale * static_cast<int>(num_blocks) / 2);
+
+    int stagnant = 0;
+    for (int temp_step = 0; temp_step < params_.maxTemperatures &&
+                            temperature > t_stop;
+         ++temp_step) {
+        const double step_start_cost = cost;
+        int accepted = 0;
+        for (int it = 0; it < inner; ++it) {
+            const BlockId a =
+                static_cast<BlockId>(rng.uniformInt(num_blocks));
+            const auto target = pick_target(a);
+            const std::size_t tgt_idx =
+                site_index(target.first, target.second);
+            const BlockId b = site_block[tgt_idx];
+            if (b == a)
+                continue;
+
+            const auto old_a = p.loc[static_cast<std::size_t>(a)];
+            const std::size_t old_idx = site_index(old_a.first,
+                                                   old_a.second);
+            const double delta =
+                ctx.evalMove(p, a, target, b, old_a, proposals);
+
+            const bool accept =
+                delta <= 0.0 ||
+                rng.uniform() < std::exp(-delta / temperature);
+            if (accept) {
+                ctx.commit(proposals);
+                p.loc[static_cast<std::size_t>(a)] = target;
+                if (b >= 0)
+                    p.loc[static_cast<std::size_t>(b)] = old_a;
+                site_block[tgt_idx] = a;
+                site_block[old_idx] = b;
+                cost += delta;
+                ++accepted;
+            }
+        }
+        // Windowed moves keep acceptance productive, so cooling can be
+        // more aggressive than the reference schedule at equal final
+        // quality (the window, not a long tail of temperatures, does
+        // the refinement).
+        const double rate = static_cast<double>(accepted) / inner;
+        double alpha = 0.87;
+        if (rate > 0.96)
+            alpha = 0.5;
+        else if (rate > 0.8)
+            alpha = 0.9;
+        else if (rate < 0.15)
+            alpha = 0.7;
+        temperature *= alpha;
+        rlim = std::clamp(rlim * (1.0 - params_.targetAcceptance + rate),
+                          1.0, max_rlim);
+
+        // Quench detection: minimal window and no measurable progress
+        // for a few consecutive temperatures.
+        if (rlim <= 1.0 &&
+            step_start_cost - cost <= 0.001 * step_start_cost)
+            ++stagnant;
+        else
+            stagnant = 0;
+        if (stagnant >= 3)
+            break;
+    }
+    verbose("placement cost %.1f after annealing", cost);
+    return p;
+}
+
+Placement
+SaPlacer::placeReference(const Netlist &netlist, const FpsaArch &arch,
+                         Placement p, Rng &rng) const
+{
+    const std::size_t num_blocks = netlist.blocks().size();
 
     // Site occupancy: -1 for empty.
     std::vector<BlockId> site_block(

@@ -6,6 +6,19 @@
  * minimizing half-perimeter wirelength (HPWL), weighted by net width
  * since FPSA nets are spike buses.  Blocks may only sit on sites of
  * their own type.
+ *
+ * Two annealer algorithms share the cost model:
+ *
+ *  - Incremental (default): per-net cached bounding boxes with O(1)
+ *    delta updates on a move (full-net rescans only when a moved block
+ *    was the sole support of a bbox edge), sorted per-block fanout
+ *    lists merged in O(fanout) to handle shared nets, and a VPR-style
+ *    adaptive range-limited move window that tracks the acceptance
+ *    rate.
+ *  - Reference: the original annealer (full-fanout HPWL recomputation
+ *    per move, quadratic shared-net scan, unrestricted moves).  Kept
+ *    as the quality/perf baseline for `bench/pnr_scaling` and the
+ *    regression tests.
  */
 
 #ifndef FPSA_PNR_PLACEMENT_HH
@@ -15,6 +28,7 @@
 #include <vector>
 
 #include "arch/fpsa_arch.hh"
+#include "common/status.hh"
 #include "mapper/netlist.hh"
 
 namespace fpsa
@@ -34,6 +48,13 @@ struct Placement
     }
 };
 
+/** Annealer algorithm selector. */
+enum class PlacerAlgorithm : std::uint8_t
+{
+    Reference,   //!< original full-recompute annealer
+    Incremental, //!< cached bboxes + adaptive range-limited window
+};
+
 /** Annealer tuning knobs. */
 struct PlacerParams
 {
@@ -45,6 +66,10 @@ struct PlacerParams
      *  the per-net average cost. */
     double tStopFraction = 0.002;
     int maxTemperatures = 120;
+
+    PlacerAlgorithm algorithm = PlacerAlgorithm::Incremental;
+    /** Acceptance rate the adaptive move window steers towards. */
+    double targetAcceptance = 0.44;
 
     bool operator==(const PlacerParams &) const = default;
 };
@@ -62,16 +87,28 @@ class SaPlacer
     explicit SaPlacer(const PlacerParams &params = PlacerParams{});
 
     /**
-     * Place a netlist onto a chip.  Fatals if the chip lacks sites for
-     * any block type.
+     * Place a netlist onto a chip.  Returns `StatusCode::Infeasible`
+     * when the chip lacks sites for any block type.
      */
-    Placement place(const Netlist &netlist, const FpsaArch &arch) const;
+    StatusOr<Placement> place(const Netlist &netlist,
+                              const FpsaArch &arch) const;
 
-    /** Random (but legal) initial placement, exposed for testing. */
-    Placement initialPlacement(const Netlist &netlist, const FpsaArch &arch,
-                               Rng &rng) const;
+    /**
+     * Random (but legal) initial placement, exposed for testing.
+     * Returns `StatusCode::Infeasible` instead of aborting when block
+     * demand exceeds the chip's sites.
+     */
+    StatusOr<Placement> initialPlacement(const Netlist &netlist,
+                                         const FpsaArch &arch,
+                                         Rng &rng) const;
 
   private:
+    Placement placeReference(const Netlist &netlist, const FpsaArch &arch,
+                             Placement p, Rng &rng) const;
+    Placement placeIncremental(const Netlist &netlist,
+                               const FpsaArch &arch, Placement p,
+                               Rng &rng) const;
+
     PlacerParams params_;
 };
 

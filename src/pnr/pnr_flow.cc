@@ -1,22 +1,44 @@
 #include "pnr/pnr_flow.hh"
 
+#include <chrono>
+#include <utility>
+
 #include "common/logging.hh"
 #include "routing/rr_graph.hh"
 
 namespace fpsa
 {
 
-PnrResult
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+millisSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+StatusOr<PnrResult>
 runPnrOnArch(const Netlist &netlist, const FpsaArch &arch,
              const PnrOptions &options)
 {
     SaPlacer placer(options.placer);
-    Placement placement = placer.place(netlist, arch);
+    const auto place_start = Clock::now();
+    auto placement = placer.place(netlist, arch);
+    if (!placement.ok())
+        return placement.status();
 
-    PnrResult result{arch, std::move(placement), {}, false, std::nullopt,
-                     0.0};
+    PnrResult result{arch,  std::move(placement).value(), {}, false,
+                     std::nullopt, 0.0,  0.0, 0.0};
+    result.placeMillis = millisSince(place_start);
     result.placementHpwl = placementCost(netlist, result.placement);
 
+    const auto route_start = Clock::now();
     if (options.fullRoute) {
         RrGraph graph(arch);
         PathFinderRouter router(options.router);
@@ -36,10 +58,11 @@ runPnrOnArch(const Netlist &netlist, const FpsaArch &arch,
                                        arch.params().switches);
         result.routed = true; // estimation never models congestion failure
     }
+    result.routeMillis = millisSince(route_start);
     return result;
 }
 
-PnrResult
+StatusOr<PnrResult>
 runPnr(const Netlist &netlist, const PnrOptions &options)
 {
     const FpsaArch arch = FpsaArch::forNetlist(netlist, options.archMargin,

@@ -9,6 +9,11 @@
  *  - Fast: SA placement + geometric delay estimation.  Used by the
  *    benchmark sweeps where thousands of configurations are evaluated
  *    (mirrors how mrVPR reports feed the paper's simulator).
+ *
+ * Infeasible netlists (block demand beyond the chip's sites) surface
+ * as `StatusCode::Infeasible` instead of aborting the process, and the
+ * result carries per-phase wall-clock timings so `Pipeline::report()`
+ * and the perf benches can track where PnR time goes.
  */
 
 #ifndef FPSA_PNR_PNR_FLOW_HH
@@ -17,6 +22,7 @@
 #include <optional>
 
 #include "arch/fpsa_arch.hh"
+#include "common/status.hh"
 #include "mapper/netlist.hh"
 #include "pnr/placement.hh"
 #include "pnr/router.hh"
@@ -46,19 +52,25 @@ struct PnrResult
     bool routed = false;         //!< congestion-free (full mode only)
     std::optional<RoutingResult> routing; //!< present in full mode
     double placementHpwl = 0.0;
+
+    // Per-phase wall-clock timings (threaded into Pipeline::report()).
+    double placeMillis = 0.0;
+    double routeMillis = 0.0;
 };
 
 /**
  * Run the flow on an auto-sized chip.
  */
-PnrResult runPnr(const Netlist &netlist, const PnrOptions &options);
+StatusOr<PnrResult> runPnr(const Netlist &netlist,
+                           const PnrOptions &options);
 
 /**
- * Run the flow on a caller-provided chip (fatals if the netlist does
- * not fit).
+ * Run the flow on a caller-provided chip.  Returns
+ * `StatusCode::Infeasible` when the netlist does not fit.
  */
-PnrResult runPnrOnArch(const Netlist &netlist, const FpsaArch &arch,
-                       const PnrOptions &options);
+StatusOr<PnrResult> runPnrOnArch(const Netlist &netlist,
+                                 const FpsaArch &arch,
+                                 const PnrOptions &options);
 
 } // namespace fpsa
 

@@ -4,6 +4,22 @@
  * PathFinder-style negotiated congestion (paper Sec. 5.3 uses Dijkstra
  * to minimize critical-path latency; PathFinder iteration resolves the
  * capacity conflicts that single-shot Dijkstra leaves behind).
+ *
+ * Two router algorithms share the cost model:
+ *
+ *  - Incremental (default): epoch-stamped lazy-reset search state,
+ *    multi-source Dijkstra that grows each net as a route tree, an
+ *    admissible A* lookahead from a precomputed grid-distance delay
+ *    table, and after the first iteration only nets touching overused
+ *    segments are ripped up and rerouted.
+ *  - Reference: the original full-reroute router (per-sink Dijkstra
+ *    restarted from the driver, O(nodes) state reset per sink).  Kept
+ *    as the quality/perf baseline for `bench/pnr_scaling` and the
+ *    regression tests.
+ *
+ * Nets are routed in a stable order (decreasing placed bounding box,
+ * then decreasing width, then net id) so results are reproducible
+ * across platforms regardless of netlist construction order.
  */
 
 #ifndef FPSA_PNR_ROUTER_HH
@@ -19,13 +35,36 @@
 namespace fpsa
 {
 
+/** Router algorithm selector. */
+enum class RouterAlgorithm : std::uint8_t
+{
+    Reference,   //!< original per-sink full-reroute router
+    Incremental, //!< route-tree growth + A* + incremental rip-up
+};
+
 /** Router tuning knobs. */
 struct RouterParams
 {
     int maxIterations = 24;
     double presFacFirst = 0.6;  //!< present-congestion factor, iter 1
     double presFacMult = 1.7;   //!< growth per iteration
+    /**
+     * Ceiling on the present-congestion factor (incremental algorithm
+     * only; the reference router keeps its original unbounded growth).
+     * Unbounded growth washes out the history term, so ties between
+     * equally-full segments never break and conflicting nets oscillate
+     * forever (VPR caps pres_fac for the same reason).
+     */
+    double presFacMax = 64.0;
     double histFac = 0.35;      //!< historical congestion accumulation
+
+    RouterAlgorithm algorithm = RouterAlgorithm::Incremental;
+    /**
+     * A* lookahead weight (incremental algorithm only).  1.0 keeps the
+     * heuristic admissible (shortest paths identical to Dijkstra);
+     * larger trades optimality for speed like VPR's astar_fac.
+     */
+    double astarFac = 1.0;
 
     bool operator==(const RouterParams &) const = default;
 };
@@ -54,6 +93,12 @@ struct RoutingResult
     NanoSeconds maxNetDelay = 0.0;   //!< the critical net
     double peakChannelUtilization = 0.0; //!< max usage/capacity
     std::int64_t overusedSegments = 0;   //!< left when success == false
+
+    /** Net-routing operations summed over iterations (perf counter). */
+    std::int64_t netsRouted = 0;
+
+    /** Track-segments consumed: sum over nets of width x segmentsUsed. */
+    std::int64_t totalWirelength = 0;
 };
 
 /** PathFinder negotiated-congestion router. */
@@ -71,6 +116,13 @@ class PathFinderRouter
                         const Placement &placement) const;
 
   private:
+    RoutingResult routeReference(const Netlist &netlist,
+                                 const RrGraph &graph,
+                                 const Placement &placement) const;
+    RoutingResult routeIncremental(const Netlist &netlist,
+                                   const RrGraph &graph,
+                                   const Placement &placement) const;
+
     RouterParams params_;
 };
 

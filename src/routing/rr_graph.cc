@@ -1,5 +1,7 @@
 #include "routing/rr_graph.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace fpsa
@@ -61,6 +63,10 @@ RrGraph::RrGraph(const FpsaArch &arch) : arch_(&arch)
             snk.delay = sw.cbDelay;
         }
     }
+
+    minChanDelay_ = sw.segmentDelay + sw.sbDelay;
+    for (std::size_t i = 0; i < numChan_; ++i)
+        minChanDelay_ = std::min(minChanDelay_, nodes_[i].delay);
 
     // Switch-box corner (cx, cy), cx in [0,w], cy in [0,h], joins:
     //   ChanX(cx-1, cy), ChanX(cx, cy), ChanY(cx, cy-1), ChanY(cx, cy).

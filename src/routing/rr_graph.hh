@@ -79,6 +79,13 @@ class RrGraph
     /** Total channel-segment nodes (wiring supply diagnostic). */
     std::size_t channelSegmentCount() const { return numChan_; }
 
+    /**
+     * Smallest traversal delay over all capacitated channel nodes: the
+     * admissible per-hop lower bound the router's A* lookahead scales
+     * by grid distance.
+     */
+    NanoSeconds minChannelDelay() const { return minChanDelay_; }
+
   private:
     void addEdge(RrNodeId from, RrNodeId to);
 
@@ -86,6 +93,7 @@ class RrGraph
     std::vector<RrNode> nodes_;
     std::vector<std::vector<RrNodeId>> adj_;
     std::size_t numChan_ = 0;
+    NanoSeconds minChanDelay_ = 0.0;
     // Layout offsets into the node array.
     std::int32_t chanXBase_ = 0;
     std::int32_t chanYBase_ = 0;

@@ -28,7 +28,7 @@ routedChain(Netlist &nl, int n)
                   {pes[static_cast<std::size_t>(i + 1)]}, 64);
     PnrOptions opt;
     opt.fullRoute = true;
-    return runPnr(nl, opt);
+    return runPnr(nl, opt).value();
 }
 
 TEST(ConfigGen, SiteProgramsCoverTheGrid)
@@ -110,7 +110,7 @@ TEST(ConfigGen, MixedBlockTypes)
     nl.addNet("b", clb, {pe}, 4);
     PnrOptions opt;
     opt.fullRoute = true;
-    const PnrResult pnr = runPnr(nl, opt);
+    const PnrResult pnr = runPnr(nl, opt).value();
     ASSERT_TRUE(pnr.routed);
     const FpsaConfiguration config =
         FpsaConfiguration::generate(nl, pnr);

@@ -94,7 +94,7 @@ TEST(Placer, InitialPlacementIsLegal)
     FpsaArch arch = FpsaArch::forNetlist(nl);
     Rng rng(1);
     SaPlacer placer;
-    Placement p = placer.initialPlacement(nl, arch, rng);
+    Placement p = placer.initialPlacement(nl, arch, rng).value();
     std::set<std::pair<int, int>> used;
     for (std::size_t b = 0; b < nl.blocks().size(); ++b) {
         const auto [x, y] = p.loc[b];
@@ -110,8 +110,8 @@ TEST(Placer, AnnealingImprovesCost)
     Rng rng(2);
     SaPlacer placer;
     const double initial =
-        placementCost(nl, placer.initialPlacement(nl, arch, rng));
-    Placement annealed = placer.place(nl, arch);
+        placementCost(nl, placer.initialPlacement(nl, arch, rng).value());
+    Placement annealed = placer.place(nl, arch).value();
     const double final_cost = placementCost(nl, annealed);
     EXPECT_LT(final_cost, initial * 0.7);
     // A 30-block chain placed well has cost near 30 (unit steps x 64).
@@ -125,7 +125,7 @@ TEST(Placer, PlacementStaysLegalAfterAnnealing)
     nl.addBlock(BlockType::Clb, "ctl0");
     FpsaArch arch = FpsaArch::forNetlist(nl, 1.5);
     SaPlacer placer;
-    Placement p = placer.place(nl, arch);
+    Placement p = placer.place(nl, arch).value();
     std::set<std::pair<int, int>> used;
     for (std::size_t b = 0; b < nl.blocks().size(); ++b) {
         const auto [x, y] = p.loc[b];
@@ -139,7 +139,7 @@ TEST(Router, RoutesSimpleChain)
     Netlist nl = chainNetlist(5, 64);
     FpsaArch arch = smallArch(4);
     SaPlacer placer;
-    Placement p = placer.place(nl, arch);
+    Placement p = placer.place(nl, arch).value();
     RrGraph g(arch);
     PathFinderRouter router;
     RoutingResult r = router.route(nl, g, p);
@@ -157,7 +157,7 @@ TEST(Router, PathsAreContiguousAndEndCorrectly)
     Netlist nl = chainNetlist(6, 32);
     FpsaArch arch = smallArch(4);
     SaPlacer placer;
-    Placement p = placer.place(nl, arch);
+    Placement p = placer.place(nl, arch).value();
     RrGraph g(arch);
     RoutingResult r = PathFinderRouter().route(nl, g, p);
     ASSERT_TRUE(r.success);
@@ -193,7 +193,7 @@ TEST(Router, NegotiatesCongestion)
                   {right[static_cast<std::size_t>(i)]}, 60);
     FpsaArch arch = smallArch(4, 128); // 2 nets/channel tops
     SaPlacer placer;
-    Placement p = placer.place(nl, arch);
+    Placement p = placer.place(nl, arch).value();
     RrGraph g(arch);
     RoutingResult r = PathFinderRouter().route(nl, g, p);
     EXPECT_TRUE(r.success);
@@ -217,7 +217,7 @@ TEST(Router, FailsWhenDemandExceedsSupply)
     params.clbFraction = 0.0;
     FpsaArch arch(params);
     SaPlacer placer;
-    Placement p = placer.place(nl, arch);
+    Placement p = placer.place(nl, arch).value();
     RrGraph g(arch);
     RouterParams rp;
     rp.maxIterations = 8;
@@ -236,7 +236,7 @@ TEST(Router, MultiSinkSharesRouteTree)
     nl.addNet("fan", src, sinks, 64);
     FpsaArch arch = smallArch(3);
     SaPlacer placer;
-    Placement p = placer.place(nl, arch);
+    Placement p = placer.place(nl, arch).value();
     RrGraph g(arch);
     RoutingResult r = PathFinderRouter().route(nl, g, p);
     ASSERT_TRUE(r.success);
@@ -248,7 +248,7 @@ TEST(Timing, ReportMatchesRouting)
     Netlist nl = chainNetlist(5, 16);
     FpsaArch arch = smallArch(4);
     SaPlacer placer;
-    Placement p = placer.place(nl, arch);
+    Placement p = placer.place(nl, arch).value();
     RrGraph g(arch);
     RoutingResult r = PathFinderRouter().route(nl, g, p);
     ASSERT_TRUE(r.success);
@@ -281,11 +281,199 @@ TEST(Timing, EstimateTracksDistance)
                 1e-12);
 }
 
+/** A pseudo-random netlist with mixed widths and fanouts. */
+Netlist
+randomNetlist(Rng &rng, int blocks, int nets, int max_width)
+{
+    Netlist nl;
+    for (int b = 0; b < blocks; ++b)
+        nl.addBlock(BlockType::Pe, "pe" + std::to_string(b));
+    for (int i = 0; i < nets; ++i) {
+        const BlockId a = static_cast<BlockId>(
+            rng.uniformInt(static_cast<std::uint64_t>(blocks)));
+        const int fanout = 1 + static_cast<int>(rng.uniformInt(3));
+        std::vector<BlockId> sinks;
+        for (int s = 0; s < fanout; ++s) {
+            BlockId b;
+            do {
+                b = static_cast<BlockId>(rng.uniformInt(
+                    static_cast<std::uint64_t>(blocks)));
+            } while (b == a);
+            sinks.push_back(b);
+        }
+        nl.addNet("n" + std::to_string(i), a, std::move(sinks),
+                  1 + static_cast<int>(rng.uniformInt(
+                          static_cast<std::uint64_t>(max_width))));
+    }
+    return nl;
+}
+
+/** Check every routed-net invariant the router promises on success:
+ *  contiguous source-to-sink paths and no capacitated node used beyond
+ *  its capacity (usage recomputed from scratch, not trusted from the
+ *  router's own bookkeeping). */
+void
+expectLegalRouting(const Netlist &nl, const RrGraph &g,
+                   const Placement &p, const RoutingResult &r)
+{
+    ASSERT_EQ(r.nets.size(), nl.nets().size());
+    std::vector<std::int64_t> usage(g.nodeCount(), 0);
+    for (NetId n = 0; n < static_cast<NetId>(nl.nets().size()); ++n) {
+        const Net &net = nl.net(n);
+        const RoutedNet &routed = r.nets[static_cast<std::size_t>(n)];
+        ASSERT_EQ(routed.sinkPaths.size(), net.sinks.size());
+        std::set<RrNodeId> charged;
+        const auto &[sx, sy] = p.of(net.driver);
+        for (std::size_t k = 0; k < net.sinks.size(); ++k) {
+            const auto &path = routed.sinkPaths[k];
+            const auto &[tx, ty] = p.of(net.sinks[k]);
+            ASSERT_GE(path.size(), 2u) << "net " << n;
+            EXPECT_EQ(path.front(), g.sourceAt(sx, sy)) << "net " << n;
+            EXPECT_EQ(path.back(), g.sinkAt(tx, ty)) << "net " << n;
+            for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+                const auto &adj = g.adjacent(path[i]);
+                ASSERT_NE(std::find(adj.begin(), adj.end(), path[i + 1]),
+                          adj.end())
+                    << "broken path in net " << n;
+            }
+            for (RrNodeId id : path) {
+                if (g.node(id).capacity > 0)
+                    charged.insert(id);
+            }
+        }
+        for (RrNodeId id : charged)
+            usage[static_cast<std::size_t>(id)] += net.width;
+    }
+    for (std::size_t id = 0; id < g.nodeCount(); ++id) {
+        const RrNode &node = g.node(static_cast<RrNodeId>(id));
+        if (node.capacity > 0) {
+            EXPECT_LE(usage[id], node.capacity)
+                << "node " << id << " overused on a successful route";
+        }
+    }
+}
+
+TEST(Router, LegalityInvariantsOnRandomNetlists)
+{
+    for (int seed : {1, 2, 3}) {
+        Rng rng(static_cast<std::uint64_t>(seed) * 7919);
+        Netlist nl = randomNetlist(rng, 14, 20, 48);
+        FpsaArch arch = FpsaArch::forNetlist(nl);
+        SaPlacer placer;
+        Placement p = placer.place(nl, arch).value();
+        RrGraph g(arch);
+        RoutingResult r = PathFinderRouter().route(nl, g, p);
+        ASSERT_TRUE(r.success) << "seed " << seed;
+        expectLegalRouting(nl, g, p, r);
+    }
+}
+
+TEST(Router, IncrementalMatchesReferenceQuality)
+{
+    // Same placement through both router algorithms: both must route
+    // legally, and the incremental router's wirelength must stay
+    // within 10% of the reference (pre-rewrite) router's.
+    for (int seed : {1, 2, 3}) {
+        Rng rng(static_cast<std::uint64_t>(seed) * 104729);
+        Netlist nl = randomNetlist(rng, 16, 24, 40);
+        FpsaArch arch = FpsaArch::forNetlist(nl);
+        SaPlacer placer;
+        Placement p = placer.place(nl, arch).value();
+        RrGraph g(arch);
+
+        RouterParams ref_params;
+        ref_params.algorithm = RouterAlgorithm::Reference;
+        RoutingResult ref = PathFinderRouter(ref_params).route(nl, g, p);
+        RoutingResult inc = PathFinderRouter().route(nl, g, p);
+        ASSERT_TRUE(ref.success) << "seed " << seed;
+        ASSERT_TRUE(inc.success) << "seed " << seed;
+        expectLegalRouting(nl, g, p, inc);
+        EXPECT_GT(inc.totalWirelength, 0);
+        EXPECT_LE(inc.totalWirelength,
+                  static_cast<std::int64_t>(
+                      static_cast<double>(ref.totalWirelength) * 1.10))
+            << "seed " << seed;
+    }
+}
+
+TEST(Placer, IncrementalQualityWithinToleranceOfReference)
+{
+    Rng rng(17);
+    Netlist nl = randomNetlist(rng, 24, 30, 64);
+    FpsaArch arch = FpsaArch::forNetlist(nl);
+
+    PlacerParams ref_params;
+    ref_params.algorithm = PlacerAlgorithm::Reference;
+    const double ref_cost = placementCost(
+        nl, SaPlacer(ref_params).place(nl, arch).value());
+    const double inc_cost =
+        placementCost(nl, SaPlacer().place(nl, arch).value());
+    EXPECT_GT(inc_cost, 0.0);
+    EXPECT_LE(inc_cost, ref_cost * 1.10);
+}
+
+TEST(Pnr, SameSeedSameResult)
+{
+    // Same options (and thus the same seed) must reproduce the exact
+    // placement and every routed path, byte for byte: the pipeline is
+    // deterministic across runs and platforms.
+    Rng rng(99);
+    Netlist nl = randomNetlist(rng, 12, 18, 32);
+    PnrOptions opt;
+    opt.fullRoute = true;
+    const PnrResult a = runPnr(nl, opt).value();
+    const PnrResult b = runPnr(nl, opt).value();
+    ASSERT_TRUE(a.routed);
+    ASSERT_TRUE(b.routed);
+    EXPECT_EQ(a.placement.loc, b.placement.loc);
+    ASSERT_TRUE(a.routing.has_value() && b.routing.has_value());
+    ASSERT_EQ(a.routing->nets.size(), b.routing->nets.size());
+    for (std::size_t n = 0; n < a.routing->nets.size(); ++n) {
+        EXPECT_EQ(a.routing->nets[n].sinkPaths,
+                  b.routing->nets[n].sinkPaths)
+            << "net " << n;
+    }
+}
+
+TEST(Placer, InfeasibleNetlistReturnsStatus)
+{
+    // 9 PEs cannot fit a 2x2 chip: the placer must report Infeasible
+    // through the Status channel instead of aborting the process (the
+    // same channel Pipeline::placeAndRoute() propagates).
+    Netlist nl = chainNetlist(9, 16);
+    ArchParams params;
+    params.width = 2;
+    params.height = 2;
+    params.smbFraction = 0.0;
+    params.clbFraction = 0.0;
+    FpsaArch arch(params);
+
+    SaPlacer placer;
+    auto placed = placer.place(nl, arch);
+    ASSERT_FALSE(placed.ok());
+    EXPECT_EQ(placed.status().code(), StatusCode::Infeasible);
+
+    auto flow = runPnrOnArch(nl, arch, PnrOptions{});
+    ASSERT_FALSE(flow.ok());
+    EXPECT_EQ(flow.status().code(), StatusCode::Infeasible);
+    EXPECT_NE(flow.status().message().find("sites"), std::string::npos);
+}
+
+TEST(PnrFlow, ReportsPhaseTimings)
+{
+    Netlist nl = chainNetlist(8, 64);
+    PnrOptions opt;
+    const PnrResult r = runPnr(nl, opt).value();
+    EXPECT_GE(r.placeMillis, 0.0);
+    EXPECT_GE(r.routeMillis, 0.0);
+    EXPECT_GT(r.placeMillis + r.routeMillis, 0.0);
+}
+
 TEST(PnrFlow, FullFlowOnAutoSizedChip)
 {
     Netlist nl = chainNetlist(9, 128);
     PnrOptions opt;
-    PnrResult result = runPnr(nl, opt);
+    PnrResult result = runPnr(nl, opt).value();
     EXPECT_TRUE(result.routed);
     ASSERT_TRUE(result.routing.has_value());
     EXPECT_GT(result.timing.avgNetDelay, 0.0);
@@ -299,8 +487,8 @@ TEST(PnrFlow, FastModeApproximatesFullMode)
     full.fullRoute = true;
     fast.fullRoute = false;
     fast.placer.seed = full.placer.seed;
-    PnrResult rf = runPnr(nl, full);
-    PnrResult re = runPnr(nl, fast);
+    PnrResult rf = runPnr(nl, full).value();
+    PnrResult re = runPnr(nl, fast).value();
     ASSERT_TRUE(rf.routed);
     ASSERT_TRUE(re.routed);
     // Same placement seed: estimated delay within 2x of routed delay.

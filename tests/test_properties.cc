@@ -299,7 +299,7 @@ TEST_P(RouterFuzz, RandomNetlistsRouteWithoutOveruse)
     PnrOptions opt;
     opt.fullRoute = true;
     opt.placer.seed = static_cast<std::uint64_t>(GetParam());
-    const PnrResult r = runPnr(nl, opt);
+    const PnrResult r = runPnr(nl, opt).value();
     EXPECT_TRUE(r.routed) << "seed " << GetParam();
     ASSERT_TRUE(r.routing.has_value());
     EXPECT_LE(r.routing->peakChannelUtilization, 1.0);
@@ -315,8 +315,8 @@ TEST(RouterProperties, DeterministicAcrossRuns)
     Netlist nl = randomNetlist(rng, 10, 14, 32);
     PnrOptions opt;
     opt.fullRoute = true;
-    const PnrResult a = runPnr(nl, opt);
-    const PnrResult b = runPnr(nl, opt);
+    const PnrResult a = runPnr(nl, opt).value();
+    const PnrResult b = runPnr(nl, opt).value();
     ASSERT_TRUE(a.routed);
     ASSERT_TRUE(b.routed);
     EXPECT_EQ(a.timing.avgNetDelay, b.timing.avgNetDelay);
@@ -332,7 +332,7 @@ TEST(RouterProperties, WiderChannelsNeverWorsenDelay)
         PnrOptions opt;
         opt.fullRoute = true;
         opt.channelWidth = cw;
-        const PnrResult r = runPnr(nl, opt);
+        const PnrResult r = runPnr(nl, opt).value();
         ASSERT_TRUE(r.routed) << "cw=" << cw;
         EXPECT_LE(r.timing.avgNetDelay, prev * 1.05) << "cw=" << cw;
         prev = r.timing.avgNetDelay;
