@@ -119,7 +119,7 @@ ablateBufferInsertion()
     randomizeWeights(g, rng);
     Tensor x({1, 10, 10});
     x.fill(0.5f);
-    FunctionalSynthesis synth = synthesizeFunctional(g, x);
+    FunctionalSynthesis synth = synthesizeFunctional(g, x).value();
 
     Table t({"Duplication", "PEs", "Makespan (cycles)", "Buffers",
              "Makespan if fully buffered (lower bound)"});

@@ -131,7 +131,7 @@ BM_ScheduleFunctionalCnn(benchmark::State &state)
     randomizeWeights(g, rng);
     Tensor x({1, 10, 10});
     x.fill(0.5f);
-    FunctionalSynthesis synth = synthesizeFunctional(g, x);
+    FunctionalSynthesis synth = synthesizeFunctional(g, x).value();
     const auto dup = duplicationForGraph(synth.coreOps, 4);
     for (auto _ : state) {
         auto [assign, pes] = assignPes(synth.coreOps, dup);
@@ -151,7 +151,7 @@ BM_RunCoreOpsCnn(benchmark::State &state)
     randomizeWeights(g, rng);
     Tensor x({1, 10, 10});
     x.fill(0.5f);
-    FunctionalSynthesis synth = synthesizeFunctional(g, x);
+    FunctionalSynthesis synth = synthesizeFunctional(g, x).value();
     const auto counts = encodeInputCounts(synth, x);
     for (auto _ : state) {
         auto out = runCoreOps(synth, counts);

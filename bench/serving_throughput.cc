@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Serving-throughput bench: sweeps `fpsa::Engine` worker-thread and
+ * batch-size configurations over a LeNet-class CompiledModel and emits
+ * one JSON object per line, anchoring the serving runtime's perf
+ * trajectory the way pnr_scaling anchors the compiler's.
+ *
+ *   $ ./serving_throughput > serving.jsonl          # full sweep
+ *   $ ./serving_throughput --small                  # CI smoke sizes
+ *   $ ./serving_throughput --save model.fpsa.json   # compile + persist
+ *   $ ./serving_throughput --load model.fpsa.json   # serve w/o compiling
+ *
+ * --save/--load exercise the deployment split: one process compiles
+ * and saves the artifact, another loads and serves it with no compile
+ * stack in the loop (the `source` field records which happened).
+ *
+ * The baseline line is blocking single-thread `infer()`; sweep lines
+ * report engine throughput, speedup over that baseline, queue-wait
+ * percentiles and the realized batch histogram.  The summary line's
+ * `speedupAt4Workers` is the acceptance metric -- meaningful only when
+ * `hardwareConcurrency` actually offers cores to scale onto.
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "nn/builder.hh"
+#include "nn/execute.hh"
+#include "pipeline.hh"
+#include "runtime/compiled_model.hh"
+#include "runtime/engine.hh"
+
+using namespace fpsa;
+
+namespace
+{
+
+/** LeNet-class CNN (28x28 input, two conv/pool stages, FC head). */
+Graph
+lenetClassModel()
+{
+    GraphBuilder b({1, 28, 28});
+    b.conv(6, 5, 1, 0).relu().maxPool(2, 2);
+    b.conv(16, 5, 1, 0).relu().maxPool(2, 2);
+    b.flatten().fc(120).relu().fc(84).relu().fc(10);
+    Graph g = b.build();
+    Rng rng(2019);
+    randomizeWeights(g, rng);
+    return g;
+}
+
+Tensor
+sampleInput(int id)
+{
+    Tensor t({1, 28, 28});
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+        t[i] = static_cast<float>((i * (id + 1)) % 97) / 97.0f;
+    }
+    return t;
+}
+
+double
+runSequentialBaseline(const std::shared_ptr<const CompiledModel> &model,
+                      int requests)
+{
+    EngineOptions options;
+    options.workerThreads = 1;
+    options.maxBatch = 1;
+    auto engine = Engine::create(model, options);
+    if (!engine.ok()) {
+        std::cerr << "baseline engine: " << engine.status().toString()
+                  << "\n";
+        std::exit(1);
+    }
+    for (int i = 0; i < requests; ++i) {
+        auto r = (*engine)->infer(sampleInput(i));
+        if (!r.ok()) {
+            std::cerr << "baseline infer: " << r.status().toString()
+                      << "\n";
+            std::exit(1);
+        }
+    }
+    return (*engine)->stats().throughput;
+}
+
+struct SweepPoint
+{
+    int threads = 1;
+    int maxBatch = 1;
+    double throughput = 0.0;
+};
+
+SweepPoint
+runSweepPoint(const std::shared_ptr<const CompiledModel> &model,
+              int threads, int max_batch, int requests)
+{
+    EngineOptions options;
+    options.workerThreads = threads;
+    options.maxBatch = max_batch;
+    options.queueDepth = requests;
+    auto engine = Engine::create(model, options);
+    if (!engine.ok()) {
+        std::cerr << "engine: " << engine.status().toString() << "\n";
+        std::exit(1);
+    }
+
+    std::vector<std::future<StatusOr<InferenceResult>>> futures;
+    futures.reserve(static_cast<std::size_t>(requests));
+    for (int i = 0; i < requests; ++i)
+        futures.push_back((*engine)->submit(sampleInput(i)));
+    for (auto &f : futures) {
+        auto r = f.get();
+        if (!r.ok()) {
+            std::cerr << "infer: " << r.status().toString() << "\n";
+            std::exit(1);
+        }
+    }
+
+    const EngineStats stats = (*engine)->stats();
+    JsonWriter j;
+    j.beginObject();
+    j.field("kind", "sweep");
+    j.field("workerThreads", threads);
+    j.field("maxBatch", max_batch);
+    j.field("requests", requests);
+    j.field("throughput", stats.throughput);
+    j.field("avgBatchSize", stats.avgBatchSize);
+    j.field("batches", stats.batches);
+    j.key("queueWaitMillis").beginObject();
+    j.field("p50", stats.p50QueueMillis);
+    j.field("p95", stats.p95QueueMillis);
+    j.field("max", stats.maxQueueMillis);
+    j.endObject();
+    j.endObject();
+    std::cout << j.str() << "\n";
+
+    SweepPoint point;
+    point.threads = threads;
+    point.maxBatch = max_batch;
+    point.throughput = stats.throughput;
+    return point;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool small = false;
+    std::string save_path, load_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--small") == 0) {
+            small = true;
+        } else if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
+            save_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--load") == 0 && i + 1 < argc) {
+            load_path = argv[++i];
+        } else {
+            std::cerr << "usage: serving_throughput [--small] "
+                         "[--save path] [--load path]\n";
+            return 2;
+        }
+    }
+
+    setLogLevel(LogLevel::Quiet);
+
+    // Obtain the compiled model: load a saved artifact (no compile
+    // stack in the loop) or compile the LeNet-class CNN here.
+    std::shared_ptr<const CompiledModel> model;
+    std::string source = "compiled";
+    if (!load_path.empty()) {
+        auto loaded = CompiledModel::load(load_path);
+        if (!loaded.ok()) {
+            std::cerr << "load: " << loaded.status().toString() << "\n";
+            return 1;
+        }
+        model = std::make_shared<CompiledModel>(
+            std::move(loaded).value());
+        source = "loaded";
+    } else {
+        CompileOptions options;
+        options.duplicationDegree = 16;
+        Pipeline pipeline(lenetClassModel(), options);
+        auto compiled = pipeline.compile();
+        if (!compiled.ok()) {
+            std::cerr << "compile: " << compiled.status().toString()
+                      << "\n";
+            return 1;
+        }
+        model = std::make_shared<CompiledModel>(
+            std::move(compiled).value());
+    }
+    if (!save_path.empty()) {
+        if (Status s = model->save(save_path); !s.ok()) {
+            std::cerr << "save: " << s.toString() << "\n";
+            return 1;
+        }
+    }
+
+    const int requests = small ? 48 : 256;
+    const std::vector<int> thread_sweep = small ? std::vector<int>{1, 4}
+                                                : std::vector<int>{1, 2,
+                                                                   4, 8};
+    const std::vector<int> batch_sweep =
+        small ? std::vector<int>{4} : std::vector<int>{1, 4, 16};
+
+    {
+        JsonWriter j;
+        j.beginObject();
+        j.field("kind", "model");
+        j.field("source", source);
+        j.field("weights", model->graph().weightCount());
+        j.field("opsPerSample", model->graph().opCount());
+        j.field("pes", model->allocation().totalPes);
+        j.field("modeledLatencyNs", model->performance().latency);
+        j.field("hardwareConcurrency",
+                static_cast<std::int64_t>(
+                    std::thread::hardware_concurrency()));
+        j.endObject();
+        std::cout << j.str() << "\n";
+    }
+
+    const double baseline = runSequentialBaseline(model, requests);
+    {
+        JsonWriter j;
+        j.beginObject();
+        j.field("kind", "baseline");
+        j.field("requests", requests);
+        j.field("throughput", baseline);
+        j.endObject();
+        std::cout << j.str() << "\n";
+    }
+
+    double best_at_4 = 0.0, best_overall = 0.0;
+    for (int threads : thread_sweep) {
+        for (int max_batch : batch_sweep) {
+            const SweepPoint point =
+                runSweepPoint(model, threads, max_batch, requests);
+            best_overall = std::max(best_overall, point.throughput);
+            if (point.threads == 4)
+                best_at_4 = std::max(best_at_4, point.throughput);
+        }
+    }
+
+    JsonWriter j;
+    j.beginObject();
+    j.field("kind", "summary");
+    j.field("source", source);
+    j.field("baselineThroughput", baseline);
+    j.field("bestThroughput", best_overall);
+    j.field("speedupAt4Workers",
+            baseline > 0.0 ? best_at_4 / baseline : 0.0);
+    j.field("bestSpeedup",
+            baseline > 0.0 ? best_overall / baseline : 0.0);
+    j.field("hardwareConcurrency",
+            static_cast<std::int64_t>(
+                std::thread::hardware_concurrency()));
+    j.endObject();
+    std::cout << j.str() << "\n";
+    return 0;
+}

@@ -5,9 +5,9 @@
  *
  * Changing the duplication degree scopes to the mapping stage, so the
  * pipeline invalidates map -> evaluate and reuses the cached synthesis;
- * the one-shot `compileForFpsa` facade re-runs the whole stack per
- * point.  The example runs the sweep both ways and reports the measured
- * recompile-time win.
+ * a fresh one-shot compile (what the deprecated `compileForFpsa` facade
+ * did) re-runs the whole stack per point.  The example runs the sweep
+ * both ways and reports the measured recompile-time win.
  *
  *   $ ./duplication_sweep
  */
@@ -85,7 +85,9 @@ main()
         for (std::int64_t degree : degrees) {
             CompileOptions options;
             options.duplicationDegree = degree;
-            CompileResult r = compileForFpsa(model, options);
+            // A fresh pipeline per point: nothing carries over, so the
+            // whole stack re-runs -- the one-shot facade's behaviour.
+            auto r = Pipeline(model, options).result();
             (void)r;
         }
         oneshot_ms = std::min(oneshot_ms, millisSince(oneshot_start));

@@ -1,11 +1,14 @@
 /**
  * @file
  * Quickstart: define a network with the builder API, compile it with
- * the staged `Pipeline` API, and read each stage's artifact.
+ * the staged `Pipeline` API, read each stage's artifact, then freeze
+ * it into a `CompiledModel` and serve it with the concurrent `Engine`
+ * (compile once -> save -> load -> submit).
  *
  *   $ ./quickstart
  */
 
+#include <cstdio>
 #include <iostream>
 
 #include "fpsa.hh"
@@ -101,5 +104,72 @@ main()
                   << pipeline.stats(Stage::Synthesize).runs
                   << "x total)\n";
     }
+
+    // 5. Freeze the compile into a deployable artifact and serve it.
+    //    compile() needs real weights; save/load shows the
+    //    compile-once / serve-many split (load() in a fresh process
+    //    skips the whole compile stack).
+    Rng rng(7);
+    randomizeWeights(model, rng);
+    Pipeline serving_pipeline(model, options);
+    auto compiled = serving_pipeline.compile();
+    if (!compiled.ok()) {
+        std::cerr << "compile failed: " << compiled.status().toString()
+                  << "\n";
+        return 1;
+    }
+    const std::string artifact = "quickstart.fpsa.json";
+    if (Status s = compiled->save(artifact); !s.ok()) {
+        std::cerr << "save failed: " << s.toString() << "\n";
+        return 1;
+    }
+    auto loaded = CompiledModel::load(artifact);
+    if (!loaded.ok()) {
+        std::cerr << "load failed: " << loaded.status().toString() << "\n";
+        return 1;
+    }
+    std::cout << "\ncompiled artifact: " << artifact << " (input "
+              << shapeToString(loaded->inputShape()) << ", "
+              << loaded->allocation().totalPes << " PEs)\n";
+
+    EngineOptions serving;
+    serving.workerThreads = 2;
+    serving.maxBatch = 4;
+    auto engine = Engine::create(
+        std::make_shared<CompiledModel>(std::move(loaded).value()),
+        serving);
+    if (!engine.ok()) {
+        std::cerr << "engine failed: " << engine.status().toString()
+                  << "\n";
+        return 1;
+    }
+
+    std::vector<std::future<StatusOr<InferenceResult>>> futures;
+    for (int i = 0; i < 8; ++i) {
+        Tensor image({3, 32, 32});
+        image.fill(static_cast<float>(i) / 8.0f);
+        futures.push_back((*engine)->submit(std::move(image)));
+    }
+    for (auto &f : futures) {
+        auto r = f.get();
+        if (!r.ok()) {
+            std::cerr << "inference failed: " << r.status().toString()
+                      << "\n";
+            return 1;
+        }
+    }
+    auto one = (*engine)->infer(Tensor({3, 32, 32}));
+    if (!one.ok()) {
+        std::cerr << "inference failed: " << one.status().toString()
+                  << "\n";
+        return 1;
+    }
+    std::cout << "served " << ((*engine)->stats().completed)
+              << " requests; modeled "
+              << fmtDouble(one->modeledLatency / 1000.0, 2)
+              << " us and " << fmtEng(one->modeledEnergy * 1e-12)
+              << " J per sample on-chip\n";
+    std::cout << "engine stats: " << (*engine)->statsJson() << "\n";
+    std::remove(artifact.c_str());
     return 0;
 }

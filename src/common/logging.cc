@@ -1,18 +1,29 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace fpsa
 {
 
 namespace
 {
-LogLevel g_level = LogLevel::Normal;
+std::atomic<LogLevel> g_level{LogLevel::Normal};
+
+/**
+ * Serializes sink writes so messages from concurrent Engine workers
+ * never interleave mid-line (the thread-safety guarantee documented
+ * in logging.hh).  fatal/panic hold it through the format but release
+ * before exit/abort so a dying thread cannot wedge the others' logs.
+ */
+std::mutex g_sink_mutex;
 
 void
 vprint(const char *prefix, const char *fmt, va_list args)
 {
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
     std::fputs(prefix, stderr);
     std::vfprintf(stderr, fmt, args);
     std::fputc('\n', stderr);
@@ -22,19 +33,19 @@ vprint(const char *prefix, const char *fmt, va_list args)
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 void
 inform(const char *fmt, ...)
 {
-    if (g_level == LogLevel::Quiet)
+    if (logLevel() == LogLevel::Quiet)
         return;
     va_list args;
     va_start(args, fmt);
@@ -45,7 +56,7 @@ inform(const char *fmt, ...)
 void
 verbose(const char *fmt, ...)
 {
-    if (g_level != LogLevel::Verbose)
+    if (logLevel() != LogLevel::Verbose)
         return;
     va_list args;
     va_start(args, fmt);

@@ -6,6 +6,11 @@
  * fatal()  - the user asked for something impossible (bad config); exits.
  * warn()   - something works but is suspicious.
  * inform() - progress/status messages.
+ *
+ * Thread safety: every sink write is serialized by an internal mutex,
+ * so concurrent calls (e.g. from `fpsa::Engine` worker threads) emit
+ * whole lines that never interleave; the verbosity level is an atomic.
+ * Callers never need external locking around these functions.
  */
 
 #ifndef FPSA_COMMON_LOGGING_HH

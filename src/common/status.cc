@@ -12,6 +12,7 @@ statusCodeName(StatusCode code)
       case StatusCode::Infeasible: return "INFEASIBLE";
       case StatusCode::Unroutable: return "UNROUTABLE";
       case StatusCode::Internal: return "INTERNAL";
+      case StatusCode::Unavailable: return "UNAVAILABLE";
     }
     return "UNKNOWN";
 }

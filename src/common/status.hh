@@ -30,6 +30,9 @@ enum class StatusCode
     Infeasible,      //!< resources cannot satisfy the request
     Unroutable,      //!< PnR congestion was not negotiated away
     Internal,        //!< a stage produced an inconsistent artifact
+    Unavailable,     //!< the serving runtime rejected the request
+                     //!< (engine shut down / queue closed); retryable
+                     //!< against another engine, unlike InvalidArgument
 };
 
 const char *statusCodeName(StatusCode code);

@@ -1,19 +1,15 @@
 /**
  * @file
- * One-shot FPSA compilation wrapper, kept for callers that want the
- * whole Fig. 5 stack -- neural synthesizer, spatial-to-temporal mapper,
- * placement & routing, evaluation -- in a single call:
+ * The whole-stack option/result structs, plus the *deprecated* one-shot
+ * compilation wrapper.
  *
- *     Graph model = buildVgg16();
- *     CompileResult r = compileForFpsa(model, {.duplicationDegree = 64});
- *     // r.performance.throughput, r.performance.area, ...
- *
- * The primary entry point is now `fpsa::Pipeline` (pipeline.hh), which
- * exposes the same stages individually with cached intermediate
- * artifacts and a non-throwing `Status` error channel; use it whenever
- * you re-evaluate a model under several option settings (design-space
- * sweeps re-run only the invalidated stages).  `compileForFpsa()` is a
- * thin wrapper that runs a `Pipeline` end to end and fatals on error.
+ * The primary entry points are `fpsa::Pipeline` (pipeline.hh), which
+ * exposes the Fig. 5 stages individually with cached intermediate
+ * artifacts and a non-throwing `Status` error channel, and
+ * `Pipeline::compile()`, whose `CompiledModel` artifact
+ * (runtime/compiled_model.hh) is what the serving runtime executes.
+ * `compileForFpsa()` remains only for source compatibility: it runs a
+ * `Pipeline` end to end and fatals on error.
  */
 
 #ifndef FPSA_COMPILER_HH
@@ -68,9 +64,13 @@ struct CompileResult
  * Compile a computational graph onto FPSA and evaluate it.
  *
  * Equivalent to running every stage of a `Pipeline` and assembling the
- * artifacts; fatals on pipeline errors (e.g.\ a zero-size layer).  Use
- * `Pipeline` directly for sweeps or recoverable error handling.
+ * artifacts; fatals on pipeline errors (e.g.\ a zero-size layer).
+ *
+ * @deprecated Use `Pipeline` (staged artifacts, `Status` errors,
+ * sweep-friendly caching) or `Pipeline::compile()` (a serializable
+ * `CompiledModel` for the serving runtime) instead.
  */
+[[deprecated("use fpsa::Pipeline / Pipeline::compile() instead")]]
 CompileResult compileForFpsa(const Graph &graph,
                              const CompileOptions &options = {});
 

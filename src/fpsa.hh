@@ -12,7 +12,9 @@
  *                 baseline/ (PRIME, FP-PRIME), accuracy/ (Fig. 9)
  *   facade      - pipeline.hh (staged compile pipeline with cached
  *                 artifacts; the primary entry point),
- *                 compiler.hh (one-call compile + evaluate wrapper)
+ *                 compiler.hh (deprecated one-call wrapper)
+ *   serving     - runtime/ (CompiledModel deployable artifacts,
+ *                 Executor backends, the concurrent batched Engine)
  */
 
 #ifndef FPSA_FPSA_HH
@@ -55,6 +57,9 @@
 #include "pnr/pnr_flow.hh"
 #include "reram/crossbar.hh"
 #include "reram/weight_mapping.hh"
+#include "runtime/compiled_model.hh"
+#include "runtime/engine.hh"
+#include "runtime/executor.hh"
 #include "sim/bounds.hh"
 #include "sim/cycle_sim.hh"
 #include "sim/energy_report.hh"

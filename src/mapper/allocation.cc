@@ -74,16 +74,17 @@ allocateForDuplication(const SynthesisSummary &summary,
     return result;
 }
 
-AllocationResult
+StatusOr<AllocationResult>
 allocateForPeBudget(const SynthesisSummary &summary, std::int64_t pe_budget,
                     const AllocationOptions &options)
 {
     fpsa_assert(!summary.groups.empty(), "empty synthesis summary");
     const std::int64_t min_pes = summary.minPes();
     if (pe_budget < min_pes) {
-        fatal("PE budget %lld below the storage minimum %lld",
-              static_cast<long long>(pe_budget),
-              static_cast<long long>(min_pes));
+        return Status::error(
+            StatusCode::Infeasible,
+            "PE budget " + std::to_string(pe_budget) +
+                " below the storage minimum " + std::to_string(min_pes));
     }
     // PEs(target) decreases as the iteration target grows; binary search
     // the smallest target whose allocation fits.

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.hh"
 #include "synth/synthesizer.hh"
 
 namespace fpsa
@@ -75,10 +76,12 @@ AllocationResult allocateForDuplication(
 
 /**
  * Allocate the best-balanced configuration that fits a PE budget
- * (binary search over the iteration target).  Fatals if the budget
- * cannot hold even the storage minimum.
+ * (binary search over the iteration target).  A budget below the
+ * storage minimum returns `StatusCode::Infeasible` -- a reportable
+ * request-path outcome, not a process abort, so serving and sweep
+ * callers can skip past it.
  */
-AllocationResult allocateForPeBudget(
+StatusOr<AllocationResult> allocateForPeBudget(
     const SynthesisSummary &summary, std::int64_t pe_budget,
     const AllocationOptions &options = {});
 

@@ -364,6 +364,45 @@ Pipeline::result()
     return result;
 }
 
+StatusOr<CompiledModel>
+Pipeline::compile()
+{
+    for (const GraphNode &node : graph_.nodes()) {
+        if ((node.kind == OpKind::Conv2d ||
+             node.kind == OpKind::FullyConnected) &&
+            !node.weights.has_value()) {
+            return Status::error(
+                StatusCode::InvalidArgument,
+                "compile(): node '" + node.name +
+                    "' has no materialized weights; call "
+                    "randomizeWeights (or a trainer) before compiling "
+                    "for serving");
+        }
+    }
+
+    auto eval = evaluate();
+    if (!eval.ok())
+        return eval.status();
+
+    CompiledModel::Artifacts artifacts;
+    artifacts.graph = graph_;
+    artifacts.options = options_;
+    artifacts.synthesis = *synthesis_;
+    artifacts.allocation = map_->allocation;
+    artifacts.netlist = map_->netlist;
+    if (options_.runPlaceAndRoute && pnr_) {
+        CompiledTiming timing;
+        timing.avgNetDelay = pnr_->timing.avgNetDelay;
+        timing.maxNetDelay = pnr_->timing.maxNetDelay;
+        timing.routed = pnr_->routed;
+        timing.placementHpwl = pnr_->placementHpwl;
+        artifacts.timing = timing;
+    }
+    artifacts.performance = (*eval)->performance;
+    artifacts.energy = (*eval)->energy;
+    return CompiledModel::fromArtifacts(std::move(artifacts));
+}
+
 // ---------------------------------------------------------- introspection
 
 bool

@@ -45,6 +45,7 @@
 
 #include "common/status.hh"
 #include "compiler.hh"
+#include "runtime/compiled_model.hh"
 
 namespace fpsa
 {
@@ -138,6 +139,19 @@ class Pipeline
 
     /** Assemble the legacy one-shot result, running missing stages. */
     StatusOr<CompileResult> result();
+
+    /**
+     * Terminal stage: run everything and freeze the artifacts into a
+     * deployable `CompiledModel` (graph + materialized weights +
+     * synthesis + allocation/netlist + PnR-derived timing when
+     * `runPlaceAndRoute` is set + modeled performance/energy).  The
+     * graph must have materialized conv/fc weights -- serving needs
+     * real parameters -- or `InvalidArgument` comes back.  The bundle
+     * is a snapshot: later option changes on this pipeline don't touch
+     * models already compiled.  See runtime/compiled_model.hh for
+     * save/load and runtime/engine.hh for serving.
+     */
+    StatusOr<CompiledModel> compile();
 
     // ------------------------------------------------- introspection
 

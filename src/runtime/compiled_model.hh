@@ -1,0 +1,133 @@
+/**
+ * @file
+ * `fpsa::CompiledModel`: the frozen, self-contained artifact the
+ * compile half of the stack hands to the serving half.
+ *
+ * The FPSA paper's software stack ends at compilation (Fig. 5); this
+ * type is the deployment boundary that turns it into a servable
+ * system, the way reconfigurable-RRAM inference runtimes separate a
+ * compiled artifact from a concurrent execution engine.  A
+ * `CompiledModel` bundles everything `fpsa::Engine` needs to execute
+ * and meter a model -- the computational graph with materialized
+ * weights, the `SynthesisSummary`, the allocation + function-block
+ * netlist the mapper produced, optional PnR-derived timing, and the
+ * modeled per-sample performance/energy -- and never changes after
+ * construction, so any number of engines and threads can share one
+ * instance without synchronization.
+ *
+ * Artifacts serialize to a single versioned JSON document:
+ *
+ *     Pipeline p(model, options);
+ *     auto compiled = p.compile();            // terminal pipeline stage
+ *     compiled->save("lenet.fpsa.json");      // compile once...
+ *
+ *     auto loaded = CompiledModel::load("lenet.fpsa.json");
+ *     auto engine = Engine::create(
+ *         std::make_shared<CompiledModel>(std::move(loaded).value()));
+ *
+ * ...serve many, in another process, without recompiling.  Weight
+ * floats are written with round-trip precision, so a loaded model's
+ * inference outputs are bit-identical to the saved one's.
+ *
+ * `load()` reports corrupt or incompatible files as
+ * `StatusCode::InvalidArgument` (it validates structure and
+ * cross-references before reconstructing the graph); it does not
+ * guard against adversarial files that encode geometrically
+ * impossible layer shapes, which still fail loudly in shape
+ * inference.
+ *
+ * Format scale: weights are stored as plain JSON numbers, sized for
+ * the MLP/LeNet-class models the serving runtime executes numerically
+ * (~15 bytes/weight on disk, more as a parse tree).  Zoo-scale graphs
+ * (VGG16's 138M parameters) need a packed binary weight section
+ * before this format is economical -- a versioned extension, not a
+ * blocker baked into the schema.
+ */
+
+#ifndef FPSA_RUNTIME_COMPILED_MODEL_HH
+#define FPSA_RUNTIME_COMPILED_MODEL_HH
+
+#include <optional>
+#include <string>
+
+#include "common/status.hh"
+#include "compiler.hh"
+
+namespace fpsa
+{
+
+/** PnR-derived timing carried by a compiled artifact. */
+struct CompiledTiming
+{
+    NanoSeconds avgNetDelay = 0.0; //!< per-bit wire delay (perf model)
+    NanoSeconds maxNetDelay = 0.0;
+    bool routed = false;           //!< congestion-free full route
+    double placementHpwl = 0.0;
+};
+
+/** The immutable compile-time bundle a serving engine executes. */
+class CompiledModel
+{
+  public:
+    /** Everything a compiled model carries; consumed by fromArtifacts. */
+    struct Artifacts
+    {
+        Graph graph;                 //!< weights materialized
+        CompileOptions options;
+        SynthesisSummary synthesis;
+        AllocationResult allocation;
+        Netlist netlist;
+        std::optional<CompiledTiming> timing;
+        PerfReport performance;      //!< modeled, attached per request
+        EnergyReport energy;
+    };
+
+    /**
+     * Freeze a bundle of stage artifacts (the way `Pipeline::compile()`
+     * produces one).  Validates coherence -- non-empty graph headed by
+     * an input node, materialized conv/fc weights, netlist block
+     * references in range -- and returns `InvalidArgument` otherwise.
+     */
+    static StatusOr<CompiledModel> fromArtifacts(Artifacts artifacts);
+
+    const Graph &graph() const { return a_.graph; }
+    const CompileOptions &options() const { return a_.options; }
+    const SynthesisSummary &synthesis() const { return a_.synthesis; }
+    const AllocationResult &allocation() const { return a_.allocation; }
+    const Netlist &netlist() const { return a_.netlist; }
+    const std::optional<CompiledTiming> &timing() const { return a_.timing; }
+    const PerfReport &performance() const { return a_.performance; }
+    const EnergyReport &energy() const { return a_.energy; }
+
+    /** Per-sample shape of the model's input node. */
+    const Shape &inputShape() const;
+
+    /** Shape of the final node's output. */
+    const Shape &outputShape() const;
+
+    // ---------------------------------------------------- serialization
+
+    /** The versioned JSON document (see file comment). */
+    std::string toJson() const;
+
+    /** Parse a document produced by toJson(). */
+    static StatusOr<CompiledModel> fromJson(const std::string &text);
+
+    /** Write toJson() to a file. */
+    Status save(const std::string &path) const;
+
+    /** Read + parse a saved artifact. */
+    static StatusOr<CompiledModel> load(const std::string &path);
+
+  private:
+    explicit CompiledModel(Artifacts artifacts)
+        : a_(std::move(artifacts))
+    {
+    }
+
+    Artifacts a_;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_RUNTIME_COMPILED_MODEL_HH

@@ -1,0 +1,278 @@
+#include "runtime/engine.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace fpsa
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+millisBetween(Clock::time_point from, Clock::time_point to)
+{
+    return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+/**
+ * Queue-wait samples kept for the percentile estimates: a ring buffer
+ * so long-running engines report recent behaviour at bounded memory.
+ */
+constexpr std::size_t kMaxQueueWaitSamples = 1 << 16;
+
+double
+percentile(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double rank = p * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+} // namespace
+
+std::string
+EngineStats::toJson() const
+{
+    JsonWriter j;
+    j.beginObject();
+    j.field("submitted", submitted);
+    j.field("completed", completed);
+    j.field("failed", failed);
+    j.field("rejected", rejected);
+    j.field("batches", batches);
+    j.field("throughput", throughput);
+    j.field("wallSeconds", wallSeconds);
+    j.field("avgBatchSize", avgBatchSize);
+    j.key("queueWaitMillis").beginObject();
+    j.field("p50", p50QueueMillis);
+    j.field("p95", p95QueueMillis);
+    j.field("max", maxQueueMillis);
+    j.endObject();
+    j.key("batchSizeCounts").beginArray();
+    for (std::int64_t n : batchSizeCounts)
+        j.value(n);
+    j.endArray();
+    j.endObject();
+    return j.str();
+}
+
+StatusOr<std::unique_ptr<Engine>>
+Engine::create(std::shared_ptr<const CompiledModel> model,
+               EngineOptions options)
+{
+    if (!model) {
+        return Status::error(StatusCode::InvalidArgument,
+                             "engine: null compiled model");
+    }
+    if (options.workerThreads < 1 || options.maxBatch < 1 ||
+        options.queueDepth < 1) {
+        return Status::error(
+            StatusCode::InvalidArgument,
+            "engine: workerThreads, maxBatch and queueDepth must all "
+            "be >= 1");
+    }
+    auto executor = makeExecutor(options.executor, model);
+    if (!executor.ok())
+        return executor.status();
+    return std::unique_ptr<Engine>(new Engine(
+        std::move(model), options, std::move(executor).value()));
+}
+
+Engine::Engine(std::shared_ptr<const CompiledModel> model,
+               EngineOptions options, std::unique_ptr<Executor> executor)
+    : model_(std::move(model)), options_(options),
+      executor_(std::move(executor)),
+      batchSizeCounts_(static_cast<std::size_t>(options.maxBatch) + 1, 0)
+{
+    queueWaitSamples_.reserve(1024);
+    workers_.reserve(static_cast<std::size_t>(options_.workerThreads));
+    for (int i = 0; i < options_.workerThreads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+Engine::~Engine()
+{
+    shutdown();
+}
+
+std::future<StatusOr<InferenceResult>>
+Engine::submit(Tensor input)
+{
+    std::promise<StatusOr<InferenceResult>> promise;
+    std::future<StatusOr<InferenceResult>> future = promise.get_future();
+
+    std::unique_lock<std::mutex> lock(mu_);
+    notFull_.wait(lock, [this] {
+        return stopping_ ||
+               queue_.size() <
+                   static_cast<std::size_t>(options_.queueDepth);
+    });
+    if (stopping_) {
+        ++rejected_;
+        lock.unlock();
+        promise.set_value(Status::error(
+            StatusCode::Unavailable,
+            "engine is shut down; request rejected"));
+        return future;
+    }
+    ++submitted_;
+    const auto now = Clock::now();
+    if (!timelineStarted_) {
+        timelineStarted_ = true;
+        firstSubmit_ = now;
+        lastCompletion_ = now;
+    }
+    queue_.push_back(Request{std::move(input), std::move(promise), now});
+    lock.unlock();
+    notEmpty_.notify_one();
+    return future;
+}
+
+StatusOr<InferenceResult>
+Engine::infer(const Tensor &input)
+{
+    return submit(input).get();
+}
+
+void
+Engine::workerLoop()
+{
+    std::vector<Request> batch;
+    for (;;) {
+        batch.clear();
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            notEmpty_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping and fully drained
+            // maxBatch is an upper bound; cap the grab at an even
+            // share of the backlog so one worker never serializes a
+            // burst the rest of the pool could be serving (the
+            // executors run per-sample, so coalescing amortizes
+            // scheduling, not compute).  options_ is immutable, so
+            // this is safe to read while the pool is still spawning.
+            const std::size_t workers =
+                static_cast<std::size_t>(options_.workerThreads);
+            const std::size_t fair =
+                (queue_.size() + workers - 1) / workers;
+            const std::size_t take = std::min(
+                {queue_.size(),
+                 static_cast<std::size_t>(options_.maxBatch),
+                 std::max<std::size_t>(1, fair)});
+            for (std::size_t i = 0; i < take; ++i) {
+                batch.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+            }
+            ++batches_;
+            ++batchSizeCounts_[take];
+        }
+        notFull_.notify_all();
+
+        const auto dequeued = Clock::now();
+        for (Request &request : batch) {
+            const double queue_ms =
+                millisBetween(request.enqueued, dequeued);
+            const auto exec_start = Clock::now();
+            StatusOr<Tensor> output = executor_->run(request.input);
+            const auto exec_end = Clock::now();
+
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                if (queueWaitSamples_.size() < kMaxQueueWaitSamples) {
+                    queueWaitSamples_.push_back(queue_ms);
+                } else {
+                    queueWaitSamples_[queueWaitAt_] = queue_ms;
+                    queueWaitAt_ =
+                        (queueWaitAt_ + 1) % kMaxQueueWaitSamples;
+                }
+                if (output.ok()) {
+                    ++completed_;
+                    lastCompletion_ = exec_end;
+                } else {
+                    ++failed_;
+                }
+            }
+
+            if (!output.ok()) {
+                request.promise.set_value(output.status());
+                continue;
+            }
+            InferenceResult result;
+            result.output = std::move(output).value();
+            result.queueMillis = queue_ms;
+            result.execMillis = millisBetween(exec_start, exec_end);
+            result.batchSize = static_cast<int>(batch.size());
+            result.modeledLatency = model_->performance().latency;
+            result.modeledEnergy = model_->energy().perSample();
+            request.promise.set_value(std::move(result));
+        }
+    }
+}
+
+void
+Engine::shutdown()
+{
+    std::call_once(shutdownOnce_, [this] {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stopping_ = true;
+        }
+        notEmpty_.notify_all();
+        notFull_.notify_all();
+        for (std::thread &worker : workers_)
+            worker.join();
+    });
+}
+
+EngineStats
+Engine::stats() const
+{
+    EngineStats s;
+    std::vector<double> waits;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        s.submitted = submitted_;
+        s.completed = completed_;
+        s.failed = failed_;
+        s.rejected = rejected_;
+        s.batches = batches_;
+        s.batchSizeCounts = batchSizeCounts_;
+        waits = queueWaitSamples_;
+        if (timelineStarted_) {
+            s.wallSeconds =
+                millisBetween(firstSubmit_, lastCompletion_) / 1000.0;
+        }
+    }
+    std::sort(waits.begin(), waits.end());
+    s.p50QueueMillis = percentile(waits, 0.50);
+    s.p95QueueMillis = percentile(waits, 0.95);
+    s.maxQueueMillis = waits.empty() ? 0.0 : waits.back();
+    if (s.batches > 0) {
+        std::int64_t coalesced = 0;
+        for (std::size_t n = 0; n < s.batchSizeCounts.size(); ++n)
+            coalesced += static_cast<std::int64_t>(n) *
+                         s.batchSizeCounts[n];
+        s.avgBatchSize = static_cast<double>(coalesced) /
+                         static_cast<double>(s.batches);
+    }
+    if (s.wallSeconds > 0.0) {
+        s.throughput =
+            static_cast<double>(s.completed) / s.wallSeconds;
+    }
+    return s;
+}
+
+} // namespace fpsa

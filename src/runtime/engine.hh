@@ -1,0 +1,197 @@
+/**
+ * @file
+ * `fpsa::Engine`: the concurrent, batched inference-serving runtime.
+ *
+ * An engine owns a worker pool over one immutable `CompiledModel`.
+ * Callers hand it single-sample tensors; a batching scheduler
+ * coalesces queued requests (up to `maxBatch` per dequeue) and the
+ * workers execute them through a pluggable `Executor` backend:
+ *
+ *     auto model = std::make_shared<CompiledModel>(
+ *         CompiledModel::load("lenet.fpsa.json").value());
+ *     auto engine = Engine::create(model, {.workerThreads = 4}).value();
+ *
+ *     auto future = engine->submit(image);         // async
+ *     StatusOr<InferenceResult> r = future.get();
+ *     StatusOr<InferenceResult> s = engine->infer(image); // blocking
+ *
+ * Each `InferenceResult` carries the output tensor, the request's
+ * queue/execution telemetry, and the *modeled* per-sample latency and
+ * energy of the compiled FPSA configuration (src/sim/perf_model.cc) --
+ * what this sample would cost on the chip, attached to every served
+ * request the way production accelerator runtimes export hardware
+ * counters.
+ *
+ * Concurrency contract:
+ *  - `submit`/`infer`/`stats` are thread-safe; any number of client
+ *    threads may call them concurrently.
+ *  - `submit` applies backpressure: when `queueDepth` requests are
+ *    waiting it blocks until the scheduler drains (or the engine shuts
+ *    down, which fails the request with `StatusCode::Unavailable`).
+ *  - `shutdown()` stops accepting work, lets the workers drain every
+ *    queued request, and joins them; the destructor calls it.
+ *
+ * `stats()` snapshots serving telemetry -- throughput, p50/p95 queue
+ * wait, batch-size histogram -- and serializes to JSON like
+ * `Pipeline::report()`.
+ */
+
+#ifndef FPSA_RUNTIME_ENGINE_HH
+#define FPSA_RUNTIME_ENGINE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hh"
+#include "common/types.hh"
+#include "runtime/compiled_model.hh"
+#include "runtime/executor.hh"
+
+namespace fpsa
+{
+
+/** Serving-runtime knobs. */
+struct EngineOptions
+{
+    int workerThreads = 4;
+
+    /**
+     * Upper bound on requests coalesced per dequeue.  The scheduler
+     * additionally caps each grab at an even share of the backlog so
+     * a burst spreads across the pool instead of serializing on one
+     * worker.
+     */
+    int maxBatch = 8;
+
+    int queueDepth = 256; //!< submit() blocks beyond this backlog
+    ExecutorKind executor = ExecutorKind::Reference;
+};
+
+/** One served request: the output plus its telemetry. */
+struct InferenceResult
+{
+    Tensor output;
+
+    // Request-path telemetry (measured).
+    double queueMillis = 0.0; //!< enqueue -> dequeue wait
+    double execMillis = 0.0;  //!< backend execution wall-clock
+    int batchSize = 1;        //!< size of the batch this request rode in
+
+    // Modeled hardware cost of this sample (from the compiled model).
+    NanoSeconds modeledLatency = 0.0;
+    PicoJoules modeledEnergy = 0.0;
+};
+
+/** Aggregate serving telemetry (see Engine::stats). */
+struct EngineStats
+{
+    std::int64_t submitted = 0;
+    std::int64_t completed = 0;
+    std::int64_t failed = 0;   //!< executor returned an error
+    std::int64_t rejected = 0; //!< refused at submit (shutdown)
+    std::int64_t batches = 0;  //!< scheduler dequeues
+
+    double p50QueueMillis = 0.0;
+    double p95QueueMillis = 0.0;
+    double maxQueueMillis = 0.0;
+    double avgBatchSize = 0.0;
+
+    /** Completed requests / wall-clock from first submit to last. */
+    double throughput = 0.0;
+    double wallSeconds = 0.0;
+
+    /** batchSizeCounts[n] = batches that coalesced exactly n requests. */
+    std::vector<std::int64_t> batchSizeCounts;
+
+    std::string toJson() const;
+};
+
+/** The concurrent batched serving runtime over one compiled model. */
+class Engine
+{
+  public:
+    /**
+     * Validate options, build the backend (which may reject the model,
+     * e.g. `Spiking` outside the MLP/LeNet family) and start the
+     * workers.
+     */
+    static StatusOr<std::unique_ptr<Engine>> create(
+        std::shared_ptr<const CompiledModel> model,
+        EngineOptions options = {});
+
+    ~Engine();
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /** Queue one sample; the future resolves when a worker serves it. */
+    std::future<StatusOr<InferenceResult>> submit(Tensor input);
+
+    /** submit() + wait: the one-call convenience path. */
+    StatusOr<InferenceResult> infer(const Tensor &input);
+
+    /**
+     * Stop accepting requests, drain everything already queued, join
+     * the workers.  Idempotent and thread-safe.
+     */
+    void shutdown();
+
+    /** Snapshot of the aggregate serving telemetry. */
+    EngineStats stats() const;
+
+    /** stats() as JSON (the report surface benches/CI consume). */
+    std::string statsJson() const { return stats().toJson(); }
+
+    const CompiledModel &model() const { return *model_; }
+    const EngineOptions &options() const { return options_; }
+
+  private:
+    struct Request
+    {
+        Tensor input;
+        std::promise<StatusOr<InferenceResult>> promise;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
+    Engine(std::shared_ptr<const CompiledModel> model,
+           EngineOptions options, std::unique_ptr<Executor> executor);
+
+    void workerLoop();
+
+    std::shared_ptr<const CompiledModel> model_;
+    EngineOptions options_;
+    std::unique_ptr<Executor> executor_;
+
+    mutable std::mutex mu_;
+    std::condition_variable notEmpty_; //!< workers wait for requests
+    std::condition_variable notFull_;  //!< submitters wait for room
+    std::deque<Request> queue_;
+    bool stopping_ = false;
+
+    // Telemetry (all guarded by mu_).
+    std::int64_t submitted_ = 0;
+    std::int64_t completed_ = 0;
+    std::int64_t failed_ = 0;
+    std::int64_t rejected_ = 0;
+    std::int64_t batches_ = 0;
+    std::vector<std::int64_t> batchSizeCounts_;
+    std::vector<double> queueWaitSamples_; //!< bounded ring buffer
+    std::size_t queueWaitAt_ = 0;
+    bool timelineStarted_ = false;
+    std::chrono::steady_clock::time_point firstSubmit_;
+    std::chrono::steady_clock::time_point lastCompletion_;
+
+    std::once_flag shutdownOnce_;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_RUNTIME_ENGINE_HH

@@ -1,0 +1,150 @@
+#include "runtime/executor.hh"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "nn/execute.hh"
+#include "synth/synthesizer.hh"
+
+namespace fpsa
+{
+
+const char *
+executorKindName(ExecutorKind kind)
+{
+    switch (kind) {
+      case ExecutorKind::Reference: return "reference";
+      case ExecutorKind::Spiking: return "spiking";
+    }
+    return "?";
+}
+
+namespace
+{
+
+Status
+checkInputShape(const CompiledModel &model, const Tensor &input)
+{
+    if (input.shape() != model.inputShape()) {
+        return Status::error(StatusCode::InvalidArgument,
+                             "input shape " +
+                                 shapeToString(input.shape()) +
+                                 " does not match the compiled model's " +
+                                 shapeToString(model.inputShape()));
+    }
+    return Status();
+}
+
+/** Golden float kernels; the pure functions in runGraph are reentrant. */
+class ReferenceExecutor final : public Executor
+{
+  public:
+    explicit ReferenceExecutor(std::shared_ptr<const CompiledModel> model)
+        : model_(std::move(model))
+    {
+    }
+
+    const char *name() const override { return "reference"; }
+
+    StatusOr<Tensor>
+    run(const Tensor &input) const override
+    {
+        Status shape = checkInputShape(*model_, input);
+        if (!shape.ok())
+            return shape;
+        return runGraphFinal(model_->graph(), input);
+    }
+
+  private:
+    std::shared_ptr<const CompiledModel> model_;
+};
+
+/**
+ * Serves in the spike-count domain: the model is lowered once through
+ * `synthesizeFunctional` (calibrated on a deterministic probe input),
+ * then every request is encoded to counts, run through the core-op
+ * graph, and decoded -- the count-exact semantics of the PE, orders of
+ * magnitude faster than the cycle-accurate spiking simulation.
+ */
+class SpikingExecutor final : public Executor
+{
+  public:
+    SpikingExecutor(std::shared_ptr<const CompiledModel> model,
+                    FunctionalSynthesis synthesis)
+        : model_(std::move(model)), synthesis_(std::move(synthesis))
+    {
+    }
+
+    const char *name() const override { return "spiking"; }
+
+    StatusOr<Tensor>
+    run(const Tensor &input) const override
+    {
+        Status shape = checkInputShape(*model_, input);
+        if (!shape.ok())
+            return shape;
+        const std::vector<std::uint32_t> counts =
+            runCoreOps(synthesis_, encodeInputCounts(synthesis_, input));
+        const std::vector<double> values =
+            decodeOutputValues(synthesis_, counts);
+        Tensor out(model_->outputShape());
+        if (out.numel() != static_cast<std::int64_t>(values.size())) {
+            return Status::error(
+                StatusCode::Internal,
+                "spiking executor produced " +
+                    std::to_string(values.size()) + " values for shape " +
+                    shapeToString(model_->outputShape()));
+        }
+        for (std::int64_t i = 0; i < out.numel(); ++i)
+            out[i] = static_cast<float>(
+                values[static_cast<std::size_t>(i)]);
+        return out;
+    }
+
+  private:
+    std::shared_ptr<const CompiledModel> model_;
+    FunctionalSynthesis synthesis_;
+};
+
+/**
+ * Deterministic probe input for activation-scale calibration: a smooth
+ * full-range wave (the value pattern the repo's spiking demos use), so
+ * two processes loading the same artifact build identical lowerings.
+ */
+Tensor
+calibrationProbe(const Shape &shape)
+{
+    Tensor probe(shape);
+    for (std::int64_t i = 0; i < probe.numel(); ++i) {
+        probe[i] = 0.5f +
+                   0.5f * std::sin(static_cast<float>(i) * 0.37f);
+    }
+    return probe;
+}
+
+} // namespace
+
+StatusOr<std::unique_ptr<Executor>>
+makeExecutor(ExecutorKind kind, std::shared_ptr<const CompiledModel> model)
+{
+    fpsa_assert(model != nullptr, "makeExecutor: null model");
+    switch (kind) {
+      case ExecutorKind::Reference:
+        return std::unique_ptr<Executor>(
+            new ReferenceExecutor(std::move(model)));
+      case ExecutorKind::Spiking: {
+        auto synthesis = synthesizeFunctional(
+            model->graph(), calibrationProbe(model->inputShape()),
+            model->options().synth);
+        if (!synthesis.ok())
+            return synthesis.status();
+        return std::unique_ptr<Executor>(new SpikingExecutor(
+            std::move(model), std::move(synthesis).value()));
+      }
+    }
+    return Status::error(StatusCode::InvalidArgument,
+                         "unknown executor kind");
+}
+
+} // namespace fpsa

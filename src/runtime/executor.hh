@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Execution backends for `fpsa::Engine`: how a `CompiledModel` turns an
+ * input tensor into an output tensor.
+ *
+ * The engine is backend-agnostic behind the `Executor` interface:
+ *
+ *  - `Reference` runs the golden float kernels (`runGraph`), the "CPU
+ *    fallback" ground truth.  Supports every op the graph layer knows.
+ *  - `Spiking` lowers the model through the neural synthesizer once at
+ *    construction and then serves requests in the PE's exact spike-count
+ *    domain (encode -> core-ops -> decode, src/spike/ codec semantics).
+ *    Limited to the functional-synthesis op family (MLP/LeNet); outputs
+ *    are the quantized values the hardware would produce.
+ *
+ * Implementations are immutable after construction and `run()` is
+ * `const` and thread-safe: one executor instance serves every engine
+ * worker concurrently.
+ */
+
+#ifndef FPSA_RUNTIME_EXECUTOR_HH
+#define FPSA_RUNTIME_EXECUTOR_HH
+
+#include <memory>
+
+#include "common/status.hh"
+#include "runtime/compiled_model.hh"
+#include "tensor/tensor.hh"
+
+namespace fpsa
+{
+
+/** Selectable execution backend. */
+enum class ExecutorKind
+{
+    Reference, //!< golden float kernels (every op)
+    Spiking,   //!< spike-count domain via functional synthesis
+};
+
+const char *executorKindName(ExecutorKind kind);
+
+/** A serving backend: maps one input sample to one output tensor. */
+class Executor
+{
+  public:
+    virtual ~Executor() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Execute one sample.  Thread-safe; a shape mismatch or an internal
+     * failure comes back as a Status (requests must never kill the
+     * serving process).
+     */
+    virtual StatusOr<Tensor> run(const Tensor &input) const = 0;
+};
+
+/**
+ * Build a backend for a compiled model.  The model handle is retained
+ * for the executor's lifetime.  `Spiking` returns `InvalidArgument`
+ * when the model's graph is outside the functional-synthesis family.
+ */
+StatusOr<std::unique_ptr<Executor>> makeExecutor(
+    ExecutorKind kind, std::shared_ptr<const CompiledModel> model);
+
+} // namespace fpsa
+
+#endif // FPSA_RUNTIME_EXECUTOR_HH

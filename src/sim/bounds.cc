@@ -40,9 +40,14 @@ allocateForArea(const SynthesisSummary &summary, double area_mm2,
     AllocationResult best = min_alloc;
     while (lo <= hi) {
         const std::int64_t mid = lo + (hi - lo) / 2;
-        AllocationResult a = allocateForPeBudget(summary, mid);
-        if (allocationArea(a, pe_area) <= area_mm2) {
-            best = a;
+        auto a = allocateForPeBudget(summary, mid);
+        if (!a.ok()) {
+            // Budget below the storage minimum: search upward.
+            lo = mid + 1;
+            continue;
+        }
+        if (allocationArea(*a, pe_area) <= area_mm2) {
+            best = *a;
             lo = mid + 1;
         } else {
             hi = mid - 1;

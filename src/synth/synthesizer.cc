@@ -626,7 +626,8 @@ FunctionalLowering::run()
                 actScale[static_cast<std::size_t>(n.inputs[0])];
             break;
           default:
-            fatal("functional synthesis does not support op '%s'",
+            // Unreachable: validateFunctionalGraph rejected the graph.
+            panic("validated graph reached unsupported op '%s'",
                   opKindName(n.kind));
         }
     }
@@ -635,12 +636,70 @@ FunctionalLowering::run()
     result.coreOps.validate();
 }
 
+/**
+ * Reject graphs the functional lowering cannot express, as request-path
+ * `InvalidArgument` data -- the checks mirror the per-op asserts inside
+ * the lower* helpers, which stay as internal invariants.
+ */
+Status
+validateFunctionalGraph(const Graph &graph)
+{
+    auto bad = [](const GraphNode &n, const std::string &why) {
+        return Status::error(StatusCode::InvalidArgument,
+                             "functional synthesis: node '" + n.name +
+                                 "' (" + opKindName(n.kind) + ") " + why);
+    };
+    for (const GraphNode &n : graph.nodes()) {
+        switch (n.kind) {
+          case OpKind::Input:
+          case OpKind::Relu:
+          case OpKind::Flatten:
+            break;
+          case OpKind::FullyConnected:
+            if (!n.weights.has_value())
+                return bad(n, "lacks weights; materialize them first");
+            break;
+          case OpKind::Conv2d:
+            if (!n.weights.has_value())
+                return bad(n, "lacks weights; materialize them first");
+            if (n.attrs.groups != 1 || n.attrs.pad != 0)
+                return bad(n, "supports only groups=1, pad=0");
+            break;
+          case OpKind::MaxPool:
+            if (n.attrs.kernel != 2 || n.attrs.stride != 2 ||
+                n.attrs.pad != 0)
+                return bad(n, "supports only 2x2 stride 2, pad=0");
+            break;
+          default:
+            return bad(n, "is not a supported op (MLP/LeNet family "
+                          "only; use the analytic path)");
+        }
+    }
+    return Status();
+}
+
 } // namespace
 
-FunctionalSynthesis
+StatusOr<FunctionalSynthesis>
 synthesizeFunctional(const Graph &graph, const Tensor &calibration,
                      const SynthOptions &options)
 {
+    if (graph.size() == 0) {
+        return Status::error(StatusCode::InvalidArgument,
+                             "functional synthesis: graph has no nodes");
+    }
+    Status valid = validateFunctionalGraph(graph);
+    if (!valid.ok())
+        return valid;
+    if (calibration.shape() != graph.nodes().front().outShape) {
+        return Status::error(
+            StatusCode::InvalidArgument,
+            "functional synthesis: calibration shape " +
+                shapeToString(calibration.shape()) +
+                " does not match the graph input " +
+                shapeToString(graph.nodes().front().outShape));
+    }
+
     FunctionalLowering lowering(graph, options);
 
     // Calibrate per-node activation scales with a float reference run.
@@ -651,7 +710,7 @@ synthesizeFunctional(const Graph &graph, const Tensor &calibration,
     lowering.refs = &ref;
 
     lowering.run();
-    return lowering.result;
+    return std::move(lowering.result);
 }
 
 std::vector<std::uint32_t>

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
 #include "nn/graph.hh"
 #include "synth/core_op.hh"
 #include "synth/tiling.hh"
@@ -139,14 +140,18 @@ std::vector<double> decodeOutputValues(
  * weights; calibrates per-layer activation scales by running the float
  * reference on `calibration`.
  *
- * Supported ops: Input, FullyConnected, Conv2d (groups == 1), Relu
- * (folded into the producing core-op, as the hardware applies ReLU
- * unconditionally), MaxPool (pad == 0), Flatten.  Covers the MLP/LeNet
- * family; larger topologies use the analytic path.
+ * Supported ops: Input, FullyConnected, Conv2d (groups == 1, pad == 0),
+ * Relu (folded into the producing core-op, as the hardware applies ReLU
+ * unconditionally), MaxPool (2x2 stride 2, pad == 0), Flatten.  Covers
+ * the MLP/LeNet family; larger topologies use the analytic path.
+ *
+ * Unsupported ops/attributes or missing weights come back as
+ * `StatusCode::InvalidArgument` (request-path data, never an abort), so
+ * a serving process can reject a bad model and keep running.
  */
-FunctionalSynthesis synthesizeFunctional(const Graph &graph,
-                                         const Tensor &calibration,
-                                         const SynthOptions &options = {});
+StatusOr<FunctionalSynthesis> synthesizeFunctional(
+    const Graph &graph, const Tensor &calibration,
+    const SynthOptions &options = {});
 
 /**
  * Execute a functional synthesis in the exact count domain of the PE

@@ -3,6 +3,10 @@
  * Integration tests for the end-to-end compile facade: the whole stack
  * from CG to evaluated FPSA configuration, including the optional full
  * placement & routing path on a small model.
+ *
+ * `compileForFpsa` is deprecated in favour of `Pipeline`, but it must
+ * keep working until removed -- these tests pin its behaviour, so the
+ * deprecation warning is suppressed here on purpose.
  */
 
 #include <gtest/gtest.h>
@@ -10,6 +14,8 @@
 #include "compiler.hh"
 #include "nn/builder.hh"
 #include "nn/models.hh"
+
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace fpsa
 {

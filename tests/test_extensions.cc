@@ -110,7 +110,7 @@ TEST_P(WindowSweep, FunctionalStackWorksAcrossPrecisions)
 
     SynthOptions opt;
     opt.ioBits = io_bits;
-    FunctionalSynthesis synth = synthesizeFunctional(g, x, opt);
+    FunctionalSynthesis synth = synthesizeFunctional(g, x, opt).value();
     const auto counts = runCoreOps(synth, encodeInputCounts(synth, x));
     const auto values = decodeOutputValues(synth, counts);
     const Tensor ref = relu(runGraphFinal(g, x));
@@ -146,7 +146,7 @@ TEST(WindowSweep, HigherPrecisionIsMoreAccurate)
     for (int bits : {4, 6, 8, 10}) {
         SynthOptions opt;
         opt.ioBits = bits;
-        FunctionalSynthesis synth = synthesizeFunctional(g, x, opt);
+        FunctionalSynthesis synth = synthesizeFunctional(g, x, opt).value();
         const auto counts =
             runCoreOps(synth, encodeInputCounts(synth, x));
         const auto values = decodeOutputValues(synth, counts);

@@ -71,10 +71,20 @@ TEST(Allocation, BudgetSearchRespectsBudget)
     const std::int64_t min_pes = s.minPes();
     for (std::int64_t budget :
          {min_pes, min_pes * 2, min_pes * 4}) {
-        AllocationResult a = allocateForPeBudget(s, budget);
-        EXPECT_LE(a.totalPes, budget);
-        EXPECT_GE(a.totalPes, min_pes);
+        auto a = allocateForPeBudget(s, budget);
+        ASSERT_TRUE(a.ok());
+        EXPECT_LE(a->totalPes, budget);
+        EXPECT_GE(a->totalPes, min_pes);
     }
+}
+
+TEST(Allocation, BudgetBelowStorageMinimumIsInfeasibleStatus)
+{
+    Graph g = buildModel(ModelId::AlexNet);
+    SynthesisSummary s = synthesizeSummary(g);
+    auto a = allocateForPeBudget(s, s.minPes() - 1);
+    ASSERT_FALSE(a.ok());
+    EXPECT_EQ(a.status().code(), StatusCode::Infeasible);
 }
 
 TEST(Allocation, MoreBudgetNeverSlower)
@@ -85,9 +95,10 @@ TEST(Allocation, MoreBudgetNeverSlower)
     std::int64_t prev_iter = INT64_MAX;
     for (std::int64_t budget = min_pes; budget <= min_pes * 8;
          budget *= 2) {
-        AllocationResult a = allocateForPeBudget(s, budget);
-        EXPECT_LE(a.maxIterations, prev_iter);
-        prev_iter = a.maxIterations;
+        auto a = allocateForPeBudget(s, budget);
+        ASSERT_TRUE(a.ok());
+        EXPECT_LE(a->maxIterations, prev_iter);
+        prev_iter = a->maxIterations;
     }
 }
 
@@ -219,7 +230,7 @@ TEST(Schedule, RealNetScheduleIsValid)
     randomizeWeights(graph, rng);
     Tensor x({1, 8, 8});
     x.fill(0.5f);
-    FunctionalSynthesis synth = synthesizeFunctional(graph, x);
+    FunctionalSynthesis synth = synthesizeFunctional(graph, x).value();
 
     for (std::int64_t dup_degree : {1, 4, 16}) {
         const auto dup = duplicationForGraph(synth.coreOps, dup_degree);

@@ -184,7 +184,12 @@ TEST(Pipeline, MatchesOneShotWrapper)
     CompileOptions opts;
     opts.duplicationDegree = 8;
 
+    // Equivalence with the deprecated facade is part of its contract
+    // until removal; suppress the intentional deprecated call.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
     CompileResult one_shot = compileForFpsa(g, opts);
+#pragma GCC diagnostic pop
 
     Pipeline p(g, opts);
     auto staged = p.result();

@@ -1,0 +1,419 @@
+/**
+ * @file
+ * Tests for the serving runtime: `CompiledModel` serialization
+ * round-trips (save -> load -> infer, bit-identical), `Engine`
+ * concurrency (parallel submit() agrees with sequential infer()),
+ * shutdown drain semantics, backpressure, executor backends, and the
+ * JSON parser underneath it all.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/rng.hh"
+#include "nn/builder.hh"
+#include "nn/execute.hh"
+#include "nn/models.hh"
+#include "pipeline.hh"
+#include "runtime/compiled_model.hh"
+#include "runtime/engine.hh"
+#include "runtime/executor.hh"
+
+namespace fpsa
+{
+namespace
+{
+
+/** A small weighted CNN in the functional-synthesis family. */
+Graph
+smallCnn(std::uint64_t seed = 42)
+{
+    GraphBuilder b({1, 8, 8});
+    b.conv(4, 3, 1, 0).relu().maxPool(2, 2).flatten().fc(10);
+    Graph g = b.build();
+    Rng rng(seed);
+    randomizeWeights(g, rng);
+    return g;
+}
+
+CompiledModel
+compileSmallCnn(std::uint64_t seed = 42)
+{
+    Pipeline p(smallCnn(seed));
+    auto compiled = p.compile();
+    EXPECT_TRUE(compiled.ok()) << compiled.status().toString();
+    return std::move(compiled).value();
+}
+
+Tensor
+probeInput(float scale = 1.0f)
+{
+    Tensor t({1, 8, 8});
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        t[i] = scale * static_cast<float>(i % 7) / 7.0f;
+    return t;
+}
+
+void
+expectBitIdentical(const Tensor &a, const Tensor &b)
+{
+    ASSERT_EQ(a.shape(), b.shape());
+    for (std::int64_t i = 0; i < a.numel(); ++i)
+        ASSERT_EQ(a[i], b[i]) << "element " << i;
+}
+
+// ------------------------------------------------------------ JSON parser
+
+TEST(JsonParser, RoundTripsWriterOutput)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("name", "fpsa \"quoted\"\n");
+    w.field("count", static_cast<std::int64_t>(-17));
+    w.field("ratio", 0.25);
+    w.field("flag", true);
+    w.key("null").null();
+    w.key("nested").beginArray();
+    w.value(1).value(2.5).value("x");
+    w.beginObject().field("k", "v").endObject();
+    w.endArray();
+    w.endObject();
+
+    auto doc = parseJson(w.str());
+    ASSERT_TRUE(doc.ok()) << doc.status().toString();
+    EXPECT_EQ((*doc)["name"].string(), "fpsa \"quoted\"\n");
+    EXPECT_EQ((*doc)["count"].asInt(), -17);
+    EXPECT_DOUBLE_EQ((*doc)["ratio"].number(), 0.25);
+    EXPECT_TRUE((*doc)["flag"].boolean());
+    EXPECT_TRUE((*doc)["null"].isNull());
+    ASSERT_EQ((*doc)["nested"].size(), 4u);
+    EXPECT_EQ((*doc)["nested"].at(3)["k"].string(), "v");
+}
+
+TEST(JsonParser, RejectsMalformedInput)
+{
+    for (const char *bad :
+         {"", "{", "[1,]", "{\"a\":}", "{\"a\":1}x", "\"unterminated",
+          "{\"a\" 1}", "nul", "nan", "inf", "[-inf]", "+1", "1e999"}) {
+        auto doc = parseJson(bad);
+        EXPECT_FALSE(doc.ok()) << "accepted: " << bad;
+        if (!doc.ok()) {
+            EXPECT_EQ(doc.status().code(), StatusCode::InvalidArgument);
+        }
+    }
+}
+
+// --------------------------------------------------------- CompiledModel
+
+TEST(CompiledModel, CompileRequiresMaterializedWeights)
+{
+    GraphBuilder b({1, 8, 8});
+    b.flatten().fc(4);
+    Pipeline p(b.build()); // no randomizeWeights
+    auto compiled = p.compile();
+    ASSERT_FALSE(compiled.ok());
+    EXPECT_EQ(compiled.status().code(), StatusCode::InvalidArgument);
+}
+
+TEST(CompiledModel, RejectsWeightsWhoseShapeDisagreesWithTheNode)
+{
+    // Weight geometry that doesn't match the node would assert inside
+    // the executors' kernels mid-request; it must be caught when the
+    // bundle is frozen (and therefore also on load()).
+    Graph g = smallCnn();
+    for (NodeId id = 0; id < static_cast<NodeId>(g.size()); ++id) {
+        if (g.node(id).kind == OpKind::FullyConnected)
+            g.node(id).weights = Tensor({1}, {0.5f});
+    }
+    Pipeline p(g);
+    auto compiled = p.compile();
+    ASSERT_FALSE(compiled.ok());
+    EXPECT_EQ(compiled.status().code(), StatusCode::InvalidArgument);
+    EXPECT_NE(compiled.status().message().find("weight shape"),
+              std::string::npos);
+}
+
+TEST(CompiledModel, JsonRoundTripIsLossless)
+{
+    CompiledModel original = compileSmallCnn();
+    const std::string text = original.toJson();
+
+    auto reloaded = CompiledModel::fromJson(text);
+    ASSERT_TRUE(reloaded.ok()) << reloaded.status().toString();
+    // The reloaded artifact re-serializes to the exact same document:
+    // graph, weights, summary, allocation, netlist, perf all survive.
+    EXPECT_EQ(reloaded->toJson(), text);
+}
+
+TEST(CompiledModel, SaveLoadInferIsBitIdentical)
+{
+    CompiledModel original = compileSmallCnn();
+    const std::string path = "test_runtime_roundtrip.fpsa.json";
+    ASSERT_TRUE(original.save(path).ok());
+
+    auto loaded = CompiledModel::load(path);
+    std::remove(path.c_str());
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+
+    for (ExecutorKind kind :
+         {ExecutorKind::Reference, ExecutorKind::Spiking}) {
+        auto exec_a = makeExecutor(
+            kind, std::make_shared<CompiledModel>(original));
+        auto exec_b = makeExecutor(
+            kind, std::make_shared<CompiledModel>(*loaded));
+        ASSERT_TRUE(exec_a.ok() && exec_b.ok());
+        for (float scale : {0.25f, 1.0f}) {
+            auto out_a = (*exec_a)->run(probeInput(scale));
+            auto out_b = (*exec_b)->run(probeInput(scale));
+            ASSERT_TRUE(out_a.ok() && out_b.ok());
+            expectBitIdentical(*out_a, *out_b);
+        }
+    }
+}
+
+TEST(CompiledModel, LoadRejectsCorruptDocuments)
+{
+    auto missing = CompiledModel::load("does_not_exist.fpsa.json");
+    ASSERT_FALSE(missing.ok());
+
+    auto garbage = CompiledModel::fromJson("not json at all");
+    ASSERT_FALSE(garbage.ok());
+    EXPECT_EQ(garbage.status().code(), StatusCode::InvalidArgument);
+
+    auto wrong_format = CompiledModel::fromJson("{\"format\":\"other\"}");
+    ASSERT_FALSE(wrong_format.ok());
+    EXPECT_EQ(wrong_format.status().code(), StatusCode::InvalidArgument);
+
+    // A structurally valid document with a dangling netlist reference.
+    CompiledModel model = compileSmallCnn();
+    const std::string good = model.toJson();
+    std::string text = good;
+    const std::string needle = "\"driver\":";
+    std::size_t at = text.find(needle);
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, needle.size() + 1, needle + "999999");
+    auto dangling = CompiledModel::fromJson(text);
+    ASSERT_FALSE(dangling.ok());
+    EXPECT_EQ(dangling.status().code(), StatusCode::InvalidArgument);
+
+    // Corrupt weight data (a null element) must be rejected, not
+    // silently coerced to 0.  Replace the first element in place so
+    // the element count still matches the shape.
+    text = good;
+    const std::string data_needle = "\"data\":[";
+    at = text.find(data_needle);
+    ASSERT_NE(at, std::string::npos);
+    const std::size_t first = at + data_needle.size();
+    const std::size_t comma = text.find(',', first);
+    ASSERT_NE(comma, std::string::npos);
+    text.replace(first, comma - first, "null");
+    auto null_weight = CompiledModel::fromJson(text);
+    ASSERT_FALSE(null_weight.ok());
+    EXPECT_EQ(null_weight.status().code(), StatusCode::InvalidArgument);
+    EXPECT_NE(null_weight.status().message().find("non-numeric"),
+              std::string::npos);
+}
+
+TEST(CompiledModel, CarriesPnrTimingWhenRequested)
+{
+    Graph g = smallCnn();
+    CompileOptions options;
+    options.duplicationDegree = 2;
+    options.runPlaceAndRoute = true;
+    Pipeline p(g, options);
+    auto compiled = p.compile();
+    ASSERT_TRUE(compiled.ok()) << compiled.status().toString();
+    ASSERT_TRUE(compiled->timing().has_value());
+    EXPECT_GT(compiled->timing()->avgNetDelay, 0.0);
+
+    auto reloaded = CompiledModel::fromJson(compiled->toJson());
+    ASSERT_TRUE(reloaded.ok());
+    ASSERT_TRUE(reloaded->timing().has_value());
+    EXPECT_EQ(reloaded->timing()->routed, compiled->timing()->routed);
+}
+
+// ----------------------------------------------------------------- Engine
+
+TEST(Engine, RejectsBadOptionsAndUnservableModels)
+{
+    auto model = std::make_shared<CompiledModel>(compileSmallCnn());
+
+    EngineOptions zero_workers;
+    zero_workers.workerThreads = 0;
+    EXPECT_FALSE(Engine::create(model, zero_workers).ok());
+
+    // Spiking backend on a graph outside the functional family.
+    GraphBuilder b({1, 8, 8});
+    b.conv(2, 3, 1, 0).relu().avgPool(2, 2).flatten().fc(4);
+    Graph g = b.build();
+    Rng rng(5);
+    randomizeWeights(g, rng);
+    Pipeline p(g);
+    auto compiled = p.compile();
+    ASSERT_TRUE(compiled.ok());
+    EngineOptions spiking;
+    spiking.executor = ExecutorKind::Spiking;
+    auto engine = Engine::create(
+        std::make_shared<CompiledModel>(std::move(compiled).value()),
+        spiking);
+    ASSERT_FALSE(engine.ok());
+    EXPECT_EQ(engine.status().code(), StatusCode::InvalidArgument);
+}
+
+TEST(Engine, InferMatchesDirectExecutionAndCarriesModeledCost)
+{
+    auto model = std::make_shared<CompiledModel>(compileSmallCnn());
+    auto engine = Engine::create(model, EngineOptions{});
+    ASSERT_TRUE(engine.ok()) << engine.status().toString();
+
+    const Tensor expected =
+        runGraphFinal(model->graph(), probeInput());
+    auto result = (*engine)->infer(probeInput());
+    ASSERT_TRUE(result.ok()) << result.status().toString();
+    expectBitIdentical(result->output, expected);
+    EXPECT_EQ(result->modeledLatency, model->performance().latency);
+    EXPECT_EQ(result->modeledEnergy, model->energy().perSample());
+    EXPECT_GE(result->batchSize, 1);
+
+    // Shape mismatches are per-request Status data, not aborts.
+    auto bad = (*engine)->infer(Tensor({2, 8, 8}));
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::InvalidArgument);
+    EXPECT_EQ((*engine)->stats().failed, 1);
+}
+
+TEST(Engine, ConcurrentSubmitsMatchSequentialInference)
+{
+    auto model = std::make_shared<CompiledModel>(compileSmallCnn());
+
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 12;
+
+    // Sequential ground truth, one worker, no batching.
+    std::vector<Tensor> expected;
+    for (int i = 0; i < kThreads * kPerThread; ++i) {
+        expected.push_back(runGraphFinal(
+            model->graph(),
+            probeInput(static_cast<float>(i % 5) * 0.3f + 0.1f)));
+    }
+
+    EngineOptions options;
+    options.workerThreads = 4;
+    options.maxBatch = 4;
+    options.queueDepth = 16;
+    auto engine = Engine::create(model, options);
+    ASSERT_TRUE(engine.ok());
+
+    std::vector<std::future<StatusOr<InferenceResult>>> futures(
+        static_cast<std::size_t>(kThreads * kPerThread));
+    std::vector<std::thread> clients;
+    for (int t = 0; t < kThreads; ++t) {
+        clients.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                const int id = t * kPerThread + i;
+                futures[static_cast<std::size_t>(id)] = (*engine)->submit(
+                    probeInput(static_cast<float>(id % 5) * 0.3f +
+                               0.1f));
+            }
+        });
+    }
+    for (auto &c : clients)
+        c.join();
+
+    for (int id = 0; id < kThreads * kPerThread; ++id) {
+        auto result = futures[static_cast<std::size_t>(id)].get();
+        ASSERT_TRUE(result.ok()) << result.status().toString();
+        expectBitIdentical(result->output,
+                           expected[static_cast<std::size_t>(id)]);
+    }
+
+    const EngineStats stats = (*engine)->stats();
+    EXPECT_EQ(stats.submitted, kThreads * kPerThread);
+    EXPECT_EQ(stats.completed, kThreads * kPerThread);
+    EXPECT_EQ(stats.failed, 0);
+    EXPECT_GE(stats.batches, 1);
+    EXPECT_LE(stats.p50QueueMillis, stats.p95QueueMillis);
+    EXPECT_LE(stats.p95QueueMillis, stats.maxQueueMillis);
+    EXPECT_GE(stats.avgBatchSize, 1.0);
+
+    // The JSON stats surface parses back.
+    auto parsed = parseJson((*engine)->statsJson());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ((*parsed)["completed"].asInt(), kThreads * kPerThread);
+}
+
+TEST(Engine, ShutdownDrainsQueuedRequestsAndRejectsNewOnes)
+{
+    auto model = std::make_shared<CompiledModel>(compileSmallCnn());
+    EngineOptions options;
+    options.workerThreads = 1; // one worker so requests genuinely queue
+    options.maxBatch = 2;
+    options.queueDepth = 64;
+    auto engine = Engine::create(model, options);
+    ASSERT_TRUE(engine.ok());
+
+    constexpr int kQueued = 24;
+    std::vector<std::future<StatusOr<InferenceResult>>> futures;
+    for (int i = 0; i < kQueued; ++i)
+        futures.push_back((*engine)->submit(probeInput()));
+
+    // Shut down immediately: everything already queued must still be
+    // served (drain semantics), nothing may hang or be dropped.
+    (*engine)->shutdown();
+    int completed = 0;
+    for (auto &f : futures) {
+        auto result = f.get();
+        ASSERT_TRUE(result.ok()) << result.status().toString();
+        ++completed;
+    }
+    EXPECT_EQ(completed, kQueued);
+    EXPECT_EQ((*engine)->stats().completed, kQueued);
+
+    // Post-shutdown submits fail fast with Unavailable.
+    auto rejected = (*engine)->submit(probeInput()).get();
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_EQ(rejected.status().code(), StatusCode::Unavailable);
+    EXPECT_EQ((*engine)->stats().rejected, 1);
+
+    // Idempotent: a second shutdown (and the destructor) are no-ops.
+    (*engine)->shutdown();
+}
+
+TEST(Engine, SpikingBackendServesQuantizedOutputs)
+{
+    auto model = std::make_shared<CompiledModel>(compileSmallCnn());
+    EngineOptions options;
+    options.workerThreads = 2;
+    options.executor = ExecutorKind::Spiking;
+    auto engine = Engine::create(model, options);
+    ASSERT_TRUE(engine.ok()) << engine.status().toString();
+
+    auto spiking = (*engine)->infer(probeInput());
+    ASSERT_TRUE(spiking.ok()) << spiking.status().toString();
+    EXPECT_EQ(spiking->output.shape(), model->outputShape());
+
+    // The count-domain output approximates the (relu'd) float
+    // reference within the 6-bit quantization budget.
+    const Tensor reference =
+        relu(runGraphFinal(model->graph(), probeInput()));
+    double max_ref = 0.0, max_err = 0.0;
+    for (std::int64_t i = 0; i < reference.numel(); ++i) {
+        max_ref = std::max(max_ref,
+                           static_cast<double>(reference[i]));
+        max_err = std::max(
+            max_err, std::abs(static_cast<double>(reference[i]) -
+                              spiking->output[i]));
+    }
+    EXPECT_LT(max_err, std::max(0.35, 0.5 * max_ref));
+}
+
+} // namespace
+} // namespace fpsa

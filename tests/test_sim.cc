@@ -262,7 +262,7 @@ TEST(CycleSim, MatchesCountDomainExecutor)
         x[i] = 0.25f + 0.5f * static_cast<float>(i) /
                            static_cast<float>(x.numel());
 
-    FunctionalSynthesis synth = synthesizeFunctional(g, x);
+    FunctionalSynthesis synth = synthesizeFunctional(g, x).value();
     const auto in_counts = encodeInputCounts(synth, x);
     const auto expect = runCoreOps(synth, in_counts);
 
@@ -294,7 +294,7 @@ TEST(CycleSim, DeviceVariationPerturbsOutputs)
     randomizeWeights(g, rng);
     Tensor x({8});
     x.fill(0.7f);
-    FunctionalSynthesis synth = synthesizeFunctional(g, x);
+    FunctionalSynthesis synth = synthesizeFunctional(g, x).value();
     const auto in_counts = encodeInputCounts(synth, x);
     const auto dup = duplicationForGraph(synth.coreOps, 1);
     const auto [assign, pes] = assignPes(synth.coreOps, dup);

@@ -158,7 +158,7 @@ TEST(Functional, SingleTileFcMatchesReference)
     randomizeWeights(g, rng);
     Tensor x = rampInput({32}, 0.0f, 1.0f);
 
-    FunctionalSynthesis synth = synthesizeFunctional(g, x);
+    FunctionalSynthesis synth = synthesizeFunctional(g, x).value();
     const auto counts = runCoreOps(synth, encodeInputCounts(synth, x));
     const auto values = decodeOutputValues(synth, counts);
     const Tensor ref = relu(runGraphFinal(g, x));
@@ -176,7 +176,7 @@ TEST(Functional, MultiTileFcSplitsAndReduces)
     randomizeWeights(g, rng);
     Tensor x = rampInput({600}, 0.0f, 1.0f);
 
-    FunctionalSynthesis synth = synthesizeFunctional(g, x);
+    FunctionalSynthesis synth = synthesizeFunctional(g, x).value();
     // Expect weight tiles plus reduce ops in the graph.
     int reduces = 0;
     for (const auto &op : synth.coreOps.ops())
@@ -195,7 +195,7 @@ TEST(Functional, MaxPoolIsExactInCountDomain)
     b.maxPool(2, 2);
     Graph g = b.build();
     Tensor x = rampInput({2, 4, 4}, 0.0f, 1.0f);
-    FunctionalSynthesis synth = synthesizeFunctional(g, x);
+    FunctionalSynthesis synth = synthesizeFunctional(g, x).value();
     const auto in_counts = encodeInputCounts(synth, x);
     const auto counts = runCoreOps(synth, in_counts);
 
@@ -229,7 +229,7 @@ TEST(Functional, ConvMatchesReference)
     randomizeWeights(g, rng);
     Tensor x = rampInput({2, 6, 6}, 0.0f, 1.0f);
 
-    FunctionalSynthesis synth = synthesizeFunctional(g, x);
+    FunctionalSynthesis synth = synthesizeFunctional(g, x).value();
     const auto counts = runCoreOps(synth, encodeInputCounts(synth, x));
     const auto values = decodeOutputValues(synth, counts);
     const Tensor ref = relu(runGraphFinal(g, x));
@@ -248,7 +248,7 @@ TEST(Functional, SmallCnnEndToEnd)
     randomizeWeights(g, rng);
     Tensor x = rampInput({1, 8, 8}, 0.0f, 1.0f);
 
-    FunctionalSynthesis synth = synthesizeFunctional(g, x);
+    FunctionalSynthesis synth = synthesizeFunctional(g, x).value();
     synth.coreOps.validate();
     const auto counts = runCoreOps(synth, encodeInputCounts(synth, x));
     const auto values = decodeOutputValues(synth, counts);
@@ -264,7 +264,7 @@ TEST(Functional, ConvGroupSharingAcrossPositions)
     Rng rng(11);
     randomizeWeights(g, rng);
     Tensor x = rampInput({1, 6, 6}, 0.0f, 1.0f);
-    FunctionalSynthesis synth = synthesizeFunctional(g, x);
+    FunctionalSynthesis synth = synthesizeFunctional(g, x).value();
     // 4x4 positions, one tile each, all in one weight group.
     std::map<GroupId, int> group_sizes;
     for (const auto &op : synth.coreOps.ops())
@@ -273,6 +273,34 @@ TEST(Functional, ConvGroupSharingAcrossPositions)
     for (const auto &[gid, n] : group_sizes)
         max_group = std::max(max_group, n);
     EXPECT_EQ(max_group, 16);
+}
+
+TEST(Functional, UnsupportedGraphsComeBackAsInvalidArgument)
+{
+    // Unsupported op kind (AvgPool).
+    GraphBuilder b({1, 4, 4});
+    b.avgPool(2, 2);
+    Tensor x(Shape{1, 4, 4});
+    auto unsupported = synthesizeFunctional(b.build(), x);
+    ASSERT_FALSE(unsupported.ok());
+    EXPECT_EQ(unsupported.status().code(), StatusCode::InvalidArgument);
+
+    // Missing weights.
+    GraphBuilder fcb({1, 4, 4});
+    fcb.flatten().fc(2);
+    auto unweighted = synthesizeFunctional(fcb.build(), x);
+    ASSERT_FALSE(unweighted.ok());
+    EXPECT_EQ(unweighted.status().code(), StatusCode::InvalidArgument);
+
+    // Calibration shape mismatch.
+    GraphBuilder ok({1, 4, 4});
+    ok.flatten().fc(2);
+    Graph g = ok.build();
+    Rng rng(3);
+    randomizeWeights(g, rng);
+    auto mismatched = synthesizeFunctional(g, Tensor(Shape{1, 2, 2}));
+    ASSERT_FALSE(mismatched.ok());
+    EXPECT_EQ(mismatched.status().code(), StatusCode::InvalidArgument);
 }
 
 } // namespace
