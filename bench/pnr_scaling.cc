@@ -115,7 +115,7 @@ struct ModeResult
 };
 
 ModeResult
-runMode(const Netlist &nl, bool incremental)
+runModeOnce(const Netlist &nl, bool incremental)
 {
     PnrOptions opt;
     opt.fullRoute = true;
@@ -150,6 +150,24 @@ runMode(const Netlist &nl, bool incremental)
     return m;
 }
 
+/**
+ * Best-of-N timing: the algorithms are seed-deterministic, so quality
+ * metrics are identical across repeats and only the wall-clock varies
+ * with scheduler noise.  Keeping the fastest repeat makes the
+ * speedup/regression trajectory stable enough for CI to gate on.
+ */
+ModeResult
+runMode(const Netlist &nl, bool incremental, int repeats)
+{
+    ModeResult best = runModeOnce(nl, incremental);
+    for (int i = 1; i < repeats; ++i) {
+        const ModeResult next = runModeOnce(nl, incremental);
+        if (next.totalMs < best.totalMs)
+            best = next;
+    }
+    return best;
+}
+
 void
 emitLine(int blocks, const Netlist &nl, const char *mode,
          const ModeResult &m)
@@ -180,8 +198,12 @@ int
 main(int argc, char **argv)
 {
     std::vector<int> sizes{64, 128, 256, 512, 1024, 2048};
+    int repeats = 1;
     if (argc > 1 && std::strcmp(argv[1], "--small") == 0) {
-        sizes = {64, 128};
+        // CI smoke: small sizes are noise-dominated, so take the best
+        // of several repeats to stabilize the gated speedup metrics.
+        sizes = {64, 128, 256};
+        repeats = 5;
     } else if (argc > 1) {
         sizes.clear();
         for (int i = 1; i < argc; ++i)
@@ -199,8 +221,8 @@ main(int argc, char **argv)
 
     for (int blocks : sizes) {
         const Netlist nl = scalingNetlist(7, blocks);
-        const ModeResult ref = runMode(nl, false);
-        const ModeResult inc = runMode(nl, true);
+        const ModeResult ref = runMode(nl, false, repeats);
+        const ModeResult inc = runMode(nl, true, repeats);
         emitLine(blocks, nl, "reference", ref);
         emitLine(blocks, nl, "incremental", inc);
         points.push_back(

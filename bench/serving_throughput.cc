@@ -19,6 +19,12 @@
  * percentiles and the realized batch histogram.  The summary line's
  * `speedupAt4Workers` is the acceptance metric -- meaningful only when
  * `hardwareConcurrency` actually offers cores to scale onto.
+ *
+ * A second sweep dimension serves the same model as 1..N tenants of a
+ * multi-tenant engine (round-robin submits): `tenantSweep` lines
+ * report aggregate throughput plus the min/max per-tenant share, and
+ * the summary's `tenantFairness` is min/max at the widest point --
+ * 1.0 means perfectly even service under the tenant round-robin.
  */
 
 #include <algorithm>
@@ -26,6 +32,7 @@
 #include <cstring>
 #include <future>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -151,6 +158,98 @@ runSweepPoint(const std::shared_ptr<const CompiledModel> &model,
     return point;
 }
 
+struct TenantPoint
+{
+    int tenants = 1;
+    double aggregateThroughput = 0.0;
+    double fairness = 0.0; //!< min/max per-tenant throughput
+};
+
+/**
+ * Serve `requests` total across `tenants` copies of the model loaded
+ * into one multi-tenant engine, submitting round-robin, and report the
+ * aggregate + per-tenant split.
+ */
+TenantPoint
+runTenantPoint(const std::shared_ptr<const CompiledModel> &model,
+               int tenants, int threads, int max_batch, int requests)
+{
+    EngineOptions options;
+    options.workerThreads = threads;
+    options.maxBatch = max_batch;
+    options.queueDepth = requests;
+    auto engine = Engine::create(ChipCapacity::unlimited(), options);
+    if (!engine.ok()) {
+        std::cerr << "engine: " << engine.status().toString() << "\n";
+        std::exit(1);
+    }
+    std::vector<std::string> names;
+    for (int t = 0; t < tenants; ++t) {
+        names.push_back("tenant" + std::to_string(t));
+        if (Status s = (*engine)->loadModel(names.back(), model);
+            !s.ok()) {
+            std::cerr << "load: " << s.toString() << "\n";
+            std::exit(1);
+        }
+    }
+
+    std::vector<std::future<StatusOr<InferenceResult>>> futures;
+    futures.reserve(static_cast<std::size_t>(requests));
+    for (int i = 0; i < requests; ++i)
+        futures.push_back((*engine)->submit(
+            names[static_cast<std::size_t>(i % tenants)],
+            sampleInput(i)));
+    for (auto &f : futures) {
+        auto r = f.get();
+        if (!r.ok()) {
+            std::cerr << "infer: " << r.status().toString() << "\n";
+            std::exit(1);
+        }
+    }
+
+    // A starved tenant reports throughput 0.0 and must drag the
+    // fairness minimum down, so "unset" is +inf, not 0.
+    double min_tenant = std::numeric_limits<double>::infinity();
+    double max_tenant = 0.0;
+    JsonWriter per_tenant;
+    per_tenant.beginObject();
+    for (const std::string &name : names) {
+        auto stats = (*engine)->modelStats(name);
+        if (!stats.ok())
+            continue;
+        const double tput = stats->throughput;
+        per_tenant.field(name, tput);
+        min_tenant = std::min(min_tenant, tput);
+        max_tenant = std::max(max_tenant, tput);
+    }
+    per_tenant.endObject();
+
+    const EngineStats aggregate = (*engine)->stats();
+    TenantPoint point;
+    point.tenants = tenants;
+    point.aggregateThroughput = aggregate.throughput;
+    point.fairness = max_tenant > 0.0 ? min_tenant / max_tenant : 0.0;
+
+    JsonWriter j;
+    j.beginObject();
+    j.field("kind", "tenantSweep");
+    j.field("tenants", tenants);
+    j.field("workerThreads", threads);
+    j.field("maxBatch", max_batch);
+    j.field("requests", requests);
+    j.field("aggregateThroughput", aggregate.throughput);
+    j.field("avgBatchSize", aggregate.avgBatchSize);
+    j.field("fairness", point.fairness);
+    j.key("perTenantThroughput").raw(per_tenant.str());
+    j.key("queueWaitMillis").beginObject();
+    j.field("p50", aggregate.p50QueueMillis);
+    j.field("p95", aggregate.p95QueueMillis);
+    j.endObject();
+    j.endObject();
+    std::cout << j.str() << "\n";
+    return point;
+}
+
 } // namespace
 
 int
@@ -252,6 +351,15 @@ main(int argc, char **argv)
         }
     }
 
+    // Multi-tenant dimension: the same chip serving 1..N tenants.
+    const std::vector<int> tenant_sweep =
+        small ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4};
+    TenantPoint widest;
+    for (int tenants : tenant_sweep) {
+        widest = runTenantPoint(model, tenants, /*threads=*/4,
+                                /*max_batch=*/4, requests);
+    }
+
     JsonWriter j;
     j.beginObject();
     j.field("kind", "summary");
@@ -262,6 +370,9 @@ main(int argc, char **argv)
             baseline > 0.0 ? best_at_4 / baseline : 0.0);
     j.field("bestSpeedup",
             baseline > 0.0 ? best_overall / baseline : 0.0);
+    j.field("tenantsAtWidest", widest.tenants);
+    j.field("aggregateThroughputAtWidest", widest.aggregateThroughput);
+    j.field("tenantFairness", widest.fairness);
     j.field("hardwareConcurrency",
             static_cast<std::int64_t>(
                 std::thread::hardware_concurrency()));

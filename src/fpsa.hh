@@ -14,7 +14,8 @@
  *                 artifacts; the primary entry point),
  *                 compiler.hh (deprecated one-call wrapper)
  *   serving     - runtime/ (CompiledModel deployable artifacts,
- *                 Executor backends, the concurrent batched Engine)
+ *                 Executor backends, the ModelRegistry chip-capacity
+ *                 admission, the concurrent batched multi-tenant Engine)
  */
 
 #ifndef FPSA_FPSA_HH
@@ -60,6 +61,7 @@
 #include "runtime/compiled_model.hh"
 #include "runtime/engine.hh"
 #include "runtime/executor.hh"
+#include "runtime/model_registry.hh"
 #include "sim/bounds.hh"
 #include "sim/cycle_sim.hh"
 #include "sim/energy_report.hh"

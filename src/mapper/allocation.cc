@@ -112,4 +112,21 @@ allocateForPeBudget(const SynthesisSummary &summary, std::int64_t pe_budget,
     return result;
 }
 
+ResourceDemand
+resourceDemand(const AllocationResult &allocation, const Netlist &netlist)
+{
+    ResourceDemand demand;
+    if (!netlist.blocks().empty()) {
+        demand.peBlocks = netlist.countBlocks(BlockType::Pe);
+        demand.smbBlocks = netlist.countBlocks(BlockType::Smb);
+        demand.clbBlocks = netlist.countBlocks(BlockType::Clb);
+    } else {
+        demand.peBlocks = allocation.totalPes;
+        demand.smbBlocks = allocation.smbBlocks;
+        demand.clbBlocks = allocation.clbBlocks;
+    }
+    demand.routingTracks = netlist.totalWireDemand();
+    return demand;
+}
+
 } // namespace fpsa

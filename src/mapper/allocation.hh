@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/status.hh"
+#include "mapper/netlist.hh"
 #include "synth/synthesizer.hh"
 
 namespace fpsa
@@ -64,6 +65,46 @@ struct AllocationOptions
 
     bool operator==(const AllocationOptions &) const = default;
 };
+
+/**
+ * Chip-resource footprint of one mapped model: how many function-block
+ * sites of each family it occupies and how many routing tracks its nets
+ * demand.  This is the unit of multi-tenant admission control -- the
+ * serving runtime sums the demand of every resident model and admits a
+ * new one only when the total still fits the chip (see
+ * runtime/model_registry.hh).
+ */
+struct ResourceDemand
+{
+    std::int64_t peBlocks = 0;
+    std::int64_t smbBlocks = 0;
+    std::int64_t clbBlocks = 0;
+
+    /**
+     * Sum of net widths (`Netlist::totalWireDemand`): a lower bound on
+     * the channel tracks the router must provision for this model's
+     * spike buses.
+     */
+    std::int64_t routingTracks = 0;
+
+    bool
+    zero() const
+    {
+        return peBlocks == 0 && smbBlocks == 0 && clbBlocks == 0 &&
+               routingTracks == 0;
+    }
+
+    bool operator==(const ResourceDemand &) const = default;
+};
+
+/**
+ * Summarize the chip-resource demand of a mapped model.  Block counts
+ * come from the netlist (the ground truth of what PnR must place) when
+ * it is non-empty, otherwise from the allocation totals; routing demand
+ * is the netlist's total wire demand.
+ */
+ResourceDemand resourceDemand(const AllocationResult &allocation,
+                              const Netlist &netlist);
 
 /**
  * Allocate with a fixed duplication degree for the max-reuse group;

@@ -400,6 +400,10 @@ Pipeline::compile()
     }
     artifacts.performance = (*eval)->performance;
     artifacts.energy = (*eval)->energy;
+    // Stamp the admission-control footprint into the artifact so a
+    // serving process can budget the chip without the compile stack.
+    artifacts.demand =
+        resourceDemand(map_->allocation, map_->netlist);
     return CompiledModel::fromArtifacts(std::move(artifacts));
 }
 

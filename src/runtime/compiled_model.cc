@@ -16,7 +16,15 @@ namespace
 {
 
 constexpr const char *kFormat = "fpsa.compiled_model";
-constexpr std::int64_t kVersion = 1;
+
+/**
+ * Document versions this build reads.  v1 predates the resource-demand
+ * section (multi-tenant admission); loading a v1 artifact derives the
+ * demand from its allocation + netlist, so old artifacts stay servable.
+ * Writes always emit the newest version.
+ */
+constexpr std::int64_t kVersion = 2;
+constexpr std::int64_t kMinReadVersion = 1;
 
 bool
 opKindFromName(const std::string &name, OpKind &out)
@@ -695,6 +703,28 @@ readPerformance(Deser &d, const JsonValue &v)
     return p;
 }
 
+void
+emitResourceDemand(JsonWriter &j, const ResourceDemand &d)
+{
+    j.beginObject();
+    j.field("peBlocks", d.peBlocks);
+    j.field("smbBlocks", d.smbBlocks);
+    j.field("clbBlocks", d.clbBlocks);
+    j.field("routingTracks", d.routingTracks);
+    j.endObject();
+}
+
+ResourceDemand
+readResourceDemand(Deser &d, const JsonValue &v)
+{
+    ResourceDemand demand;
+    demand.peBlocks = d.i64(v, "peBlocks");
+    demand.smbBlocks = d.i64(v, "smbBlocks");
+    demand.clbBlocks = d.i64(v, "clbBlocks");
+    demand.routingTracks = d.i64(v, "routingTracks");
+    return demand;
+}
+
 Status
 validateArtifacts(const CompiledModel::Artifacts &a)
 {
@@ -744,6 +774,12 @@ validateArtifacts(const CompiledModel::Artifacts &a)
         return invalid("synthesis summary has no groups");
     if (a.allocation.totalPes <= 0)
         return invalid("allocation has no PEs");
+    // Negative demand would be admitted against an inflated chip
+    // budget (resident sums go negative), bypassing admission control.
+    if (a.demand.peBlocks < 0 || a.demand.smbBlocks < 0 ||
+        a.demand.clbBlocks < 0 || a.demand.routingTracks < 0) {
+        return invalid("resource demand has negative components");
+    }
     const std::int64_t blocks =
         static_cast<std::int64_t>(a.netlist.blocks().size());
     for (const Net &n : a.netlist.nets()) {
@@ -765,6 +801,12 @@ CompiledModel::fromArtifacts(Artifacts artifacts)
     Status valid = validateArtifacts(artifacts);
     if (!valid.ok())
         return valid;
+    if (artifacts.demand.zero()) {
+        // Qualified: the member accessor of the same name would win
+        // unqualified lookup inside the class.
+        artifacts.demand = fpsa::resourceDemand(artifacts.allocation,
+                                                artifacts.netlist);
+    }
     return CompiledModel(std::move(artifacts));
 }
 
@@ -808,6 +850,8 @@ CompiledModel::toJson() const
     } else {
         j.null();
     }
+    j.key("resourceDemand");
+    emitResourceDemand(j, a_.demand);
     j.key("performance");
     emitPerformance(j, a_.performance);
     j.key("energy").beginObject();
@@ -836,7 +880,7 @@ CompiledModel::fromJson(const std::string &text)
     const std::int64_t version = d.i64(*doc, "version");
     if (!d.status().ok())
         return d.status();
-    if (version != kVersion) {
+    if (version < kMinReadVersion || version > kVersion) {
         return Status::error(StatusCode::InvalidArgument,
                              "compiled model: unsupported version " +
                                  std::to_string(version));
@@ -876,6 +920,10 @@ CompiledModel::fromJson(const std::string &text)
         t.placementHpwl = d.num(timing, "placementHpwl");
         a.timing = t;
     }
+
+    if (version >= 2) {
+        a.demand = readResourceDemand(d, d.obj(*doc, "resourceDemand"));
+    } // v1: left zero; fromArtifacts derives it from allocation+netlist.
 
     a.performance = readPerformance(d, d.obj(*doc, "performance"));
     const JsonValue &energy = d.obj(*doc, "energy");

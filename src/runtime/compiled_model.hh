@@ -80,6 +80,14 @@ class CompiledModel
         std::optional<CompiledTiming> timing;
         PerfReport performance;      //!< modeled, attached per request
         EnergyReport energy;
+
+        /**
+         * Chip-resource footprint (PE/SMB/CLB sites + routing tracks),
+         * the unit of multi-tenant admission control.  Left all-zero,
+         * `fromArtifacts` derives it from the allocation + netlist; the
+         * compile pipeline stamps it explicitly.
+         */
+        ResourceDemand demand;
     };
 
     /**
@@ -98,6 +106,9 @@ class CompiledModel
     const std::optional<CompiledTiming> &timing() const { return a_.timing; }
     const PerfReport &performance() const { return a_.performance; }
     const EnergyReport &energy() const { return a_.energy; }
+
+    /** Chip-resource footprint used for multi-tenant admission. */
+    const ResourceDemand &resourceDemand() const { return a_.demand; }
 
     /** Per-sample shape of the model's input node. */
     const Shape &inputShape() const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
 #include <utility>
 
 #include "common/json.hh"
@@ -39,7 +40,171 @@ percentile(const std::vector<double> &sorted, double p)
     return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
+/** One queued request awaiting a worker. */
+struct Request
+{
+    Tensor input;
+    std::promise<StatusOr<InferenceResult>> promise;
+    Clock::time_point enqueued;
+};
+
 } // namespace
+
+/**
+ * Serving counters for one scope (a tenant, or the engine aggregate).
+ * All mutation requires the engine lock.
+ */
+struct Engine::Telemetry
+{
+    explicit Telemetry(int maxBatch)
+        : batchSizeCounts(static_cast<std::size_t>(maxBatch) + 1, 0)
+    {
+        queueWaitSamples.reserve(1024);
+    }
+
+    void
+    recordSubmit(Clock::time_point now)
+    {
+        ++submitted;
+        if (!timelineStarted) {
+            timelineStarted = true;
+            firstSubmit = now;
+            lastCompletion = now;
+        }
+    }
+
+    void
+    recordBatch(std::size_t size)
+    {
+        ++batches;
+        if (size < batchSizeCounts.size())
+            ++batchSizeCounts[size];
+    }
+
+    /**
+     * Modeled cost is accumulated per completion so the aggregate's
+     * served-mix average stays correct after a tenant is unloaded.
+     */
+    void
+    recordOutcome(double queueMs, Clock::time_point end, bool ok,
+                  NanoSeconds modeledLatency, PicoJoules modeledEnergy)
+    {
+        if (queueWaitSamples.size() < kMaxQueueWaitSamples) {
+            queueWaitSamples.push_back(queueMs);
+        } else {
+            queueWaitSamples[queueWaitAt] = queueMs;
+            queueWaitAt = (queueWaitAt + 1) % kMaxQueueWaitSamples;
+        }
+        if (ok) {
+            ++completed;
+            lastCompletion = end;
+            modeledLatencySum += modeledLatency;
+            modeledEnergySum += modeledEnergy;
+        } else {
+            ++failed;
+        }
+    }
+
+    /**
+     * Counter snapshot + a raw copy of the wait samples; the caller
+     * runs `finalizeStats` on them AFTER releasing the engine lock
+     * (sorting up to 64K samples under it would stall the workers).
+     */
+    EngineStats
+    snapshotLocked(std::vector<double> &waits_out) const
+    {
+        EngineStats s;
+        s.submitted = submitted;
+        s.completed = completed;
+        s.failed = failed;
+        s.rejected = rejected;
+        s.batches = batches;
+        s.batchSizeCounts = batchSizeCounts;
+        if (timelineStarted)
+            s.wallSeconds =
+                millisBetween(firstSubmit, lastCompletion) / 1000.0;
+        if (completed > 0) {
+            s.modeledLatency =
+                modeledLatencySum / static_cast<double>(completed);
+            s.modeledEnergyPerSample =
+                modeledEnergySum / static_cast<double>(completed);
+        }
+        waits_out = queueWaitSamples;
+        return s;
+    }
+
+    std::int64_t submitted = 0;
+    std::int64_t completed = 0;
+    std::int64_t failed = 0;
+    std::int64_t rejected = 0;
+    std::int64_t batches = 0;
+    double modeledLatencySum = 0.0; //!< over completed requests
+    double modeledEnergySum = 0.0;
+    std::vector<std::int64_t> batchSizeCounts;
+    std::vector<double> queueWaitSamples; //!< bounded ring buffer
+    std::size_t queueWaitAt = 0;
+    bool timelineStarted = false;
+    Clock::time_point firstSubmit;
+    Clock::time_point lastCompletion;
+};
+
+namespace
+{
+
+/** Percentile/average math on a counter snapshot, outside the lock. */
+void
+finalizeStats(EngineStats &s, std::vector<double> waits)
+{
+    std::sort(waits.begin(), waits.end());
+    s.p50QueueMillis = percentile(waits, 0.50);
+    s.p95QueueMillis = percentile(waits, 0.95);
+    s.maxQueueMillis = waits.empty() ? 0.0 : waits.back();
+    if (s.batches > 0) {
+        std::int64_t coalesced = 0;
+        for (std::size_t n = 0; n < s.batchSizeCounts.size(); ++n)
+            coalesced +=
+                static_cast<std::int64_t>(n) * s.batchSizeCounts[n];
+        s.avgBatchSize = static_cast<double>(coalesced) /
+                         static_cast<double>(s.batches);
+    }
+    if (s.wallSeconds > 0.0)
+        s.throughput = static_cast<double>(s.completed) / s.wallSeconds;
+}
+
+} // namespace
+
+/**
+ * Per-model serving state.  Held by shared_ptr so a worker mid-batch
+ * (and a submitter blocked on backpressure) can outlive the tenant's
+ * eviction from the map; all fields require the engine lock except
+ * `model`/`executor`/the modeled constants, which are immutable after
+ * construction.
+ */
+struct Engine::Tenant
+{
+    Tenant(std::string tenant_name,
+           std::shared_ptr<const CompiledModel> tenant_model,
+           std::unique_ptr<Executor> tenant_executor, int maxBatch)
+        : name(std::move(tenant_name)), model(std::move(tenant_model)),
+          executor(std::move(tenant_executor)), telemetry(maxBatch),
+          modeledLatency(model->performance().latency),
+          modeledEnergy(model->energy().perSample())
+    {
+    }
+
+    const std::string name;
+    const std::shared_ptr<const CompiledModel> model;
+    const std::unique_ptr<Executor> executor;
+
+    std::deque<Request> queue;
+    int inflight = 0;      //!< dequeued but not yet completed
+    bool draining = false; //!< unloadModel in progress: no new submits
+    bool evicted = false;  //!< drained and removed from the engine
+    Telemetry telemetry;
+
+    const NanoSeconds modeledLatency;
+    const PicoJoules modeledEnergy;
+};
 
 std::string
 EngineStats::toJson() const
@@ -54,6 +219,8 @@ EngineStats::toJson() const
     j.field("throughput", throughput);
     j.field("wallSeconds", wallSeconds);
     j.field("avgBatchSize", avgBatchSize);
+    j.field("modeledLatencyNs", modeledLatency);
+    j.field("modeledEnergyPerSamplePj", modeledEnergyPerSample);
     j.key("queueWaitMillis").beginObject();
     j.field("p50", p50QueueMillis);
     j.field("p95", p95QueueMillis);
@@ -68,13 +235,8 @@ EngineStats::toJson() const
 }
 
 StatusOr<std::unique_ptr<Engine>>
-Engine::create(std::shared_ptr<const CompiledModel> model,
-               EngineOptions options)
+Engine::create(ChipCapacity capacity, EngineOptions options)
 {
-    if (!model) {
-        return Status::error(StatusCode::InvalidArgument,
-                             "engine: null compiled model");
-    }
     if (options.workerThreads < 1 || options.maxBatch < 1 ||
         options.queueDepth < 1) {
         return Status::error(
@@ -82,20 +244,31 @@ Engine::create(std::shared_ptr<const CompiledModel> model,
             "engine: workerThreads, maxBatch and queueDepth must all "
             "be >= 1");
     }
-    auto executor = makeExecutor(options.executor, model);
-    if (!executor.ok())
-        return executor.status();
-    return std::unique_ptr<Engine>(new Engine(
-        std::move(model), options, std::move(executor).value()));
+    return std::unique_ptr<Engine>(new Engine(capacity, options));
 }
 
-Engine::Engine(std::shared_ptr<const CompiledModel> model,
-               EngineOptions options, std::unique_ptr<Executor> executor)
-    : model_(std::move(model)), options_(options),
-      executor_(std::move(executor)),
-      batchSizeCounts_(static_cast<std::size_t>(options.maxBatch) + 1, 0)
+StatusOr<std::unique_ptr<Engine>>
+Engine::create(std::shared_ptr<const CompiledModel> model,
+               EngineOptions options)
 {
-    queueWaitSamples_.reserve(1024);
+    if (!model) {
+        return Status::error(StatusCode::InvalidArgument,
+                             "engine: null compiled model");
+    }
+    auto engine = create(ChipCapacity::unlimited(), options);
+    if (!engine.ok())
+        return engine.status();
+    Status loaded =
+        (*engine)->loadModel(kDefaultModel, std::move(model));
+    if (!loaded.ok())
+        return loaded;
+    return std::move(engine).value();
+}
+
+Engine::Engine(ChipCapacity capacity, EngineOptions options)
+    : options_(options), registry_(capacity),
+      aggregate_(new Telemetry(options.maxBatch))
+{
     workers_.reserve(static_cast<std::size_t>(options_.workerThreads));
     for (int i = 0; i < options_.workerThreads; ++i)
         workers_.emplace_back([this] { workerLoop(); });
@@ -106,37 +279,198 @@ Engine::~Engine()
     shutdown();
 }
 
+// ----------------------------------------------------------------- tenants
+
+Status
+Engine::loadModel(const std::string &name,
+                  std::shared_ptr<const CompiledModel> model)
+{
+    return loadModel(name, std::move(model), options_.executor);
+}
+
+Status
+Engine::loadModel(const std::string &name,
+                  std::shared_ptr<const CompiledModel> model,
+                  ExecutorKind executor)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_) {
+            return Status::error(StatusCode::Unavailable,
+                                 "engine is shut down; cannot load '" +
+                                     name + "'");
+        }
+    }
+
+    // Admission first: reserves the name + chip resources atomically
+    // (a tenant -- even one mid-drain -- owns its registry slot for
+    // its whole lifetime, so duplicates fail here), and the backend
+    // build below (potentially slow, e.g. a spiking lowering) happens
+    // outside the engine lock.
+    Status admitted = registry_.add(name, model);
+    if (!admitted.ok())
+        return admitted;
+
+    auto backend = makeExecutor(executor, model);
+    if (!backend.ok()) {
+        registry_.remove(name);
+        return backend.status();
+    }
+
+    auto tenant = std::make_shared<Tenant>(
+        name, std::move(model), std::move(backend).value(),
+        options_.maxBatch);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_) {
+            registry_.remove(name);
+            return Status::error(StatusCode::Unavailable,
+                                 "engine is shut down; cannot load '" +
+                                     name + "'");
+        }
+        tenants_.emplace(name, std::move(tenant));
+    }
+    return Status();
+}
+
+Status
+Engine::unloadModel(const std::string &name)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = tenants_.find(name);
+    if (it == tenants_.end()) {
+        return Status::error(StatusCode::InvalidArgument,
+                             "engine: no model named '" + name + "'");
+    }
+    std::shared_ptr<Tenant> tenant = it->second;
+    if (tenant->draining) {
+        // A concurrent unload owns the drain; wait for THIS tenant
+        // object's eviction.  (Keying on the name would hang if the
+        // name were reloaded -- or never erased -- in between.)
+        drained_.wait(lock, [&] { return tenant->evicted; });
+        return Status();
+    }
+
+    tenant->draining = true;
+    // Submitters blocked on this tenant's backpressure must wake and
+    // see the drain (they fail with Unavailable).
+    notFull_.notify_all();
+    drained_.wait(lock, [&] {
+        return tenant->queue.empty() && tenant->inflight == 0;
+    });
+    tenants_.erase(name);
+    registry_.remove(name);
+    tenant->evicted = true;
+    // Wake concurrent unloaders of the same tenant.
+    drained_.notify_all();
+    return Status();
+}
+
+std::vector<std::string>
+Engine::modelNames() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> names;
+    names.reserve(tenants_.size());
+    for (const auto &[name, tenant] : tenants_)
+        names.push_back(name);
+    return names;
+}
+
+// ---------------------------------------------------------------- requests
+
 std::future<StatusOr<InferenceResult>>
-Engine::submit(Tensor input)
+Engine::submit(const std::string &model, Tensor input)
+{
+    return submitWithLock(std::unique_lock<std::mutex>(mu_), model,
+                          std::move(input));
+}
+
+std::future<StatusOr<InferenceResult>>
+Engine::submitWithLock(std::unique_lock<std::mutex> lock,
+                       const std::string &model, Tensor input)
 {
     std::promise<StatusOr<InferenceResult>> promise;
     std::future<StatusOr<InferenceResult>> future = promise.get_future();
+    auto reject = [&](StatusCode code, std::string why,
+                      Tenant *tenant) {
+        ++aggregate_->rejected;
+        if (tenant)
+            ++tenant->telemetry.rejected;
+        lock.unlock();
+        promise.set_value(Status::error(code, std::move(why)));
+        return std::move(future);
+    };
 
-    std::unique_lock<std::mutex> lock(mu_);
-    notFull_.wait(lock, [this] {
-        return stopping_ ||
-               queue_.size() <
+    if (stopping_) {
+        return reject(StatusCode::Unavailable,
+                      "engine is shut down; request rejected", nullptr);
+    }
+    auto it = tenants_.find(model);
+    if (it == tenants_.end()) {
+        return reject(StatusCode::InvalidArgument,
+                      "engine: no model named '" + model + "'", nullptr);
+    }
+    std::shared_ptr<Tenant> tenant = it->second;
+    if (tenant->draining) {
+        return reject(StatusCode::Unavailable,
+                      "engine: model '" + model +
+                          "' is unloading; request rejected",
+                      tenant.get());
+    }
+
+    // Per-tenant backpressure: one tenant at its queueDepth does not
+    // block submitters of the others.
+    notFull_.wait(lock, [&] {
+        return stopping_ || tenant->draining ||
+               tenant->queue.size() <
                    static_cast<std::size_t>(options_.queueDepth);
     });
-    if (stopping_) {
-        ++rejected_;
-        lock.unlock();
-        promise.set_value(Status::error(
-            StatusCode::Unavailable,
-            "engine is shut down; request rejected"));
-        return future;
+    if (stopping_ || tenant->draining) {
+        return reject(StatusCode::Unavailable,
+                      "engine: model '" + model +
+                          "' stopped accepting requests",
+                      tenant.get());
     }
-    ++submitted_;
+
     const auto now = Clock::now();
-    if (!timelineStarted_) {
-        timelineStarted_ = true;
-        firstSubmit_ = now;
-        lastCompletion_ = now;
-    }
-    queue_.push_back(Request{std::move(input), std::move(promise), now});
+    tenant->telemetry.recordSubmit(now);
+    aggregate_->recordSubmit(now);
+    tenant->queue.push_back(Request{std::move(input), std::move(promise),
+                                    now});
+    ++queuedTotal_;
     lock.unlock();
     notEmpty_.notify_one();
     return future;
+}
+
+std::future<StatusOr<InferenceResult>>
+Engine::submit(Tensor input)
+{
+    // Resolve the sole tenant and enqueue under ONE lock hold, so a
+    // concurrent hot swap between resolution and routing cannot fail
+    // a request while exactly one model is resident.
+    std::unique_lock<std::mutex> lock(mu_);
+    if (tenants_.size() != 1) {
+        std::promise<StatusOr<InferenceResult>> promise;
+        auto future = promise.get_future();
+        ++aggregate_->rejected;
+        lock.unlock();
+        promise.set_value(Status::error(
+            StatusCode::InvalidArgument,
+            "engine: name-free submit needs exactly one loaded "
+            "model, " +
+                std::to_string(tenants_.size()) + " are loaded"));
+        return future;
+    }
+    const std::string sole = tenants_.begin()->first;
+    return submitWithLock(std::move(lock), sole, std::move(input));
+}
+
+StatusOr<InferenceResult>
+Engine::infer(const std::string &model, const Tensor &input)
+{
+    return submit(model, input).get();
 }
 
 StatusOr<InferenceResult>
@@ -145,39 +479,65 @@ Engine::infer(const Tensor &input)
     return submit(input).get();
 }
 
+// --------------------------------------------------------------- scheduler
+
+std::shared_ptr<Engine::Tenant>
+Engine::pickTenantLocked()
+{
+    // Round-robin over the (ordered) tenant map, resuming after the
+    // last-served name, so every tenant with queued work gets regular
+    // dequeues regardless of the others' backlog.
+    auto next = tenants_.upper_bound(rrCursor_);
+    for (std::size_t step = 0; step < tenants_.size(); ++step) {
+        if (next == tenants_.end())
+            next = tenants_.begin();
+        if (!next->second->queue.empty()) {
+            rrCursor_ = next->first;
+            return next->second;
+        }
+        ++next;
+    }
+    return nullptr;
+}
+
 void
 Engine::workerLoop()
 {
     std::vector<Request> batch;
     for (;;) {
         batch.clear();
+        std::shared_ptr<Tenant> tenant;
         {
             std::unique_lock<std::mutex> lock(mu_);
             notEmpty_.wait(lock, [this] {
-                return stopping_ || !queue_.empty();
+                return stopping_ || queuedTotal_ > 0;
             });
-            if (queue_.empty())
+            if (queuedTotal_ == 0)
                 return; // stopping and fully drained
+            tenant = pickTenantLocked();
+            if (!tenant)
+                continue; // raced another worker for the last requests
+
+            // One tenant per batch -- batches never mix models.
             // maxBatch is an upper bound; cap the grab at an even
-            // share of the backlog so one worker never serializes a
-            // burst the rest of the pool could be serving (the
-            // executors run per-sample, so coalescing amortizes
-            // scheduling, not compute).  options_ is immutable, so
-            // this is safe to read while the pool is still spawning.
+            // share of this tenant's backlog so one worker never
+            // serializes a burst the rest of the pool could serve.
             const std::size_t workers =
                 static_cast<std::size_t>(options_.workerThreads);
             const std::size_t fair =
-                (queue_.size() + workers - 1) / workers;
+                (tenant->queue.size() + workers - 1) / workers;
             const std::size_t take = std::min(
-                {queue_.size(),
+                {tenant->queue.size(),
                  static_cast<std::size_t>(options_.maxBatch),
                  std::max<std::size_t>(1, fair)});
             for (std::size_t i = 0; i < take; ++i) {
-                batch.push_back(std::move(queue_.front()));
-                queue_.pop_front();
+                batch.push_back(std::move(tenant->queue.front()));
+                tenant->queue.pop_front();
             }
-            ++batches_;
-            ++batchSizeCounts_[take];
+            queuedTotal_ -= take;
+            tenant->inflight += static_cast<int>(take);
+            tenant->telemetry.recordBatch(take);
+            aggregate_->recordBatch(take);
         }
         notFull_.notify_all();
 
@@ -186,45 +546,58 @@ Engine::workerLoop()
             const double queue_ms =
                 millisBetween(request.enqueued, dequeued);
             const auto exec_start = Clock::now();
-            StatusOr<Tensor> output = executor_->run(request.input);
+            StatusOr<Tensor> output = tenant->executor->run(request.input);
             const auto exec_end = Clock::now();
+            const bool ok = output.ok();
+
+            // Ordering contract, per request: (1) telemetry, so a
+            // client reading stats() right after future.get() sees its
+            // own request counted; (2) resolve the future; (3) the
+            // inflight decrement, so unloadModel -- which returns once
+            // inflight hits 0 -- never returns before the drained
+            // requests' futures are resolved.
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                tenant->telemetry.recordOutcome(
+                    queue_ms, exec_end, ok, tenant->modeledLatency,
+                    tenant->modeledEnergy);
+                aggregate_->recordOutcome(queue_ms, exec_end, ok,
+                                          tenant->modeledLatency,
+                                          tenant->modeledEnergy);
+            }
+
+            if (!ok) {
+                request.promise.set_value(output.status());
+            } else {
+                InferenceResult result;
+                result.output = std::move(output).value();
+                result.model = tenant->name;
+                result.queueMillis = queue_ms;
+                result.execMillis = millisBetween(exec_start, exec_end);
+                result.batchSize = static_cast<int>(batch.size());
+                result.modeledLatency = tenant->modeledLatency;
+                result.modeledEnergy = tenant->modeledEnergy;
+                request.promise.set_value(std::move(result));
+            }
 
             {
                 std::lock_guard<std::mutex> lock(mu_);
-                if (queueWaitSamples_.size() < kMaxQueueWaitSamples) {
-                    queueWaitSamples_.push_back(queue_ms);
-                } else {
-                    queueWaitSamples_[queueWaitAt_] = queue_ms;
-                    queueWaitAt_ =
-                        (queueWaitAt_ + 1) % kMaxQueueWaitSamples;
-                }
-                if (output.ok()) {
-                    ++completed_;
-                    lastCompletion_ = exec_end;
-                } else {
-                    ++failed_;
+                --tenant->inflight;
+                if (tenant->draining && tenant->queue.empty() &&
+                    tenant->inflight == 0) {
+                    drained_.notify_all();
                 }
             }
-
-            if (!output.ok()) {
-                request.promise.set_value(output.status());
-                continue;
-            }
-            InferenceResult result;
-            result.output = std::move(output).value();
-            result.queueMillis = queue_ms;
-            result.execMillis = millisBetween(exec_start, exec_end);
-            result.batchSize = static_cast<int>(batch.size());
-            result.modeledLatency = model_->performance().latency;
-            result.modeledEnergy = model_->energy().perSample();
-            request.promise.set_value(std::move(result));
         }
     }
 }
 
-void
+Status
 Engine::shutdown()
 {
+    // call_once serializes concurrent callers: every call (including
+    // repeats, and calls racing submit()) blocks until the drain is
+    // complete and returns the same drain Status.
     std::call_once(shutdownOnce_, [this] {
         {
             std::lock_guard<std::mutex> lock(mu_);
@@ -232,47 +605,75 @@ Engine::shutdown()
         }
         notEmpty_.notify_all();
         notFull_.notify_all();
+        drained_.notify_all();
         for (std::thread &worker : workers_)
             worker.join();
+        // Workers exit only once every queue is drained; every queued
+        // request's future has resolved.
+        drainStatus_ = Status();
     });
+    return drainStatus_;
 }
+
+// ------------------------------------------------------------------- stats
 
 EngineStats
 Engine::stats() const
+{
+    // The aggregate's modeled latency/energy are completion-weighted
+    // sums recorded as requests finish, so the served-mix average
+    // stays correct even after tenants are unloaded.
+    EngineStats s;
+    std::vector<double> waits;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        s = aggregate_->snapshotLocked(waits);
+    }
+    finalizeStats(s, std::move(waits));
+    return s;
+}
+
+StatusOr<EngineStats>
+Engine::modelStats(const std::string &name) const
 {
     EngineStats s;
     std::vector<double> waits;
     {
         std::lock_guard<std::mutex> lock(mu_);
-        s.submitted = submitted_;
-        s.completed = completed_;
-        s.failed = failed_;
-        s.rejected = rejected_;
-        s.batches = batches_;
-        s.batchSizeCounts = batchSizeCounts_;
-        waits = queueWaitSamples_;
-        if (timelineStarted_) {
-            s.wallSeconds =
-                millisBetween(firstSubmit_, lastCompletion_) / 1000.0;
+        auto it = tenants_.find(name);
+        if (it == tenants_.end()) {
+            return Status::error(StatusCode::InvalidArgument,
+                                 "engine: no model named '" + name +
+                                     "'");
         }
+        s = it->second->telemetry.snapshotLocked(waits);
+        // A tenant's modeled cost is its model's constants, shown even
+        // before it has served anything.
+        s.modeledLatency = it->second->modeledLatency;
+        s.modeledEnergyPerSample = it->second->modeledEnergy;
     }
-    std::sort(waits.begin(), waits.end());
-    s.p50QueueMillis = percentile(waits, 0.50);
-    s.p95QueueMillis = percentile(waits, 0.95);
-    s.maxQueueMillis = waits.empty() ? 0.0 : waits.back();
-    if (s.batches > 0) {
-        std::int64_t coalesced = 0;
-        for (std::size_t n = 0; n < s.batchSizeCounts.size(); ++n)
-            coalesced += static_cast<std::int64_t>(n) *
-                         s.batchSizeCounts[n];
-        s.avgBatchSize = static_cast<double>(coalesced) /
-                         static_cast<double>(s.batches);
-    }
-    if (s.wallSeconds > 0.0) {
-        s.throughput =
-            static_cast<double>(s.completed) / s.wallSeconds;
-    }
+    finalizeStats(s, std::move(waits));
     return s;
+}
+
+std::string
+Engine::statsJson() const
+{
+    // Snapshot names first; stats()/modelStats take the lock per call.
+    std::vector<std::string> names = modelNames();
+    JsonWriter j;
+    j.beginObject();
+    j.key("aggregate").raw(stats().toJson());
+    j.key("tenants").beginObject();
+    for (const std::string &name : names) {
+        auto s = modelStats(name);
+        if (s.ok())
+            j.key(name).raw(s->toJson());
+    }
+    j.endObject();
+    j.key("utilization").raw(registry_.utilizationJson());
+    j.endObject();
+    return j.str();
 }
 
 } // namespace fpsa

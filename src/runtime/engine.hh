@@ -1,39 +1,50 @@
 /**
  * @file
- * `fpsa::Engine`: the concurrent, batched inference-serving runtime.
+ * `fpsa::Engine`: the concurrent, batched, multi-tenant inference
+ * serving runtime.
  *
- * An engine owns a worker pool over one immutable `CompiledModel`.
- * Callers hand it single-sample tensors; a batching scheduler
- * coalesces queued requests (up to `maxBatch` per dequeue) and the
- * workers execute them through a pluggable `Executor` backend:
+ * An engine owns one worker pool and a `ModelRegistry` of named
+ * `CompiledModel`s sharing the chip.  Models are loaded and unloaded
+ * at runtime, admitted against the chip's PE/SMB/CLB/routing budget;
+ * requests are routed by model name through the batching scheduler:
  *
- *     auto model = std::make_shared<CompiledModel>(
- *         CompiledModel::load("lenet.fpsa.json").value());
- *     auto engine = Engine::create(model, {.workerThreads = 4}).value();
+ *     auto engine = Engine::create(
+ *         ChipCapacity::fromArch({.width = 32, .height = 32})).value();
+ *     engine->loadModel("lenet", lenet, ExecutorKind::Spiking);
+ *     engine->loadModel("mlp", mlp);
+ *     auto f = engine->submit("lenet", image);     // async
+ *     StatusOr<InferenceResult> r = engine->infer("mlp", sample);
+ *     engine->unloadModel("mlp");                  // drains, then evicts
  *
- *     auto future = engine->submit(image);         // async
- *     StatusOr<InferenceResult> r = future.get();
- *     StatusOr<InferenceResult> s = engine->infer(image); // blocking
+ * The single-model PR-3 API remains as a one-tenant wrapper: `create`
+ * from a `CompiledModel` loads it under `kDefaultModel` with unlimited
+ * capacity, and the name-free `submit`/`infer` overloads route to the
+ * engine's sole resident model.
  *
- * Each `InferenceResult` carries the output tensor, the request's
- * queue/execution telemetry, and the *modeled* per-sample latency and
- * energy of the compiled FPSA configuration (src/sim/perf_model.cc) --
- * what this sample would cost on the chip, attached to every served
- * request the way production accelerator runtimes export hardware
- * counters.
+ * Multi-tenancy contract:
+ *  - Every scheduler batch is drawn from exactly one tenant's queue --
+ *    batches never mix tenants -- and tenants are served round-robin,
+ *    so one tenant's burst cannot starve the rest.
+ *  - `loadModel` fails with `Status::Infeasible` (per-resource
+ *    breakdown in the message) when resident demand + the new model's
+ *    would exceed the `ChipCapacity`.
+ *  - `unloadModel` hot-swaps: the tenant stops accepting requests,
+ *    its queued/inflight requests all drain to their futures, and only
+ *    then is it evicted -- other tenants keep serving throughout.
+ *  - `submit` applies per-tenant backpressure: when `queueDepth`
+ *    requests of that model are waiting it blocks until the scheduler
+ *    drains (or the tenant/engine goes away, which fails the request
+ *    with `StatusCode::Unavailable`).
+ *  - `shutdown()` stops accepting work, drains every tenant's queue,
+ *    joins the workers, and returns the drain Status.  It is
+ *    idempotent and safe to call concurrently (with itself and with
+ *    `submit`); later calls return the same drain Status.
  *
- * Concurrency contract:
- *  - `submit`/`infer`/`stats` are thread-safe; any number of client
- *    threads may call them concurrently.
- *  - `submit` applies backpressure: when `queueDepth` requests are
- *    waiting it blocks until the scheduler drains (or the engine shuts
- *    down, which fails the request with `StatusCode::Unavailable`).
- *  - `shutdown()` stops accepting work, lets the workers drain every
- *    queued request, and joins them; the destructor calls it.
- *
- * `stats()` snapshots serving telemetry -- throughput, p50/p95 queue
- * wait, batch-size histogram -- and serializes to JSON like
- * `Pipeline::report()`.
+ * `stats()` aggregates serving telemetry across tenants;
+ * `modelStats(name)` scopes it to one tenant (throughput, p50/p95
+ * queue wait, batch histogram, the model's modeled per-sample
+ * latency/energy); `statsJson()` bundles aggregate, per-tenant and
+ * chip-utilization sections.
  */
 
 #ifndef FPSA_RUNTIME_ENGINE_HH
@@ -41,8 +52,8 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -53,6 +64,7 @@
 #include "common/types.hh"
 #include "runtime/compiled_model.hh"
 #include "runtime/executor.hh"
+#include "runtime/model_registry.hh"
 
 namespace fpsa
 {
@@ -64,13 +76,15 @@ struct EngineOptions
 
     /**
      * Upper bound on requests coalesced per dequeue.  The scheduler
-     * additionally caps each grab at an even share of the backlog so
-     * a burst spreads across the pool instead of serializing on one
-     * worker.
+     * additionally caps each grab at an even share of the tenant's
+     * backlog so a burst spreads across the pool instead of
+     * serializing on one worker.
      */
     int maxBatch = 8;
 
-    int queueDepth = 256; //!< submit() blocks beyond this backlog
+    int queueDepth = 256; //!< per-tenant; submit() blocks beyond this
+
+    /** Default backend for models loaded without an explicit kind. */
     ExecutorKind executor = ExecutorKind::Reference;
 };
 
@@ -78,6 +92,7 @@ struct EngineOptions
 struct InferenceResult
 {
     Tensor output;
+    std::string model; //!< tenant that served this request
 
     // Request-path telemetry (measured).
     double queueMillis = 0.0; //!< enqueue -> dequeue wait
@@ -89,13 +104,13 @@ struct InferenceResult
     PicoJoules modeledEnergy = 0.0;
 };
 
-/** Aggregate serving telemetry (see Engine::stats). */
+/** Serving telemetry for one scope: a tenant, or the whole engine. */
 struct EngineStats
 {
     std::int64_t submitted = 0;
     std::int64_t completed = 0;
     std::int64_t failed = 0;   //!< executor returned an error
-    std::int64_t rejected = 0; //!< refused at submit (shutdown)
+    std::int64_t rejected = 0; //!< refused at submit (shutdown/unknown)
     std::int64_t batches = 0;  //!< scheduler dequeues
 
     double p50QueueMillis = 0.0;
@@ -107,20 +122,39 @@ struct EngineStats
     double throughput = 0.0;
     double wallSeconds = 0.0;
 
+    /**
+     * Modeled per-sample chip cost.  For a tenant these are its
+     * model's constants; for the aggregate, the completion-weighted
+     * average across tenants.
+     */
+    NanoSeconds modeledLatency = 0.0;
+    PicoJoules modeledEnergyPerSample = 0.0;
+
     /** batchSizeCounts[n] = batches that coalesced exactly n requests. */
     std::vector<std::int64_t> batchSizeCounts;
 
     std::string toJson() const;
 };
 
-/** The concurrent batched serving runtime over one compiled model. */
+/** The concurrent batched multi-tenant serving runtime. */
 class Engine
 {
   public:
+    /** Name the single-model wrapper loads its model under. */
+    static constexpr const char *kDefaultModel = "default";
+
     /**
-     * Validate options, build the backend (which may reject the model,
-     * e.g. `Spiking` outside the MLP/LeNet family) and start the
-     * workers.
+     * Start an empty multi-tenant engine admitting models against
+     * `capacity`.  Validates options and starts the workers.
+     */
+    static StatusOr<std::unique_ptr<Engine>> create(
+        ChipCapacity capacity, EngineOptions options = {});
+
+    /**
+     * One-tenant wrapper (the PR-3 API): unlimited capacity with
+     * `model` loaded under `kDefaultModel` using `options.executor`
+     * (which may reject the model, e.g. `Spiking` outside the
+     * MLP/LeNet family).
      */
     static StatusOr<std::unique_ptr<Engine>> create(
         std::shared_ptr<const CompiledModel> model,
@@ -131,64 +165,108 @@ class Engine
     Engine(const Engine &) = delete;
     Engine &operator=(const Engine &) = delete;
 
-    /** Queue one sample; the future resolves when a worker serves it. */
+    // -------------------------------------------------------- tenants
+
+    /**
+     * Admit `model` against the chip budget and start serving it as
+     * `name` with the engine's default executor kind (or an explicit
+     * one).  `Infeasible` with a per-resource breakdown when it does
+     * not fit; `InvalidArgument` on a duplicate name or a model the
+     * backend rejects; `Unavailable` after shutdown.
+     */
+    Status loadModel(const std::string &name,
+                     std::shared_ptr<const CompiledModel> model);
+    Status loadModel(const std::string &name,
+                     std::shared_ptr<const CompiledModel> model,
+                     ExecutorKind executor);
+
+    /**
+     * Hot-swap eviction: stop accepting requests for `name`, drain its
+     * queued and inflight requests (their futures all resolve), then
+     * release its chip resources.  Blocks the caller until the drain
+     * completes; other tenants keep serving throughout.
+     */
+    Status unloadModel(const std::string &name);
+
+    /** Names of resident tenants (admission order not preserved). */
+    std::vector<std::string> modelNames() const;
+
+    // ------------------------------------------------------- requests
+
+    /** Queue one sample for `model`; the future resolves when served. */
+    std::future<StatusOr<InferenceResult>> submit(const std::string &model,
+                                                  Tensor input);
+
+    /**
+     * Name-free convenience: routes to the engine's sole resident
+     * model; fails with `InvalidArgument` when zero or several models
+     * are loaded (the route would be ambiguous).
+     */
     std::future<StatusOr<InferenceResult>> submit(Tensor input);
 
-    /** submit() + wait: the one-call convenience path. */
+    /** submit() + wait: the one-call convenience paths. */
+    StatusOr<InferenceResult> infer(const std::string &model,
+                                    const Tensor &input);
     StatusOr<InferenceResult> infer(const Tensor &input);
 
     /**
-     * Stop accepting requests, drain everything already queued, join
-     * the workers.  Idempotent and thread-safe.
+     * Stop accepting requests, drain every tenant's queue, join the
+     * workers; returns the drain Status.  Idempotent and thread-safe:
+     * concurrent and repeated calls all return the same Status.
      */
-    void shutdown();
+    Status shutdown();
 
-    /** Snapshot of the aggregate serving telemetry. */
+    // ---------------------------------------------------------- stats
+
+    /** Aggregate serving telemetry across all tenants. */
     EngineStats stats() const;
 
-    /** stats() as JSON (the report surface benches/CI consume). */
-    std::string statsJson() const { return stats().toJson(); }
+    /** One tenant's serving telemetry (InvalidArgument when absent). */
+    StatusOr<EngineStats> modelStats(const std::string &name) const;
 
-    const CompiledModel &model() const { return *model_; }
+    /**
+     * JSON report: {"aggregate": ..., "tenants": {name: ...},
+     * "utilization": ...} -- the surface benches/CI consume.
+     */
+    std::string statsJson() const;
+
+    const ModelRegistry &registry() const { return registry_; }
     const EngineOptions &options() const { return options_; }
 
   private:
-    struct Request
-    {
-        Tensor input;
-        std::promise<StatusOr<InferenceResult>> promise;
-        std::chrono::steady_clock::time_point enqueued;
-    };
+    struct Tenant;    // per-model serving state (engine.cc)
+    struct Telemetry; // per-scope counters (engine.cc)
 
-    Engine(std::shared_ptr<const CompiledModel> model,
-           EngineOptions options, std::unique_ptr<Executor> executor);
+    Engine(ChipCapacity capacity, EngineOptions options);
 
     void workerLoop();
 
-    std::shared_ptr<const CompiledModel> model_;
+    /** The submit path proper; consumes an already-held lock. */
+    std::future<StatusOr<InferenceResult>> submitWithLock(
+        std::unique_lock<std::mutex> lock, const std::string &model,
+        Tensor input);
+
+    /** Requires mu_: next tenant with queued work, round-robin. */
+    std::shared_ptr<Tenant> pickTenantLocked();
+
     EngineOptions options_;
-    std::unique_ptr<Executor> executor_;
+    ModelRegistry registry_;
 
     mutable std::mutex mu_;
     std::condition_variable notEmpty_; //!< workers wait for requests
     std::condition_variable notFull_;  //!< submitters wait for room
-    std::deque<Request> queue_;
+    std::condition_variable drained_;  //!< unloaders wait for inflight 0
+    std::map<std::string, std::shared_ptr<Tenant>> tenants_;
+    std::string rrCursor_;      //!< name of the last-served tenant
+    std::size_t queuedTotal_ = 0;
     bool stopping_ = false;
 
-    // Telemetry (all guarded by mu_).
-    std::int64_t submitted_ = 0;
-    std::int64_t completed_ = 0;
-    std::int64_t failed_ = 0;
-    std::int64_t rejected_ = 0;
-    std::int64_t batches_ = 0;
-    std::vector<std::int64_t> batchSizeCounts_;
-    std::vector<double> queueWaitSamples_; //!< bounded ring buffer
-    std::size_t queueWaitAt_ = 0;
-    bool timelineStarted_ = false;
-    std::chrono::steady_clock::time_point firstSubmit_;
-    std::chrono::steady_clock::time_point lastCompletion_;
+    // Engine-scope telemetry (guarded by mu_); per-tenant telemetry
+    // lives in each Tenant.
+    std::unique_ptr<Telemetry> aggregate_;
 
     std::once_flag shutdownOnce_;
+    Status drainStatus_;
     std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,218 @@
+#include "runtime/model_registry.hh"
+
+#include <limits>
+#include <utility>
+
+#include "common/json.hh"
+
+namespace fpsa
+{
+
+namespace
+{
+
+/**
+ * Per-resource admission line: "PE 912/640 (over by 272)" or
+ * "PE 384/640".  `needed` is resident + requested.
+ */
+void
+appendResourceLine(std::string &out, const char *label,
+                   std::int64_t needed, std::int64_t capacity)
+{
+    if (!out.empty())
+        out += ", ";
+    out += label;
+    out += ' ';
+    out += std::to_string(needed);
+    out += '/';
+    out += std::to_string(capacity);
+    if (needed > capacity)
+        out += " (over by " + std::to_string(needed - capacity) + ")";
+}
+
+} // namespace
+
+ChipCapacity
+ChipCapacity::fromArch(const ArchParams &params)
+{
+    const FpsaArch arch(params);
+    ChipCapacity capacity;
+    capacity.peBlocks = arch.countSites(BlockType::Pe);
+    capacity.smbBlocks = arch.countSites(BlockType::Smb);
+    capacity.clbBlocks = arch.countSites(BlockType::Clb);
+    // Island-style grid: W x (H+1) horizontal + H x (W+1) vertical
+    // channel segments, channelWidth tracks each.
+    const std::int64_t w = params.width, h = params.height;
+    const std::int64_t segments = w * (h + 1) + h * (w + 1);
+    capacity.routingTracks = segments * params.channelWidth;
+    return capacity;
+}
+
+ChipCapacity
+ChipCapacity::unlimited()
+{
+    // Large enough that no realistic demand sum overflows or busts it.
+    constexpr std::int64_t kHuge =
+        std::numeric_limits<std::int64_t>::max() / 4;
+    return ChipCapacity{kHuge, kHuge, kHuge, kHuge};
+}
+
+ModelRegistry::ModelRegistry(ChipCapacity capacity) : capacity_(capacity)
+{
+}
+
+Status
+ModelRegistry::admissionCheckLocked(const std::string &name,
+                                    const ResourceDemand &demand) const
+{
+    const std::int64_t pe = resident_.peBlocks + demand.peBlocks;
+    const std::int64_t smb = resident_.smbBlocks + demand.smbBlocks;
+    const std::int64_t clb = resident_.clbBlocks + demand.clbBlocks;
+    const std::int64_t wire =
+        resident_.routingTracks + demand.routingTracks;
+    if (pe <= capacity_.peBlocks && smb <= capacity_.smbBlocks &&
+        clb <= capacity_.clbBlocks && wire <= capacity_.routingTracks) {
+        return Status();
+    }
+    std::string breakdown;
+    appendResourceLine(breakdown, "PE", pe, capacity_.peBlocks);
+    appendResourceLine(breakdown, "SMB", smb, capacity_.smbBlocks);
+    appendResourceLine(breakdown, "CLB", clb, capacity_.clbBlocks);
+    appendResourceLine(breakdown, "routing", wire,
+                       capacity_.routingTracks);
+    return Status::error(
+        StatusCode::Infeasible,
+        "admission rejected for model '" + name + "': " + breakdown +
+            " (needed/capacity, with " +
+            std::to_string(entries_.size()) + " resident model" +
+            (entries_.size() == 1 ? "" : "s") + ")");
+}
+
+Status
+ModelRegistry::add(const std::string &name,
+                   std::shared_ptr<const CompiledModel> model)
+{
+    if (!model) {
+        return Status::error(StatusCode::InvalidArgument,
+                             "registry: null model for '" + name + "'");
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.count(name) != 0) {
+        return Status::error(StatusCode::InvalidArgument,
+                             "registry: a model named '" + name +
+                                 "' is already loaded");
+    }
+    const ResourceDemand demand = model->resourceDemand();
+    Status admitted = admissionCheckLocked(name, demand);
+    if (!admitted.ok())
+        return admitted;
+    resident_.peBlocks += demand.peBlocks;
+    resident_.smbBlocks += demand.smbBlocks;
+    resident_.clbBlocks += demand.clbBlocks;
+    resident_.routingTracks += demand.routingTracks;
+    entries_.emplace(name, Entry{std::move(model), demand});
+    return Status();
+}
+
+Status
+ModelRegistry::remove(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+        return Status::error(StatusCode::InvalidArgument,
+                             "registry: no model named '" + name + "'");
+    }
+    const ResourceDemand &demand = it->second.demand;
+    resident_.peBlocks -= demand.peBlocks;
+    resident_.smbBlocks -= demand.smbBlocks;
+    resident_.clbBlocks -= demand.clbBlocks;
+    resident_.routingTracks -= demand.routingTracks;
+    entries_.erase(it);
+    return Status();
+}
+
+std::shared_ptr<const CompiledModel>
+ModelRegistry::find(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    return it == entries_.end() ? nullptr : it->second.model;
+}
+
+bool
+ModelRegistry::contains(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.count(name) != 0;
+}
+
+std::vector<std::string>
+ModelRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &[name, entry] : entries_)
+        out.push_back(name);
+    return out;
+}
+
+std::size_t
+ModelRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+ResourceDemand
+ModelRegistry::residentDemand() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return resident_;
+}
+
+Status
+ModelRegistry::admissionCheck(const std::string &name,
+                              const ResourceDemand &demand) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.count(name) != 0) {
+        return Status::error(StatusCode::InvalidArgument,
+                             "registry: a model named '" + name +
+                                 "' is already loaded");
+    }
+    return admissionCheckLocked(name, demand);
+}
+
+std::string
+ModelRegistry::utilizationJson() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    JsonWriter j;
+    j.beginObject();
+    auto resource = [&](const char *key, std::int64_t used,
+                        std::int64_t capacity) {
+        j.key(key).beginObject();
+        j.field("used", used);
+        j.field("capacity", capacity);
+        j.field("fraction", capacity > 0
+                                ? static_cast<double>(used) /
+                                      static_cast<double>(capacity)
+                                : 0.0);
+        j.endObject();
+    };
+    resource("pe", resident_.peBlocks, capacity_.peBlocks);
+    resource("smb", resident_.smbBlocks, capacity_.smbBlocks);
+    resource("clb", resident_.clbBlocks, capacity_.clbBlocks);
+    resource("routingTracks", resident_.routingTracks,
+             capacity_.routingTracks);
+    j.key("models").beginArray();
+    for (const auto &[name, entry] : entries_)
+        j.value(name);
+    j.endArray();
+    j.endObject();
+    return j.str();
+}
+
+} // namespace fpsa

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * `fpsa::ModelRegistry`: named `CompiledModel`s sharing one physical
+ * chip, admitted against its function-block and routing budget.
+ *
+ * FPSA's reconfigurable overlay exists so one chip can be re-programmed
+ * across workloads; the registry is the bookkeeping that lets a serving
+ * process keep several compiled models resident at once.  Every model
+ * carries its `ResourceDemand` (PE/SMB/CLB sites + routing tracks,
+ * stamped by `Pipeline::compile()`), and `add()` admits it only when
+ * the sum over all resident models still fits the `ChipCapacity`:
+ *
+ *     ModelRegistry registry(ChipCapacity::fromArch({.width = 32,
+ *                                                    .height = 32}));
+ *     Status a = registry.add("lenet", lenet);   // fits
+ *     Status b = registry.add("vgg", vgg);       // Infeasible, with a
+ *                                                // per-resource breakdown
+ *
+ * A rejected admission is `StatusCode::Infeasible` and its message
+ * itemizes every resource as `needed/capacity` (flagging the ones that
+ * are over), so operators can see exactly which budget a model busts.
+ * `remove()` returns the model's resources to the pool.
+ *
+ * All methods are thread-safe; the registry is the admission half of
+ * the multi-tenant `Engine` (runtime/engine.hh) but is usable on its
+ * own for capacity planning.
+ */
+
+#ifndef FPSA_RUNTIME_MODEL_REGISTRY_HH
+#define FPSA_RUNTIME_MODEL_REGISTRY_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "arch/fpsa_arch.hh"
+#include "common/status.hh"
+#include "mapper/allocation.hh"
+#include "runtime/compiled_model.hh"
+
+namespace fpsa
+{
+
+/**
+ * The budget one chip offers to resident models, in the same units as
+ * `ResourceDemand`.
+ */
+struct ChipCapacity
+{
+    std::int64_t peBlocks = 0;
+    std::int64_t smbBlocks = 0;
+    std::int64_t clbBlocks = 0;
+
+    /**
+     * Aggregate channel-track budget: total channel segments times
+     * tracks per channel.  A coarse bound -- it caps the sum of net
+     * widths across resident models, the same demand metric the router
+     * charges per segment -- not a routability guarantee.
+     */
+    std::int64_t routingTracks = 0;
+
+    /** Site counts + channel tracks of a concrete chip grid. */
+    static ChipCapacity fromArch(const ArchParams &params);
+
+    /** A budget no demand can bust (the single-tenant wrapper's). */
+    static ChipCapacity unlimited();
+
+    bool operator==(const ChipCapacity &) const = default;
+};
+
+/** Thread-safe named-model store with chip-capacity admission. */
+class ModelRegistry
+{
+  public:
+    explicit ModelRegistry(ChipCapacity capacity);
+
+    /**
+     * Admit and store a model under `name`.  Fails with
+     * `InvalidArgument` on a null model or duplicate name, and with
+     * `Infeasible` (message itemizing every resource) when the
+     * resident demand plus this model's would exceed the capacity.
+     */
+    Status add(const std::string &name,
+               std::shared_ptr<const CompiledModel> model);
+
+    /** Evict `name`, returning its resources.  `InvalidArgument` when absent. */
+    Status remove(const std::string &name);
+
+    /** The model stored under `name`, or null. */
+    std::shared_ptr<const CompiledModel> find(const std::string &name) const;
+
+    bool contains(const std::string &name) const;
+    std::vector<std::string> names() const;
+    std::size_t size() const;
+
+    const ChipCapacity &capacity() const { return capacity_; }
+
+    /** Sum of demand over all resident models. */
+    ResourceDemand residentDemand() const;
+
+    /**
+     * Dry-run admission: the Status `add()` would return for a model of
+     * this demand (without storing anything).
+     */
+    Status admissionCheck(const std::string &name,
+                          const ResourceDemand &demand) const;
+
+    /**
+     * Per-resource used/capacity/fraction plus the resident model
+     * names, as JSON (the chip-utilization surface `Engine::statsJson`
+     * embeds).
+     */
+    std::string utilizationJson() const;
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<const CompiledModel> model;
+        ResourceDemand demand;
+    };
+
+    /** Requires mu_. */
+    Status admissionCheckLocked(const std::string &name,
+                                const ResourceDemand &demand) const;
+
+    const ChipCapacity capacity_;
+    mutable std::mutex mu_;
+    std::map<std::string, Entry> entries_;
+    ResourceDemand resident_; //!< running sum over entries_
+};
+
+} // namespace fpsa
+
+#endif // FPSA_RUNTIME_MODEL_REGISTRY_HH

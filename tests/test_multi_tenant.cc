@@ -1,0 +1,548 @@
+/**
+ * @file
+ * Tests for multi-tenant serving: the `ResourceDemand` admission
+ * currency (stamped by `Pipeline::compile()`, persisted in the v2
+ * artifact schema, derived for v1 documents), `ChipCapacity`,
+ * `ModelRegistry` admission control with per-resource breakdowns, and
+ * the multi-tenant `Engine` -- request routing by model name, disjoint
+ * per-tenant batches, hot-swap unload that drains one tenant without
+ * stalling the rest, and shutdown idempotence under concurrency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/rng.hh"
+#include "nn/builder.hh"
+#include "nn/execute.hh"
+#include "pipeline.hh"
+#include "runtime/engine.hh"
+#include "runtime/model_registry.hh"
+
+namespace fpsa
+{
+namespace
+{
+
+/** A small weighted CNN (10 outputs) in the functional family. */
+Graph
+smallCnn(std::uint64_t seed = 42)
+{
+    GraphBuilder b({1, 8, 8});
+    b.conv(4, 3, 1, 0).relu().maxPool(2, 2).flatten().fc(10);
+    Graph g = b.build();
+    Rng rng(seed);
+    randomizeWeights(g, rng);
+    return g;
+}
+
+/** A small weighted MLP (4 outputs) -- a distinguishable second tenant. */
+Graph
+smallMlp(std::uint64_t seed = 7)
+{
+    GraphBuilder b({1, 8, 8});
+    b.flatten().fc(12).relu().fc(4);
+    Graph g = b.build();
+    Rng rng(seed);
+    randomizeWeights(g, rng);
+    return g;
+}
+
+std::shared_ptr<const CompiledModel>
+compileShared(Graph g, std::int64_t duplication = 2)
+{
+    CompileOptions options;
+    options.duplicationDegree = duplication;
+    Pipeline p(std::move(g), options);
+    auto compiled = p.compile();
+    EXPECT_TRUE(compiled.ok()) << compiled.status().toString();
+    return std::make_shared<CompiledModel>(std::move(compiled).value());
+}
+
+Tensor
+probeInput(float scale = 1.0f)
+{
+    Tensor t({1, 8, 8});
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        t[i] = scale * static_cast<float>(i % 7) / 7.0f;
+    return t;
+}
+
+/** A capacity that fits `copies` models of this demand exactly. */
+ChipCapacity
+capacityFor(const ResourceDemand &demand, std::int64_t copies)
+{
+    ChipCapacity c;
+    c.peBlocks = demand.peBlocks * copies;
+    c.smbBlocks = demand.smbBlocks * copies;
+    c.clbBlocks = demand.clbBlocks * copies;
+    c.routingTracks = demand.routingTracks * copies;
+    return c;
+}
+
+// --------------------------------------------------------- ResourceDemand
+
+TEST(ResourceDemand, CompileStampsNetlistFootprint)
+{
+    auto model = compileShared(smallCnn());
+    const ResourceDemand &demand = model->resourceDemand();
+    EXPECT_EQ(demand.peBlocks,
+              model->netlist().countBlocks(BlockType::Pe));
+    EXPECT_EQ(demand.smbBlocks,
+              model->netlist().countBlocks(BlockType::Smb));
+    EXPECT_EQ(demand.clbBlocks,
+              model->netlist().countBlocks(BlockType::Clb));
+    EXPECT_EQ(demand.routingTracks, model->netlist().totalWireDemand());
+    EXPECT_GT(demand.peBlocks, 0);
+    EXPECT_GT(demand.routingTracks, 0);
+}
+
+TEST(ResourceDemand, SurvivesJsonRoundTrip)
+{
+    auto model = compileShared(smallCnn());
+    auto reloaded = CompiledModel::fromJson(model->toJson());
+    ASSERT_TRUE(reloaded.ok()) << reloaded.status().toString();
+    EXPECT_EQ(reloaded->resourceDemand(), model->resourceDemand());
+}
+
+TEST(ResourceDemand, DerivedWhenLoadingAVersion1Document)
+{
+    // A v1 artifact predates the resourceDemand section; loading one
+    // must derive the demand from its allocation + netlist instead of
+    // rejecting the file or leaving the model unadmittable.
+    auto model = compileShared(smallCnn());
+    std::string text = model->toJson();
+
+    const std::string section = ",\"resourceDemand\":{";
+    const std::size_t at = text.find(section);
+    ASSERT_NE(at, std::string::npos);
+    const std::size_t close = text.find('}', at);
+    ASSERT_NE(close, std::string::npos);
+    text.erase(at, close - at + 1);
+
+    const std::string v2 = "\"version\":2";
+    const std::size_t vat = text.find(v2);
+    ASSERT_NE(vat, std::string::npos);
+    text.replace(vat, v2.size(), "\"version\":1");
+
+    auto v1 = CompiledModel::fromJson(text);
+    ASSERT_TRUE(v1.ok()) << v1.status().toString();
+    EXPECT_EQ(v1->resourceDemand(), model->resourceDemand());
+}
+
+TEST(ResourceDemand, RejectsNegativeDemandComponents)
+{
+    // Negative demand in a hand-edited artifact would be admitted
+    // against an inflated budget (resident sums go negative),
+    // bypassing admission control entirely.
+    auto model = compileShared(smallCnn());
+    std::string text = model->toJson();
+    const std::string key = "\"resourceDemand\":{\"peBlocks\":";
+    const std::size_t at = text.find(key);
+    ASSERT_NE(at, std::string::npos);
+    text.insert(at + key.size(), "-");
+    auto poisoned = CompiledModel::fromJson(text);
+    ASSERT_FALSE(poisoned.ok());
+    EXPECT_EQ(poisoned.status().code(), StatusCode::InvalidArgument);
+    EXPECT_NE(poisoned.status().message().find("negative"),
+              std::string::npos);
+}
+
+TEST(ResourceDemand, RejectsUnknownFutureVersions)
+{
+    auto model = compileShared(smallCnn());
+    std::string text = model->toJson();
+    const std::string v2 = "\"version\":2";
+    text.replace(text.find(v2), v2.size(), "\"version\":3");
+    auto future_doc = CompiledModel::fromJson(text);
+    ASSERT_FALSE(future_doc.ok());
+    EXPECT_EQ(future_doc.status().code(), StatusCode::InvalidArgument);
+}
+
+// ----------------------------------------------------------- ChipCapacity
+
+TEST(ChipCapacity, FromArchCountsSitesAndChannelTracks)
+{
+    ArchParams params;
+    params.width = 8;
+    params.height = 8;
+    params.channelWidth = 512;
+    const ChipCapacity capacity = ChipCapacity::fromArch(params);
+    // Site families partition the grid.
+    EXPECT_EQ(capacity.peBlocks + capacity.smbBlocks + capacity.clbBlocks,
+              64);
+    EXPECT_GT(capacity.peBlocks, 0);
+    EXPECT_GT(capacity.smbBlocks, 0);
+    EXPECT_GT(capacity.clbBlocks, 0);
+    // W x (H+1) + H x (W+1) channel segments, channelWidth tracks each.
+    EXPECT_EQ(capacity.routingTracks, (8 * 9 + 8 * 9) * 512);
+
+    const ChipCapacity huge = ChipCapacity::unlimited();
+    EXPECT_GT(huge.peBlocks, capacity.peBlocks * 1000000);
+}
+
+// ---------------------------------------------------------- ModelRegistry
+
+TEST(ModelRegistry, AdmitsUntilCapacityAndReportsBreakdown)
+{
+    auto model = compileShared(smallCnn());
+    const ResourceDemand demand = model->resourceDemand();
+
+    ModelRegistry registry(capacityFor(demand, 2));
+    ASSERT_TRUE(registry.add("a", model).ok());
+    ASSERT_TRUE(registry.add("b", model).ok());
+    EXPECT_EQ(registry.size(), 2u);
+    EXPECT_TRUE(registry.contains("a"));
+    EXPECT_EQ(registry.find("a").get(), model.get());
+    EXPECT_EQ(registry.residentDemand().peBlocks, 2 * demand.peBlocks);
+
+    // The third of the same demand busts every resource.
+    Status third = registry.add("c", model);
+    ASSERT_FALSE(third.ok());
+    EXPECT_EQ(third.code(), StatusCode::Infeasible);
+    EXPECT_NE(third.message().find("admission rejected for model 'c'"),
+              std::string::npos)
+        << third.message();
+    // Per-resource breakdown: every family itemized, violators flagged.
+    for (const char *label : {"PE ", "SMB ", "CLB ", "routing "})
+        EXPECT_NE(third.message().find(label), std::string::npos)
+            << third.message();
+    EXPECT_NE(third.message().find("over by"), std::string::npos)
+        << third.message();
+
+    // Dry-run admission agrees with add().
+    EXPECT_EQ(registry.admissionCheck("c", demand).code(),
+              StatusCode::Infeasible);
+
+    // Eviction returns the resources; the third model then fits.
+    ASSERT_TRUE(registry.remove("a").ok());
+    EXPECT_TRUE(registry.add("c", model).ok());
+
+    // Duplicate names and unknown evictions are InvalidArgument.
+    EXPECT_EQ(registry.add("b", model).code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(registry.remove("a").code(), StatusCode::InvalidArgument);
+
+    auto util = parseJson(registry.utilizationJson());
+    ASSERT_TRUE(util.ok());
+    EXPECT_DOUBLE_EQ((*util)["pe"]["fraction"].number(), 1.0);
+    EXPECT_EQ((*util)["models"].size(), 2u);
+}
+
+// ------------------------------------------------------ multi-tenant Engine
+
+TEST(MultiTenantEngine, RoutesByNameWithDisjointBatchesAndPerTenantStats)
+{
+    auto cnn = compileShared(smallCnn());
+    auto mlp = compileShared(smallMlp());
+
+    EngineOptions options;
+    options.workerThreads = 3;
+    options.maxBatch = 4;
+    auto engine = Engine::create(ChipCapacity::unlimited(), options);
+    ASSERT_TRUE(engine.ok()) << engine.status().toString();
+    ASSERT_TRUE((*engine)->loadModel("cnn", cnn).ok());
+    ASSERT_TRUE((*engine)->loadModel("mlp", mlp).ok());
+    EXPECT_EQ((*engine)->modelNames().size(), 2u);
+
+    // Name-free submit is ambiguous with two tenants.
+    auto ambiguous = (*engine)->infer(probeInput());
+    ASSERT_FALSE(ambiguous.ok());
+    EXPECT_EQ(ambiguous.status().code(), StatusCode::InvalidArgument);
+
+    const Tensor expect_cnn = runGraphFinal(cnn->graph(), probeInput());
+    const Tensor expect_mlp = runGraphFinal(mlp->graph(), probeInput());
+
+    constexpr int kPerTenant = 24;
+    std::vector<std::future<StatusOr<InferenceResult>>> cnn_futures,
+        mlp_futures;
+    std::thread cnn_client([&] {
+        for (int i = 0; i < kPerTenant; ++i)
+            cnn_futures.push_back(
+                (*engine)->submit("cnn", probeInput()));
+    });
+    std::thread mlp_client([&] {
+        for (int i = 0; i < kPerTenant; ++i)
+            mlp_futures.push_back(
+                (*engine)->submit("mlp", probeInput()));
+    });
+    cnn_client.join();
+    mlp_client.join();
+
+    for (auto &f : cnn_futures) {
+        auto r = f.get();
+        ASSERT_TRUE(r.ok()) << r.status().toString();
+        EXPECT_EQ(r->model, "cnn");
+        ASSERT_EQ(r->output.shape(), expect_cnn.shape());
+        for (std::int64_t i = 0; i < expect_cnn.numel(); ++i)
+            ASSERT_EQ(r->output[i], expect_cnn[i]);
+        EXPECT_EQ(r->modeledLatency, cnn->performance().latency);
+    }
+    for (auto &f : mlp_futures) {
+        auto r = f.get();
+        ASSERT_TRUE(r.ok()) << r.status().toString();
+        EXPECT_EQ(r->model, "mlp");
+        ASSERT_EQ(r->output.shape(), expect_mlp.shape());
+        for (std::int64_t i = 0; i < expect_mlp.numel(); ++i)
+            ASSERT_EQ(r->output[i], expect_mlp[i]);
+    }
+
+    auto cnn_stats = (*engine)->modelStats("cnn");
+    auto mlp_stats = (*engine)->modelStats("mlp");
+    ASSERT_TRUE(cnn_stats.ok() && mlp_stats.ok());
+    EXPECT_EQ(cnn_stats->completed, kPerTenant);
+    EXPECT_EQ(mlp_stats->completed, kPerTenant);
+    EXPECT_EQ(cnn_stats->failed, 0);
+    EXPECT_EQ(cnn_stats->modeledLatency, cnn->performance().latency);
+    EXPECT_EQ(mlp_stats->modeledEnergyPerSample,
+              mlp->energy().perSample());
+
+    // Batches never mix tenants: every scheduler dequeue is attributed
+    // to exactly one tenant, so the per-tenant batch counts partition
+    // the aggregate.
+    const EngineStats aggregate = (*engine)->stats();
+    EXPECT_EQ(aggregate.completed, 2 * kPerTenant);
+    EXPECT_EQ(aggregate.batches,
+              cnn_stats->batches + mlp_stats->batches);
+
+    EXPECT_EQ((*engine)->modelStats("nope").status().code(),
+              StatusCode::InvalidArgument);
+
+    // The JSON surface carries both tenants and the utilization.
+    auto parsed = parseJson((*engine)->statsJson());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ((*parsed)["tenants"]["cnn"]["completed"].asInt(),
+              kPerTenant);
+    EXPECT_EQ((*parsed)["tenants"]["mlp"]["completed"].asInt(),
+              kPerTenant);
+    EXPECT_GT((*parsed)["utilization"]["pe"]["used"].asInt(), 0);
+}
+
+TEST(MultiTenantEngine, RejectsOverBudgetModelWithBreakdown)
+{
+    auto cnn = compileShared(smallCnn());
+    auto mlp = compileShared(smallMlp());
+    const ResourceDemand cnn_demand = cnn->resourceDemand();
+    const ResourceDemand mlp_demand = mlp->resourceDemand();
+
+    ChipCapacity capacity;
+    capacity.peBlocks = cnn_demand.peBlocks + mlp_demand.peBlocks;
+    capacity.smbBlocks = cnn_demand.smbBlocks + mlp_demand.smbBlocks;
+    capacity.clbBlocks = cnn_demand.clbBlocks + mlp_demand.clbBlocks;
+    capacity.routingTracks =
+        cnn_demand.routingTracks + mlp_demand.routingTracks;
+
+    auto engine = Engine::create(capacity, EngineOptions{});
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->loadModel("cnn", cnn).ok());
+    ASSERT_TRUE((*engine)->loadModel("mlp", mlp).ok());
+
+    // The chip is now full; a third tenant must be rejected with the
+    // per-resource breakdown, and serving must be unaffected.
+    Status rejected = (*engine)->loadModel("third", cnn);
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_EQ(rejected.code(), StatusCode::Infeasible);
+    EXPECT_NE(rejected.message().find("PE "), std::string::npos);
+    EXPECT_NE(rejected.message().find("over by"), std::string::npos);
+    EXPECT_FALSE((*engine)->registry().contains("third"));
+
+    auto served = (*engine)->infer("cnn", probeInput());
+    EXPECT_TRUE(served.ok());
+
+    // Unloading a tenant frees its budget for an equal-demand load.
+    ASSERT_TRUE((*engine)->unloadModel("mlp").ok());
+    EXPECT_TRUE((*engine)->loadModel("third", mlp).ok());
+}
+
+TEST(MultiTenantEngine, DuplicateNameAndUnknownModelAreInvalid)
+{
+    auto cnn = compileShared(smallCnn());
+    auto engine = Engine::create(cnn);
+    ASSERT_TRUE(engine.ok());
+
+    EXPECT_EQ((*engine)
+                  ->loadModel(Engine::kDefaultModel, cnn)
+                  .code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ((*engine)->unloadModel("ghost").code(),
+              StatusCode::InvalidArgument);
+
+    auto unknown = (*engine)->infer("ghost", probeInput());
+    ASSERT_FALSE(unknown.ok());
+    EXPECT_EQ(unknown.status().code(), StatusCode::InvalidArgument);
+    EXPECT_EQ((*engine)->stats().rejected, 1);
+
+    // The single-model wrapper still serves name-free.
+    auto served = (*engine)->infer(probeInput());
+    EXPECT_TRUE(served.ok());
+}
+
+// ----------------------------------------------------------------- hot swap
+
+TEST(MultiTenantEngine, UnloadDrainsInflightWithoutStallingOtherTenants)
+{
+    auto cnn = compileShared(smallCnn());
+    auto mlp = compileShared(smallMlp());
+
+    EngineOptions options;
+    options.workerThreads = 2;
+    options.maxBatch = 4;
+    options.queueDepth = 512;
+    auto engine = Engine::create(ChipCapacity::unlimited(), options);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->loadModel("keeper", cnn).ok());
+    ASSERT_TRUE((*engine)->loadModel("victim", mlp).ok());
+
+    // Build a backlog for the victim so the unload genuinely overlaps
+    // inflight and queued requests.
+    constexpr int kVictimRequests = 64;
+    std::vector<std::future<StatusOr<InferenceResult>>> victim_futures;
+    for (int i = 0; i < kVictimRequests; ++i)
+        victim_futures.push_back(
+            (*engine)->submit("victim", probeInput()));
+
+    // The keeper submits continuously through the hot swap.
+    std::atomic<bool> stop{false};
+    std::atomic<int> keeper_ok{0}, keeper_failed{0};
+    std::thread keeper_client([&] {
+        while (!stop.load()) {
+            auto r = (*engine)->infer("keeper", probeInput());
+            if (r.ok())
+                keeper_ok.fetch_add(1);
+            else
+                keeper_failed.fetch_add(1);
+        }
+    });
+
+    // Hot swap: drain + evict the victim while both queues are busy.
+    Status unloaded = (*engine)->unloadModel("victim");
+    EXPECT_TRUE(unloaded.ok()) << unloaded.toString();
+
+    // Every victim request submitted before the unload resolves
+    // successfully -- drained, not dropped.
+    for (auto &f : victim_futures) {
+        auto r = f.get();
+        ASSERT_TRUE(r.ok()) << r.status().toString();
+        EXPECT_EQ(r->model, "victim");
+    }
+
+    // The victim is gone; its budget is released.
+    EXPECT_FALSE((*engine)->registry().contains("victim"));
+    auto late = (*engine)->infer("victim", probeInput());
+    ASSERT_FALSE(late.ok());
+    EXPECT_EQ(late.status().code(), StatusCode::InvalidArgument);
+
+    // The keeper is still fully serviceable right after the swap (a
+    // deterministic check -- under heavy CPU contention the client
+    // thread may not have been scheduled at all yet), and it never saw
+    // a failure.
+    auto post_swap = (*engine)->infer("keeper", probeInput());
+    EXPECT_TRUE(post_swap.ok()) << post_swap.status().toString();
+    stop.store(true);
+    keeper_client.join();
+    EXPECT_EQ(keeper_failed.load(), 0);
+    EXPECT_GE(keeper_ok.load(), 0);
+    auto keeper_stats = (*engine)->modelStats("keeper");
+    ASSERT_TRUE(keeper_stats.ok());
+    EXPECT_EQ(keeper_stats->failed, 0);
+    EXPECT_EQ(keeper_stats->completed, keeper_stats->submitted);
+}
+
+TEST(MultiTenantEngine, ConcurrentUnloadsOfTheSameTenantBothSucceed)
+{
+    auto cnn = compileShared(smallCnn());
+    auto engine = Engine::create(ChipCapacity::unlimited(),
+                                 EngineOptions{});
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->loadModel("m", cnn).ok());
+    for (int i = 0; i < 8; ++i)
+        (void)(*engine)->submit("m", probeInput());
+
+    // Whichever unloader arrives while the drain is in progress joins
+    // it and succeeds too; one arriving after the eviction sees the
+    // model already gone (InvalidArgument).  Exactly zero or one may
+    // lose the race -- never both, and never a hang.
+    Status a, b;
+    std::thread t1([&] { a = (*engine)->unloadModel("m"); });
+    std::thread t2([&] { b = (*engine)->unloadModel("m"); });
+    t1.join();
+    t2.join();
+    EXPECT_TRUE(a.ok() || b.ok()) << a.toString() << " / "
+                                  << b.toString();
+    for (const Status &s : {a, b}) {
+        if (!s.ok()) {
+            EXPECT_EQ(s.code(), StatusCode::InvalidArgument);
+        }
+    }
+    EXPECT_EQ((*engine)->modelNames().size(), 0u);
+}
+
+// ----------------------------------------------------------------- shutdown
+
+TEST(MultiTenantEngine, ShutdownIsIdempotentAndSafeUnderConcurrency)
+{
+    auto cnn = compileShared(smallCnn());
+    EngineOptions options;
+    options.workerThreads = 2;
+    options.maxBatch = 2;
+    auto engine = Engine::create(cnn, options);
+    ASSERT_TRUE(engine.ok());
+
+    // Submitters hammer the engine while two threads race shutdown();
+    // every future must resolve (served or Unavailable), and both
+    // shutdown calls must return the drain status.
+    constexpr int kClientThreads = 3;
+    constexpr int kPerThread = 16;
+    std::vector<std::vector<std::future<StatusOr<InferenceResult>>>>
+        futures(kClientThreads);
+    std::vector<std::thread> clients;
+    for (int t = 0; t < kClientThreads; ++t) {
+        clients.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i)
+                futures[static_cast<std::size_t>(t)].push_back(
+                    (*engine)->submit(probeInput()));
+        });
+    }
+
+    Status first, second;
+    std::thread s1([&] { first = (*engine)->shutdown(); });
+    std::thread s2([&] { second = (*engine)->shutdown(); });
+    for (auto &c : clients)
+        c.join();
+    s1.join();
+    s2.join();
+    EXPECT_TRUE(first.ok()) << first.toString();
+    EXPECT_TRUE(second.ok()) << second.toString();
+
+    std::int64_t served = 0, unavailable = 0;
+    for (auto &per_thread : futures) {
+        for (auto &f : per_thread) {
+            auto r = f.get();
+            if (r.ok()) {
+                ++served;
+            } else {
+                EXPECT_EQ(r.status().code(), StatusCode::Unavailable);
+                ++unavailable;
+            }
+        }
+    }
+    EXPECT_EQ(served + unavailable, kClientThreads * kPerThread);
+    const EngineStats stats = (*engine)->stats();
+    EXPECT_EQ(stats.completed, served);
+    EXPECT_EQ(stats.rejected, unavailable);
+
+    // Repeated shutdown after the fact: still the same drain status.
+    EXPECT_TRUE((*engine)->shutdown().ok());
+    // Tenants stay resident for post-mortem stats.
+    EXPECT_TRUE((*engine)->registry().contains(Engine::kDefaultModel));
+}
+
+} // namespace
+} // namespace fpsa

@@ -344,10 +344,16 @@ TEST(Engine, ConcurrentSubmitsMatchSequentialInference)
     EXPECT_LE(stats.p95QueueMillis, stats.maxQueueMillis);
     EXPECT_GE(stats.avgBatchSize, 1.0);
 
-    // The JSON stats surface parses back.
+    // The JSON stats surface parses back: aggregate + per-tenant
+    // sections plus the chip-utilization summary.
     auto parsed = parseJson((*engine)->statsJson());
     ASSERT_TRUE(parsed.ok());
-    EXPECT_EQ((*parsed)["completed"].asInt(), kThreads * kPerThread);
+    EXPECT_EQ((*parsed)["aggregate"]["completed"].asInt(),
+              kThreads * kPerThread);
+    EXPECT_EQ((*parsed)["tenants"][Engine::kDefaultModel]["completed"]
+                  .asInt(),
+              kThreads * kPerThread);
+    EXPECT_GT((*parsed)["utilization"]["pe"]["used"].asInt(), 0);
 }
 
 TEST(Engine, ShutdownDrainsQueuedRequestsAndRejectsNewOnes)
@@ -367,7 +373,7 @@ TEST(Engine, ShutdownDrainsQueuedRequestsAndRejectsNewOnes)
 
     // Shut down immediately: everything already queued must still be
     // served (drain semantics), nothing may hang or be dropped.
-    (*engine)->shutdown();
+    EXPECT_TRUE((*engine)->shutdown().ok());
     int completed = 0;
     for (auto &f : futures) {
         auto result = f.get();
@@ -383,8 +389,9 @@ TEST(Engine, ShutdownDrainsQueuedRequestsAndRejectsNewOnes)
     EXPECT_EQ(rejected.status().code(), StatusCode::Unavailable);
     EXPECT_EQ((*engine)->stats().rejected, 1);
 
-    // Idempotent: a second shutdown (and the destructor) are no-ops.
-    (*engine)->shutdown();
+    // Idempotent: a second shutdown (and the destructor) are no-ops
+    // that return the same drain status.
+    EXPECT_TRUE((*engine)->shutdown().ok());
 }
 
 TEST(Engine, SpikingBackendServesQuantizedOutputs)

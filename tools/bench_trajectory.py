@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Convert a bench's JSONL output into a BENCH_*.json trajectory record.
+
+Reads the line-per-point JSON a bench emits (pnr_scaling,
+serving_throughput), extracts the metrics worth tracking across
+commits, and writes a single stable-schema document:
+
+    {
+      "schema": 1,
+      "bench": "pnr_scaling",
+      "commit": "<sha>",            # passed in by CI
+      "timestamp": "<iso8601>",     # passed in by CI
+      "metrics": [
+        {"metric": "largestSpeedup", "value": 3.9, "direction": "higher"},
+        ...
+      ]
+    }
+
+`direction` tells the regression gate (check_bench_regression.py) which
+way is worse: "higher" metrics regress when they drop, "lower" metrics
+regress when they grow, and "info" metrics are recorded but never
+gated (absolute wall-clock and throughput numbers are machine-bound,
+so only machine-portable ratios/speedups/quality metrics are gated).
+
+Usage:
+    bench_trajectory.py --bench pnr --input pnr.jsonl \
+        --commit "$GITHUB_SHA" --timestamp "$(date -u +%FT%TZ)" \
+        --output BENCH_pnr.json
+
+Baseline refresh (committed snapshots in bench/baselines/): generate a
+BENCH file per run, then fold several runs into one conservative
+envelope -- gated "higher" metrics take the minimum across runs and
+gated "lower" metrics the maximum, so run-to-run scheduler noise
+cannot turn the gate flaky:
+
+    bench_trajectory.py --envelope run1.json run2.json run3.json \
+        --commit "$(git rev-parse HEAD)" --timestamp ... \
+        --output bench/baselines/BENCH_pnr.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def read_jsonl(path):
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line_number, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as err:
+                raise SystemExit(
+                    f"{path}:{line_number}: not JSON: {err}")
+    if not records:
+        raise SystemExit(f"{path}: no JSON records")
+    return records
+
+
+def metric(name, value, direction, timing=False):
+    """`timing=True` marks a gated metric as wall-clock-derived: its
+    value moves with the machine running the bench, so the envelope's
+    --relax margin applies to it (deterministic quality metrics like
+    wirelength ratios stay tight)."""
+    out = {"metric": name, "value": float(value),
+           "direction": direction}
+    if timing:
+        out["timing"] = True
+    return out
+
+
+def pnr_metrics(records):
+    """pnr_scaling: gated quality/speedup ratios + info timings."""
+    summary = next((r for r in records if r.get("summary")), None)
+    if summary is None:
+        raise SystemExit("pnr: no summary line in input")
+    out = [metric("largestSpeedup", summary["largestSpeedup"], "higher",
+                  timing=True)]
+    for point in summary.get("points", []):
+        blocks = point["blocks"]
+        out.append(metric(f"wirelengthRatio_{blocks}",
+                          point["wirelengthRatio"], "lower"))
+        out.append(metric(f"hpwlRatio_{blocks}",
+                          point["hpwlRatio"], "lower"))
+        out.append(metric(f"speedup_{blocks}", point["speedup"],
+                          "info"))
+    sweep = [r for r in records if not r.get("summary")]
+    routed = [r for r in sweep if r.get("routed")]
+    if sweep:
+        out.append(metric("routedFraction",
+                          len(routed) / len(sweep), "higher"))
+    for r in sweep:
+        out.append(metric(
+            f"{r['mode']}_totalMs_{r['blocks']}", r["totalMs"], "info"))
+    return out
+
+
+def serving_metrics(records):
+    """serving_throughput: gated speedup/fairness + info throughputs."""
+    summary = next(
+        (r for r in records if r.get("kind") == "summary"), None)
+    if summary is None:
+        raise SystemExit("serving: no summary line in input")
+    out = [
+        # Within-run ratios: both sides measured on the same host, but
+        # still wall-clock-derived, hence timing=True for the envelope.
+        metric("bestSpeedup", summary["bestSpeedup"], "higher",
+               timing=True),
+        metric("tenantFairness", summary["tenantFairness"], "higher",
+               timing=True),
+        metric("baselineThroughput", summary["baselineThroughput"],
+               "info"),
+        metric("bestThroughput", summary["bestThroughput"], "info"),
+        metric("speedupAt4Workers", summary["speedupAt4Workers"],
+               "info"),
+        metric("aggregateThroughputAtWidest",
+               summary["aggregateThroughputAtWidest"], "info"),
+    ]
+    for r in records:
+        if r.get("kind") == "tenantSweep":
+            out.append(metric(f"fairness_{r['tenants']}tenants",
+                              r["fairness"], "info"))
+    return out
+
+
+EXTRACTORS = {"pnr": pnr_metrics, "serving": serving_metrics}
+
+
+def envelope(paths, commit, timestamp, relax):
+    """Conservative fold of several BENCH documents of one bench.
+
+    `relax` widens timing-derived gated metrics by an extra fractional
+    margin (higher-is-better scaled down, lower-is-better up) so a
+    baseline generated on one machine class does not flake the gate on
+    another (e.g. developer box vs CI runner).  Deterministic metrics
+    are folded without the margin.
+    """
+    docs = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as fh:
+            docs.append(json.load(fh))
+    benches = {d["bench"] for d in docs}
+    if len(benches) != 1:
+        raise SystemExit(f"envelope inputs mix benches: {benches}")
+    folded = []
+    for m in docs[0]["metrics"]:
+        name, direction = m["metric"], m["direction"]
+        timing = bool(m.get("timing"))
+        values = [v["value"] for d in docs for v in d["metrics"]
+                  if v["metric"] == name]
+        if direction == "higher":
+            value = min(values)
+            if timing:
+                value *= 1.0 - relax
+        elif direction == "lower":
+            value = max(values)
+            if timing:
+                value *= 1.0 + relax
+        else:
+            value = sorted(values)[len(values) // 2]
+        folded.append(metric(name, value, direction, timing=timing))
+    return {"schema": 1, "bench": docs[0]["bench"], "commit": commit,
+            "timestamp": timestamp, "metrics": folded}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", choices=sorted(EXTRACTORS))
+    parser.add_argument("--input", help="bench JSONL output")
+    parser.add_argument("--envelope", nargs="+", metavar="BENCH_JSON",
+                        help="fold BENCH files into a baseline instead")
+    parser.add_argument("--relax", type=float, default=0.25,
+                        help="extra cross-machine margin applied to "
+                             "timing-derived gated metrics when "
+                             "folding an envelope (default 0.25)")
+    parser.add_argument("--commit", required=True)
+    parser.add_argument("--timestamp", required=True,
+                        help="ISO8601, passed in (not sampled here)")
+    parser.add_argument("--output", required=True)
+    args = parser.parse_args()
+
+    if args.envelope:
+        document = envelope(args.envelope, args.commit, args.timestamp,
+                            args.relax)
+    elif args.bench and args.input:
+        records = read_jsonl(args.input)
+        document = {
+            "schema": 1,
+            "bench": args.bench,
+            "commit": args.commit,
+            "timestamp": args.timestamp,
+            "metrics": EXTRACTORS[args.bench](records),
+        }
+    else:
+        parser.error("need either --bench + --input, or --envelope")
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=2)
+        fh.write("\n")
+    gated = sum(1 for m in document["metrics"]
+                if m["direction"] != "info")
+    print(f"{args.output}: {len(document['metrics'])} metrics "
+          f"({gated} gated) @ {args.commit[:12]}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()
