@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Inference data-path bench: naive reference kernels vs the planned
+ * im2col/GEMM execution engine, single-sample vs batched, one JSON
+ * object per line -- the anchor of the inference-throughput perf
+ * trajectory (tools/bench_trajectory.py --bench infer).
+ *
+ *   $ ./inference_throughput > infer.jsonl   # full model sweep
+ *   $ ./inference_throughput --small         # CI sizes
+ *
+ * Per model it reports:
+ *  - reference / planned single-sample latency and the speedup ratio
+ *    (machine-portable: both sides run on the same host);
+ *  - planned batched latency per sample at the engine's default batch
+ *    width, and the batched-over-single per-sample speedup;
+ *  - heap allocations per planned request, counted with a global
+ *    operator-new hook (must be 0: the arena and scratch are sized
+ *    once and reused).
+ *
+ * The summary line carries the gated metrics: per-model speedups,
+ * allocations per request, and the speedup of the largest model in
+ * the sweep.
+ */
+
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/alloc_probe.hh"
+#include "common/json.hh"
+#include "common/rng.hh"
+#include "nn/execute.hh"
+#include "nn/models.hh"
+#include "nn/plan.hh"
+#include "tensor/tensor.hh"
+
+using namespace fpsa;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+millisSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     start)
+        .count();
+}
+
+Tensor
+sampleInput(const Shape &shape, int id)
+{
+    Tensor t(shape);
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        t[i] = static_cast<float>((i * (id + 3)) % 97) / 97.0f - 0.3f;
+    return t;
+}
+
+/** Best-of-`reps` single-sample latency of the reference kernels. */
+double
+timeReference(const Graph &graph, const Tensor &input, int reps)
+{
+    double best = 1e30;
+    for (int r = 0; r < reps; ++r) {
+        const auto start = Clock::now();
+        Tensor out = runGraphFinal(graph, input);
+        best = std::min(best, millisSince(start));
+        if (out.numel() == 0)
+            std::exit(1); // defeat dead-code elimination
+    }
+    return best;
+}
+
+struct PlannedTiming
+{
+    double singleMillis = 0.0;
+    double batchedMillisPerSample = 0.0;
+    long allocsPerRequest = 0;
+};
+
+PlannedTiming
+timePlanned(const ExecutionPlan &plan, const Tensor &input, int reps,
+            int batch_reps, int batch)
+{
+    PlannedTiming t;
+    // makeContext(batch) sizes the arena/scratch up front, so every
+    // run below (including the first batched one) is steady-state.
+    PlanContext context = plan.makeContext(batch);
+    Tensor out(plan.outputShape());
+
+    plan.run(input.data(), out.data(), context); // warm caches
+    double best = 1e30;
+    for (int r = 0; r < reps; ++r) {
+        const auto start = Clock::now();
+        plan.run(input.data(), out.data(), context);
+        best = std::min(best, millisSince(start));
+    }
+    t.singleMillis = best;
+
+    // Allocation count of a steady-state request.
+    alloc_probe::arm();
+    plan.run(input.data(), out.data(), context);
+    t.allocsPerRequest = alloc_probe::disarm();
+
+    std::vector<Tensor> outs(static_cast<std::size_t>(batch),
+                             Tensor(plan.outputShape()));
+    std::vector<const float *> in_ptrs(static_cast<std::size_t>(batch),
+                                       input.data());
+    std::vector<float *> out_ptrs;
+    for (Tensor &o : outs)
+        out_ptrs.push_back(o.data());
+    best = 1e30;
+    for (int r = 0; r < batch_reps; ++r) {
+        const auto start = Clock::now();
+        plan.runBatch(in_ptrs.data(), out_ptrs.data(), batch, context);
+        best = std::min(best, millisSince(start));
+    }
+    t.batchedMillisPerSample = best / batch;
+    return t;
+}
+
+struct ModelResult
+{
+    std::string name;
+    std::int64_t ops = 0;
+    double speedup = 0.0;
+    double batchSpeedup = 0.0;
+    long allocsPerRequest = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool small = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--small") == 0) {
+            small = true;
+        } else {
+            std::cerr << "usage: " << argv[0] << " [--small]\n";
+            return 2;
+        }
+    }
+
+    // The conv-heavy numeric-execution models, ordered by op count;
+    // --small stops before AlexNet/VGG16 (minutes of naive reference
+    // per request) but still gates on the conv-heavy VGG17.
+    std::vector<ModelId> models{ModelId::Mlp500_100, ModelId::LeNet,
+                                ModelId::Vgg17Cifar};
+    if (!small) {
+        models.push_back(ModelId::AlexNet);
+        models.push_back(ModelId::Vgg16);
+    }
+    const int batch = 8; // EngineOptions::maxBatch default
+
+    std::vector<ModelResult> results;
+    for (ModelId id : models) {
+        Graph graph = buildModel(id);
+        Rng rng(2019);
+        randomizeWeights(graph, rng);
+        auto plan = ExecutionPlan::build(graph);
+        if (!plan.ok()) {
+            std::cerr << modelName(id) << ": "
+                      << plan.status().toString() << "\n";
+            return 1;
+        }
+        const Tensor input =
+            sampleInput(graph.nodes().front().outShape, 1);
+
+        const std::int64_t ops = graph.opCount();
+        // Repeat counts scale down with model size; the reference side
+        // of the big models is the wall-clock hog.
+        const bool huge = ops > 1000000000;
+        const int ref_reps = huge ? 1 : (small ? 3 : 5);
+        const int plan_reps = huge ? 2 : 10;
+        const int batch_reps = huge ? 1 : plan_reps;
+
+        const double ref_ms = timeReference(graph, input, ref_reps);
+        const PlannedTiming planned =
+            timePlanned(*plan, input, plan_reps, batch_reps, batch);
+
+        ModelResult r;
+        r.name = modelName(id);
+        r.ops = ops;
+        r.speedup = ref_ms / planned.singleMillis;
+        r.batchSpeedup =
+            planned.singleMillis / planned.batchedMillisPerSample;
+        r.allocsPerRequest = planned.allocsPerRequest;
+        results.push_back(r);
+
+        JsonWriter j;
+        j.beginObject();
+        j.field("kind", "model");
+        j.field("model", r.name);
+        j.field("ops", ops);
+        j.field("referenceMillis", ref_ms);
+        j.field("plannedMillis", planned.singleMillis);
+        j.field("plannedBatchedMillisPerSample",
+                planned.batchedMillisPerSample);
+        j.field("batch", static_cast<std::int64_t>(batch));
+        j.field("speedup", r.speedup);
+        j.field("batchSpeedup", r.batchSpeedup);
+        j.field("allocsPerRequest",
+                static_cast<std::int64_t>(r.allocsPerRequest));
+        j.field("arenaFloatsPerSample", plan->arenaFloatsPerSample());
+        j.endObject();
+        std::cout << j.str() << "\n";
+    }
+
+    // Summary: the largest (by op count) model's speedup is the
+    // headline acceptance metric.
+    const ModelResult *largest = &results.front();
+    long worst_allocs = 0;
+    for (const ModelResult &r : results) {
+        if (r.ops > largest->ops)
+            largest = &r;
+        worst_allocs = std::max(worst_allocs, r.allocsPerRequest);
+    }
+    JsonWriter j;
+    j.beginObject();
+    j.field("kind", "summary");
+    j.field("largestModel", largest->name);
+    j.field("largestModelSpeedup", largest->speedup);
+    j.field("allocsPerRequest",
+            static_cast<std::int64_t>(worst_allocs));
+    j.key("models").beginArray();
+    for (const ModelResult &r : results) {
+        j.beginObject();
+        j.field("model", r.name);
+        j.field("speedup", r.speedup);
+        j.field("batchSpeedup", r.batchSpeedup);
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject();
+    std::cout << j.str() << "\n";
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Heap-allocation probe for zero-allocation assertions: replaces the
+ * global operator new/delete with malloc/free-backed versions that
+ * count every allocation while armed.
+ *
+ * Include from exactly ONE translation unit per binary (the
+ * replacement operators are necessarily non-inline; a second
+ * including TU is a duplicate-symbol link error, which is the loud
+ * failure we want).  Used by tests/test_plan.cc and
+ * bench/inference_throughput.cc to assert/measure that the planned
+ * inference path performs zero per-request heap allocations.
+ */
+
+#ifndef FPSA_COMMON_ALLOC_PROBE_HH
+#define FPSA_COMMON_ALLOC_PROBE_HH
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+// The probe pairs a malloc-backed operator new with a free-backed
+// operator delete; once inlined into container code GCC's
+// mismatched-new-delete heuristic can no longer see that pairing, so
+// silence it for the including file.
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+namespace fpsa::alloc_probe
+{
+
+inline std::atomic<long> count{0};
+inline std::atomic<bool> armed{false};
+
+/** Start counting allocations from zero. */
+inline void
+arm()
+{
+    count.store(0);
+    armed.store(true);
+}
+
+/** Stop counting; returns the allocations seen while armed. */
+inline long
+disarm()
+{
+    armed.store(false);
+    return count.load();
+}
+
+} // namespace fpsa::alloc_probe
+
+void *
+operator new(std::size_t size)
+{
+    if (fpsa::alloc_probe::armed.load(std::memory_order_relaxed))
+        fpsa::alloc_probe::count.fetch_add(1,
+                                           std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+#endif // FPSA_COMMON_ALLOC_PROBE_HH

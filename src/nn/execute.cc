@@ -1,6 +1,7 @@
 #include "nn/execute.hh"
 
 #include <cmath>
+#include <limits>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -41,14 +42,21 @@ randomizeWeights(Graph &graph, Rng &rng)
 namespace
 {
 
-/** Zero-pad a CHW tensor symmetrically. */
+/**
+ * Pad a CHW tensor symmetrically with `value`.  MaxPool pads with
+ * -infinity so the padding ring can never win the max (zero-padding
+ * used to clamp all-negative windows to 0); AvgPool keeps zeros, which
+ * its k*k divisor counts, matching common framework semantics.
+ */
 Tensor
-padChw(const Tensor &in, std::int64_t pad)
+padChw(const Tensor &in, std::int64_t pad, float value)
 {
     if (pad == 0)
         return in;
     const std::int64_t c = in.dim(0), h = in.dim(1), w = in.dim(2);
     Tensor out({c, h + 2 * pad, w + 2 * pad});
+    if (value != 0.0f)
+        out.fill(value);
     for (std::int64_t ch = 0; ch < c; ++ch)
         for (std::int64_t y = 0; y < h; ++y)
             for (std::int64_t x = 0; x < w; ++x)
@@ -137,20 +145,22 @@ runGraph(const Graph &graph, const Tensor &input)
             fpsa_assert(n.weights.has_value(),
                         "node '%s' has no weights; call randomizeWeights",
                         n.name.c_str());
-            Tensor flat({shapeNumel(in(0).shape())},
-                        std::vector<float>(in(0).data(),
-                                           in(0).data() + in(0).numel()));
-            outputs[static_cast<std::size_t>(id)] = matVec(*n.weights, flat);
+            // The input is consumed as a flattened view in place; no
+            // reshape copy (the planned path aliases the same way).
+            outputs[static_cast<std::size_t>(id)] =
+                matVecFlat(*n.weights, in(0).data(), in(0).numel());
             break;
           }
           case OpKind::MaxPool: {
-            Tensor padded = padChw(in(0), n.attrs.pad);
+            Tensor padded =
+                padChw(in(0), n.attrs.pad,
+                       -std::numeric_limits<float>::infinity());
             outputs[static_cast<std::size_t>(id)] =
                 maxPool2d(padded, n.attrs.kernel, n.attrs.stride);
             break;
           }
           case OpKind::AvgPool: {
-            Tensor padded = padChw(in(0), n.attrs.pad);
+            Tensor padded = padChw(in(0), n.attrs.pad, 0.0f);
             outputs[static_cast<std::size_t>(id)] =
                 avgPool2d(padded, n.attrs.kernel, n.attrs.stride);
             break;

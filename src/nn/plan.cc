@@ -1,0 +1,578 @@
+#include "nn/plan.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "common/logging.hh"
+#include "tensor/gemm.hh"
+
+namespace fpsa
+{
+
+namespace
+{
+
+/** Identity ops erased into buffer aliases instead of scheduled. */
+bool
+isAliasOp(OpKind kind)
+{
+    return kind == OpKind::Flatten || kind == OpKind::BatchNorm;
+}
+
+/**
+ * First-fit arena allocator over per-sample float offsets.  Holes
+ * below the high-water mark are kept sorted and merged; the peak of
+ * `top_` is the arena size the plan needs.
+ */
+class ArenaAllocator
+{
+  public:
+    std::int64_t
+    allocate(std::int64_t size)
+    {
+        for (std::size_t i = 0; i < holes_.size(); ++i) {
+            auto &[off, len] = holes_[i];
+            if (len >= size) {
+                const std::int64_t at = off;
+                off += size;
+                len -= size;
+                if (len == 0)
+                    holes_.erase(holes_.begin() +
+                                 static_cast<std::ptrdiff_t>(i));
+                return at;
+            }
+        }
+        const std::int64_t at = top_;
+        top_ += size;
+        peak_ = std::max(peak_, top_);
+        return at;
+    }
+
+    void
+    release(std::int64_t off, std::int64_t size)
+    {
+        if (off + size == top_) {
+            top_ = off;
+            while (!holes_.empty() &&
+                   holes_.back().first + holes_.back().second == top_) {
+                top_ = holes_.back().first;
+                holes_.pop_back();
+            }
+            return;
+        }
+        auto it = std::lower_bound(
+            holes_.begin(), holes_.end(), std::make_pair(off, size));
+        it = holes_.insert(it, {off, size});
+        // Merge with the next hole, then the previous one.
+        auto next = it + 1;
+        if (next != holes_.end() && it->first + it->second == next->first) {
+            it->second += next->second;
+            it = holes_.erase(next) - 1;
+        }
+        if (it != holes_.begin()) {
+            auto prev = it - 1;
+            if (prev->first + prev->second == it->first) {
+                prev->second += it->second;
+                holes_.erase(it);
+            }
+        }
+    }
+
+    std::int64_t peak() const { return peak_; }
+
+  private:
+    std::vector<std::pair<std::int64_t, std::int64_t>> holes_;
+    std::int64_t top_ = 0;
+    std::int64_t peak_ = 0;
+};
+
+Status
+invalid(const std::string &why)
+{
+    return Status::error(StatusCode::InvalidArgument,
+                         "execution plan: " + why);
+}
+
+} // namespace
+
+StatusOr<ExecutionPlan>
+ExecutionPlan::build(const Graph &graph)
+{
+    if (graph.size() == 0)
+        return invalid("empty graph");
+    const std::vector<NodeId> order = graph.topoOrder();
+
+    ExecutionPlan plan;
+
+    // ---- Liveness: map every node to a buffer (aliases share their
+    // input's), then find each buffer's defining and last-using
+    // schedule positions.
+    struct Buffer
+    {
+        std::int64_t size = 0;
+        std::size_t def = 0;
+        std::size_t lastUse = 0;
+        std::int64_t offset = -1;
+    };
+    std::vector<Buffer> buffers;
+    std::vector<int> nodeBuffer(graph.size(), -1);
+
+    for (std::size_t p = 0; p < order.size(); ++p) {
+        const NodeId id = order[p];
+        const GraphNode &n = graph.node(id);
+        if (n.kind == OpKind::Input && p != 0)
+            return invalid("graph has more than one input node");
+        if (p == 0 && n.kind != OpKind::Input)
+            return invalid("graph is not headed by an input node");
+        for (NodeId in : n.inputs) {
+            const int buf = nodeBuffer[static_cast<std::size_t>(in)];
+            if (buf < 0)
+                return invalid("node '" + n.name +
+                               "' consumes an unscheduled input");
+            buffers[static_cast<std::size_t>(buf)].lastUse =
+                std::max(buffers[static_cast<std::size_t>(buf)].lastUse,
+                         p);
+        }
+        if (isAliasOp(n.kind)) {
+            const int buf =
+                nodeBuffer[static_cast<std::size_t>(n.inputs[0])];
+            if (shapeNumel(n.outShape) !=
+                buffers[static_cast<std::size_t>(buf)].size) {
+                return invalid("alias op '" + n.name +
+                               "' changes element count");
+            }
+            nodeBuffer[static_cast<std::size_t>(id)] = buf;
+        } else {
+            Buffer b;
+            b.size = shapeNumel(n.outShape);
+            b.def = p;
+            b.lastUse = p;
+            nodeBuffer[static_cast<std::size_t>(id)] =
+                static_cast<int>(buffers.size());
+            buffers.push_back(b);
+        }
+    }
+    // The final node's activation is the request output: pin it live.
+    buffers[static_cast<std::size_t>(
+                nodeBuffer[static_cast<std::size_t>(order.back())])]
+        .lastUse = std::numeric_limits<std::size_t>::max();
+
+    // ---- Arena assignment: sweep the schedule, releasing buffers
+    // whose last consumer has run before placing the position's new
+    // definition, so lifetimes never overlap in the arena.
+    std::vector<std::vector<int>> expiring(order.size() + 1);
+    for (std::size_t i = 0; i < buffers.size(); ++i) {
+        if (buffers[i].lastUse < order.size())
+            expiring[buffers[i].lastUse + 1].push_back(
+                static_cast<int>(i));
+    }
+    ArenaAllocator arena;
+    std::vector<int> defAt(order.size(), -1);
+    for (std::size_t i = 0; i < buffers.size(); ++i)
+        defAt[buffers[i].def] = static_cast<int>(i);
+    for (std::size_t p = 0; p < order.size(); ++p) {
+        for (int buf : expiring[p]) {
+            arena.release(buffers[static_cast<std::size_t>(buf)].offset,
+                          buffers[static_cast<std::size_t>(buf)].size);
+        }
+        if (defAt[p] >= 0) {
+            Buffer &b = buffers[static_cast<std::size_t>(defAt[p])];
+            b.offset = arena.allocate(b.size);
+        }
+    }
+    plan.arenaFloats_ = arena.peak();
+
+    // ---- Schedule + packed weights.
+    const auto offsetOf = [&](NodeId id) {
+        return buffers[static_cast<std::size_t>(
+                           nodeBuffer[static_cast<std::size_t>(id)])]
+            .offset;
+    };
+    for (std::size_t p = 0; p < order.size(); ++p) {
+        const NodeId id = order[p];
+        const GraphNode &n = graph.node(id);
+        if (isAliasOp(n.kind))
+            continue;
+        Step s;
+        s.kind = n.kind;
+        s.node = id;
+        s.out = offsetOf(id);
+        s.outNumel = shapeNumel(n.outShape);
+        for (NodeId in : n.inputs) {
+            s.in.push_back(offsetOf(in));
+            s.inNumel.push_back(shapeNumel(graph.node(in).outShape));
+        }
+
+        switch (n.kind) {
+          case OpKind::Input:
+            plan.inputShape_ = n.outShape;
+            plan.inputNumel_ = s.outNumel;
+            plan.inputOffset_ = s.out;
+            break;
+          case OpKind::Conv2d: {
+            const Shape &in = graph.node(n.inputs[0]).outShape;
+            s.ci = in[0];
+            s.hi = in[1];
+            s.wi = in[2];
+            s.co = n.outShape[0];
+            s.ho = n.outShape[1];
+            s.wo = n.outShape[2];
+            s.kernel = n.attrs.kernel;
+            s.stride = n.attrs.stride;
+            s.pad = n.attrs.pad;
+            s.groups = n.attrs.groups;
+            if (s.groups < 1 || s.ci % s.groups != 0 ||
+                s.co % s.groups != 0)
+                return invalid("conv '" + n.name +
+                               "' has indivisible groups");
+            const std::int64_t kk =
+                (s.ci / s.groups) * s.kernel * s.kernel;
+            if (!n.weights.has_value() ||
+                n.weights->numel() != s.co * kk)
+                return invalid("conv '" + n.name +
+                               "' is missing matching weights");
+            // OIHW rows are already im2col-ready [co x ci_g*kh*kw]
+            // panels, with each group's co/groups rows contiguous:
+            // copying once here pre-slices every group.
+            s.weight = static_cast<int>(plan.weights_.size());
+            plan.weights_.emplace_back(
+                n.weights->data(), n.weights->data() + n.weights->numel());
+            plan.columnsFloats_ = std::max(plan.columnsFloats_,
+                                           kk * s.ho * s.wo);
+            plan.stageFloats_ =
+                std::max(plan.stageFloats_,
+                         (s.co / s.groups) * s.ho * s.wo);
+            break;
+          }
+          case OpKind::FullyConnected: {
+            const std::int64_t in_numel = s.inNumel[0];
+            s.co = n.attrs.units;
+            s.ci = in_numel;
+            if (!n.weights.has_value() ||
+                n.weights->numel() != s.co * in_numel)
+                return invalid("fc '" + n.name +
+                               "' is missing matching weights");
+            // Pack W^T [in x units] so a sample-major batch of inputs
+            // ([B x in], contiguous in the arena by construction) is
+            // the GEMM's left operand with no gather at all.
+            s.weight = static_cast<int>(plan.weights_.size());
+            std::vector<float> wt(
+                static_cast<std::size_t>(in_numel * s.co));
+            const float *w = n.weights->data();
+            for (std::int64_t u = 0; u < s.co; ++u)
+                for (std::int64_t r = 0; r < in_numel; ++r)
+                    wt[static_cast<std::size_t>(r * s.co + u)] =
+                        w[u * in_numel + r];
+            plan.weights_.push_back(std::move(wt));
+            break;
+          }
+          case OpKind::MaxPool:
+          case OpKind::AvgPool: {
+            const Shape &in = graph.node(n.inputs[0]).outShape;
+            s.ci = in[0];
+            s.hi = in[1];
+            s.wi = in[2];
+            s.co = n.outShape[0];
+            s.ho = n.outShape[1];
+            s.wo = n.outShape[2];
+            s.kernel = n.attrs.kernel;
+            s.stride = n.attrs.stride;
+            s.pad = n.attrs.pad;
+            break;
+          }
+          case OpKind::GlobalAvgPool: {
+            const Shape &in = graph.node(n.inputs[0]).outShape;
+            s.ci = in[0];
+            s.hi = in[1];
+            s.wi = in[2];
+            break;
+          }
+          case OpKind::Concat: // per-input block copies; no geometry
+          case OpKind::Relu:
+          case OpKind::Add:
+          case OpKind::Flatten:
+          case OpKind::BatchNorm:
+            break;
+        }
+        plan.steps_.push_back(std::move(s));
+    }
+
+    const GraphNode &last = graph.node(order.back());
+    plan.outputShape_ = last.outShape;
+    plan.outputNumel_ = shapeNumel(last.outShape);
+    plan.outputOffset_ = offsetOf(order.back());
+    return plan;
+}
+
+PlanContext
+ExecutionPlan::makeContext(int maxBatch) const
+{
+    PlanContext context;
+    ensureCapacity(context, std::max(1, maxBatch));
+    return context;
+}
+
+void
+ExecutionPlan::ensureCapacity(PlanContext &context, int batch) const
+{
+    if (batch <= context.batchCapacity_)
+        return;
+    const std::int64_t b = batch;
+    context.arena_.resize(static_cast<std::size_t>(arenaFloats_ * b));
+    context.columns_.resize(
+        static_cast<std::size_t>(columnsFloats_ * b));
+    context.stage_.resize(static_cast<std::size_t>(stageFloats_ * b));
+    context.batchCapacity_ = batch;
+}
+
+void
+ExecutionPlan::run(const float *input, float *output,
+                   PlanContext &context) const
+{
+    runBatch(&input, &output, 1, context);
+}
+
+namespace
+{
+
+/**
+ * Batched conv strategy cutoff: below this many output positions per
+ * sample the GEMM is column-starved, so coalescing the whole batch
+ * into one multi-column GEMM (re-streaming the weight panel once
+ * instead of per sample) wins.  Above it the per-sample column count
+ * already amortizes the weight traffic and the combined im2col matrix
+ * stops fitting in cache, so samples run back-to-back against the
+ * same packed panel instead.  Either way each output column's
+ * accumulation order is fixed (tensor/gemm.hh), keeping batched
+ * results bit-identical to single-sample runs.
+ */
+constexpr std::int64_t kCoalesceColumns = 256;
+
+} // namespace
+
+void
+ExecutionPlan::execConv(const Step &s, int nb, PlanContext &ctx) const
+{
+    const std::int64_t b = nb;
+    const std::int64_t ci_g = s.ci / s.groups, co_g = s.co / s.groups;
+    const std::int64_t kk = ci_g * s.kernel * s.kernel;
+    const std::int64_t hw = s.ho * s.wo;
+    const float *in_base = ctx.arena_.data() + s.in[0] * b;
+    float *out_base = ctx.arena_.data() + s.out * b;
+    const float *w_all = weights_[static_cast<std::size_t>(s.weight)]
+                             .data();
+    const bool identity =
+        s.kernel == 1 && s.stride == 1 && s.pad == 0;
+    const bool coalesce = b > 1 && hw < kCoalesceColumns;
+
+    for (std::int64_t g = 0; g < s.groups; ++g) {
+        const float *wg = w_all + g * co_g * kk;
+        if (coalesce) {
+            // One multi-column GEMM across the whole batch, then
+            // un-interleave rows back to sample-major activations.
+            float *pack = ctx.columns_.data();
+            const std::int64_t ldm = b * hw;
+            for (std::int64_t i = 0; i < b; ++i) {
+                im2colChw(in_base + i * s.inNumel[0] +
+                              g * ci_g * s.hi * s.wi,
+                          ci_g, s.hi, s.wi, s.kernel, s.kernel,
+                          s.stride, s.pad, s.ho, s.wo, pack + i * hw,
+                          ldm);
+            }
+            float *stage = ctx.stage_.data();
+            gemmRowMajor(wg, kk, pack, ldm, stage, ldm, co_g, kk, ldm);
+            for (std::int64_t oc = 0; oc < co_g; ++oc) {
+                for (std::int64_t i = 0; i < b; ++i) {
+                    std::memcpy(out_base + i * s.outNumel +
+                                    (g * co_g + oc) * hw,
+                                stage + oc * ldm + i * hw,
+                                static_cast<std::size_t>(hw) *
+                                    sizeof(float));
+                }
+            }
+            continue;
+        }
+        // Wide layers: per-sample GEMM straight into the activation
+        // arena (no staging); the im2col pack is reused sample by
+        // sample and stays cache-resident.
+        for (std::int64_t i = 0; i < b; ++i) {
+            const float *sample_in =
+                in_base + i * s.inNumel[0] + g * ci_g * s.hi * s.wi;
+            const float *cols = sample_in;
+            if (!identity) {
+                im2colChw(sample_in, ci_g, s.hi, s.wi, s.kernel,
+                          s.kernel, s.stride, s.pad, s.ho, s.wo,
+                          ctx.columns_.data(), hw);
+                cols = ctx.columns_.data();
+            }
+            gemmRowMajor(wg, kk, cols, hw,
+                         out_base + i * s.outNumel + g * co_g * hw, hw,
+                         co_g, kk, hw);
+        }
+    }
+}
+
+void
+ExecutionPlan::execFullyConnected(const Step &s, int nb,
+                                  PlanContext &ctx) const
+{
+    const std::int64_t b = nb;
+    const float *in_base = ctx.arena_.data() + s.in[0] * b;
+    float *out_base = ctx.arena_.data() + s.out * b;
+    const float *wt = weights_[static_cast<std::size_t>(s.weight)]
+                          .data();
+    // Inputs are sample-major and contiguous: [b x in] times the
+    // pre-transposed [in x units] panel is the whole batch in one GEMM.
+    gemmRowMajor(in_base, s.ci, wt, s.co, out_base, s.co, b, s.ci,
+                 s.co);
+}
+
+void
+ExecutionPlan::execPool(const Step &s, int nb, PlanContext &ctx,
+                        bool average) const
+{
+    const std::int64_t b = nb;
+    const float *in_base = ctx.arena_.data() + s.in[0] * b;
+    float *out_base = ctx.arena_.data() + s.out * b;
+    const std::int64_t hw_in = s.hi * s.wi, hw_out = s.ho * s.wo;
+    const float norm =
+        average ? 1.0f / static_cast<float>(s.kernel * s.kernel) : 0.0f;
+    for (std::int64_t i = 0; i < b; ++i) {
+        for (std::int64_t c = 0; c < s.ci; ++c) {
+            const float *plane =
+                in_base + i * s.inNumel[0] + c * hw_in;
+            float *out_plane = out_base + i * s.outNumel + c * hw_out;
+            for (std::int64_t oy = 0; oy < s.ho; ++oy) {
+                const std::int64_t iy0 = oy * s.stride - s.pad;
+                const std::int64_t ky_lo =
+                    std::max<std::int64_t>(0, -iy0);
+                const std::int64_t ky_hi =
+                    std::min(s.kernel, s.hi - iy0);
+                for (std::int64_t ox = 0; ox < s.wo; ++ox) {
+                    const std::int64_t ix0 = ox * s.stride - s.pad;
+                    const std::int64_t kx_lo =
+                        std::max<std::int64_t>(0, -ix0);
+                    const std::int64_t kx_hi =
+                        std::min(s.kernel, s.wi - ix0);
+                    // Out-of-range taps contribute -inf (max) or zero
+                    // (average, which still divides by kernel^2 --
+                    // matching the reference's zero-padded semantics),
+                    // so only valid taps are visited.
+                    float acc = average ? 0.0f : -1e30f;
+                    for (std::int64_t ky = ky_lo; ky < ky_hi; ++ky) {
+                        const float *row = plane + (iy0 + ky) * s.wi;
+                        for (std::int64_t kx = kx_lo; kx < kx_hi;
+                             ++kx) {
+                            const float v = row[ix0 + kx];
+                            acc = average ? acc + v
+                                          : std::max(acc, v);
+                        }
+                    }
+                    out_plane[oy * s.wo + ox] =
+                        average ? acc * norm : acc;
+                }
+            }
+        }
+    }
+}
+
+void
+ExecutionPlan::runBatch(const float *const *inputs,
+                        float *const *outputs, int batch,
+                        PlanContext &context) const
+{
+    fpsa_assert(batch >= 1, "runBatch: batch must be >= 1, got %d",
+                batch);
+    ensureCapacity(context, batch);
+    const std::int64_t b = batch;
+    float *arena = context.arena_.data();
+
+    for (const Step &s : steps_) {
+        float *out_base = arena + s.out * b;
+        switch (s.kind) {
+          case OpKind::Input:
+            for (std::int64_t i = 0; i < b; ++i) {
+                std::memcpy(out_base + i * s.outNumel, inputs[i],
+                            static_cast<std::size_t>(s.outNumel) *
+                                sizeof(float));
+            }
+            break;
+          case OpKind::Conv2d:
+            execConv(s, batch, context);
+            break;
+          case OpKind::FullyConnected:
+            execFullyConnected(s, batch, context);
+            break;
+          case OpKind::MaxPool:
+            execPool(s, batch, context, false);
+            break;
+          case OpKind::AvgPool:
+            execPool(s, batch, context, true);
+            break;
+          case OpKind::GlobalAvgPool: {
+            const float *in_base = arena + s.in[0] * b;
+            const std::int64_t hw = s.hi * s.wi;
+            for (std::int64_t i = 0; i < b; ++i) {
+                for (std::int64_t c = 0; c < s.ci; ++c) {
+                    const float *plane =
+                        in_base + i * s.inNumel[0] + c * hw;
+                    double acc = 0.0;
+                    for (std::int64_t v = 0; v < hw; ++v)
+                        acc += plane[v];
+                    out_base[i * s.outNumel + c] = static_cast<float>(
+                        acc / static_cast<double>(hw));
+                }
+            }
+            break;
+          }
+          case OpKind::Relu: {
+            const float *in_base = arena + s.in[0] * b;
+            const std::int64_t n = s.outNumel * b;
+            for (std::int64_t v = 0; v < n; ++v)
+                out_base[v] = std::max(0.0f, in_base[v]);
+            break;
+          }
+          case OpKind::Add: {
+            // Same pairwise left-to-right order as the reference.
+            const std::int64_t n = s.outNumel * b;
+            std::memcpy(out_base, arena + s.in[0] * b,
+                        static_cast<std::size_t>(n) * sizeof(float));
+            for (std::size_t a = 1; a < s.in.size(); ++a) {
+                const float *term = arena + s.in[a] * b;
+                for (std::int64_t v = 0; v < n; ++v)
+                    out_base[v] += term[v];
+            }
+            break;
+          }
+          case OpKind::Concat: {
+            for (std::int64_t i = 0; i < b; ++i) {
+                std::int64_t at = 0;
+                for (std::size_t a = 0; a < s.in.size(); ++a) {
+                    std::memcpy(
+                        out_base + i * s.outNumel + at,
+                        arena + s.in[a] * b + i * s.inNumel[a],
+                        static_cast<std::size_t>(s.inNumel[a]) *
+                            sizeof(float));
+                    at += s.inNumel[a];
+                }
+            }
+            break;
+          }
+          case OpKind::Flatten:
+          case OpKind::BatchNorm:
+            // Erased into aliases at build time.
+            break;
+        }
+    }
+
+    const float *final_base = arena + outputOffset_ * b;
+    for (std::int64_t i = 0; i < b; ++i) {
+        std::memcpy(outputs[i], final_base + i * outputNumel_,
+                    static_cast<std::size_t>(outputNumel_) *
+                        sizeof(float));
+    }
+}
+
+} // namespace fpsa

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * `fpsa::ExecutionPlan`: the planned, arena-allocated inference data
+ * path for computational graphs.
+ *
+ * `runGraph` (nn/execute.hh) is the golden reference: it heap-allocates
+ * a fresh Tensor per node per request and runs naive nested-loop
+ * kernels.  An ExecutionPlan is compiled once per graph and then serves
+ * any number of requests with zero per-request heap allocations:
+ *
+ *  - the op schedule is fixed at build time (topo order, with identity
+ *    ops -- Flatten, BatchNorm -- erased into buffer aliases);
+ *  - every node's activation lives at a liveness-analyzed offset in one
+ *    float arena, so buffers are reused as soon as their last consumer
+ *    has run and reshapes alias instead of copying;
+ *  - conv/fc weights are pre-packed at build time into im2col-ready
+ *    GEMM panels (conv: OIHW rows are already [co x ci_g*kh*kw] panels,
+ *    sliced per group once; fc: the matrix is transposed so a batch of
+ *    row-vector inputs multiplies it directly);
+ *  - convolution runs as im2col + cache-blocked GEMM with padding
+ *    resolved at pack time, so the hot loops carry no bounds checks.
+ *
+ * `runBatch` executes B samples through one GEMM per layer (the im2col
+ * matrices of all samples are packed side by side; a batch of fc inputs
+ * is one [B x in] operand), and is bit-identical per sample to B
+ * single-sample `run` calls (see tensor/gemm.hh's determinism
+ * contract).
+ *
+ * Threading: the plan itself is immutable after build and shared
+ * freely; all mutable state (the arena) lives in a `PlanContext`, one
+ * per concurrent caller, reused across requests.
+ */
+
+#ifndef FPSA_NN_PLAN_HH
+#define FPSA_NN_PLAN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hh"
+#include "nn/graph.hh"
+
+namespace fpsa
+{
+
+/**
+ * Reusable per-caller scratch for one plan: the activation arena plus
+ * the im2col/staging buffers.  Created by `ExecutionPlan::makeContext`
+ * and grown (the only allocations on the planned path) when a larger
+ * batch arrives than the context has served before.
+ */
+class PlanContext
+{
+  public:
+    /** Largest batch this context can serve without reallocating. */
+    int batchCapacity() const { return batchCapacity_; }
+
+  private:
+    friend class ExecutionPlan;
+    std::vector<float> arena_;   //!< node activations, sample-major
+    std::vector<float> columns_; //!< im2col matrix of the widest conv
+    std::vector<float> stage_;   //!< batched-GEMM output staging
+    int batchCapacity_ = 0;
+};
+
+/** A compiled, immutable execution schedule for one graph. */
+class ExecutionPlan
+{
+  public:
+    /**
+     * Compile `graph` into a plan.  Requires materialized conv/fc
+     * weights and a single Input head; returns `InvalidArgument`
+     * otherwise.  The plan copies everything it needs (shapes, packed
+     * weights) and does not reference the graph afterwards.
+     */
+    static StatusOr<ExecutionPlan> build(const Graph &graph);
+
+    const Shape &inputShape() const { return inputShape_; }
+    const Shape &outputShape() const { return outputShape_; }
+    std::int64_t inputNumel() const { return inputNumel_; }
+    std::int64_t outputNumel() const { return outputNumel_; }
+
+    /** Arena floats needed per sample (sum of live buffer peaks). */
+    std::int64_t arenaFloatsPerSample() const { return arenaFloats_; }
+
+    /** Allocate a context sized for batches up to `maxBatch`. */
+    PlanContext makeContext(int maxBatch = 1) const;
+
+    /**
+     * Execute one sample: `input` holds inputNumel() floats, `output`
+     * receives outputNumel().  Performs no heap allocation when
+     * `context` has served a batch this size before.
+     */
+    void run(const float *input, float *output,
+             PlanContext &context) const;
+
+    /**
+     * Execute `batch` samples as one multi-column GEMM per layer.
+     * Per-sample results are bit-identical to single-sample `run`.
+     */
+    void runBatch(const float *const *inputs, float *const *outputs,
+                  int batch, PlanContext &context) const;
+
+  private:
+    /** One scheduled op; offsets are per-sample arena positions. */
+    struct Step
+    {
+        OpKind kind = OpKind::Input;
+        NodeId node = -1;
+        std::int64_t out = 0;
+        std::int64_t outNumel = 0;
+        std::vector<std::int64_t> in;      //!< per-input arena offset
+        std::vector<std::int64_t> inNumel;
+
+        // Conv / pool / fc geometry (subset used per kind).
+        std::int64_t ci = 0, hi = 0, wi = 0;
+        std::int64_t co = 0, ho = 0, wo = 0;
+        std::int64_t kernel = 0, stride = 1, pad = 0, groups = 1;
+        int weight = -1; //!< index into weights_
+    };
+
+    ExecutionPlan() = default;
+
+    void ensureCapacity(PlanContext &context, int batch) const;
+
+    void execConv(const Step &s, int nb, PlanContext &ctx) const;
+    void execFullyConnected(const Step &s, int nb,
+                            PlanContext &ctx) const;
+    void execPool(const Step &s, int nb, PlanContext &ctx,
+                  bool average) const;
+
+    std::vector<Step> steps_;
+    std::vector<std::vector<float>> weights_; //!< packed GEMM panels
+
+    Shape inputShape_, outputShape_;
+    std::int64_t inputNumel_ = 0, outputNumel_ = 0;
+    std::int64_t inputOffset_ = 0, outputOffset_ = 0;
+    std::int64_t arenaFloats_ = 0;
+    std::int64_t columnsFloats_ = 0; //!< widest im2col, per sample
+    std::int64_t stageFloats_ = 0;   //!< widest conv output, per sample
+};
+
+} // namespace fpsa
+
+#endif // FPSA_NN_PLAN_HH

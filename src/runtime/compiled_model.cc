@@ -3,11 +3,14 @@
 #include <charconv>
 #include <cmath>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <utility>
 
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "nn/plan.hh"
+#include "synth/synthesizer.hh"
 
 namespace fpsa
 {
@@ -808,6 +811,94 @@ CompiledModel::fromArtifacts(Artifacts artifacts)
                                                 artifacts.netlist);
     }
     return CompiledModel(std::move(artifacts));
+}
+
+namespace
+{
+
+/**
+ * One slot of the derived-artifact cache: built at most once, the
+ * failure Status is cached too (a model outside the spiking family
+ * should not re-attempt calibration per executor).
+ */
+template <typename T>
+struct DerivedSlot
+{
+    bool attempted = false;
+    Status status;
+    std::shared_ptr<const T> value;
+
+    template <typename Build>
+    StatusOr<std::shared_ptr<const T>>
+    get(std::mutex &mu, Build build)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!attempted) {
+            attempted = true;
+            StatusOr<T> built = build();
+            if (built.ok())
+                value = std::make_shared<const T>(
+                    std::move(built).value());
+            else
+                status = built.status();
+        }
+        if (!status.ok())
+            return status;
+        return value;
+    }
+};
+
+} // namespace
+
+struct CompiledModel::DerivedCache
+{
+    std::mutex mu;
+    DerivedSlot<ExecutionPlan> plan;
+    DerivedSlot<FunctionalSynthesis> synthesis;
+};
+
+CompiledModel::CompiledModel(Artifacts artifacts)
+    : a_(std::move(artifacts)), cache_(std::make_shared<DerivedCache>())
+{
+}
+
+StatusOr<std::shared_ptr<const ExecutionPlan>>
+CompiledModel::executionPlan() const
+{
+    return cache_->plan.get(cache_->mu, [this] {
+        return ExecutionPlan::build(a_.graph);
+    });
+}
+
+namespace
+{
+
+/**
+ * Deterministic probe input for activation-scale calibration: a smooth
+ * full-range wave (the value pattern the repo's spiking demos use), so
+ * two processes loading the same artifact build identical lowerings.
+ */
+Tensor
+calibrationProbe(const Shape &shape)
+{
+    Tensor probe(shape);
+    for (std::int64_t i = 0; i < probe.numel(); ++i) {
+        probe[i] = 0.5f +
+                   0.5f * std::sin(static_cast<float>(i) * 0.37f);
+    }
+    return probe;
+}
+
+} // namespace
+
+StatusOr<std::shared_ptr<const FunctionalSynthesis>>
+CompiledModel::functionalSynthesis() const
+{
+    return cache_->synthesis.get(cache_->mu, [this] {
+        return synthesizeFunctional(a_.graph,
+                                    calibrationProbe(inputShape()),
+                                    a_.options.synth);
+    });
 }
 
 const Shape &

@@ -47,6 +47,7 @@
 #ifndef FPSA_RUNTIME_COMPILED_MODEL_HH
 #define FPSA_RUNTIME_COMPILED_MODEL_HH
 
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -55,6 +56,9 @@
 
 namespace fpsa
 {
+
+class ExecutionPlan;
+struct FunctionalSynthesis;
 
 /** PnR-derived timing carried by a compiled artifact. */
 struct CompiledTiming
@@ -116,6 +120,27 @@ class CompiledModel
     /** Shape of the final node's output. */
     const Shape &outputShape() const;
 
+    // ------------------------------------------- derived, cached once
+
+    /**
+     * The model's `ExecutionPlan` (nn/plan.hh): built lazily on first
+     * use, then shared -- every planned executor (and every engine
+     * worker behind it) serves off one plan and one set of packed
+     * weight panels.  Copies of this CompiledModel share the cache.
+     */
+    StatusOr<std::shared_ptr<const ExecutionPlan>> executionPlan() const;
+
+    /**
+     * The model's functional lowering for the spiking backend,
+     * calibrated on a deterministic probe input.  Computed once per
+     * artifact and cached, so loading a model under several executors
+     * or tenants never re-runs the (expensive) calibration.
+     * `InvalidArgument` when the graph is outside the
+     * functional-synthesis family.
+     */
+    StatusOr<std::shared_ptr<const FunctionalSynthesis>>
+    functionalSynthesis() const;
+
     // ---------------------------------------------------- serialization
 
     /** The versioned JSON document (see file comment). */
@@ -131,12 +156,18 @@ class CompiledModel
     static StatusOr<CompiledModel> load(const std::string &path);
 
   private:
-    explicit CompiledModel(Artifacts artifacts)
-        : a_(std::move(artifacts))
-    {
-    }
+    struct DerivedCache; // compiled_model.cc
+
+    explicit CompiledModel(Artifacts artifacts);
 
     Artifacts a_;
+
+    /**
+     * Lazily built derived artifacts (execution plan, functional
+     * synthesis).  Held by shared_ptr so copies of an artifact share
+     * one cache; the artifacts themselves stay immutable.
+     */
+    std::shared_ptr<DerivedCache> cache_;
 };
 
 } // namespace fpsa

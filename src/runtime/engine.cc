@@ -541,13 +541,25 @@ Engine::workerLoop()
         }
         notFull_.notify_all();
 
+        // Execute the whole grab as ONE backend batch: the planned
+        // executor turns it into a single multi-column GEMM per layer,
+        // which is where the scheduler's coalescing pays off.
         const auto dequeued = Clock::now();
-        for (Request &request : batch) {
+        std::vector<const Tensor *> inputs;
+        inputs.reserve(batch.size());
+        for (const Request &request : batch)
+            inputs.push_back(&request.input);
+        const auto exec_start = Clock::now();
+        std::vector<StatusOr<Tensor>> outputs =
+            tenant->executor->runBatch(inputs);
+        const auto exec_end = Clock::now();
+        const double exec_ms = millisBetween(exec_start, exec_end);
+
+        for (std::size_t r = 0; r < batch.size(); ++r) {
+            Request &request = batch[r];
+            StatusOr<Tensor> &output = outputs[r];
             const double queue_ms =
                 millisBetween(request.enqueued, dequeued);
-            const auto exec_start = Clock::now();
-            StatusOr<Tensor> output = tenant->executor->run(request.input);
-            const auto exec_end = Clock::now();
             const bool ok = output.ok();
 
             // Ordering contract, per request: (1) telemetry, so a
@@ -573,7 +585,7 @@ Engine::workerLoop()
                 result.output = std::move(output).value();
                 result.model = tenant->name;
                 result.queueMillis = queue_ms;
-                result.execMillis = millisBetween(exec_start, exec_end);
+                result.execMillis = exec_ms;
                 result.batchSize = static_cast<int>(batch.size());
                 result.modeledLatency = tenant->modeledLatency;
                 result.modeledEnergy = tenant->modeledEnergy;

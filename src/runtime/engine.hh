@@ -84,8 +84,13 @@ struct EngineOptions
 
     int queueDepth = 256; //!< per-tenant; submit() blocks beyond this
 
-    /** Default backend for models loaded without an explicit kind. */
-    ExecutorKind executor = ExecutorKind::Reference;
+    /**
+     * Default backend for models loaded without an explicit kind.
+     * `Planned` executes each scheduler batch through one batched
+     * plan invocation (one multi-column GEMM per layer); `Reference`
+     * keeps the naive golden kernels for validation.
+     */
+    ExecutorKind executor = ExecutorKind::Planned;
 };
 
 /** One served request: the output plus its telemetry. */
@@ -96,7 +101,7 @@ struct InferenceResult
 
     // Request-path telemetry (measured).
     double queueMillis = 0.0; //!< enqueue -> dequeue wait
-    double execMillis = 0.0;  //!< backend execution wall-clock
+    double execMillis = 0.0;  //!< wall-clock of this request's batch
     int batchSize = 1;        //!< size of the batch this request rode in
 
     // Modeled hardware cost of this sample (from the compiled model).

@@ -5,23 +5,33 @@
  *
  * The engine is backend-agnostic behind the `Executor` interface:
  *
- *  - `Reference` runs the golden float kernels (`runGraph`), the "CPU
- *    fallback" ground truth.  Supports every op the graph layer knows.
- *  - `Spiking` lowers the model through the neural synthesizer once at
- *    construction and then serves requests in the PE's exact spike-count
- *    domain (encode -> core-ops -> decode, src/spike/ codec semantics).
- *    Limited to the functional-synthesis op family (MLP/LeNet); outputs
- *    are the quantized values the hardware would produce.
+ *  - `Planned` (the default) serves through a pre-compiled
+ *    `ExecutionPlan` (nn/plan.hh): liveness-allocated arena, packed
+ *    im2col/GEMM kernels, zero per-request heap allocations on the
+ *    plan itself, and a true batched path (`runBatch`) that executes a
+ *    whole engine batch as one multi-column GEMM per layer.  Supports
+ *    every op the graph layer knows.
+ *  - `Reference` runs the golden float kernels (`runGraph`), the naive
+ *    "CPU fallback" ground truth the planned path is validated
+ *    against.  Supports every op; allocates per node per request.
+ *  - `Spiking` serves requests in the PE's exact spike-count domain
+ *    (encode -> core-ops -> decode, src/spike/ codec semantics) using
+ *    the model's cached functional lowering -- the calibration runs
+ *    once per `CompiledModel`, not once per executor.  Limited to the
+ *    functional-synthesis op family (MLP/LeNet); outputs are the
+ *    quantized values the hardware would produce.
  *
- * Implementations are immutable after construction and `run()` is
- * `const` and thread-safe: one executor instance serves every engine
- * worker concurrently.
+ * Implementations are immutable after construction and `run()` /
+ * `runBatch()` are `const` and thread-safe: one executor instance
+ * serves every engine worker concurrently (mutable per-request scratch
+ * is pooled internally and reused, never shared across live calls).
  */
 
 #ifndef FPSA_RUNTIME_EXECUTOR_HH
 #define FPSA_RUNTIME_EXECUTOR_HH
 
 #include <memory>
+#include <vector>
 
 #include "common/status.hh"
 #include "runtime/compiled_model.hh"
@@ -33,13 +43,14 @@ namespace fpsa
 /** Selectable execution backend. */
 enum class ExecutorKind
 {
-    Reference, //!< golden float kernels (every op)
+    Planned,   //!< arena + im2col/GEMM execution plan (every op)
+    Reference, //!< golden naive float kernels (every op)
     Spiking,   //!< spike-count domain via functional synthesis
 };
 
 const char *executorKindName(ExecutorKind kind);
 
-/** A serving backend: maps one input sample to one output tensor. */
+/** A serving backend: maps input samples to output tensors. */
 class Executor
 {
   public:
@@ -53,6 +64,16 @@ class Executor
      * serving process).
      */
     virtual StatusOr<Tensor> run(const Tensor &input) const = 0;
+
+    /**
+     * Execute a batch; element i of the result answers `*inputs[i]`,
+     * each with its own per-request Status (one bad shape never fails
+     * its batch-mates).  The base implementation loops `run`; the
+     * planned backend overrides it with true batched kernels that are
+     * bit-identical per sample to the single-sample path.
+     */
+    virtual std::vector<StatusOr<Tensor>> runBatch(
+        const std::vector<const Tensor *> &inputs) const;
 };
 
 /**

@@ -713,47 +713,113 @@ synthesizeFunctional(const Graph &graph, const Tensor &calibration,
     return std::move(lowering.result);
 }
 
-std::vector<std::uint32_t>
-runCoreOps(const FunctionalSynthesis &synth,
-           const std::vector<std::uint32_t> &input_counts)
+CoreOpPlan::CoreOpPlan(const FunctionalSynthesis &synth)
+{
+    const auto &ops = synth.coreOps;
+    opOffset_.reserve(ops.size());
+    opSegments_.reserve(ops.size());
+    std::vector<std::int64_t> opCols(ops.size(), 0);
+    for (CoreOpId id = 0; id < static_cast<CoreOpId>(ops.size()); ++id) {
+        const CoreOp &op = ops.op(id);
+        fpsa_assert(!op.weightLevels.empty(),
+                    "core-op '%s' has no weights", op.name.c_str());
+        opOffset_.push_back(valuesSize_);
+        opCols[static_cast<std::size_t>(id)] = op.cols;
+        valuesSize_ += op.cols;
+        maxRows_ = std::max<std::int64_t>(maxRows_, op.rows);
+
+        const auto begin = static_cast<std::int32_t>(segments_.size());
+        std::int64_t gathered = 0;
+        for (const auto &in : op.inputs) {
+            Segment seg;
+            seg.length = in.length;
+            if (in.producer < 0) {
+                // External input: the request length is only known at
+                // run time; run() checks the high-water mark then.
+                seg.external = true;
+                seg.src = in.offset;
+            } else {
+                fpsa_assert(
+                    in.producer < id &&
+                        in.offset + in.length <=
+                            opCols[static_cast<std::size_t>(in.producer)],
+                    "core-op '%s' input out of range", op.name.c_str());
+                seg.src = opOffset_[static_cast<std::size_t>(
+                              in.producer)] +
+                          in.offset;
+            }
+            gathered += in.length;
+            segments_.push_back(seg);
+        }
+        if (op.offsetLevels > 0)
+            ++gathered; // the always-on offset lane appended by run()
+        fpsa_assert(gathered == op.rows,
+                    "core-op '%s' gathers %lld of %d inputs",
+                    op.name.c_str(), static_cast<long long>(gathered),
+                    op.rows);
+        opSegments_.emplace_back(
+            begin, static_cast<std::int32_t>(segments_.size()));
+    }
+
+    // Final outputs: arena offset, or ~col for external passthroughs.
+    outSrc_.reserve(synth.outputs.size());
+    for (const OutputRef &r : synth.outputs) {
+        if (r.op < 0)
+            outSrc_.push_back(~static_cast<std::int64_t>(r.col));
+        else
+            outSrc_.push_back(
+                opOffset_[static_cast<std::size_t>(r.op)] + r.col);
+    }
+}
+
+CoreOpArena
+CoreOpPlan::makeArena() const
+{
+    CoreOpArena arena;
+    arena.values.resize(static_cast<std::size_t>(valuesSize_));
+    arena.gather.resize(static_cast<std::size_t>(maxRows_));
+    return arena;
+}
+
+void
+CoreOpPlan::run(const FunctionalSynthesis &synth,
+                const std::uint32_t *input, std::size_t input_len,
+                std::uint32_t *out, CoreOpArena &arena) const
 {
     const std::uint32_t window = 1u << synth.options.ioBits;
-    std::vector<std::vector<std::uint32_t>> op_out(synth.coreOps.size());
+    arena.values.resize(static_cast<std::size_t>(valuesSize_));
+    arena.gather.resize(static_cast<std::size_t>(maxRows_));
+    std::uint32_t *values = arena.values.data();
+    std::uint32_t *x = arena.gather.data();
 
     for (CoreOpId id = 0;
          id < static_cast<CoreOpId>(synth.coreOps.size()); ++id) {
         const CoreOp &op = synth.coreOps.op(id);
-        fpsa_assert(!op.weightLevels.empty(),
-                    "core-op '%s' has no weights", op.name.c_str());
-        // Gather the input vector.
-        std::vector<std::uint32_t> x;
-        x.reserve(static_cast<std::size_t>(op.rows));
-        for (const auto &in : op.inputs) {
+        const auto [seg_begin, seg_end] =
+            opSegments_[static_cast<std::size_t>(id)];
+        std::int64_t at = 0;
+        for (std::int32_t si = seg_begin; si < seg_end; ++si) {
+            const Segment &seg = segments_[static_cast<std::size_t>(si)];
             const std::uint32_t *src;
-            std::size_t limit;
-            if (in.producer < 0) {
-                src = input_counts.data();
-                limit = input_counts.size();
+            if (seg.external) {
+                fpsa_assert(static_cast<std::size_t>(seg.src +
+                                                     seg.length) <=
+                                input_len,
+                            "core-op '%s' input out of range",
+                            op.name.c_str());
+                src = input + seg.src;
             } else {
-                const auto &prev =
-                    op_out[static_cast<std::size_t>(in.producer)];
-                src = prev.data();
-                limit = prev.size();
+                src = values + seg.src;
             }
-            fpsa_assert(static_cast<std::size_t>(in.offset + in.length) <=
-                            limit,
-                        "core-op '%s' input out of range", op.name.c_str());
-            for (int i = 0; i < in.length; ++i)
-                x.push_back(src[in.offset + i]);
+            std::copy(src, src + seg.length, x + at);
+            at += seg.length;
         }
         if (op.offsetLevels > 0)
-            x.push_back(window);
-        fpsa_assert(static_cast<int>(x.size()) == op.rows,
-                    "core-op '%s' gathered %zu of %d inputs",
-                    op.name.c_str(), x.size(), op.rows);
+            x[at++] = window;
 
         // PE count-domain semantics: floor(relu(L x) / eta), clamped.
-        std::vector<std::uint32_t> y(static_cast<std::size_t>(op.cols));
+        std::uint32_t *y =
+            values + opOffset_[static_cast<std::size_t>(id)];
         for (int c = 0; c < op.cols; ++c) {
             double acc = 0.0;
             for (int r = 0; r < op.rows; ++r)
@@ -764,29 +830,42 @@ runCoreOps(const FunctionalSynthesis &synth,
                        x[static_cast<std::size_t>(r)];
             const double scaled =
                 std::floor(std::max(acc, 0.0) / op.etaLevels);
-            y[static_cast<std::size_t>(c)] = static_cast<std::uint32_t>(
+            y[c] = static_cast<std::uint32_t>(
                 std::clamp(scaled, 0.0, static_cast<double>(window)));
         }
-        op_out[static_cast<std::size_t>(id)] = std::move(y);
     }
 
-    std::vector<std::uint32_t> out(synth.outputs.size());
-    for (std::size_t i = 0; i < synth.outputs.size(); ++i) {
-        const OutputRef &r = synth.outputs[i];
-        out[i] = r.op < 0
-                     ? input_counts[static_cast<std::size_t>(r.col)]
-                     : op_out[static_cast<std::size_t>(r.op)]
-                             [static_cast<std::size_t>(r.col)];
+    for (std::size_t i = 0; i < outSrc_.size(); ++i) {
+        const std::int64_t src = outSrc_[i];
+        if (src < 0) {
+            const auto col = static_cast<std::size_t>(~src);
+            fpsa_assert(col < input_len,
+                        "output passthrough %zu out of range", col);
+            out[i] = input[col];
+        } else {
+            out[i] = values[static_cast<std::size_t>(src)];
+        }
     }
-    return out;
 }
 
 std::vector<std::uint32_t>
-encodeInputCounts(const FunctionalSynthesis &synth, const Tensor &input)
+runCoreOps(const FunctionalSynthesis &synth,
+           const std::vector<std::uint32_t> &input_counts)
+{
+    CoreOpPlan plan(synth);
+    CoreOpArena arena = plan.makeArena();
+    std::vector<std::uint32_t> out(synth.outputs.size());
+    plan.run(synth, input_counts.data(), input_counts.size(),
+             out.data(), arena);
+    return out;
+}
+
+void
+encodeInputCounts(const FunctionalSynthesis &synth, const Tensor &input,
+                  std::vector<std::uint32_t> &counts)
 {
     const std::uint32_t window = 1u << synth.options.ioBits;
-    std::vector<std::uint32_t> counts(
-        static_cast<std::size_t>(input.numel()));
+    counts.resize(static_cast<std::size_t>(input.numel()));
     for (std::int64_t i = 0; i < input.numel(); ++i) {
         const double v =
             std::clamp(static_cast<double>(input[i]), 0.0,
@@ -795,18 +874,34 @@ encodeInputCounts(const FunctionalSynthesis &synth, const Tensor &input)
         counts[static_cast<std::size_t>(i)] =
             static_cast<std::uint32_t>(std::lround(v));
     }
+}
+
+std::vector<std::uint32_t>
+encodeInputCounts(const FunctionalSynthesis &synth, const Tensor &input)
+{
+    std::vector<std::uint32_t> counts;
+    encodeInputCounts(synth, input, counts);
     return counts;
+}
+
+void
+decodeOutputValues(const FunctionalSynthesis &synth,
+                   const std::vector<std::uint32_t> &counts,
+                   std::vector<double> &values)
+{
+    const std::uint32_t window = 1u << synth.options.ioBits;
+    values.resize(counts.size());
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        values[i] = static_cast<double>(counts[i]) / window *
+                    synth.outputScale;
 }
 
 std::vector<double>
 decodeOutputValues(const FunctionalSynthesis &synth,
                    const std::vector<std::uint32_t> &counts)
 {
-    const std::uint32_t window = 1u << synth.options.ioBits;
-    std::vector<double> values(counts.size());
-    for (std::size_t i = 0; i < counts.size(); ++i)
-        values[i] = static_cast<double>(counts[i]) / window *
-                    synth.outputScale;
+    std::vector<double> values;
+    decodeOutputValues(synth, counts, values);
     return values;
 }
 

@@ -130,10 +130,20 @@ struct FunctionalSynthesis
 std::vector<std::uint32_t> encodeInputCounts(
     const FunctionalSynthesis &synth, const Tensor &input);
 
+/** Buffer-reusing variant for serving paths (resizes `counts`). */
+void encodeInputCounts(const FunctionalSynthesis &synth,
+                       const Tensor &input,
+                       std::vector<std::uint32_t> &counts);
+
 /** Decode final counts back to real values (relu'd domain). */
 std::vector<double> decodeOutputValues(
     const FunctionalSynthesis &synth,
     const std::vector<std::uint32_t> &counts);
+
+/** Buffer-reusing variant for serving paths (resizes `values`). */
+void decodeOutputValues(const FunctionalSynthesis &synth,
+                        const std::vector<std::uint32_t> &counts,
+                        std::vector<double> &values);
 
 /**
  * Lower a CG into an executable core-op graph.  Requires materialized
@@ -157,12 +167,70 @@ StatusOr<FunctionalSynthesis> synthesizeFunctional(
  * Execute a functional synthesis in the exact count domain of the PE
  * (VMM, offset lanes, floor-divide threshold, ReLU, window clamp).
  *
+ * Convenience wrapper that builds a fresh `CoreOpPlan` and arena per
+ * call; serving paths that execute the same synthesis repeatedly
+ * should hold a plan + arena and call `CoreOpPlan::run` instead.
+ *
  * @param input_counts external input as spike counts (0..Gamma)
  * @return final output counts, one per element of outputs
  */
 std::vector<std::uint32_t> runCoreOps(
     const FunctionalSynthesis &synth,
     const std::vector<std::uint32_t> &input_counts);
+
+/**
+ * Reusable execution scratch for `CoreOpPlan::run`: every core-op's
+ * output counts live at a precomputed offset of one arena, so serving
+ * a request allocates nothing once the arena has been sized (the
+ * vectors grow on first use and are reused afterwards).
+ */
+struct CoreOpArena
+{
+    std::vector<std::uint32_t> values; //!< all op outputs, at plan offsets
+    std::vector<std::uint32_t> gather; //!< one op's assembled input vector
+};
+
+/**
+ * Precompiled schedule for executing one `FunctionalSynthesis`: input
+ * gather sources are resolved to arena offsets and validated once at
+ * build time instead of per request.  Immutable after construction and
+ * shared freely across threads; each concurrent caller brings its own
+ * `CoreOpArena`.
+ */
+class CoreOpPlan
+{
+  public:
+    /** Compile the gather/offset schedule (panics on a corrupt graph). */
+    explicit CoreOpPlan(const FunctionalSynthesis &synth);
+
+    CoreOpArena makeArena() const;
+
+    /**
+     * Count-exact execution, identical to `runCoreOps`: reads
+     * `input_len` external counts, writes `synth.outputs.size()` final
+     * counts to `out`.  `synth` must be the instance the plan was
+     * built from.
+     */
+    void run(const FunctionalSynthesis &synth,
+             const std::uint32_t *input, std::size_t input_len,
+             std::uint32_t *out, CoreOpArena &arena) const;
+
+  private:
+    /** One contiguous slice of an op's gathered input vector. */
+    struct Segment
+    {
+        std::int64_t src = 0;   //!< arena offset (or external offset)
+        std::int32_t length = 0;
+        bool external = false;  //!< read from the request input instead
+    };
+
+    std::vector<Segment> segments_;
+    std::vector<std::pair<std::int32_t, std::int32_t>> opSegments_;
+    std::vector<std::int64_t> opOffset_; //!< op outputs within values
+    std::vector<std::int64_t> outSrc_;   //!< per final element; see .cc
+    std::int64_t valuesSize_ = 0;
+    std::int64_t maxRows_ = 0;
+};
 
 } // namespace fpsa
 

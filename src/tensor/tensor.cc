@@ -92,12 +92,13 @@ Tensor::absMax() const
 }
 
 Tensor
-matVec(const Tensor &w, const Tensor &x)
+matVecFlat(const Tensor &w, const float *x, std::int64_t n)
 {
-    fpsa_assert(w.rank() == 2 && x.rank() == 1, "matVec needs [m,n] and [n]");
-    const std::int64_t m = w.dim(0), n = w.dim(1);
-    fpsa_assert(x.dim(0) == n, "matVec dim mismatch: %lld vs %lld",
-                static_cast<long long>(x.dim(0)), static_cast<long long>(n));
+    fpsa_assert(w.rank() == 2, "matVecFlat needs a [m,n] matrix");
+    const std::int64_t m = w.dim(0);
+    fpsa_assert(w.dim(1) == n, "matVecFlat dim mismatch: %lld vs %lld",
+                static_cast<long long>(n),
+                static_cast<long long>(w.dim(1)));
     Tensor y({m});
     for (std::int64_t i = 0; i < m; ++i) {
         double acc = 0.0;
@@ -106,6 +107,17 @@ matVec(const Tensor &w, const Tensor &x)
         y[i] = static_cast<float>(acc);
     }
     return y;
+}
+
+Tensor
+matVec(const Tensor &w, const Tensor &x)
+{
+    fpsa_assert(w.rank() == 2 && x.rank() == 1, "matVec needs [m,n] and [n]");
+    fpsa_assert(x.dim(0) == w.dim(1),
+                "matVec dim mismatch: %lld vs %lld",
+                static_cast<long long>(x.dim(0)),
+                static_cast<long long>(w.dim(1)));
+    return matVecFlat(w, x.data(), x.dim(0));
 }
 
 Tensor

@@ -74,6 +74,12 @@ class Tensor
 /** y = W x for a [m, n] matrix and length-n vector; returns length m. */
 Tensor matVec(const Tensor &w, const Tensor &x);
 
+/**
+ * y = W x reading x as a flat length-n view of caller memory, so a
+ * higher-rank activation multiplies without a reshape copy.
+ */
+Tensor matVecFlat(const Tensor &w, const float *x, std::int64_t n);
+
 /** C = A B for [m, k] x [k, n]. */
 Tensor matMul(const Tensor &a, const Tensor &b);
 

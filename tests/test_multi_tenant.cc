@@ -257,8 +257,13 @@ TEST(MultiTenantEngine, RoutesByNameWithDisjointBatchesAndPerTenantStats)
     ASSERT_FALSE(ambiguous.ok());
     EXPECT_EQ(ambiguous.status().code(), StatusCode::InvalidArgument);
 
-    const Tensor expect_cnn = runGraphFinal(cnn->graph(), probeInput());
-    const Tensor expect_mlp = runGraphFinal(mlp->graph(), probeInput());
+    // Ground truth through the engine's default (planned) backend:
+    // batched serving is bit-identical to single-sample execution.
+    auto direct_cnn = makeExecutor(ExecutorKind::Planned, cnn);
+    auto direct_mlp = makeExecutor(ExecutorKind::Planned, mlp);
+    ASSERT_TRUE(direct_cnn.ok() && direct_mlp.ok());
+    const Tensor expect_cnn = (*direct_cnn)->run(probeInput()).value();
+    const Tensor expect_mlp = (*direct_mlp)->run(probeInput()).value();
 
     constexpr int kPerTenant = 24;
     std::vector<std::future<StatusOr<InferenceResult>>> cnn_futures,

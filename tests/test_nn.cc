@@ -142,6 +142,37 @@ TEST(Executor, PaddedPoolingMatchesManual)
     EXPECT_FLOAT_EQ(out[0], 4.0f);
 }
 
+TEST(Executor, PaddedMaxPoolKeepsNegativeActivations)
+{
+    // Regression: MaxPool used to zero-pad, so a window touching the
+    // padding ring clamped all-negative activations to 0 instead of
+    // taking the true (negative) max.  Padding is -inf now.
+    GraphBuilder b({1, 2, 2});
+    b.maxPool(3, 2, 1);
+    Graph g = b.build();
+    Tensor x({1, 2, 2}, {-4, -2, -3, -1});
+    Tensor out = runGraphFinal(g, x);
+    EXPECT_EQ(out.shape(), (Shape{1, 1, 1}));
+    EXPECT_FLOAT_EQ(out[0], -1.0f);
+
+    // Windows that straddle the edge see only their valid taps.
+    GraphBuilder b2({1, 3, 3});
+    b2.maxPool(2, 2, 1);
+    Graph g2 = b2.build();
+    Tensor x2({1, 3, 3}, {-9, -8, -7, -6, -5, -4, -3, -2, -1});
+    Tensor out2 = runGraphFinal(g2, x2);
+    EXPECT_EQ(out2.shape(), (Shape{1, 2, 2}));
+    EXPECT_FLOAT_EQ(out2[0], -9.0f); // corner: the lone valid tap
+    EXPECT_FLOAT_EQ(out2[3], -1.0f);
+
+    // AvgPool keeps zero padding (counted by the k*k divisor).
+    GraphBuilder b3({1, 2, 2});
+    b3.avgPool(3, 2, 1);
+    Graph g3 = b3.build();
+    Tensor out3 = runGraphFinal(g3, Tensor({1, 2, 2}, {-4, -2, -3, -1}));
+    EXPECT_FLOAT_EQ(out3[0], -10.0f / 9.0f);
+}
+
 TEST(Executor, GroupedConvSplitsChannels)
 {
     GraphBuilder b({2, 1, 1});

@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Tests for the planned inference data path (nn/plan.hh): golden
+ * equivalence of the im2col/GEMM kernels against the naive reference
+ * executor across a {kernel, stride, pad, groups, odd-shape} sweep,
+ * bit-identity of batched vs single-sample execution and of
+ * back-to-back requests through one reused arena, zero-heap-allocation
+ * behaviour of the planned path, and the liveness allocator actually
+ * reusing buffers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/alloc_probe.hh"
+#include "common/rng.hh"
+#include "nn/builder.hh"
+#include "nn/execute.hh"
+#include "nn/plan.hh"
+#include "tensor/gemm.hh"
+#include "tensor/tensor.hh"
+
+namespace fpsa
+{
+namespace
+{
+
+Tensor
+randomInput(const Shape &shape, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Tensor t(shape);
+    // Mixed-sign values so maxpool padding semantics are exercised.
+    for (std::int64_t i = 0; i < t.numel(); ++i)
+        t[i] = static_cast<float>(rng.normal(0.0, 1.0));
+    return t;
+}
+
+Graph
+weighted(GraphBuilder &b, std::uint64_t seed)
+{
+    Graph g = b.build();
+    Rng rng(seed);
+    randomizeWeights(g, rng);
+    return g;
+}
+
+/** Planned output of one sample (fresh plan + context). */
+Tensor
+runPlanned(const Graph &g, const Tensor &input)
+{
+    auto plan = ExecutionPlan::build(g);
+    EXPECT_TRUE(plan.ok()) << plan.status().toString();
+    PlanContext context = plan->makeContext();
+    Tensor out(plan->outputShape());
+    plan->run(input.data(), out.data(), context);
+    return out;
+}
+
+/** Assert planned == reference within float-vs-double accumulation. */
+void
+expectGoldenEquivalent(const Graph &g, const Tensor &input)
+{
+    const Tensor reference = runGraphFinal(g, input);
+    const Tensor planned = runPlanned(g, input);
+    ASSERT_EQ(planned.shape(), reference.shape());
+    const float tol =
+        1e-4f * std::max(1.0f, reference.absMax());
+    for (std::int64_t i = 0; i < reference.numel(); ++i)
+        ASSERT_NEAR(planned[i], reference[i], tol) << "element " << i;
+}
+
+// ----------------------------------------------------- golden equivalence
+
+TEST(PlanGolden, ConvKernelStridePadSweep)
+{
+    for (int kernel : {1, 2, 3, 5}) {
+        for (int stride : {1, 2, 3}) {
+            for (int pad : {0, 1, 2}) {
+                if (pad >= kernel)
+                    continue; // all-padding windows are degenerate
+                GraphBuilder b({3, 11, 9}); // odd, rectangular
+                b.conv(6, kernel, stride, pad).relu();
+                Graph g = weighted(
+                    b, 1000u + static_cast<std::uint64_t>(
+                                   kernel * 100 + stride * 10 + pad));
+                expectGoldenEquivalent(g, randomInput({3, 11, 9}, 5));
+            }
+        }
+    }
+}
+
+TEST(PlanGolden, KernelWiderThanPaddedInput)
+{
+    // Regression: when a kernel tap can never land in range
+    // (kernel > width + pad) with stride >= 2, the im2col valid-range
+    // arithmetic used to truncate a negative bound toward zero and
+    // read one element past the row instead of writing padding.
+    GraphBuilder b({1, 2, 2});
+    b.conv(2, 5, 2, 2);
+    Graph g = weighted(b, 71);
+    expectGoldenEquivalent(g, randomInput({1, 2, 2}, 72));
+
+    GraphBuilder b2({3, 6, 3});
+    b2.conv(4, 5, 2, 2).relu();
+    Graph g2 = weighted(b2, 73);
+    expectGoldenEquivalent(g2, randomInput({3, 6, 3}, 74));
+}
+
+TEST(PlanGolden, GroupedConvSweep)
+{
+    for (int groups : {1, 2, 4}) {
+        for (int kernel : {1, 3}) {
+            GraphBuilder b({8, 10, 7});
+            b.conv(12, kernel, 1, kernel / 2, groups).relu();
+            Graph g = weighted(
+                b, 2000u + static_cast<std::uint64_t>(groups * 10 +
+                                                      kernel));
+            expectGoldenEquivalent(g, randomInput({8, 10, 7}, 11));
+        }
+    }
+}
+
+TEST(PlanGolden, PoolingSweepIncludingPaddedWindows)
+{
+    for (bool average : {false, true}) {
+        for (int kernel : {2, 3}) {
+            for (int stride : {1, 2}) {
+                for (int pad : {0, 1}) {
+                    GraphBuilder b({2, 9, 7});
+                    if (average)
+                        b.avgPool(kernel, stride, pad);
+                    else
+                        b.maxPool(kernel, stride, pad);
+                    Graph g = b.build();
+                    expectGoldenEquivalent(
+                        g, randomInput({2, 9, 7}, 21));
+                }
+            }
+        }
+    }
+}
+
+TEST(PlanGolden, LeNetStyleStack)
+{
+    GraphBuilder b({1, 28, 28});
+    b.conv(6, 5, 1, 0).relu().maxPool(2, 2);
+    b.conv(16, 5, 1, 0).relu().maxPool(2, 2);
+    b.flatten().fc(120).relu().fc(84).relu().fc(10);
+    Graph g = weighted(b, 3);
+    expectGoldenEquivalent(g, randomInput({1, 28, 28}, 31));
+}
+
+TEST(PlanGolden, BranchyGraphWithConcatAddAndGlobalPool)
+{
+    GraphBuilder b({4, 12, 12});
+    const NodeId in = b.tip();
+    const NodeId left = b.at(in).conv(6, 1, 1, 0).relu().tip();
+    const NodeId right = b.at(in).conv(6, 3, 1, 1).relu().tip();
+    b.concat({left, right});
+    const NodeId trunk = b.tip();
+    b.conv(12, 3, 1, 1).batchNorm();
+    b.add({trunk}).relu();
+    b.globalAvgPool().fc(5);
+    Graph g = weighted(b, 4);
+    expectGoldenEquivalent(g, randomInput({4, 12, 12}, 41));
+}
+
+TEST(PlanGolden, AvgPoolAndStridedGroupedStack)
+{
+    GraphBuilder b({6, 13, 13});
+    b.conv(12, 3, 2, 1, 2).relu().avgPool(2, 2, 1);
+    b.conv(8, 1, 1, 0).relu().flatten().fc(7);
+    Graph g = weighted(b, 6);
+    expectGoldenEquivalent(g, randomInput({6, 13, 13}, 61));
+}
+
+// -------------------------------------------- batched / arena bit-identity
+
+TEST(PlanBatch, BatchedExecutionIsBitIdenticalToSingle)
+{
+    GraphBuilder b({2, 14, 14});
+    b.conv(8, 3, 1, 1).relu().maxPool(2, 2);
+    b.conv(12, 3, 2, 1, 2).relu().flatten().fc(20).relu().fc(6);
+    Graph g = weighted(b, 8);
+    auto plan = ExecutionPlan::build(g);
+    ASSERT_TRUE(plan.ok()) << plan.status().toString();
+
+    constexpr int kBatch = 5;
+    std::vector<Tensor> inputs;
+    std::vector<Tensor> singles;
+    for (int i = 0; i < kBatch; ++i)
+        inputs.push_back(randomInput(
+            {2, 14, 14}, 100u + static_cast<std::uint64_t>(i)));
+
+    PlanContext single_ctx = plan->makeContext();
+    for (int i = 0; i < kBatch; ++i) {
+        Tensor out(plan->outputShape());
+        plan->run(inputs[static_cast<std::size_t>(i)].data(),
+                  out.data(), single_ctx);
+        singles.push_back(std::move(out));
+    }
+
+    std::vector<const float *> in_ptrs;
+    std::vector<Tensor> batched(static_cast<std::size_t>(kBatch),
+                                Tensor(plan->outputShape()));
+    std::vector<float *> out_ptrs;
+    for (int i = 0; i < kBatch; ++i) {
+        in_ptrs.push_back(inputs[static_cast<std::size_t>(i)].data());
+        out_ptrs.push_back(batched[static_cast<std::size_t>(i)].data());
+    }
+    PlanContext batch_ctx = plan->makeContext(kBatch);
+    plan->runBatch(in_ptrs.data(), out_ptrs.data(), kBatch, batch_ctx);
+
+    for (int i = 0; i < kBatch; ++i) {
+        for (std::int64_t v = 0;
+             v < singles[static_cast<std::size_t>(i)].numel(); ++v) {
+            ASSERT_EQ(batched[static_cast<std::size_t>(i)][v],
+                      singles[static_cast<std::size_t>(i)][v])
+                << "sample " << i << " element " << v;
+        }
+    }
+}
+
+TEST(PlanArena, BackToBackRequestsThroughOnePlanAreBitIdentical)
+{
+    GraphBuilder b({3, 10, 10});
+    b.conv(8, 3, 1, 1).relu().maxPool(2, 2).flatten().fc(12);
+    Graph g = weighted(b, 9);
+    auto plan = ExecutionPlan::build(g);
+    ASSERT_TRUE(plan.ok());
+
+    const Tensor input = randomInput({3, 10, 10}, 77);
+    PlanContext context = plan->makeContext();
+    Tensor first(plan->outputShape()), second(plan->outputShape());
+    plan->run(input.data(), first.data(), context);
+    // Disturb the arena with a different request, then repeat the
+    // first: a stale-state or liveness bug would surface here.
+    Tensor other(plan->outputShape());
+    plan->run(randomInput({3, 10, 10}, 78).data(), other.data(),
+              context);
+    plan->run(input.data(), second.data(), context);
+    for (std::int64_t i = 0; i < first.numel(); ++i)
+        ASSERT_EQ(first[i], second[i]) << "element " << i;
+}
+
+TEST(PlanArena, PlannedRequestPerformsZeroHeapAllocations)
+{
+    GraphBuilder b({2, 12, 12});
+    b.conv(6, 3, 1, 1).relu().maxPool(2, 2, 1);
+    b.conv(8, 3, 2, 1, 2).relu().flatten().fc(16).relu().fc(4);
+    Graph g = weighted(b, 12);
+    auto plan = ExecutionPlan::build(g);
+    ASSERT_TRUE(plan.ok());
+
+    const Tensor input = randomInput({2, 12, 12}, 99);
+    Tensor out(plan->outputShape());
+    PlanContext context = plan->makeContext(4);
+    // Warm-up sizes the context buffers once.
+    plan->run(input.data(), out.data(), context);
+
+    alloc_probe::arm();
+    plan->run(input.data(), out.data(), context);
+    EXPECT_EQ(alloc_probe::disarm(), 0)
+        << "the planned path must not allocate per request";
+
+    // The batched path is allocation-free too once the context has
+    // served that width.
+    std::vector<const float *> in_ptrs(4, input.data());
+    std::vector<Tensor> outs(4, Tensor(plan->outputShape()));
+    std::vector<float *> out_ptrs;
+    for (Tensor &t : outs)
+        out_ptrs.push_back(t.data());
+    plan->runBatch(in_ptrs.data(), out_ptrs.data(), 4, context);
+    alloc_probe::arm();
+    plan->runBatch(in_ptrs.data(), out_ptrs.data(), 4, context);
+    EXPECT_EQ(alloc_probe::disarm(), 0)
+        << "the batched planned path must not allocate per request";
+}
+
+TEST(PlanArena, LivenessReusesBuffersAndAliasesReshapes)
+{
+    // A deep chain where every activation has a short life: the arena
+    // must be much smaller than the sum of all node activations.
+    GraphBuilder b({4, 16, 16});
+    for (int i = 0; i < 6; ++i)
+        b.conv(4, 3, 1, 1).relu();
+    b.flatten().fc(10);
+    Graph g = weighted(b, 13);
+
+    std::int64_t total = 0;
+    for (const GraphNode &n : g.nodes())
+        total += shapeNumel(n.outShape);
+
+    auto plan = ExecutionPlan::build(g);
+    ASSERT_TRUE(plan.ok());
+    EXPECT_LT(plan->arenaFloatsPerSample(), total / 2)
+        << "liveness allocation should reuse expired buffers";
+    // Flatten aliases its producer: it must not add its own numel on
+    // top of the three live buffers a conv chain needs.
+    EXPECT_GE(plan->arenaFloatsPerSample(), 4 * 16 * 16 * 2);
+}
+
+TEST(PlanBuild, RejectsGraphsWithoutWeights)
+{
+    GraphBuilder b({1, 8, 8});
+    b.conv(4, 3, 1, 0).relu().flatten().fc(10);
+    Graph g = b.build(); // no randomizeWeights
+    auto plan = ExecutionPlan::build(g);
+    ASSERT_FALSE(plan.ok());
+    EXPECT_EQ(plan.status().code(), StatusCode::InvalidArgument);
+}
+
+// ----------------------------------------------------------- gemm kernels
+
+TEST(Gemm, MatchesNaiveTripleLoop)
+{
+    Rng rng(55);
+    const std::int64_t m = 9, k = 300, n = 17;
+    std::vector<float> a(static_cast<std::size_t>(m * k));
+    std::vector<float> bm(static_cast<std::size_t>(k * n));
+    for (float &v : a)
+        v = static_cast<float>(rng.normal(0.0, 1.0));
+    for (float &v : bm)
+        v = static_cast<float>(rng.normal(0.0, 1.0));
+    std::vector<float> c(static_cast<std::size_t>(m * n));
+    gemmRowMajor(a.data(), bm.data(), c.data(), m, k, n);
+    for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (std::int64_t p = 0; p < k; ++p)
+                acc += static_cast<double>(
+                           a[static_cast<std::size_t>(i * k + p)]) *
+                       bm[static_cast<std::size_t>(p * n + j)];
+            ASSERT_NEAR(c[static_cast<std::size_t>(i * n + j)], acc,
+                        1e-3)
+                << i << "," << j;
+        }
+    }
+}
+
+TEST(Gemm, ColumnResultsIndependentOfWidth)
+{
+    // The determinism contract: a column's result does not depend on
+    // how many columns ride in the call (the batched path relies on
+    // bit-identity here).
+    Rng rng(66);
+    const std::int64_t m = 5, k = 700, n = 13;
+    std::vector<float> a(static_cast<std::size_t>(m * k));
+    std::vector<float> bm(static_cast<std::size_t>(k * n));
+    for (float &v : a)
+        v = static_cast<float>(rng.normal(0.0, 1.0));
+    for (float &v : bm)
+        v = static_cast<float>(rng.normal(0.0, 1.0));
+    std::vector<float> wide(static_cast<std::size_t>(m * n));
+    gemmRowMajor(a.data(), bm.data(), wide.data(), m, k, n);
+    // One column at a time, reading the same strided B.
+    for (std::int64_t j = 0; j < n; ++j) {
+        std::vector<float> narrow(static_cast<std::size_t>(m));
+        gemmRowMajor(a.data(), k, bm.data() + j, n, narrow.data(), 1,
+                     m, k, 1);
+        for (std::int64_t i = 0; i < m; ++i)
+            ASSERT_EQ(narrow[static_cast<std::size_t>(i)],
+                      wide[static_cast<std::size_t>(i * n + j)])
+                << i << "," << j;
+    }
+}
+
+TEST(Im2col, ResolvesPaddingAtPackTime)
+{
+    // 1 channel 3x3 image, 3x3 kernel, pad 1: the center column (output
+    // position 1,1) is the whole image; corners carry pad zeros.
+    std::vector<float> img{1, 2, 3, 4, 5, 6, 7, 8, 9};
+    std::vector<float> cols(9 * 9, -1.0f);
+    im2colChw(img.data(), 1, 3, 3, 3, 3, 1, 1, 3, 3, cols.data(), 9);
+    // Row of tap (ky=1, kx=1) (the center tap) is the image itself.
+    for (int i = 0; i < 9; ++i)
+        EXPECT_EQ(cols[static_cast<std::size_t>(4 * 9 + i)],
+                  img[static_cast<std::size_t>(i)]);
+    // Tap (0,0) at output (0,0) reads the padded corner.
+    EXPECT_EQ(cols[0], 0.0f);
+    // Tap (0,0) at output (2,2) reads image (1,1) = 5.
+    EXPECT_EQ(cols[8], 5.0f);
+}
+
+} // namespace
+} // namespace fpsa

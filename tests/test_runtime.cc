@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <future>
@@ -68,6 +69,21 @@ expectBitIdentical(const Tensor &a, const Tensor &b)
     ASSERT_EQ(a.shape(), b.shape());
     for (std::int64_t i = 0; i < a.numel(); ++i)
         ASSERT_EQ(a[i], b[i]) << "element " << i;
+}
+
+/**
+ * Single-sample output of the engine's default (planned) backend: the
+ * ground truth engine results must match bit-for-bit, batched or not.
+ */
+Tensor
+plannedGroundTruth(const std::shared_ptr<const CompiledModel> &model,
+                   const Tensor &input)
+{
+    auto executor = makeExecutor(ExecutorKind::Planned, model);
+    EXPECT_TRUE(executor.ok()) << executor.status().toString();
+    auto out = (*executor)->run(input);
+    EXPECT_TRUE(out.ok()) << out.status().toString();
+    return std::move(out).value();
 }
 
 // ------------------------------------------------------------ JSON parser
@@ -274,11 +290,19 @@ TEST(Engine, InferMatchesDirectExecutionAndCarriesModeledCost)
     auto engine = Engine::create(model, EngineOptions{});
     ASSERT_TRUE(engine.ok()) << engine.status().toString();
 
-    const Tensor expected =
-        runGraphFinal(model->graph(), probeInput());
+    const Tensor expected = plannedGroundTruth(model, probeInput());
     auto result = (*engine)->infer(probeInput());
     ASSERT_TRUE(result.ok()) << result.status().toString();
     expectBitIdentical(result->output, expected);
+
+    // And the planned backend agrees with the golden reference
+    // kernels within float-vs-double accumulation noise.
+    const Tensor reference = runGraphFinal(model->graph(), probeInput());
+    for (std::int64_t i = 0; i < reference.numel(); ++i) {
+        EXPECT_NEAR(result->output[i], reference[i],
+                    1e-4 * std::max(1.0f, reference.absMax()))
+            << "element " << i;
+    }
     EXPECT_EQ(result->modeledLatency, model->performance().latency);
     EXPECT_EQ(result->modeledEnergy, model->energy().perSample());
     EXPECT_GE(result->batchSize, 1);
@@ -297,11 +321,13 @@ TEST(Engine, ConcurrentSubmitsMatchSequentialInference)
     constexpr int kThreads = 4;
     constexpr int kPerThread = 12;
 
-    // Sequential ground truth, one worker, no batching.
+    // Sequential single-sample ground truth: the engine coalesces
+    // these into batches, and the planned batch path is bit-identical
+    // per sample to single-sample execution.
     std::vector<Tensor> expected;
     for (int i = 0; i < kThreads * kPerThread; ++i) {
-        expected.push_back(runGraphFinal(
-            model->graph(),
+        expected.push_back(plannedGroundTruth(
+            model,
             probeInput(static_cast<float>(i % 5) * 0.3f + 0.1f)));
     }
 
@@ -392,6 +418,43 @@ TEST(Engine, ShutdownDrainsQueuedRequestsAndRejectsNewOnes)
     // Idempotent: a second shutdown (and the destructor) are no-ops
     // that return the same drain status.
     EXPECT_TRUE((*engine)->shutdown().ok());
+}
+
+TEST(CompiledModel, DerivedArtifactsAreBuiltOnceAndShared)
+{
+    // The functional lowering (calibration) and the execution plan are
+    // cached per artifact: executors, tenants and copies of the model
+    // all share one instance instead of re-deriving per construction.
+    auto model = std::make_shared<CompiledModel>(compileSmallCnn());
+    auto synth_a = model->functionalSynthesis();
+    auto synth_b = model->functionalSynthesis();
+    ASSERT_TRUE(synth_a.ok() && synth_b.ok());
+    EXPECT_EQ(synth_a->get(), synth_b->get());
+
+    auto plan_a = model->executionPlan();
+    ASSERT_TRUE(plan_a.ok());
+    EXPECT_EQ(plan_a->get(), model->executionPlan()->get());
+
+    // A copy of the model shares the same cache.
+    CompiledModel copy(*model);
+    auto synth_c = copy.functionalSynthesis();
+    ASSERT_TRUE(synth_c.ok());
+    EXPECT_EQ(synth_a->get(), synth_c->get());
+
+    // And the failure is cached as data too: an unservable graph keeps
+    // returning InvalidArgument without recalibrating.
+    GraphBuilder b({1, 8, 8});
+    b.conv(2, 3, 1, 0).relu().avgPool(2, 2).flatten().fc(4);
+    Graph g = b.build();
+    Rng rng(5);
+    randomizeWeights(g, rng);
+    Pipeline p(g);
+    auto unservable = p.compile();
+    ASSERT_TRUE(unservable.ok());
+    CompiledModel outside = std::move(unservable).value();
+    EXPECT_FALSE(outside.functionalSynthesis().ok());
+    EXPECT_EQ(outside.functionalSynthesis().status().code(),
+              StatusCode::InvalidArgument);
 }
 
 TEST(Engine, SpikingBackendServesQuantizedOutputs)

@@ -126,7 +126,35 @@ def serving_metrics(records):
     return out
 
 
-EXTRACTORS = {"pnr": pnr_metrics, "serving": serving_metrics}
+def infer_metrics(records):
+    """inference_throughput: gated planned-vs-reference speedups and
+    the zero-allocations-per-request invariant; batched ratios and
+    absolute latencies are info (machine-bound)."""
+    summary = next(
+        (r for r in records if r.get("kind") == "summary"), None)
+    if summary is None:
+        raise SystemExit("infer: no summary line in input")
+    out = [
+        metric("largestModelSpeedup", summary["largestModelSpeedup"],
+               "higher", timing=True),
+        # Deterministic invariant: any allocation on the planned path
+        # regresses against a baseline of 0 regardless of threshold.
+        metric("allocsPerRequest", summary["allocsPerRequest"],
+               "lower"),
+    ]
+    for r in records:
+        if r.get("kind") == "model":
+            out.append(metric(f"speedup_{r['model']}", r["speedup"],
+                              "higher", timing=True))
+            out.append(metric(f"batchSpeedup_{r['model']}",
+                              r["batchSpeedup"], "info"))
+            out.append(metric(f"plannedMillis_{r['model']}",
+                              r["plannedMillis"], "info"))
+    return out
+
+
+EXTRACTORS = {"pnr": pnr_metrics, "serving": serving_metrics,
+              "infer": infer_metrics}
 
 
 def envelope(paths, commit, timestamp, relax):
