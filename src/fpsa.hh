@@ -58,6 +58,10 @@
 #include "pnr/pnr_flow.hh"
 #include "reram/crossbar.hh"
 #include "reram/weight_mapping.hh"
+#include "runtime/cluster/autoscaler.hh"
+#include "runtime/cluster/chip_fleet.hh"
+#include "runtime/cluster/cluster_engine.hh"
+#include "runtime/cluster/placement.hh"
 #include "runtime/compiled_model.hh"
 #include "runtime/engine.hh"
 #include "runtime/executor.hh"

@@ -1,0 +1,131 @@
+#include "runtime/cluster/autoscaler.hh"
+
+#include <algorithm>
+#include <chrono>
+
+namespace fpsa
+{
+
+Autoscaler::Autoscaler(ClusterEngine &cluster, AutoscalerOptions options)
+    : cluster_(cluster), options_(options)
+{
+}
+
+Autoscaler::~Autoscaler()
+{
+    stop();
+}
+
+void
+Autoscaler::start()
+{
+    std::lock_guard<std::mutex> lock(loopMu_);
+    if (loop_.joinable())
+        return;
+    stopRequested_ = false;
+    loop_ = std::thread([this] {
+        std::unique_lock<std::mutex> lock(loopMu_);
+        while (!stopRequested_) {
+            lock.unlock();
+            evaluateOnce();
+            lock.lock();
+            stopCv_.wait_for(
+                lock,
+                std::chrono::duration<double, std::milli>(
+                    options_.intervalMillis),
+                [this] { return stopRequested_; });
+        }
+    });
+}
+
+void
+Autoscaler::stop()
+{
+    std::thread joinable;
+    {
+        std::lock_guard<std::mutex> lock(loopMu_);
+        stopRequested_ = true;
+        stopCv_.notify_all();
+        joinable = std::move(loop_);
+    }
+    if (joinable.joinable())
+        joinable.join();
+}
+
+std::vector<Autoscaler::Event>
+Autoscaler::evaluateOnce()
+{
+    // Serialized against itself (background loop vs direct calls);
+    // scaling actions go through the cluster's own op serialization.
+    std::lock_guard<std::mutex> lock(mu_);
+    const int fleet_size = static_cast<int>(cluster_.fleet().size());
+    const int max_replicas = options_.maxReplicas > 0
+                                 ? std::min(options_.maxReplicas,
+                                            fleet_size)
+                                 : fleet_size;
+
+    std::vector<Event> decisions;
+    for (const std::string &name : cluster_.modelNames()) {
+        auto load = cluster_.tenantLoad(name);
+        if (!load.ok())
+            continue; // unloaded between listing and observation
+        Streak &streak = streaks_[name];
+
+        const bool hot =
+            load->pendingPerReplica >
+                options_.scaleUpPendingPerReplica ||
+            (options_.scaleUpP99Millis > 0.0 &&
+             load->p99QueueMillis > options_.scaleUpP99Millis);
+        const bool idle = load->pendingPerReplica <
+                          options_.scaleDownPendingPerReplica;
+        streak.hot = hot ? streak.hot + 1 : 0;
+        streak.idle = idle ? streak.idle + 1 : 0;
+
+        int target = load->replicas;
+        std::string reason;
+        if (streak.hot >= options_.scaleUpAfter &&
+            load->replicas < max_replicas) {
+            target = load->replicas + 1;
+            reason = "pending/replica " +
+                     std::to_string(load->pendingPerReplica) +
+                     ", p99 " +
+                     std::to_string(load->p99QueueMillis) + "ms";
+        } else if (streak.idle >= options_.scaleDownAfter &&
+                   load->replicas > options_.minReplicas) {
+            target = load->replicas - 1;
+            reason = "pending/replica " +
+                     std::to_string(load->pendingPerReplica) +
+                     " below scale-down threshold";
+        }
+        if (target == load->replicas)
+            continue;
+
+        Event event;
+        event.model = name;
+        event.fromReplicas = load->replicas;
+        Status applied = cluster_.setReplicas(name, target);
+        if (applied.ok()) {
+            event.toReplicas = target;
+            event.reason = std::move(reason);
+            streak.hot = 0;
+            streak.idle = 0;
+        } else {
+            // Rejected (typically placement Infeasible on a full
+            // fleet): record why and retry on later evaluations.
+            event.toReplicas = load->replicas;
+            event.reason = applied.toString();
+        }
+        history_.push_back(event);
+        decisions.push_back(std::move(event));
+    }
+    return decisions;
+}
+
+std::vector<Autoscaler::Event>
+Autoscaler::history() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return history_;
+}
+
+} // namespace fpsa

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * `fpsa::Autoscaler`: an SLO-driven control loop that scales cluster
+ * tenants' replica counts with observed load.
+ *
+ * The autoscaler watches each tenant's `ClusterEngine::tenantLoad()`
+ * -- outstanding requests per replica and the p99 queue-wait tail --
+ * and converges the replica count toward the load:
+ *
+ *  - Scale UP when the per-replica backlog exceeds
+ *    `scaleUpPendingPerReplica`, or (when a tail SLO is configured)
+ *    the tenant's p99 queue wait exceeds `scaleUpP99Millis`, for
+ *    `scaleUpAfter` consecutive evaluations.  A new replica is placed
+ *    by the cluster's placement policy; if the fleet has no room, the
+ *    decision is recorded (reason = the per-chip Infeasible
+ *    breakdown) and retried on later evaluations.
+ *  - Scale DOWN when the per-replica backlog stays below
+ *    `scaleDownPendingPerReplica` for `scaleDownAfter` consecutive
+ *    evaluations (hysteresis, so a momentary lull does not thrash).
+ *    Shrinking uses the hot-swap drain: the retired replica stops
+ *    receiving requests, finishes everything it accepted, and only
+ *    then releases its chip budget -- no request is ever dropped by a
+ *    scaling event.
+ *
+ * `evaluateOnce()` runs one synchronous control step -- determinism
+ * for tests and benches; `start()` runs the same step on a background
+ * thread every `intervalMillis`.  Every decision (including rejected
+ * ones) lands in `history()`.
+ */
+
+#ifndef FPSA_RUNTIME_CLUSTER_AUTOSCALER_HH
+#define FPSA_RUNTIME_CLUSTER_AUTOSCALER_HH
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/cluster/cluster_engine.hh"
+
+namespace fpsa
+{
+
+/** Autoscaler thresholds and pacing. */
+struct AutoscalerOptions
+{
+    int minReplicas = 1;
+
+    /** Upper bound per tenant; 0 means "the fleet size". */
+    int maxReplicas = 0;
+
+    /** Queued+inflight per replica that triggers growth. */
+    double scaleUpPendingPerReplica = 8.0;
+
+    /** p99 queue-wait SLO in ms that triggers growth; 0 disables. */
+    double scaleUpP99Millis = 0.0;
+
+    /** Per-replica backlog under which a replica is surplus. */
+    double scaleDownPendingPerReplica = 1.0;
+
+    int scaleUpAfter = 1;   //!< consecutive hot evaluations to grow
+    int scaleDownAfter = 3; //!< consecutive idle evaluations to shrink
+
+    double intervalMillis = 20.0; //!< background loop period
+};
+
+/** The replica-scaling control loop over a `ClusterEngine`. */
+class Autoscaler
+{
+  public:
+    /** One scaling decision (applied or rejected). */
+    struct Event
+    {
+        std::string model;
+        int fromReplicas = 0;
+        int toReplicas = 0; //!< == fromReplicas when rejected
+        std::string reason; //!< trigger, or the rejection Status
+    };
+
+    /** `cluster` must outlive the autoscaler. */
+    Autoscaler(ClusterEngine &cluster, AutoscalerOptions options = {});
+
+    ~Autoscaler();
+
+    Autoscaler(const Autoscaler &) = delete;
+    Autoscaler &operator=(const Autoscaler &) = delete;
+
+    /** Start the background control loop (idempotent). */
+    void start();
+
+    /** Stop and join the background loop (idempotent). */
+    void stop();
+
+    /**
+     * One synchronous control step over every tenant; returns the
+     * decisions it made this step.  Also the body of the background
+     * loop -- tests and benches call it directly for determinism.
+     */
+    std::vector<Event> evaluateOnce();
+
+    /** Every decision so far, oldest first. */
+    std::vector<Event> history() const;
+
+    const AutoscalerOptions &options() const { return options_; }
+
+  private:
+    /** Consecutive over/under-threshold observations per tenant. */
+    struct Streak
+    {
+        int hot = 0;
+        int idle = 0;
+    };
+
+    ClusterEngine &cluster_;
+    const AutoscalerOptions options_;
+
+    mutable std::mutex mu_; //!< guards streaks_, history_, evaluation
+    std::map<std::string, Streak> streaks_;
+    std::vector<Event> history_;
+
+    std::mutex loopMu_; //!< guards the loop thread + stop flag
+    std::condition_variable stopCv_;
+    bool stopRequested_ = false;
+    std::thread loop_;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_RUNTIME_CLUSTER_AUTOSCALER_HH

@@ -1,0 +1,118 @@
+#include "runtime/cluster/chip_fleet.hh"
+
+#include <set>
+#include <utility>
+
+#include "common/json.hh"
+
+namespace fpsa
+{
+
+StatusOr<std::unique_ptr<ChipFleet>>
+ChipFleet::create(std::vector<ChipSpec> specs,
+                  EngineOptions engineOptions)
+{
+    if (specs.empty()) {
+        return Status::error(StatusCode::InvalidArgument,
+                             "fleet: at least one chip is required");
+    }
+    std::set<std::string> ids;
+    for (const ChipSpec &spec : specs) {
+        if (spec.id.empty()) {
+            return Status::error(StatusCode::InvalidArgument,
+                                 "fleet: chip ids must be non-empty");
+        }
+        if (!ids.insert(spec.id).second) {
+            return Status::error(StatusCode::InvalidArgument,
+                                 "fleet: duplicate chip id '" +
+                                     spec.id + "'");
+        }
+    }
+
+    std::vector<Chip> chips;
+    chips.reserve(specs.size());
+    for (ChipSpec &spec : specs) {
+        EngineOptions options = engineOptions;
+        options.chipId = spec.id;
+        auto engine = Engine::create(spec.capacity, options);
+        if (!engine.ok())
+            return engine.status();
+        chips.push_back(Chip{std::move(spec.id), spec.capacity,
+                             std::move(engine).value()});
+    }
+    return std::unique_ptr<ChipFleet>(new ChipFleet(std::move(chips)));
+}
+
+ChipFleet::ChipFleet(std::vector<Chip> chips) : chips_(std::move(chips))
+{
+}
+
+const std::string &
+ChipFleet::id(std::size_t chip) const
+{
+    return chips_.at(chip).id;
+}
+
+Engine &
+ChipFleet::engine(std::size_t chip)
+{
+    return *chips_.at(chip).engine;
+}
+
+const Engine &
+ChipFleet::engine(std::size_t chip) const
+{
+    return *chips_.at(chip).engine;
+}
+
+StatusOr<std::size_t>
+ChipFleet::indexOf(const std::string &chipId) const
+{
+    for (std::size_t i = 0; i < chips_.size(); ++i) {
+        if (chips_[i].id == chipId)
+            return i;
+    }
+    return Status::error(StatusCode::InvalidArgument,
+                         "fleet: no chip named '" + chipId + "'");
+}
+
+std::vector<ChipLoadView>
+ChipFleet::loadViews() const
+{
+    std::vector<ChipLoadView> views;
+    views.reserve(chips_.size());
+    for (const Chip &chip : chips_) {
+        ChipLoadView view;
+        view.id = chip.id;
+        view.capacity = chip.capacity;
+        view.resident = chip.engine->registry().residentDemand();
+        view.models = chip.engine->registry().names();
+        views.push_back(std::move(view));
+    }
+    return views;
+}
+
+Status
+ChipFleet::shutdown()
+{
+    Status first;
+    for (const Chip &chip : chips_) {
+        Status s = chip.engine->shutdown();
+        if (!s.ok() && first.ok())
+            first = s;
+    }
+    return first;
+}
+
+std::string
+ChipFleet::utilizationJson() const
+{
+    JsonWriter j;
+    j.beginArray();
+    for (const Chip &chip : chips_)
+        j.raw(chip.engine->registry().utilizationJson());
+    j.endArray();
+    return j.str();
+}
+
+} // namespace fpsa

@@ -1,0 +1,467 @@
+#include "runtime/cluster/cluster_engine.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "common/json.hh"
+
+namespace fpsa
+{
+
+namespace
+{
+
+std::future<StatusOr<InferenceResult>>
+readyFuture(StatusOr<InferenceResult> value)
+{
+    std::promise<StatusOr<InferenceResult>> promise;
+    auto future = promise.get_future();
+    promise.set_value(std::move(value));
+    return future;
+}
+
+/**
+ * Conservative cross-replica merge: counters and service rates sum,
+ * queue-wait percentiles take the worst replica (a tail gate must not
+ * be diluted by an idle replica), batch histograms add elementwise.
+ */
+void
+mergeStats(EngineStats &into, const EngineStats &s)
+{
+    into.submitted += s.submitted;
+    into.completed += s.completed;
+    into.failed += s.failed;
+    into.rejected += s.rejected;
+    into.batches += s.batches;
+    into.throughput += s.throughput;
+    into.wallSeconds = std::max(into.wallSeconds, s.wallSeconds);
+    into.p50QueueMillis = std::max(into.p50QueueMillis, s.p50QueueMillis);
+    into.p95QueueMillis = std::max(into.p95QueueMillis, s.p95QueueMillis);
+    into.p99QueueMillis = std::max(into.p99QueueMillis, s.p99QueueMillis);
+    into.maxQueueMillis = std::max(into.maxQueueMillis, s.maxQueueMillis);
+    into.modeledLatency = std::max(into.modeledLatency, s.modeledLatency);
+    into.modeledEnergyPerSample = std::max(into.modeledEnergyPerSample,
+                                           s.modeledEnergyPerSample);
+    if (into.batchSizeCounts.size() < s.batchSizeCounts.size())
+        into.batchSizeCounts.resize(s.batchSizeCounts.size(), 0);
+    for (std::size_t i = 0; i < s.batchSizeCounts.size(); ++i)
+        into.batchSizeCounts[i] += s.batchSizeCounts[i];
+    if (into.batches > 0) {
+        std::int64_t coalesced = 0;
+        for (std::size_t n = 0; n < into.batchSizeCounts.size(); ++n)
+            coalesced +=
+                static_cast<std::int64_t>(n) * into.batchSizeCounts[n];
+        into.avgBatchSize = static_cast<double>(coalesced) /
+                            static_cast<double>(into.batches);
+    }
+}
+
+} // namespace
+
+StatusOr<std::unique_ptr<ClusterEngine>>
+ClusterEngine::create(std::vector<ChipSpec> chips, ClusterOptions options)
+{
+    std::unique_ptr<PlacementPolicy> policy =
+        makePlacementPolicy(options.placement);
+    if (!policy) {
+        return Status::error(StatusCode::InvalidArgument,
+                             "cluster: unknown placement policy");
+    }
+    auto fleet = ChipFleet::create(std::move(chips), options.engine);
+    if (!fleet.ok())
+        return fleet.status();
+    return std::unique_ptr<ClusterEngine>(
+        new ClusterEngine(std::move(fleet).value(), std::move(policy),
+                          options));
+}
+
+ClusterEngine::ClusterEngine(std::unique_ptr<ChipFleet> fleet,
+                             std::unique_ptr<PlacementPolicy> policy,
+                             ClusterOptions options)
+    : options_(std::move(options)), policy_(std::move(policy)),
+      fleet_(std::move(fleet))
+{
+}
+
+ClusterEngine::~ClusterEngine()
+{
+    shutdown();
+}
+
+// ----------------------------------------------------------------- tenants
+
+Status
+ClusterEngine::loadModel(const std::string &name,
+                         std::shared_ptr<const CompiledModel> model,
+                         int replicas)
+{
+    return loadModel(name, std::move(model), replicas, TenantOptions{});
+}
+
+Status
+ClusterEngine::loadModel(const std::string &name,
+                         std::shared_ptr<const CompiledModel> model,
+                         int replicas, const TenantOptions &tenant)
+{
+    if (!model) {
+        return Status::error(StatusCode::InvalidArgument,
+                             "cluster: null compiled model for '" +
+                                 name + "'");
+    }
+    std::lock_guard<std::mutex> ops(opsMu_);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_) {
+            return Status::error(StatusCode::Unavailable,
+                                 "cluster is shut down; cannot load '" +
+                                     name + "'");
+        }
+        if (tenants_.count(name) != 0) {
+            return Status::error(StatusCode::InvalidArgument,
+                                 "cluster: a model named '" + name +
+                                     "' is already loaded");
+        }
+    }
+
+    TenantEntry entry;
+    entry.model = std::move(model);
+    entry.tenant = tenant;
+    if (Status grown = growLocked(name, entry, replicas); !grown.ok())
+        return grown;
+    return Status();
+}
+
+Status
+ClusterEngine::growLocked(const std::string &name, TenantEntry snapshot,
+                          int count)
+{
+    PlacementRequest request;
+    request.model = name;
+    request.demand = snapshot.model->resourceDemand();
+    request.replicas = count;
+    auto assignment = policy_->place(request, fleet_->loadViews());
+    if (!assignment.ok())
+        return assignment.status();
+
+    // Load onto each placed chip; roll the already-loaded replicas
+    // back on failure so a half-placed tenant never serves.
+    std::vector<std::size_t> loaded;
+    for (std::size_t chip : *assignment) {
+        Status s = fleet_->engine(chip).loadModel(name, snapshot.model,
+                                                  snapshot.tenant);
+        if (!s.ok()) {
+            for (std::size_t undo : loaded)
+                fleet_->engine(undo).unloadModel(name);
+            return s;
+        }
+        loaded.push_back(chip);
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    TenantEntry &entry = tenants_[name];
+    if (!entry.model) {
+        entry.model = std::move(snapshot.model);
+        entry.tenant = snapshot.tenant;
+    }
+    entry.chips.insert(entry.chips.end(), loaded.begin(), loaded.end());
+    return Status();
+}
+
+Status
+ClusterEngine::setReplicas(const std::string &name, int replicas)
+{
+    if (replicas < 1) {
+        return Status::error(StatusCode::InvalidArgument,
+                             "cluster: setReplicas needs >= 1 (use "
+                             "unloadModel to evict '" +
+                                 name + "')");
+    }
+    std::lock_guard<std::mutex> ops(opsMu_);
+    TenantEntry snapshot;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = tenants_.find(name);
+        if (it == tenants_.end()) {
+            return Status::error(StatusCode::InvalidArgument,
+                                 "cluster: no model named '" + name +
+                                     "'");
+        }
+        snapshot = it->second;
+    }
+
+    const int current = static_cast<int>(snapshot.chips.size());
+    if (replicas == current)
+        return Status();
+    if (replicas > current)
+        return growLocked(name, snapshot, replicas - current);
+
+    // Scale down: stop routing to the victims first (newest replicas
+    // drop first), then drain each -- accepted requests all resolve
+    // before the chip budget is released.
+    std::vector<std::size_t> victims(
+        snapshot.chips.begin() + replicas, snapshot.chips.end());
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = tenants_.find(name);
+        if (it != tenants_.end())
+            it->second.chips.resize(static_cast<std::size_t>(replicas));
+    }
+    Status first;
+    for (std::size_t chip : victims) {
+        Status s = fleet_->engine(chip).unloadModel(name);
+        if (!s.ok() && first.ok())
+            first = s;
+    }
+    return first;
+}
+
+Status
+ClusterEngine::unloadModel(const std::string &name)
+{
+    std::lock_guard<std::mutex> ops(opsMu_);
+    std::vector<std::size_t> chips;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = tenants_.find(name);
+        if (it == tenants_.end()) {
+            return Status::error(StatusCode::InvalidArgument,
+                                 "cluster: no model named '" + name +
+                                     "'");
+        }
+        chips = std::move(it->second.chips);
+        tenants_.erase(it);
+    }
+    Status first;
+    for (std::size_t chip : chips) {
+        Status s = fleet_->engine(chip).unloadModel(name);
+        if (!s.ok() && first.ok())
+            first = s;
+    }
+    return first;
+}
+
+int
+ClusterEngine::replicaCount(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(name);
+    return it == tenants_.end()
+               ? 0
+               : static_cast<int>(it->second.chips.size());
+}
+
+std::vector<std::string>
+ClusterEngine::replicaChips(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> ids;
+    auto it = tenants_.find(name);
+    if (it == tenants_.end())
+        return ids;
+    ids.reserve(it->second.chips.size());
+    for (std::size_t chip : it->second.chips)
+        ids.push_back(fleet_->id(chip));
+    return ids;
+}
+
+std::vector<std::string>
+ClusterEngine::modelNames() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> names;
+    names.reserve(tenants_.size());
+    for (const auto &[name, entry] : tenants_)
+        names.push_back(name);
+    return names;
+}
+
+// ---------------------------------------------------------------- requests
+
+std::future<StatusOr<InferenceResult>>
+ClusterEngine::submit(const std::string &model, Tensor input)
+{
+    // One routing attempt per live replica, plus one for a re-read of
+    // the table -- enough to outlast any single scale operation.
+    const std::size_t max_attempts = fleet_->size() + 1;
+    for (std::size_t attempt = 0;; ++attempt) {
+        std::vector<std::size_t> chips;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (stopping_) {
+                return readyFuture(Status::error(
+                    StatusCode::Unavailable,
+                    "cluster is shut down; request rejected"));
+            }
+            auto it = tenants_.find(model);
+            if (it == tenants_.end()) {
+                return readyFuture(Status::error(
+                    StatusCode::InvalidArgument,
+                    "cluster: no model named '" + model + "'"));
+            }
+            chips = it->second.chips;
+        }
+        if (chips.empty()) {
+            return readyFuture(Status::error(
+                StatusCode::Unavailable,
+                "cluster: model '" + model +
+                    "' has no live replicas; request rejected"));
+        }
+
+        // Least outstanding requests across the tenant's replicas;
+        // ties keep placement order.
+        std::size_t target = chips.front();
+        std::int64_t least =
+            std::numeric_limits<std::int64_t>::max();
+        for (std::size_t chip : chips) {
+            const std::int64_t pending =
+                fleet_->engine(chip).pendingRequests(model);
+            if (pending < least) {
+                least = pending;
+                target = chip;
+            }
+        }
+
+        // The engine copies the input per attempt; an accepted
+        // request returns a pending future we pass through untouched.
+        auto future = fleet_->engine(target).submit(model, input);
+        if (future.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready)
+            return future;
+
+        // An immediately-ready future is a rejection (or an instant
+        // failure): re-route Unavailable -- the replica started
+        // draining between the table read and the submit -- and
+        // surface everything else as-is.
+        StatusOr<InferenceResult> result = future.get();
+        if (result.ok() ||
+            result.status().code() != StatusCode::Unavailable ||
+            attempt + 1 >= max_attempts)
+            return readyFuture(std::move(result));
+    }
+}
+
+StatusOr<InferenceResult>
+ClusterEngine::infer(const std::string &model, const Tensor &input)
+{
+    return submit(model, input).get();
+}
+
+Status
+ClusterEngine::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    // Chip engines' shutdown is idempotent and drains every queue.
+    return fleet_->shutdown();
+}
+
+// ------------------------------------------------------------------- stats
+
+StatusOr<ClusterEngine::TenantLoad>
+ClusterEngine::tenantLoad(const std::string &name) const
+{
+    std::vector<std::size_t> chips;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = tenants_.find(name);
+        if (it == tenants_.end()) {
+            return Status::error(StatusCode::InvalidArgument,
+                                 "cluster: no model named '" + name +
+                                     "'");
+        }
+        chips = it->second.chips;
+    }
+    TenantLoad load;
+    load.replicas = static_cast<int>(chips.size());
+    for (std::size_t chip : chips) {
+        const Engine &engine = fleet_->engine(chip);
+        load.pending += engine.pendingRequests(name);
+        auto stats = engine.modelStats(name);
+        if (!stats.ok())
+            continue; // replica mid-drain
+        load.p95QueueMillis =
+            std::max(load.p95QueueMillis, stats->p95QueueMillis);
+        load.p99QueueMillis =
+            std::max(load.p99QueueMillis, stats->p99QueueMillis);
+        load.completed += stats->completed;
+    }
+    if (load.replicas > 0)
+        load.pendingPerReplica = static_cast<double>(load.pending) /
+                                 static_cast<double>(load.replicas);
+    return load;
+}
+
+StatusOr<EngineStats>
+ClusterEngine::modelStats(const std::string &name) const
+{
+    std::vector<std::size_t> chips;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = tenants_.find(name);
+        if (it == tenants_.end()) {
+            return Status::error(StatusCode::InvalidArgument,
+                                 "cluster: no model named '" + name +
+                                     "'");
+        }
+        chips = it->second.chips;
+    }
+    EngineStats merged;
+    for (std::size_t chip : chips) {
+        auto stats = fleet_->engine(chip).modelStats(name);
+        if (stats.ok())
+            mergeStats(merged, *stats);
+    }
+    return merged;
+}
+
+EngineStats
+ClusterEngine::stats() const
+{
+    EngineStats merged;
+    for (std::size_t chip = 0; chip < fleet_->size(); ++chip)
+        mergeStats(merged, fleet_->engine(chip).stats());
+    return merged;
+}
+
+std::string
+ClusterEngine::statsJson() const
+{
+    std::map<std::string, TenantEntry> tenants;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        tenants = tenants_;
+    }
+    JsonWriter j;
+    j.beginObject();
+    j.field("policy", policy_->name());
+    j.field("chips", static_cast<std::int64_t>(fleet_->size()));
+    j.key("aggregate").raw(stats().toJson());
+    j.key("perChip").beginObject();
+    for (std::size_t chip = 0; chip < fleet_->size(); ++chip)
+        j.key(fleet_->id(chip)).raw(fleet_->engine(chip).statsJson());
+    j.endObject();
+    j.key("tenants").beginObject();
+    for (const auto &[name, entry] : tenants) {
+        j.key(name).beginObject();
+        j.key("replicas").beginArray();
+        for (std::size_t chip : entry.chips)
+            j.value(fleet_->id(chip));
+        j.endArray();
+        auto load = tenantLoad(name);
+        if (load.ok()) {
+            j.field("pending", load->pending);
+            j.field("p99QueueMillis", load->p99QueueMillis);
+        }
+        j.endObject();
+    }
+    j.endObject();
+    j.key("utilization").raw(fleet_->utilizationJson());
+    j.endObject();
+    return j.str();
+}
+
+} // namespace fpsa

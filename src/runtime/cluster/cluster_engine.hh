@@ -1,0 +1,202 @@
+/**
+ * @file
+ * `fpsa::ClusterEngine`: one serving front for a fleet of FPSA chips
+ * -- policy-driven model placement, replica-aware request routing and
+ * replica scaling with zero-loss drains.
+ *
+ *     auto cluster = ClusterEngine::create(
+ *         {{"chip0", cap}, {"chip1", cap}, {"chip2", cap}}).value();
+ *     cluster->loadModel("hot", model, /.replicas=/ 2);   // 2 chips
+ *     cluster->loadModel("cold", other);                  // 1 chip
+ *     auto r = cluster->infer("hot", input);              // routed
+ *     cluster->setReplicas("hot", 1);                     // drains one
+ *
+ * Contract:
+ *  - Placement goes through the configured `PlacementPolicy`
+ *    (first-fit or best-fit bin-packing by `ResourceDemand`); K
+ *    replicas of a tenant land on K distinct chips.  Placement is
+ *    deterministic given the fleet state, and an unplaceable request
+ *    returns `Infeasible` with the full per-chip breakdown.
+ *  - Routing is least-outstanding-requests: each submit goes to the
+ *    tenant's replica with the fewest queued + inflight requests.
+ *    Each replica keeps its own per-chip queue, and batches never mix
+ *    tenants (the per-chip engine's invariant).  A submit that races
+ *    a replica's drain is transparently re-routed to a surviving
+ *    replica.
+ *  - `setReplicas`/`unloadModel` scale with the hot-swap drain: a
+ *    shrinking replica first stops receiving new requests, then its
+ *    queued and inflight requests all resolve, then its chip budget
+ *    is released.  In-flight requests are never dropped by scaling.
+ *  - The per-chip engines run the SLO-aware deadline scheduler
+ *    (priority classes + deadline-based batch closing) from
+ *    `EngineOptions`, so cluster tenants inherit per-tenant SLOs.
+ *
+ * `tenantLoad()` is the observation surface the `Autoscaler` builds
+ * its control loop on; `statsJson()` bundles per-chip, per-tenant and
+ * fleet-utilization sections.
+ */
+
+#ifndef FPSA_RUNTIME_CLUSTER_CLUSTER_ENGINE_HH
+#define FPSA_RUNTIME_CLUSTER_CLUSTER_ENGINE_HH
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+#include "runtime/cluster/chip_fleet.hh"
+#include "runtime/cluster/placement.hh"
+#include "runtime/engine.hh"
+
+namespace fpsa
+{
+
+/** Cluster-serving knobs. */
+struct ClusterOptions
+{
+    /** Per-chip serving knobs (`chipId` is set per chip). */
+    EngineOptions engine;
+
+    PlacementPolicyKind placement = PlacementPolicyKind::BestFit;
+};
+
+/** The multi-chip serving runtime fronting a `ChipFleet`. */
+class ClusterEngine
+{
+  public:
+    static StatusOr<std::unique_ptr<ClusterEngine>> create(
+        std::vector<ChipSpec> chips, ClusterOptions options = {});
+
+    ~ClusterEngine();
+
+    ClusterEngine(const ClusterEngine &) = delete;
+    ClusterEngine &operator=(const ClusterEngine &) = delete;
+
+    // -------------------------------------------------------- tenants
+
+    /**
+     * Place `replicas` replicas of `model` on distinct chips via the
+     * placement policy and start serving them as `name`.
+     * `Infeasible` with the per-chip breakdown when the fleet cannot
+     * host the request; `InvalidArgument` on a duplicate name, bad
+     * replica count, or a model the backend rejects.
+     */
+    Status loadModel(const std::string &name,
+                     std::shared_ptr<const CompiledModel> model,
+                     int replicas = 1);
+    Status loadModel(const std::string &name,
+                     std::shared_ptr<const CompiledModel> model,
+                     int replicas, const TenantOptions &tenant);
+
+    /**
+     * Scale `name` to exactly `replicas` replicas (>= 1).  Growth
+     * places new replicas via the policy; shrinkage drains removed
+     * replicas without failing any accepted request.
+     */
+    Status setReplicas(const std::string &name, int replicas);
+
+    /** Evict every replica of `name`, each with a full drain. */
+    Status unloadModel(const std::string &name);
+
+    /** Current replica count for `name`; 0 when absent. */
+    int replicaCount(const std::string &name) const;
+
+    /** Chip ids hosting `name`, in placement order; empty if absent. */
+    std::vector<std::string> replicaChips(const std::string &name) const;
+
+    std::vector<std::string> modelNames() const;
+
+    // ------------------------------------------------------- requests
+
+    /**
+     * Route one sample to the least-loaded replica of `model`.  The
+     * future resolves when served; a drain race re-routes internally.
+     */
+    std::future<StatusOr<InferenceResult>> submit(
+        const std::string &model, Tensor input);
+
+    StatusOr<InferenceResult> infer(const std::string &model,
+                                    const Tensor &input);
+
+    /** Stop routing, drain every chip, return the first drain error. */
+    Status shutdown();
+
+    // ---------------------------------------------------------- stats
+
+    /** The autoscaler's observation of one tenant's serving load. */
+    struct TenantLoad
+    {
+        int replicas = 0;
+        std::int64_t pending = 0; //!< queued + inflight, all replicas
+        double pendingPerReplica = 0.0;
+        double p95QueueMillis = 0.0; //!< max across replicas
+        double p99QueueMillis = 0.0; //!< max across replicas
+        std::int64_t completed = 0;
+    };
+
+    StatusOr<TenantLoad> tenantLoad(const std::string &name) const;
+
+    /**
+     * One tenant's serving telemetry merged across its replicas:
+     * counters sum, queue-wait percentiles take the worst replica
+     * (conservative for tails), throughput is the summed per-replica
+     * service rate.
+     */
+    StatusOr<EngineStats> modelStats(const std::string &name) const;
+
+    /** The same conservative merge across every chip's aggregate. */
+    EngineStats stats() const;
+
+    /**
+     * JSON report: {"policy":..., "chips": N, "aggregate": merged
+     * stats, "perChip": {id: engine report}, "tenants": {name:
+     * {"replicas": [chip ids], "pending": n, "p99QueueMillis": ms}},
+     * "utilization": [per chip]}.
+     */
+    std::string statsJson() const;
+
+    ChipFleet &fleet() { return *fleet_; }
+    const ChipFleet &fleet() const { return *fleet_; }
+    const PlacementPolicy &policy() const { return *policy_; }
+    const ClusterOptions &options() const { return options_; }
+
+  private:
+    struct TenantEntry
+    {
+        std::shared_ptr<const CompiledModel> model;
+        TenantOptions tenant;
+        std::vector<std::size_t> chips; //!< replica chips, placement order
+    };
+
+    ClusterEngine(std::unique_ptr<ChipFleet> fleet,
+                  std::unique_ptr<PlacementPolicy> policy,
+                  ClusterOptions options);
+
+    /** Requires opsMu_: place + load `count` new replicas of `name`. */
+    Status growLocked(const std::string &name, TenantEntry snapshot,
+                      int count);
+
+    ClusterOptions options_;
+    std::unique_ptr<PlacementPolicy> policy_;
+    std::unique_ptr<ChipFleet> fleet_;
+
+    /**
+     * Serializes multi-step tenant operations (load/scale/unload), so
+     * placement decisions see a stable fleet.  Never held while
+     * waiting on a drain's request path -- drains only need the chip
+     * engines' workers, which never take cluster locks.
+     */
+    std::mutex opsMu_;
+
+    mutable std::mutex mu_; //!< guards tenants_ + stopping_
+    std::map<std::string, TenantEntry> tenants_;
+    bool stopping_ = false;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_RUNTIME_CLUSTER_CLUSTER_ENGINE_HH

@@ -1,0 +1,221 @@
+#include "runtime/cluster/placement.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace fpsa
+{
+
+namespace
+{
+
+ResourceDemand
+afterPlacing(const ChipLoadView &chip, const ResourceDemand &demand)
+{
+    ResourceDemand needed = chip.resident;
+    needed.peBlocks += demand.peBlocks;
+    needed.smbBlocks += demand.smbBlocks;
+    needed.clbBlocks += demand.clbBlocks;
+    needed.routingTracks += demand.routingTracks;
+    return needed;
+}
+
+bool
+fits(const ChipLoadView &chip, const ResourceDemand &demand)
+{
+    const ResourceDemand needed = afterPlacing(chip, demand);
+    return needed.peBlocks <= chip.capacity.peBlocks &&
+           needed.smbBlocks <= chip.capacity.smbBlocks &&
+           needed.clbBlocks <= chip.capacity.clbBlocks &&
+           needed.routingTracks <= chip.capacity.routingTracks;
+}
+
+bool
+hostsModel(const ChipLoadView &chip, const std::string &model)
+{
+    return std::find(chip.models.begin(), chip.models.end(), model) !=
+           chip.models.end();
+}
+
+/**
+ * Residual slack after placing `demand`, as the sum of remaining
+ * capacity fractions across the resource families -- the best-fit
+ * objective.  Fractions keep the heterogeneous units (blocks vs
+ * routing tracks) commensurable.
+ */
+double
+residualSlack(const ChipLoadView &chip, const ResourceDemand &demand)
+{
+    const ResourceDemand needed = afterPlacing(chip, demand);
+    auto fraction = [](std::int64_t needed_units,
+                       std::int64_t capacity_units) {
+        if (capacity_units <= 0)
+            return 0.0;
+        return static_cast<double>(capacity_units - needed_units) /
+               static_cast<double>(capacity_units);
+    };
+    return fraction(needed.peBlocks, chip.capacity.peBlocks) +
+           fraction(needed.smbBlocks, chip.capacity.smbBlocks) +
+           fraction(needed.clbBlocks, chip.capacity.clbBlocks) +
+           fraction(needed.routingTracks, chip.capacity.routingTracks);
+}
+
+/**
+ * The fleet-wide Infeasible message: one uniform per-chip line each,
+ * either the chip's admission breakdown or why it was excluded.
+ */
+Status
+fleetInfeasible(const PlacementRequest &request,
+                const std::vector<ChipLoadView> &chips,
+                const std::vector<bool> &chosen, int placed)
+{
+    std::string message = "placement infeasible for model '" +
+                          request.model + "' (" +
+                          std::to_string(request.replicas) +
+                          " replica" +
+                          (request.replicas == 1 ? "" : "s") + ", " +
+                          std::to_string(placed) + " placeable): ";
+    for (std::size_t i = 0; i < chips.size(); ++i) {
+        if (i > 0)
+            message += "; ";
+        message += "chip '" + chips[i].id + "': ";
+        if (chosen[i]) {
+            message += "selected for an earlier replica";
+        } else if (hostsModel(chips[i], request.model)) {
+            message += "already hosts '" + request.model + "'";
+        } else {
+            message += admissionBreakdown(
+                afterPlacing(chips[i], request.demand),
+                chips[i].capacity);
+        }
+    }
+    return Status::error(StatusCode::Infeasible, message);
+}
+
+/**
+ * Shared per-replica placement loop; `pick` chooses among the
+ * eligible chips of one replica (indices into `chips`) and policies
+ * differ only in that choice.
+ */
+template <typename PickFn>
+StatusOr<std::vector<std::size_t>>
+placeReplicas(const PlacementRequest &request,
+              const std::vector<ChipLoadView> &chips, PickFn pick)
+{
+    if (request.replicas < 1) {
+        return Status::error(StatusCode::InvalidArgument,
+                             "placement: replicas must be >= 1 for "
+                             "model '" +
+                                 request.model + "'");
+    }
+    if (static_cast<std::size_t>(request.replicas) > chips.size()) {
+        return Status::error(
+            StatusCode::InvalidArgument,
+            "placement: " + std::to_string(request.replicas) +
+                " replicas of model '" + request.model +
+                "' need as many distinct chips, fleet has " +
+                std::to_string(chips.size()));
+    }
+
+    std::vector<std::size_t> assignment;
+    std::vector<bool> chosen(chips.size(), false);
+    for (int replica = 0; replica < request.replicas; ++replica) {
+        std::vector<std::size_t> eligible;
+        for (std::size_t i = 0; i < chips.size(); ++i) {
+            if (!chosen[i] && !hostsModel(chips[i], request.model) &&
+                fits(chips[i], request.demand))
+                eligible.push_back(i);
+        }
+        if (eligible.empty()) {
+            return fleetInfeasible(request, chips, chosen, replica);
+        }
+        const std::size_t picked = pick(eligible);
+        chosen[picked] = true;
+        assignment.push_back(picked);
+    }
+    return assignment;
+}
+
+class FirstFitPlacement final : public PlacementPolicy
+{
+  public:
+    const char *
+    name() const override
+    {
+        return "first-fit";
+    }
+
+    StatusOr<std::vector<std::size_t>>
+    place(const PlacementRequest &request,
+          const std::vector<ChipLoadView> &chips) const override
+    {
+        return placeReplicas(
+            request, chips,
+            [](const std::vector<std::size_t> &eligible) {
+                return eligible.front();
+            });
+    }
+};
+
+class BestFitPlacement final : public PlacementPolicy
+{
+  public:
+    const char *
+    name() const override
+    {
+        return "best-fit";
+    }
+
+    StatusOr<std::vector<std::size_t>>
+    place(const PlacementRequest &request,
+          const std::vector<ChipLoadView> &chips) const override
+    {
+        return placeReplicas(
+            request, chips,
+            [&](const std::vector<std::size_t> &eligible) {
+                // Tightest fit: the eligible chip with the least
+                // residual slack after placement; the strict < keeps
+                // ties on the lowest index.
+                std::size_t best = eligible.front();
+                double best_slack =
+                    std::numeric_limits<double>::infinity();
+                for (std::size_t i : eligible) {
+                    const double slack =
+                        residualSlack(chips[i], request.demand);
+                    if (slack < best_slack) {
+                        best_slack = slack;
+                        best = i;
+                    }
+                }
+                return best;
+            });
+    }
+};
+
+} // namespace
+
+const char *
+placementPolicyName(PlacementPolicyKind kind)
+{
+    switch (kind) {
+    case PlacementPolicyKind::FirstFit:
+        return "first-fit";
+    case PlacementPolicyKind::BestFit:
+        return "best-fit";
+    }
+    return "unknown";
+}
+
+std::unique_ptr<PlacementPolicy>
+makePlacementPolicy(PlacementPolicyKind kind)
+{
+    switch (kind) {
+    case PlacementPolicyKind::FirstFit:
+        return std::make_unique<FirstFitPlacement>();
+    case PlacementPolicyKind::BestFit:
+        return std::make_unique<BestFitPlacement>();
+    }
+    return nullptr;
+}
+
+} // namespace fpsa

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Pluggable model-placement policies for a fleet of FPSA chips.
+ *
+ * Placement answers: "on which chips do the K replicas of this model
+ * go?"  A policy sees the fleet as `ChipLoadView`s -- per-chip
+ * capacity, resident demand and resident tenant names -- and returns
+ * distinct chip indices, one per replica (replicas of one tenant
+ * never share a chip, so losing or draining a chip never takes out
+ * every replica at once):
+ *
+ *     auto policy = makePlacementPolicy(PlacementPolicyKind::BestFit);
+ *     PlacementRequest request{.model = "vgg", .demand = d,
+ *                              .replicas = 2};
+ *     StatusOr<std::vector<std::size_t>> chips =
+ *         policy->place(request, fleet.loadViews());
+ *
+ * Policies are deterministic: the same fleet state and the same
+ * request always produce the same assignment (ties break toward the
+ * lowest chip index), so a replayed deployment reproduces its
+ * placement exactly.  When the request cannot be satisfied, `place`
+ * returns `Infeasible` with a per-chip breakdown (each chip's uniform
+ * `admissionBreakdown` line, or why it was excluded), the fleet
+ * analogue of the registry's single-chip rejection message.
+ */
+
+#ifndef FPSA_RUNTIME_CLUSTER_PLACEMENT_HH
+#define FPSA_RUNTIME_CLUSTER_PLACEMENT_HH
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+#include "mapper/allocation.hh"
+#include "runtime/model_registry.hh"
+
+namespace fpsa
+{
+
+/** One chip's placement-relevant state, snapshotted from the fleet. */
+struct ChipLoadView
+{
+    std::string id;
+    ChipCapacity capacity;
+    ResourceDemand resident;         //!< sum over resident models
+    std::vector<std::string> models; //!< resident tenant names
+};
+
+/** What a placement request asks of the fleet. */
+struct PlacementRequest
+{
+    std::string model;
+    ResourceDemand demand; //!< per replica
+    int replicas = 1;      //!< distinct chips, one per replica
+};
+
+/** Selectable placement strategy. */
+enum class PlacementPolicyKind
+{
+    FirstFit, //!< lowest-index chip with room, per replica
+    BestFit,  //!< tightest-fitting chip (least residual slack)
+};
+
+const char *placementPolicyName(PlacementPolicyKind kind);
+
+/** A deterministic bin-packing strategy over the fleet. */
+class PlacementPolicy
+{
+  public:
+    virtual ~PlacementPolicy() = default;
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Choose `request.replicas` distinct chips for the model.  The
+     * result lists chip indices into `chips` in placement order.
+     * `InvalidArgument` on a non-positive replica count or more
+     * replicas than chips; `Infeasible` with a per-chip breakdown
+     * when the fleet cannot host the request.
+     */
+    virtual StatusOr<std::vector<std::size_t>> place(
+        const PlacementRequest &request,
+        const std::vector<ChipLoadView> &chips) const = 0;
+};
+
+std::unique_ptr<PlacementPolicy> makePlacementPolicy(
+    PlacementPolicyKind kind);
+
+} // namespace fpsa
+
+#endif // FPSA_RUNTIME_CLUSTER_PLACEMENT_HH

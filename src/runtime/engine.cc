@@ -158,6 +158,7 @@ finalizeStats(EngineStats &s, std::vector<double> waits)
     std::sort(waits.begin(), waits.end());
     s.p50QueueMillis = percentile(waits, 0.50);
     s.p95QueueMillis = percentile(waits, 0.95);
+    s.p99QueueMillis = percentile(waits, 0.99);
     s.maxQueueMillis = waits.empty() ? 0.0 : waits.back();
     if (s.batches > 0) {
         std::int64_t coalesced = 0;
@@ -184,12 +185,26 @@ struct Engine::Tenant
 {
     Tenant(std::string tenant_name,
            std::shared_ptr<const CompiledModel> tenant_model,
-           std::unique_ptr<Executor> tenant_executor, int maxBatch)
+           std::unique_ptr<Executor> tenant_executor, int maxBatch,
+           int tenant_priority, double tenant_slo_millis)
         : name(std::move(tenant_name)), model(std::move(tenant_model)),
           executor(std::move(tenant_executor)), telemetry(maxBatch),
+          priorityClass(tenant_priority),
+          sloBudgetMillis(tenant_slo_millis /
+                          static_cast<double>(tenant_priority)),
           modeledLatency(model->performance().latency),
           modeledEnergy(model->energy().perSample())
     {
+    }
+
+    /** Deadline of this tenant's oldest queued request. */
+    Clock::time_point
+    headDeadline() const
+    {
+        return queue.front().enqueued +
+               std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double, std::milli>(
+                       sloBudgetMillis));
     }
 
     const std::string name;
@@ -202,9 +217,23 @@ struct Engine::Tenant
     bool evicted = false;  //!< drained and removed from the engine
     Telemetry telemetry;
 
+    const int priorityClass;
+    const double sloBudgetMillis; //!< sloMillis / priorityClass
     const NanoSeconds modeledLatency;
     const PicoJoules modeledEnergy;
 };
+
+const char *
+schedulerPolicyName(SchedulerPolicy policy)
+{
+    switch (policy) {
+    case SchedulerPolicy::Deadline:
+        return "deadline";
+    case SchedulerPolicy::RoundRobin:
+        return "round-robin";
+    }
+    return "unknown";
+}
 
 std::string
 EngineStats::toJson() const
@@ -224,6 +253,7 @@ EngineStats::toJson() const
     j.key("queueWaitMillis").beginObject();
     j.field("p50", p50QueueMillis);
     j.field("p95", p95QueueMillis);
+    j.field("p99", p99QueueMillis);
     j.field("max", maxQueueMillis);
     j.endObject();
     j.key("batchSizeCounts").beginArray();
@@ -243,6 +273,13 @@ Engine::create(ChipCapacity capacity, EngineOptions options)
             StatusCode::InvalidArgument,
             "engine: workerThreads, maxBatch and queueDepth must all "
             "be >= 1");
+    }
+    if (options.defaultSloMillis <= 0.0 ||
+        options.batchWindowMillis < 0.0) {
+        return Status::error(
+            StatusCode::InvalidArgument,
+            "engine: defaultSloMillis must be > 0 and "
+            "batchWindowMillis >= 0");
     }
     return std::unique_ptr<Engine>(new Engine(capacity, options));
 }
@@ -266,7 +303,7 @@ Engine::create(std::shared_ptr<const CompiledModel> model,
 }
 
 Engine::Engine(ChipCapacity capacity, EngineOptions options)
-    : options_(options), registry_(capacity),
+    : options_(options), registry_(capacity, options.chipId),
       aggregate_(new Telemetry(options.maxBatch))
 {
     workers_.reserve(static_cast<std::size_t>(options_.workerThreads));
@@ -285,7 +322,7 @@ Status
 Engine::loadModel(const std::string &name,
                   std::shared_ptr<const CompiledModel> model)
 {
-    return loadModel(name, std::move(model), options_.executor);
+    return loadModel(name, std::move(model), TenantOptions{});
 }
 
 Status
@@ -293,6 +330,28 @@ Engine::loadModel(const std::string &name,
                   std::shared_ptr<const CompiledModel> model,
                   ExecutorKind executor)
 {
+    TenantOptions tenant;
+    tenant.executor = executor;
+    return loadModel(name, std::move(model), tenant);
+}
+
+Status
+Engine::loadModel(const std::string &name,
+                  std::shared_ptr<const CompiledModel> model,
+                  const TenantOptions &tenant)
+{
+    if (tenant.priorityClass < 1 || tenant.sloMillis < 0.0) {
+        return Status::error(
+            StatusCode::InvalidArgument,
+            "engine: tenant priorityClass must be >= 1 and sloMillis "
+            ">= 0 for '" +
+                name + "'");
+    }
+    const ExecutorKind executor =
+        tenant.executor.value_or(options_.executor);
+    const double slo_millis = tenant.sloMillis > 0.0
+                                  ? tenant.sloMillis
+                                  : options_.defaultSloMillis;
     {
         std::lock_guard<std::mutex> lock(mu_);
         if (stopping_) {
@@ -317,9 +376,9 @@ Engine::loadModel(const std::string &name,
         return backend.status();
     }
 
-    auto tenant = std::make_shared<Tenant>(
+    auto entry = std::make_shared<Tenant>(
         name, std::move(model), std::move(backend).value(),
-        options_.maxBatch);
+        options_.maxBatch, tenant.priorityClass, slo_millis);
     {
         std::lock_guard<std::mutex> lock(mu_);
         if (stopping_) {
@@ -328,7 +387,7 @@ Engine::loadModel(const std::string &name,
                                  "engine is shut down; cannot load '" +
                                      name + "'");
         }
-        tenants_.emplace(name, std::move(tenant));
+        tenants_.emplace(name, std::move(entry));
     }
     return Status();
 }
@@ -375,6 +434,17 @@ Engine::modelNames() const
     for (const auto &[name, tenant] : tenants_)
         names.push_back(name);
     return names;
+}
+
+std::int64_t
+Engine::pendingRequests(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(name);
+    if (it == tenants_.end())
+        return 0;
+    return static_cast<std::int64_t>(it->second->queue.size()) +
+           it->second->inflight;
 }
 
 // ---------------------------------------------------------------- requests
@@ -484,6 +554,27 @@ Engine::infer(const Tensor &input)
 std::shared_ptr<Engine::Tenant>
 Engine::pickTenantLocked()
 {
+    if (options_.scheduler == SchedulerPolicy::Deadline) {
+        // Earliest-deadline-first over head-of-queue requests: the
+        // deadline is enqueue time + the tenant's priority-scaled SLO
+        // budget, so high-priority traffic is served ahead of
+        // equally old best-effort traffic, and deadlines age -- a
+        // backlogged tenant's head only gets more urgent, so nobody
+        // starves.  Map order breaks exact ties deterministically.
+        std::shared_ptr<Tenant> best;
+        Clock::time_point best_deadline{};
+        for (const auto &[name, tenant] : tenants_) {
+            if (tenant->queue.empty())
+                continue;
+            const Clock::time_point deadline = tenant->headDeadline();
+            if (!best || deadline < best_deadline) {
+                best = tenant;
+                best_deadline = deadline;
+            }
+        }
+        return best;
+    }
+
     // Round-robin over the (ordered) tenant map, resuming after the
     // last-served name, so every tenant with queued work gets regular
     // dequeues regardless of the others' backlog.
@@ -526,10 +617,27 @@ Engine::workerLoop()
                 static_cast<std::size_t>(options_.workerThreads);
             const std::size_t fair =
                 (tenant->queue.size() + workers - 1) / workers;
-            const std::size_t take = std::min(
+            std::size_t take = std::min(
                 {tenant->queue.size(),
                  static_cast<std::size_t>(options_.maxBatch),
                  std::max<std::size_t>(1, fair)});
+            if (options_.scheduler == SchedulerPolicy::Deadline) {
+                // Deadline-based batch closing: close the batch at
+                // the first request that arrived more than the batch
+                // window after the head.  It has that much more
+                // deadline slack, so it can wait its turn instead of
+                // stretching this batch in front of other tenants'
+                // older deadlines.
+                const Clock::time_point head =
+                    tenant->queue.front().enqueued;
+                std::size_t within = 1;
+                while (within < take &&
+                       millisBetween(head,
+                                     tenant->queue[within].enqueued) <=
+                           options_.batchWindowMillis)
+                    ++within;
+                take = within;
+            }
             for (std::size_t i = 0; i < take; ++i) {
                 batch.push_back(std::move(tenant->queue.front()));
                 tenant->queue.pop_front();

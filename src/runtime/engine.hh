@@ -56,6 +56,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -68,6 +69,28 @@
 
 namespace fpsa
 {
+
+/**
+ * How the scheduler picks the next tenant to dequeue.
+ *
+ *  - `Deadline` (the default) is SLO-aware earliest-deadline-first:
+ *    every request's deadline is its enqueue time plus its tenant's
+ *    SLO budget (`TenantOptions::sloMillis`, scaled down by the
+ *    tenant's priority class), and workers always serve the tenant
+ *    whose oldest queued request has the earliest deadline.  Deadlines
+ *    age, so a backlogged tenant cannot be starved; equal-priority
+ *    tenants converge to oldest-first service, which equalizes
+ *    per-tenant queue waits and completion tails.
+ *  - `RoundRobin` is the PR-4 scheduler: tenants with queued work are
+ *    served in name order, resuming after the last-served tenant.
+ */
+enum class SchedulerPolicy
+{
+    Deadline,
+    RoundRobin,
+};
+
+const char *schedulerPolicyName(SchedulerPolicy policy);
 
 /** Serving-runtime knobs. */
 struct EngineOptions
@@ -91,6 +114,53 @@ struct EngineOptions
      * keeps the naive golden kernels for validation.
      */
     ExecutorKind executor = ExecutorKind::Planned;
+
+    SchedulerPolicy scheduler = SchedulerPolicy::Deadline;
+
+    /**
+     * SLO budget for tenants that do not set an explicit
+     * `TenantOptions::sloMillis`: a request's deadline is its enqueue
+     * time plus this budget divided by the tenant's priority class.
+     */
+    double defaultSloMillis = 50.0;
+
+    /**
+     * Name of the chip this engine serves; stamped into the
+     * registry's admission-rejection messages so a fleet's per-chip
+     * breakdowns stay attributable.
+     */
+    std::string chipId = "chip0";
+
+    /**
+     * Deadline-based batch closing (Deadline scheduler only): a batch
+     * closes at the first request that arrived more than this many
+     * milliseconds after the batch's head.  A late arrival has that
+     * much more deadline slack than the head, so folding it in would
+     * only stretch the batch's execution in front of other tenants'
+     * older deadlines; left queued, it is still served within its own
+     * budget.  Burst traffic (arrivals closer together than the
+     * window) still coalesces up to `maxBatch`.
+     */
+    double batchWindowMillis = 5.0;
+};
+
+/** Per-tenant serving configuration for `Engine::loadModel`. */
+struct TenantOptions
+{
+    /** Backend override; unset uses `EngineOptions::executor`. */
+    std::optional<ExecutorKind> executor;
+
+    /**
+     * Priority class, >= 1.  Under the Deadline scheduler a tenant's
+     * effective SLO budget is `sloMillis / priorityClass`, so a
+     * class-4 tenant's requests carry deadlines four times tighter
+     * than a class-1 tenant's and are served ahead of equally old
+     * best-effort traffic.
+     */
+    int priorityClass = 1;
+
+    /** SLO budget in milliseconds; 0 uses `defaultSloMillis`. */
+    double sloMillis = 0.0;
 };
 
 /** One served request: the output plus its telemetry. */
@@ -120,6 +190,7 @@ struct EngineStats
 
     double p50QueueMillis = 0.0;
     double p95QueueMillis = 0.0;
+    double p99QueueMillis = 0.0; //!< the tail the cluster bench gates
     double maxQueueMillis = 0.0;
     double avgBatchSize = 0.0;
 
@@ -184,6 +255,9 @@ class Engine
     Status loadModel(const std::string &name,
                      std::shared_ptr<const CompiledModel> model,
                      ExecutorKind executor);
+    Status loadModel(const std::string &name,
+                     std::shared_ptr<const CompiledModel> model,
+                     const TenantOptions &tenant);
 
     /**
      * Hot-swap eviction: stop accepting requests for `name`, drain its
@@ -195,6 +269,13 @@ class Engine
 
     /** Names of resident tenants (admission order not preserved). */
     std::vector<std::string> modelNames() const;
+
+    /**
+     * Requests accepted for `name` but not yet completed (queued +
+     * inflight); 0 for an absent tenant.  The cluster router's
+     * least-outstanding-requests signal.
+     */
+    std::int64_t pendingRequests(const std::string &name) const;
 
     // ------------------------------------------------------- requests
 

@@ -12,8 +12,10 @@ namespace
 {
 
 /**
- * Per-resource admission line: "PE 912/640 (over by 272)" or
- * "PE 384/640".  `needed` is resident + requested.
+ * Per-resource admission line: "PE 912/640 (over by 272)", or
+ * "PE 384/640 (over by 0)" for a resource that fits -- the "over by"
+ * clause is uniform across resources so one parser handles every
+ * line, single-chip or per-chip in a fleet breakdown.
  */
 void
 appendResourceLine(std::string &out, const char *label,
@@ -26,11 +28,28 @@ appendResourceLine(std::string &out, const char *label,
     out += std::to_string(needed);
     out += '/';
     out += std::to_string(capacity);
-    if (needed > capacity)
-        out += " (over by " + std::to_string(needed - capacity) + ")";
+    out += " (over by " +
+           std::to_string(needed > capacity ? needed - capacity : 0) +
+           ")";
 }
 
 } // namespace
+
+std::string
+admissionBreakdown(const ResourceDemand &needed,
+                   const ChipCapacity &capacity)
+{
+    std::string breakdown;
+    appendResourceLine(breakdown, "PE", needed.peBlocks,
+                       capacity.peBlocks);
+    appendResourceLine(breakdown, "SMB", needed.smbBlocks,
+                       capacity.smbBlocks);
+    appendResourceLine(breakdown, "CLB", needed.clbBlocks,
+                       capacity.clbBlocks);
+    appendResourceLine(breakdown, "routing", needed.routingTracks,
+                       capacity.routingTracks);
+    return breakdown;
+}
 
 ChipCapacity
 ChipCapacity::fromArch(const ArchParams &params)
@@ -57,7 +76,8 @@ ChipCapacity::unlimited()
     return ChipCapacity{kHuge, kHuge, kHuge, kHuge};
 }
 
-ModelRegistry::ModelRegistry(ChipCapacity capacity) : capacity_(capacity)
+ModelRegistry::ModelRegistry(ChipCapacity capacity, std::string chipId)
+    : capacity_(capacity), chipId_(std::move(chipId))
 {
 }
 
@@ -65,24 +85,21 @@ Status
 ModelRegistry::admissionCheckLocked(const std::string &name,
                                     const ResourceDemand &demand) const
 {
-    const std::int64_t pe = resident_.peBlocks + demand.peBlocks;
-    const std::int64_t smb = resident_.smbBlocks + demand.smbBlocks;
-    const std::int64_t clb = resident_.clbBlocks + demand.clbBlocks;
-    const std::int64_t wire =
-        resident_.routingTracks + demand.routingTracks;
-    if (pe <= capacity_.peBlocks && smb <= capacity_.smbBlocks &&
-        clb <= capacity_.clbBlocks && wire <= capacity_.routingTracks) {
+    ResourceDemand needed = resident_;
+    needed.peBlocks += demand.peBlocks;
+    needed.smbBlocks += demand.smbBlocks;
+    needed.clbBlocks += demand.clbBlocks;
+    needed.routingTracks += demand.routingTracks;
+    if (needed.peBlocks <= capacity_.peBlocks &&
+        needed.smbBlocks <= capacity_.smbBlocks &&
+        needed.clbBlocks <= capacity_.clbBlocks &&
+        needed.routingTracks <= capacity_.routingTracks) {
         return Status();
     }
-    std::string breakdown;
-    appendResourceLine(breakdown, "PE", pe, capacity_.peBlocks);
-    appendResourceLine(breakdown, "SMB", smb, capacity_.smbBlocks);
-    appendResourceLine(breakdown, "CLB", clb, capacity_.clbBlocks);
-    appendResourceLine(breakdown, "routing", wire,
-                       capacity_.routingTracks);
     return Status::error(
         StatusCode::Infeasible,
-        "admission rejected for model '" + name + "': " + breakdown +
+        "admission rejected for model '" + name + "' on chip '" +
+            chipId_ + "': " + admissionBreakdown(needed, capacity_) +
             " (needed/capacity, with " +
             std::to_string(entries_.size()) + " resident model" +
             (entries_.size() == 1 ? "" : "s") + ")");
@@ -191,6 +208,7 @@ ModelRegistry::utilizationJson() const
     std::lock_guard<std::mutex> lock(mu_);
     JsonWriter j;
     j.beginObject();
+    j.field("chip", chipId_);
     auto resource = [&](const char *key, std::int64_t used,
                         std::int64_t capacity) {
         j.key(key).beginObject();

@@ -71,11 +71,26 @@ struct ChipCapacity
     bool operator==(const ChipCapacity &) const = default;
 };
 
+/**
+ * The uniform per-resource admission breakdown: every resource as
+ * `LABEL needed/capacity (over by N)` with N >= 0, so one format
+ * serves a single chip and a whole fleet's per-chip itemization.
+ * `needed` is resident demand plus the requested model's.
+ */
+std::string admissionBreakdown(const ResourceDemand &needed,
+                               const ChipCapacity &capacity);
+
 /** Thread-safe named-model store with chip-capacity admission. */
 class ModelRegistry
 {
   public:
-    explicit ModelRegistry(ChipCapacity capacity);
+    /**
+     * `chipId` names the chip this registry accounts for; it appears
+     * in every admission-rejection message so a fleet's per-chip
+     * breakdowns are attributable.
+     */
+    explicit ModelRegistry(ChipCapacity capacity,
+                           std::string chipId = "chip0");
 
     /**
      * Admit and store a model under `name`.  Fails with
@@ -97,6 +112,7 @@ class ModelRegistry
     std::size_t size() const;
 
     const ChipCapacity &capacity() const { return capacity_; }
+    const std::string &chipId() const { return chipId_; }
 
     /** Sum of demand over all resident models. */
     ResourceDemand residentDemand() const;
@@ -127,6 +143,7 @@ class ModelRegistry
                                 const ResourceDemand &demand) const;
 
     const ChipCapacity capacity_;
+    const std::string chipId_;
     mutable std::mutex mu_;
     std::map<std::string, Entry> entries_;
     ResourceDemand resident_; //!< running sum over entries_

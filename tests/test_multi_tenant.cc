@@ -549,5 +549,154 @@ TEST(MultiTenantEngine, ShutdownIsIdempotentAndSafeUnderConcurrency)
     EXPECT_TRUE((*engine)->registry().contains(Engine::kDefaultModel));
 }
 
+TEST(ModelRegistry, RejectionMessageNamesChipAndItemizesEveryResource)
+{
+    auto model = compileShared(smallCnn());
+    const ResourceDemand demand = model->resourceDemand();
+
+    auto countOccurrences = [](const std::string &text,
+                               const std::string &needle) {
+        std::size_t count = 0;
+        for (std::size_t at = text.find(needle);
+             at != std::string::npos;
+             at = text.find(needle, at + needle.size()))
+            ++count;
+        return count;
+    };
+
+    // The rejection names the chip and itemizes all four resource
+    // families uniformly, each with its "over by" amount -- the shape
+    // the cluster's per-chip Infeasible breakdown is built from.
+    ModelRegistry registry(capacityFor(demand, 1), "chipX");
+    EXPECT_EQ(registry.chipId(), "chipX");
+    ASSERT_TRUE(registry.add("a", model).ok());
+    Status rejected = registry.add("b", model);
+    ASSERT_FALSE(rejected.ok());
+    const std::string &message = rejected.message();
+    EXPECT_NE(message.find("admission rejected for model 'b' on chip "
+                           "'chipX':"),
+              std::string::npos)
+        << message;
+    for (const char *label : {"PE ", "SMB ", "CLB ", "routing "})
+        EXPECT_EQ(countOccurrences(message, label), 1u) << message;
+    EXPECT_EQ(countOccurrences(message, "(over by "), 4u) << message;
+    // A satisfied resource reads "over by 0": capacity for one model
+    // is fully held by 'a', so each family is over by its own demand.
+    EXPECT_NE(message.find("(over by " +
+                           std::to_string(demand.peBlocks) + ")"),
+              std::string::npos)
+        << message;
+
+    // The same breakdown is available standalone for placement
+    // messages, and a fitting demand reports "over by 0" everywhere.
+    const std::string fits =
+        admissionBreakdown(demand, capacityFor(demand, 2));
+    EXPECT_EQ(countOccurrences(fits, "(over by 0)"), 4u) << fits;
+
+    // The default registry identity stays the single-chip 'chip0'.
+    ModelRegistry defaulted(capacityFor(demand, 1));
+    EXPECT_EQ(defaulted.chipId(), "chip0");
+    ASSERT_TRUE(defaulted.add("a", model).ok());
+    Status again = defaulted.add("b", model);
+    ASSERT_FALSE(again.ok());
+    EXPECT_NE(again.message().find("on chip 'chip0'"),
+              std::string::npos)
+        << again.message();
+}
+
+// ------------------------------------------------------ SLO scheduler
+
+TEST(SloScheduler, StatsCarryAnOrderedP99Tail)
+{
+    auto cnn = compileShared(smallCnn());
+    EngineOptions options;
+    options.workerThreads = 2;
+    options.maxBatch = 4;
+    auto engine = Engine::create(ChipCapacity::unlimited(), options);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->loadModel("m", cnn).ok());
+
+    std::vector<std::future<StatusOr<InferenceResult>>> futures;
+    for (int i = 0; i < 64; ++i)
+        futures.push_back((*engine)->submit("m", probeInput()));
+    for (auto &f : futures)
+        ASSERT_TRUE(f.get().ok());
+
+    const EngineStats stats = (*engine)->stats();
+    EXPECT_LE(stats.p50QueueMillis, stats.p95QueueMillis);
+    EXPECT_LE(stats.p95QueueMillis, stats.p99QueueMillis);
+    EXPECT_LE(stats.p99QueueMillis, stats.maxQueueMillis);
+
+    auto parsed = parseJson((*engine)->statsJson());
+    ASSERT_TRUE(parsed.ok());
+    const JsonValue &waits = (*parsed)["aggregate"]["queueWaitMillis"];
+    ASSERT_TRUE(waits.isObject());
+    EXPECT_NE(waits.find("p99"), nullptr);
+    EXPECT_DOUBLE_EQ((*waits.find("p99")).number(),
+                     stats.p99QueueMillis);
+}
+
+TEST(SloScheduler, HigherPriorityClassJumpsTheQueue)
+{
+    auto cnn = compileShared(smallCnn());
+    EngineOptions options;
+    options.workerThreads = 1;
+    options.maxBatch = 4;
+    options.queueDepth = 1024;
+    options.defaultSloMillis = 1000.0; // deadlines dominated by class
+    auto engine = Engine::create(ChipCapacity::unlimited(), options);
+    ASSERT_TRUE(engine.ok());
+
+    TenantOptions batch_class;
+    batch_class.priorityClass = 1;
+    TenantOptions interactive;
+    interactive.priorityClass = 16; // 1000ms / 16 = 62.5ms budget
+    ASSERT_TRUE((*engine)->loadModel("batch", cnn, batch_class).ok());
+    ASSERT_TRUE(
+        (*engine)->loadModel("interactive", cnn, interactive).ok());
+
+    // Prefill the low-priority queue first, then the high-priority
+    // one.  Under round-robin or FIFO the earlier 'batch' requests
+    // would win; under EDF the interactive tenant's tighter deadline
+    // budget pulls it ahead of the backlog.
+    constexpr int kPerTenant = 48;
+    std::vector<std::future<StatusOr<InferenceResult>>> batch_futures,
+        interactive_futures;
+    for (int i = 0; i < kPerTenant; ++i)
+        batch_futures.push_back(
+            (*engine)->submit("batch", probeInput()));
+    for (int i = 0; i < kPerTenant; ++i)
+        interactive_futures.push_back(
+            (*engine)->submit("interactive", probeInput()));
+
+    double batch_wait = 0.0, interactive_wait = 0.0;
+    for (auto &f : batch_futures) {
+        auto r = f.get();
+        ASSERT_TRUE(r.ok()) << r.status().toString();
+        batch_wait += r->queueMillis;
+    }
+    for (auto &f : interactive_futures) {
+        auto r = f.get();
+        ASSERT_TRUE(r.ok()) << r.status().toString();
+        interactive_wait += r->queueMillis;
+    }
+    EXPECT_LT(interactive_wait, batch_wait);
+
+    // Both tenants fully served regardless of priority.
+    EXPECT_EQ((*engine)->modelStats("batch")->completed, kPerTenant);
+    EXPECT_EQ((*engine)->modelStats("interactive")->completed,
+              kPerTenant);
+
+    // Priority classes must be positive and SLOs non-negative.
+    TenantOptions bad;
+    bad.priorityClass = 0;
+    EXPECT_EQ((*engine)->loadModel("bad", cnn, bad).code(),
+              StatusCode::InvalidArgument);
+    bad.priorityClass = 1;
+    bad.sloMillis = -1.0;
+    EXPECT_EQ((*engine)->loadModel("bad", cnn, bad).code(),
+              StatusCode::InvalidArgument);
+}
+
 } // namespace
 } // namespace fpsa

@@ -109,8 +109,10 @@ def serving_metrics(records):
         # still wall-clock-derived, hence timing=True for the envelope.
         metric("bestSpeedup", summary["bestSpeedup"], "higher",
                timing=True),
-        metric("tenantFairness", summary["tenantFairness"], "higher",
-               timing=True),
+        # Best-of-3 in the bench absorbs the preemption outliers that
+        # used to crater fairness, so the plain 25% gate threshold
+        # covers the residual run-to-run spread without extra relax.
+        metric("tenantFairness", summary["tenantFairness"], "higher"),
         metric("baselineThroughput", summary["baselineThroughput"],
                "info"),
         metric("bestThroughput", summary["bestThroughput"], "info"),
@@ -153,8 +155,43 @@ def infer_metrics(records):
     return out
 
 
+def cluster_metrics(records):
+    """cluster_throughput: gated fleet fairness / tail / zero-loss
+    autoscale invariant; absolute throughputs are info."""
+    summary = next(
+        (r for r in records if r.get("kind") == "summary"), None)
+    if summary is None:
+        raise SystemExit("cluster: no summary line in input")
+    out = [
+        # Best-of-3 in the bench absorbs preemption outliers, so the
+        # plain 25% gate threshold covers the residual spread.
+        metric("fairnessAt3Chips3Tenants",
+               summary["fairnessAt3Chips3Tenants"], "higher"),
+        metric("p99QueueMillisAtWidest",
+               summary["p99QueueMillisAtWidest"], "lower", timing=True),
+        # Deterministic invariant of the hot-swap drain: a scaling
+        # event never fails an accepted request.
+        metric("autoscaleLostRequests",
+               summary["autoscaleLostRequests"], "lower"),
+        metric("fairnessReplicated", summary["fairnessReplicated"],
+               "info"),
+        metric("aggregateThroughputAtWidest",
+               summary["aggregateThroughputAtWidest"], "info"),
+        metric("clusterScaleup", summary["clusterScaleup"], "info"),
+    ]
+    for r in records:
+        if r.get("kind") == "clusterSweep":
+            shape = (f"{r['chips']}chips_{r['tenants']}tenants_"
+                     f"{r['hotReplicas']}hot")
+            out.append(metric(f"fairness_{shape}", r["fairness"],
+                              "info"))
+            out.append(metric(f"throughput_{shape}",
+                              r["aggregateThroughput"], "info"))
+    return out
+
+
 EXTRACTORS = {"pnr": pnr_metrics, "serving": serving_metrics,
-              "infer": infer_metrics}
+              "infer": infer_metrics, "cluster": cluster_metrics}
 
 
 def envelope(paths, commit, timestamp, relax):
