@@ -13,6 +13,8 @@ statusCodeName(StatusCode code)
       case StatusCode::Unroutable: return "UNROUTABLE";
       case StatusCode::Internal: return "INTERNAL";
       case StatusCode::Unavailable: return "UNAVAILABLE";
+      case StatusCode::DeadlineExceeded: return "DEADLINE_EXCEEDED";
+      case StatusCode::ResourceExhausted: return "RESOURCE_EXHAUSTED";
     }
     return "UNKNOWN";
 }

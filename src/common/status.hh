@@ -33,6 +33,12 @@ enum class StatusCode
     Unavailable,     //!< the serving runtime rejected the request
                      //!< (engine shut down / queue closed); retryable
                      //!< against another engine, unlike InvalidArgument
+    DeadlineExceeded, //!< the request's time budget ran out before it
+                      //!< could be (re)served; retrying it would only
+                      //!< serve an answer nobody is waiting for
+    ResourceExhausted, //!< transient backpressure (a full queue): the
+                       //!< target is healthy but busy, so wait and
+                       //!< resubmit rather than fail over elsewhere
 };
 
 const char *statusCodeName(StatusCode code);

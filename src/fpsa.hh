@@ -61,10 +61,15 @@
 #include "runtime/cluster/autoscaler.hh"
 #include "runtime/cluster/chip_fleet.hh"
 #include "runtime/cluster/cluster_engine.hh"
+#include "runtime/cluster/event_log.hh"
+#include "runtime/cluster/fault_injection.hh"
+#include "runtime/cluster/health.hh"
 #include "runtime/cluster/placement.hh"
+#include "runtime/cluster/recovery.hh"
 #include "runtime/compiled_model.hh"
 #include "runtime/engine.hh"
 #include "runtime/executor.hh"
+#include "runtime/fault_hook.hh"
 #include "runtime/model_registry.hh"
 #include "sim/bounds.hh"
 #include "sim/cycle_sim.hh"

@@ -7,7 +7,9 @@ namespace fpsa
 {
 
 Autoscaler::Autoscaler(ClusterEngine &cluster, AutoscalerOptions options)
-    : cluster_(cluster), options_(options)
+    : cluster_(cluster), options_(options),
+      history_(static_cast<std::size_t>(
+          options.historyCapacity > 0 ? options.historyCapacity : 1))
 {
 }
 
@@ -115,7 +117,7 @@ Autoscaler::evaluateOnce()
             event.toReplicas = load->replicas;
             event.reason = applied.toString();
         }
-        history_.push_back(event);
+        history_.push(event);
         decisions.push_back(std::move(event));
     }
     return decisions;
@@ -125,7 +127,14 @@ std::vector<Autoscaler::Event>
 Autoscaler::history() const
 {
     std::lock_guard<std::mutex> lock(mu_);
-    return history_;
+    return history_.snapshot();
+}
+
+std::int64_t
+Autoscaler::totalDecisions() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return history_.totalRecorded();
 }
 
 } // namespace fpsa

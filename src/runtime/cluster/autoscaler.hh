@@ -32,6 +32,7 @@
 #define FPSA_RUNTIME_CLUSTER_AUTOSCALER_HH
 
 #include <condition_variable>
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
@@ -39,6 +40,7 @@
 #include <vector>
 
 #include "runtime/cluster/cluster_engine.hh"
+#include "runtime/cluster/event_log.hh"
 
 namespace fpsa
 {
@@ -64,6 +66,13 @@ struct AutoscalerOptions
     int scaleDownAfter = 3; //!< consecutive idle evaluations to shrink
 
     double intervalMillis = 20.0; //!< background loop period
+
+    /**
+     * Most recent decisions retained by `history()`.  The control
+     * loop runs for the life of the process, so the history is a
+     * bounded ring, not an unbounded log.
+     */
+    int historyCapacity = 256;
 };
 
 /** The replica-scaling control loop over a `ClusterEngine`. */
@@ -100,8 +109,14 @@ class Autoscaler
      */
     std::vector<Event> evaluateOnce();
 
-    /** Every decision so far, oldest first. */
+    /**
+     * The most recent `historyCapacity` decisions, oldest first
+     * (older ones have been evicted; see `totalDecisions()`).
+     */
     std::vector<Event> history() const;
+
+    /** Decisions ever recorded, including evicted ones. */
+    std::int64_t totalDecisions() const;
 
     const AutoscalerOptions &options() const { return options_; }
 
@@ -118,7 +133,7 @@ class Autoscaler
 
     mutable std::mutex mu_; //!< guards streaks_, history_, evaluation
     std::map<std::string, Streak> streaks_;
-    std::vector<Event> history_;
+    EventLog<Event> history_;
 
     std::mutex loopMu_; //!< guards the loop thread + stop flag
     std::condition_variable stopCv_;

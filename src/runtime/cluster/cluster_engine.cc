@@ -69,6 +69,10 @@ ClusterEngine::create(std::vector<ChipSpec> chips, ClusterOptions options)
         return Status::error(StatusCode::InvalidArgument,
                              "cluster: unknown placement policy");
     }
+    if (options.retryBudget < 0) {
+        return Status::error(StatusCode::InvalidArgument,
+                             "cluster: retryBudget must be >= 0");
+    }
     auto fleet = ChipFleet::create(std::move(chips), options.engine);
     if (!fleet.ok())
         return fleet.status();
@@ -81,8 +85,11 @@ ClusterEngine::ClusterEngine(std::unique_ptr<ChipFleet> fleet,
                              std::unique_ptr<PlacementPolicy> policy,
                              ClusterOptions options)
     : options_(std::move(options)), policy_(std::move(policy)),
-      fleet_(std::move(fleet))
+      fleet_(std::move(fleet)),
+      health_(std::make_unique<HealthTracker>(fleet_->size(),
+                                              options_.health))
 {
+    reaper_ = std::thread(&ClusterEngine::reaperLoop, this);
 }
 
 ClusterEngine::~ClusterEngine()
@@ -128,6 +135,7 @@ ClusterEngine::loadModel(const std::string &name,
     TenantEntry entry;
     entry.model = std::move(model);
     entry.tenant = tenant;
+    entry.desiredReplicas = replicas;
     if (Status grown = growLocked(name, entry, replicas); !grown.ok())
         return grown;
     return Status();
@@ -141,7 +149,7 @@ ClusterEngine::growLocked(const std::string &name, TenantEntry snapshot,
     request.model = name;
     request.demand = snapshot.model->resourceDemand();
     request.replicas = count;
-    auto assignment = policy_->place(request, fleet_->loadViews());
+    auto assignment = policy_->place(request, healthyLoadViews());
     if (!assignment.ok())
         return assignment.status();
 
@@ -164,6 +172,7 @@ ClusterEngine::growLocked(const std::string &name, TenantEntry snapshot,
     if (!entry.model) {
         entry.model = std::move(snapshot.model);
         entry.tenant = snapshot.tenant;
+        entry.desiredReplicas = snapshot.desiredReplicas;
     }
     entry.chips.insert(entry.chips.end(), loaded.begin(), loaded.end());
     return Status();
@@ -188,6 +197,7 @@ ClusterEngine::setReplicas(const std::string &name, int replicas)
                                  "cluster: no model named '" + name +
                                      "'");
         }
+        it->second.desiredReplicas = replicas;
         snapshot = it->second;
     }
 
@@ -279,12 +289,68 @@ ClusterEngine::modelNames() const
 
 // ---------------------------------------------------------------- requests
 
+std::vector<ChipLoadView>
+ClusterEngine::healthyLoadViews() const
+{
+    std::vector<ChipLoadView> views = fleet_->loadViews();
+    const std::vector<ChipHealth> health = health_->snapshot();
+    for (std::size_t i = 0; i < views.size() && i < health.size(); ++i)
+        views[i].failed = health[i] == ChipHealth::Failed;
+    return views;
+}
+
+StatusOr<std::size_t>
+ClusterEngine::pickReplicaChip(const std::vector<std::size_t> &chips,
+                               const std::string &model,
+                               std::size_t exclude) const
+{
+    // Rank: Healthy before Degraded, then any chip other than the one
+    // that just failed the request, then least outstanding requests;
+    // ties keep placement order.  Failed chips are out entirely.
+    bool found = false;
+    std::size_t target = 0;
+    std::int64_t best_rank = 0;
+    std::int64_t best_pending = 0;
+    for (std::size_t chip : chips) {
+        const ChipHealth health = health_->health(chip);
+        if (health == ChipHealth::Failed)
+            continue;
+        const std::int64_t rank =
+            (health == ChipHealth::Degraded ? 2 : 0) +
+            (chip == exclude ? 1 : 0);
+        const std::int64_t pending =
+            fleet_->engine(chip).pendingRequests(model);
+        if (!found || rank < best_rank ||
+            (rank == best_rank && pending < best_pending)) {
+            found = true;
+            target = chip;
+            best_rank = rank;
+            best_pending = pending;
+        }
+    }
+    if (found)
+        return target;
+
+    std::string message =
+        "cluster: no live replica for model '" + model + "': ";
+    for (std::size_t i = 0; i < chips.size(); ++i) {
+        if (i > 0)
+            message += "; ";
+        message += "chip '" + fleet_->id(chips[i]) + "': " +
+                   chipHealthName(health_->health(chips[i]));
+    }
+    if (chips.empty())
+        message += "no replicas placed";
+    return Status::error(StatusCode::Unavailable, message);
+}
+
 std::future<StatusOr<InferenceResult>>
 ClusterEngine::submit(const std::string &model, Tensor input)
 {
     // One routing attempt per live replica, plus one for a re-read of
     // the table -- enough to outlast any single scale operation.
     const std::size_t max_attempts = fleet_->size() + 1;
+    const std::size_t no_exclude = std::numeric_limits<std::size_t>::max();
     for (std::size_t attempt = 0;; ++attempt) {
         std::vector<std::size_t> chips;
         {
@@ -309,43 +375,351 @@ ClusterEngine::submit(const std::string &model, Tensor input)
                     "' has no live replicas; request rejected"));
         }
 
-        // Least outstanding requests across the tenant's replicas;
-        // ties keep placement order.
-        std::size_t target = chips.front();
-        std::int64_t least =
-            std::numeric_limits<std::int64_t>::max();
-        for (std::size_t chip : chips) {
-            const std::int64_t pending =
-                fleet_->engine(chip).pendingRequests(model);
-            if (pending < least) {
-                least = pending;
-                target = chip;
-            }
-        }
+        auto target = pickReplicaChip(chips, model, no_exclude);
+        if (!target.ok())
+            return readyFuture(target.status());
 
         // The engine copies the input per attempt; an accepted
-        // request returns a pending future we pass through untouched.
-        auto future = fleet_->engine(target).submit(model, input);
+        // request returns a pending future the failover reaper then
+        // supervises (or, with failover disabled, the caller holds
+        // the chip future directly -- PR-6 behavior).
+        auto future = fleet_->engine(*target).submit(model, input);
         if (future.wait_for(std::chrono::seconds(0)) !=
-            std::future_status::ready)
-            return future;
+            std::future_status::ready) {
+            if (options_.retryBudget <= 0)
+                return future;
+            return superviseInflight(model, std::move(input),
+                                     std::move(future), *target);
+        }
 
-        // An immediately-ready future is a rejection (or an instant
-        // failure): re-route Unavailable -- the replica started
-        // draining between the table read and the submit -- and
-        // surface everything else as-is.
+        // An immediately-ready future is a rejection (the replica
+        // started draining between the table read and the submit) or
+        // an instant failure (a fast-failing chip can settle a batch
+        // inside this window).  Success and model-level errors pass
+        // through; a ready Unavailable goes to the supervised retry
+        // path, so fast failures face the same retry budget and shed
+        // deadline as slow ones.  With failover disabled, re-route
+        // inline a bounded number of times -- PR-6 behavior.
         StatusOr<InferenceResult> result = future.get();
         if (result.ok() ||
-            result.status().code() != StatusCode::Unavailable ||
-            attempt + 1 >= max_attempts)
+            result.status().code() != StatusCode::Unavailable)
+            return readyFuture(std::move(result));
+        if (options_.retryBudget > 0)
+            return superviseFailed(model, std::move(input), *target,
+                                   result.status());
+        if (attempt + 1 >= max_attempts)
             return readyFuture(std::move(result));
     }
+}
+
+ClusterEngine::Inflight
+ClusterEngine::newInflight(const std::string &model, Tensor input,
+                           std::size_t chip)
+{
+    Inflight entry;
+    entry.model = model;
+    entry.input = std::move(input);
+    entry.chip = chip;
+
+    // Shed bound: tenants with an explicit SLO shed at their EDF
+    // deadline; best-effort tenants get the (generous) cluster bound.
+    double shed_millis = options_.bestEffortShedMillis;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = tenants_.find(model);
+        if (it != tenants_.end() && it->second.tenant.sloMillis > 0.0) {
+            shed_millis =
+                it->second.tenant.sloMillis /
+                std::max(1, it->second.tenant.priorityClass);
+        }
+    }
+    if (shed_millis > 0.0) {
+        entry.hasDeadline = true;
+        entry.deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double, std::milli>(shed_millis));
+    }
+    return entry;
+}
+
+std::future<StatusOr<InferenceResult>>
+ClusterEngine::superviseInflight(
+    const std::string &model, Tensor input,
+    std::future<StatusOr<InferenceResult>> attempt, std::size_t chip)
+{
+    Inflight entry = newInflight(model, std::move(input), chip);
+    entry.attempt = std::move(attempt);
+    entry.wasPending = true;
+
+    auto future = entry.promise.get_future();
+    {
+        std::lock_guard<std::mutex> lock(pendingMu_);
+        if (reaperStop_) {
+            // Shutdown already retired the reaper: the engines are
+            // draining, so the attempt resolves promptly; forward it
+            // rather than strand the entry.
+            entry.promise.set_value(entry.attempt.get());
+            return future;
+        }
+        pending_.push_back(std::move(entry));
+    }
+    pendingCv_.notify_all();
+    return future;
+}
+
+std::future<StatusOr<InferenceResult>>
+ClusterEngine::superviseFailed(const std::string &model, Tensor input,
+                               std::size_t chip, Status error)
+{
+    // A first attempt that settled Unavailable inside submit():
+    // rejected at the queue or failed before submit() returned.
+    // Charge it to the budget/deadline like any other failed attempt
+    // (wasPending stays false -- a rejection says nothing about the
+    // chip's health) and let the reaper resubmit after backoff.
+    Inflight entry = newInflight(model, std::move(input), chip);
+
+    auto future = entry.promise.get_future();
+    std::lock_guard<std::mutex> lock(pendingMu_);
+    if (reaperStop_) {
+        entry.promise.set_value(std::move(error));
+        return future;
+    }
+    if (settleLocked(entry, std::move(error))) {
+        pending_.push_back(std::move(entry));
+        pendingCv_.notify_all();
+    }
+    return future;
+}
+
+bool
+ClusterEngine::settleLocked(Inflight &entry,
+                            StatusOr<InferenceResult> result)
+{
+    // Anything but Unavailable / ResourceExhausted is final: success,
+    // a model-level error, or a shed already applied.  Unavailable is
+    // the retryable class (chip fault, drain race); ResourceExhausted
+    // is backpressure -- a full queue on a healthy survivor, where
+    // the front-door submit would simply have blocked.
+    const bool backpressure =
+        !result.ok() &&
+        result.status().code() == StatusCode::ResourceExhausted;
+    if (result.ok() ||
+        (!backpressure &&
+         result.status().code() != StatusCode::Unavailable)) {
+        if (entry.wasPending)
+            health_->recordOutcome(entry.chip, result.ok());
+        entry.promise.set_value(std::move(result));
+        return false;
+    }
+
+    // A failed attempt that had been accepted is a chip-side failure;
+    // an immediate rejection is backpressure or a drain race and says
+    // nothing about the chip's health.
+    if (entry.wasPending)
+        health_->recordOutcome(entry.chip, false);
+    entry.lastError = result.status();
+
+    const auto now = std::chrono::steady_clock::now();
+    if (entry.hasDeadline && now >= entry.deadline) {
+        entry.promise.set_value(Status::error(
+            StatusCode::DeadlineExceeded,
+            "cluster: request for '" + entry.model +
+                "' shed after " + std::to_string(entry.retries) +
+                " failover retries; its deadline passed while "
+                "failing over (last error: " +
+                entry.lastError.message() + ")"));
+        return false;
+    }
+    // Waiting out backpressure consumes no retry budget -- only the
+    // shed deadline above bounds it, exactly like a blocking submit.
+    if (!backpressure) {
+        if (entry.retries >= options_.retryBudget) {
+            entry.promise.set_value(Status::error(
+                StatusCode::Unavailable,
+                "cluster: request for '" + entry.model +
+                    "' failed after " + std::to_string(entry.retries) +
+                    " failover retries: " + entry.lastError.message()));
+            return false;
+        }
+        ++entry.retries;
+    }
+    entry.inBackoff = true;
+    entry.attempt = std::future<StatusOr<InferenceResult>>();
+    entry.backoffMillis =
+        entry.backoffMillis <= 0.0
+            ? options_.retryBackoffMillis
+            : std::min(entry.backoffMillis * 2.0,
+                       options_.maxRetryBackoffMillis);
+    entry.wakeAt = now + std::chrono::duration_cast<
+                             std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double, std::milli>(
+                           std::max(0.0, entry.backoffMillis)));
+    return true;
+}
+
+bool
+ClusterEngine::reapOnce()
+{
+    // Requires pendingMu_ (the reaper loop's lock).  Lock order here:
+    // pendingMu_ -> mu_ / health / chip engines, all leaves.
+    bool progress = false;
+    const auto now = std::chrono::steady_clock::now();
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        Inflight &entry = *it;
+        if (!entry.inBackoff) {
+            if (entry.attempt.wait_for(std::chrono::seconds(0)) !=
+                std::future_status::ready) {
+                ++it;
+                continue;
+            }
+            progress = true;
+            if (settleLocked(entry, entry.attempt.get())) {
+                ++it; // retry scheduled; entry stays
+            } else {
+                it = pending_.erase(it);
+            }
+            continue;
+        }
+
+        // Backoff expired: resubmit to the healthiest surviving
+        // replica (avoiding the chip that just failed when possible).
+        if (now < entry.wakeAt) {
+            ++it;
+            continue;
+        }
+        progress = true;
+        bool stopping = false;
+        std::vector<std::size_t> chips;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stopping = stopping_;
+            auto tenant = tenants_.find(entry.model);
+            if (tenant != tenants_.end())
+                chips = tenant->second.chips;
+        }
+        if (stopping) {
+            entry.promise.set_value(Status::error(
+                StatusCode::Unavailable,
+                "cluster: shut down while failing over a request "
+                "for '" +
+                    entry.model +
+                    "' (last error: " + entry.lastError.message() +
+                    ")"));
+            it = pending_.erase(it);
+            continue;
+        }
+        auto target = pickReplicaChip(chips, entry.model, entry.chip);
+        if (!target.ok()) {
+            // No live replica *right now* -- recovery may still
+            // re-place one.  Burn a retry and wait again so a dead
+            // fleet cannot park requests forever.  Not a chip error:
+            // the failed attempt was already charged to its chip.
+            entry.wasPending = false;
+            if (settleLocked(entry, target.status())) {
+                ++it;
+            } else {
+                it = pending_.erase(it);
+            }
+            continue;
+        }
+        auto attempt =
+            fleet_->engine(*target).trySubmit(entry.model, entry.input);
+        entry.inBackoff = false;
+        if (attempt.wait_for(std::chrono::seconds(0)) ==
+            std::future_status::ready) {
+            // Rejected at submit.  A drain race (Unavailable) counts
+            // against the budget; a full queue (ResourceExhausted) is
+            // backpressure and only waits.  Neither charges the
+            // chip's health.  On backpressure `entry.chip` keeps
+            // pointing at the chip that actually failed, so the next
+            // pick still avoids it rather than the busy survivor.
+            auto rejected = attempt.get();
+            if (!(!rejected.ok() &&
+                  rejected.status().code() ==
+                      StatusCode::ResourceExhausted))
+                entry.chip = *target;
+            entry.wasPending = false;
+            if (settleLocked(entry, std::move(rejected))) {
+                ++it;
+            } else {
+                it = pending_.erase(it);
+            }
+            continue;
+        }
+        entry.chip = *target;
+        entry.wasPending = true;
+        entry.attempt = std::move(attempt);
+        ++it;
+    }
+    return progress;
+}
+
+void
+ClusterEngine::reaperLoop()
+{
+    std::unique_lock<std::mutex> lock(pendingMu_);
+    while (!reaperStop_) {
+        if (pending_.empty()) {
+            pendingCv_.wait(lock, [this] {
+                return reaperStop_ || !pending_.empty();
+            });
+            continue;
+        }
+        reapOnce();
+        if (reaperStop_)
+            break;
+        // Poll cadence while requests are in flight; wakes early on
+        // new registrations and on shutdown.
+        pendingCv_.wait_for(lock, std::chrono::microseconds(500),
+                            [this] { return reaperStop_; });
+    }
+
+    // Shutdown drain: the fleet's engines have been (or are being)
+    // shut down, so every accepted attempt resolves; entries parked
+    // in backoff can never be resubmitted and fail Unavailable.
+    // Every promise resolves -- no caller is left holding a broken
+    // future.
+    for (Inflight &entry : pending_) {
+        if (entry.inBackoff) {
+            entry.promise.set_value(Status::error(
+                StatusCode::Unavailable,
+                "cluster: shut down while failing over a request "
+                "for '" +
+                    entry.model +
+                    "' (last error: " + entry.lastError.message() +
+                    ")"));
+        } else {
+            entry.promise.set_value(entry.attempt.get());
+        }
+    }
+    pending_.clear();
 }
 
 StatusOr<InferenceResult>
 ClusterEngine::infer(const std::string &model, const Tensor &input)
 {
     return submit(model, input).get();
+}
+
+StatusOr<InferenceResult>
+ClusterEngine::infer(const std::string &model, const Tensor &input,
+                     double timeoutMillis)
+{
+    if (!(timeoutMillis > 0.0)) {
+        return Status::error(StatusCode::InvalidArgument,
+                             "cluster infer: timeoutMillis must be > 0");
+    }
+    auto future = submit(model, input);
+    if (future.wait_for(std::chrono::duration<double, std::milli>(
+            timeoutMillis)) == std::future_status::ready)
+        return future.get();
+    return Status::error(
+        StatusCode::DeadlineExceeded,
+        "cluster infer: request for '" + model + "' not served within " +
+            std::to_string(timeoutMillis) +
+            "ms; the request remains accepted and will still drain");
 }
 
 Status
@@ -355,8 +729,117 @@ ClusterEngine::shutdown()
         std::lock_guard<std::mutex> lock(mu_);
         stopping_ = true;
     }
-    // Chip engines' shutdown is idempotent and drains every queue.
-    return fleet_->shutdown();
+    // Chip engines' shutdown is idempotent and drains every queue --
+    // after this, every chip future held by the reaper is resolved.
+    Status drained = fleet_->shutdown();
+
+    std::thread reaper;
+    {
+        std::lock_guard<std::mutex> lock(pendingMu_);
+        reaperStop_ = true;
+        reaper = std::move(reaper_);
+    }
+    pendingCv_.notify_all();
+    if (reaper.joinable())
+        reaper.join();
+    return drained;
+}
+
+// ------------------------------------------------------------------ health
+
+void
+ClusterEngine::probeChips()
+{
+    for (std::size_t chip = 0; chip < fleet_->size(); ++chip)
+        health_->recordProbe(chip, fleet_->engine(chip).probe().ok());
+}
+
+ChipHealth
+ClusterEngine::chipHealth(std::size_t chip) const
+{
+    return health_->health(chip);
+}
+
+std::vector<ClusterEngine::RecoveryAction>
+ClusterEngine::repairOnce()
+{
+    std::vector<RecoveryAction> actions;
+    std::lock_guard<std::mutex> ops(opsMu_);
+
+    std::map<std::string, TenantEntry> tenants;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_)
+            return actions;
+        tenants = tenants_;
+    }
+    const std::vector<ChipHealth> health = health_->snapshot();
+
+    for (const auto &[name, snapshot] : tenants) {
+        // Evict replicas living on Failed chips: stop routing to each
+        // first, then drain it off the chip (queued requests fail fast
+        // there and fail over), releasing its budget.
+        std::vector<std::string> evicted;
+        for (std::size_t chip : snapshot.chips) {
+            if (chip >= health.size() ||
+                health[chip] != ChipHealth::Failed)
+                continue;
+            bool routed_away = false;
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                auto it = tenants_.find(name);
+                if (it != tenants_.end()) {
+                    auto &live = it->second.chips;
+                    auto pos =
+                        std::find(live.begin(), live.end(), chip);
+                    if (pos != live.end()) {
+                        live.erase(pos);
+                        routed_away = true;
+                    }
+                }
+            }
+            if (!routed_away)
+                continue; // unloaded or already repaired concurrently
+            fleet_->engine(chip).unloadModel(name);
+            evicted.push_back(fleet_->id(chip));
+        }
+
+        // Top the tenant back up to its desired replica count -- this
+        // also retries deficits left by earlier passes that found no
+        // room.  One replica at a time so a partial recovery sticks
+        // (growLocked rolls back its own failed step).
+        TenantEntry current;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            auto it = tenants_.find(name);
+            if (it == tenants_.end())
+                continue;
+            current = it->second;
+        }
+        int deficit = current.desiredReplicas -
+                      static_cast<int>(current.chips.size());
+        for (int i = 0; i < deficit; ++i) {
+            RecoveryAction action;
+            action.model = name;
+            if (static_cast<std::size_t>(i) < evicted.size())
+                action.fromChip = evicted[static_cast<std::size_t>(i)];
+            action.status = growLocked(name, current, 1);
+            if (action.status.ok()) {
+                std::lock_guard<std::mutex> lock(mu_);
+                auto it = tenants_.find(name);
+                if (it != tenants_.end() && !it->second.chips.empty())
+                    action.toChip = fleet_->id(it->second.chips.back());
+            } else {
+                // No room on the surviving fleet: record the per-chip
+                // breakdown and leave the tenant degraded; a later
+                // pass retries (e.g. once the chip rejoins).
+                actions.push_back(std::move(action));
+                break;
+            }
+            actions.push_back(std::move(action));
+        }
+    }
+    return actions;
 }
 
 // ------------------------------------------------------------------- stats
@@ -451,6 +934,7 @@ ClusterEngine::statsJson() const
         for (std::size_t chip : entry.chips)
             j.value(fleet_->id(chip));
         j.endArray();
+        j.field("desiredReplicas", entry.desiredReplicas);
         auto load = tenantLoad(name);
         if (load.ok()) {
             j.field("pending", load->pending);
@@ -459,6 +943,11 @@ ClusterEngine::statsJson() const
         j.endObject();
     }
     j.endObject();
+    std::vector<std::string> chip_ids;
+    chip_ids.reserve(fleet_->size());
+    for (std::size_t chip = 0; chip < fleet_->size(); ++chip)
+        chip_ids.push_back(fleet_->id(chip));
+    j.key("health").raw(health_->toJson(chip_ids));
     j.key("utilization").raw(fleet_->utilizationJson());
     j.endObject();
     return j.str();

@@ -39,16 +39,21 @@
 #ifndef FPSA_RUNTIME_CLUSTER_CLUSTER_ENGINE_HH
 #define FPSA_RUNTIME_CLUSTER_CLUSTER_ENGINE_HH
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/status.hh"
 #include "runtime/cluster/chip_fleet.hh"
+#include "runtime/cluster/health.hh"
 #include "runtime/cluster/placement.hh"
 #include "runtime/engine.hh"
 
@@ -62,6 +67,32 @@ struct ClusterOptions
     EngineOptions engine;
 
     PlacementPolicyKind placement = PlacementPolicyKind::BestFit;
+
+    /** Per-chip health state machine thresholds. */
+    HealthOptions health;
+
+    /**
+     * Failover retries per request: an accepted request whose replica
+     * fails (`Unavailable`) is resubmitted to a surviving replica up
+     * to this many times before its error surfaces.  0 disables
+     * failover (PR-6 behavior).
+     */
+    int retryBudget = 3;
+
+    /** First retry backoff; doubles per retry of the same request. */
+    double retryBackoffMillis = 1.0;
+
+    double maxRetryBackoffMillis = 50.0;
+
+    /**
+     * Load-shedding bound for tenants with no explicit SLO: a failed
+     * request older than this is shed (`DeadlineExceeded`) instead of
+     * retried.  Tenants with an explicit `TenantOptions::sloMillis`
+     * shed at enqueue + sloMillis / priorityClass -- their EDF
+     * deadline; retrying past it would serve an answer nobody is
+     * waiting for.  0 disables shedding for best-effort tenants.
+     */
+    double bestEffortShedMillis = 10000.0;
 };
 
 /** The multi-chip serving runtime fronting a `ChipFleet`. */
@@ -122,8 +153,50 @@ class ClusterEngine
     StatusOr<InferenceResult> infer(const std::string &model,
                                     const Tensor &input);
 
+    /**
+     * Bounded-wait infer: `DeadlineExceeded` when the result is not
+     * ready within `timeoutMillis`; the request itself stays accepted
+     * and still drains.
+     */
+    StatusOr<InferenceResult> infer(const std::string &model,
+                                    const Tensor &input,
+                                    double timeoutMillis);
+
     /** Stop routing, drain every chip, return the first drain error. */
     Status shutdown();
+
+    // --------------------------------------------------------- health
+
+    /**
+     * Probe every chip's engine once and feed the results to the
+     * health tracker -- the fail-stop detector.  `RecoveryManager`
+     * calls this on its loop cadence; tests call it directly.
+     */
+    void probeChips();
+
+    ChipHealth chipHealth(std::size_t chip) const;
+
+    const HealthTracker &health() const { return *health_; }
+
+    /** One self-healing replica re-placement (or why it couldn't). */
+    struct RecoveryAction
+    {
+        std::string model;
+        std::string fromChip; //!< the failed replica's chip
+        std::string toChip;   //!< empty when re-placement failed
+        Status status;        //!< OK, or the placement/load error
+    };
+
+    /**
+     * One synchronous self-healing pass: every replica living on a
+     * `Failed` chip is routed around, drained off that chip, and
+     * re-placed on a live chip via the placement policy.  When the
+     * surviving fleet has no room the action records the per-chip
+     * `Infeasible`/`Unavailable` breakdown and the tenant keeps
+     * serving degraded (fewer replicas) until a later pass succeeds
+     * -- e.g. after the chip rejoins.  Returns the actions taken.
+     */
+    std::vector<RecoveryAction> repairOnce();
 
     // ---------------------------------------------------------- stats
 
@@ -170,6 +243,38 @@ class ClusterEngine
         std::shared_ptr<const CompiledModel> model;
         TenantOptions tenant;
         std::vector<std::size_t> chips; //!< replica chips, placement order
+
+        /**
+         * Replica count the operator asked for (loadModel/
+         * setReplicas).  `chips.size()` can fall below it when a chip
+         * fails and the survivors have no room; `repairOnce()` keeps
+         * topping the tenant back up to this until it succeeds.
+         */
+        int desiredReplicas = 0;
+    };
+
+    /**
+     * One accepted request under failover supervision.  The caller
+     * holds the future of `promise`; `attempt` is the current chip
+     * engine's future.  The reaper resolves `promise` exactly once --
+     * with the first success, a non-retryable error, the exhausted
+     * retry budget's last error, or a `DeadlineExceeded` shed.
+     */
+    struct Inflight
+    {
+        std::string model;
+        Tensor input; //!< retained for resubmission
+        std::promise<StatusOr<InferenceResult>> promise;
+        std::future<StatusOr<InferenceResult>> attempt;
+        std::size_t chip = 0;
+        int retries = 0;
+        bool wasPending = false; //!< attempt was accepted (not rejected)
+        bool inBackoff = false;  //!< waiting for wakeAt, no attempt
+        std::chrono::steady_clock::time_point wakeAt;
+        double backoffMillis = 0.0;
+        bool hasDeadline = false;
+        std::chrono::steady_clock::time_point deadline; //!< shed bound
+        Status lastError;
     };
 
     ClusterEngine(std::unique_ptr<ChipFleet> fleet,
@@ -180,21 +285,79 @@ class ClusterEngine
     Status growLocked(const std::string &name, TenantEntry snapshot,
                       int count);
 
+    /**
+     * The fleet's placement views with `failed` stamped from the
+     * health tracker, so placement routes around down chips.
+     */
+    std::vector<ChipLoadView> healthyLoadViews() const;
+
+    /**
+     * Healthiest, least-loaded replica chip for `model` among `chips`:
+     * `Failed` chips are excluded, `Healthy` beats `Degraded`, then
+     * avoid `exclude` (the chip that just failed the request), then
+     * least outstanding requests.  `Unavailable` with a per-chip
+     * health breakdown when every replica is down.
+     */
+    StatusOr<std::size_t> pickReplicaChip(
+        const std::vector<std::size_t> &chips, const std::string &model,
+        std::size_t exclude) const;
+
+    /** A fresh supervision entry with its shed deadline computed. */
+    Inflight newInflight(const std::string &model, Tensor input,
+                         std::size_t chip);
+
+    /** Hand an accepted request to the failover reaper. */
+    std::future<StatusOr<InferenceResult>> superviseInflight(
+        const std::string &model, Tensor input,
+        std::future<StatusOr<InferenceResult>> attempt, std::size_t chip);
+
+    /**
+     * Supervised retry for a first attempt that settled Unavailable
+     * inside submit() (queue rejection or fast failure): applies the
+     * same budget/backoff/shed policy before the caller sees an error.
+     */
+    std::future<StatusOr<InferenceResult>> superviseFailed(
+        const std::string &model, Tensor input, std::size_t chip,
+        Status error);
+
+    void reaperLoop();
+
+    /** One reaper scan; returns true when any entry made progress. */
+    bool reapOnce();
+
+    /**
+     * Final decision for one settled attempt: resolve, retry (true ->
+     * entry stays registered), or shed.  Requires pendingMu_.
+     */
+    bool settleLocked(Inflight &entry, StatusOr<InferenceResult> result);
+
     ClusterOptions options_;
     std::unique_ptr<PlacementPolicy> policy_;
     std::unique_ptr<ChipFleet> fleet_;
+    std::unique_ptr<HealthTracker> health_;
 
     /**
-     * Serializes multi-step tenant operations (load/scale/unload), so
-     * placement decisions see a stable fleet.  Never held while
-     * waiting on a drain's request path -- drains only need the chip
-     * engines' workers, which never take cluster locks.
+     * Serializes multi-step tenant operations (load/scale/unload/
+     * repair), so placement decisions see a stable fleet.  Never held
+     * while waiting on a drain's request path -- drains only need the
+     * chip engines' workers, which never take cluster locks.
      */
     std::mutex opsMu_;
 
     mutable std::mutex mu_; //!< guards tenants_ + stopping_
     std::map<std::string, TenantEntry> tenants_;
     bool stopping_ = false;
+
+    /**
+     * Failover supervision state.  Lock order: pendingMu_ before mu_
+     * and before any chip engine's internals (via trySubmit); never
+     * under opsMu_.
+     */
+    std::mutex pendingMu_;
+    std::condition_variable pendingCv_; //!< wakes the reaper
+    std::list<Inflight> pending_;
+    bool reaperStop_ = false;
+    std::thread reaper_;
 };
 
 } // namespace fpsa

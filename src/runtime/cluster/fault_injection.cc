@@ -1,0 +1,164 @@
+#include "runtime/cluster/fault_injection.hh"
+
+#include <chrono>
+#include <functional>
+#include <thread>
+
+namespace fpsa
+{
+
+FaultInjector::FaultInjector(std::uint64_t seed) : seed_(seed)
+{
+}
+
+FaultInjector::~FaultInjector()
+{
+    // An engine worker blocked in a wedge must never outwait the
+    // injector (the hook is shared_ptr-held, so engines normally keep
+    // it alive; this is the belt to that suspender).
+    std::lock_guard<std::mutex> lock(mu_);
+    tearingDown_ = true;
+    unwedged_.notify_all();
+}
+
+FaultInjector::ChipFaults &
+FaultInjector::chipLocked(const std::string &chipId)
+{
+    ChipFaults &chip = chips_[chipId];
+    if (!chip.seeded) {
+        // Fork a per-chip stream from (seed, chip id) so one chip's
+        // fault sequence never depends on another chip's call order.
+        chip.rng = Rng(seed_ ^ std::hash<std::string>{}(chipId));
+        chip.seeded = true;
+    }
+    return chip;
+}
+
+void
+FaultInjector::failStop(const std::string &chipId)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    chipLocked(chipId).failStopped = true;
+}
+
+void
+FaultInjector::recover(const std::string &chipId)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ChipFaults &chip = chipLocked(chipId);
+    chip.failStopped = false;
+    chip.wedged = false;
+    chip.transientErrorRate = 0.0;
+    chip.spikeMillis = 0.0;
+    chip.spikeRate = 0.0;
+    unwedged_.notify_all();
+}
+
+bool
+FaultInjector::failStopped(const std::string &chipId) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = chips_.find(chipId);
+    return it != chips_.end() && it->second.failStopped;
+}
+
+void
+FaultInjector::setTransientErrorRate(const std::string &chipId,
+                                     double rate)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    chipLocked(chipId).transientErrorRate = rate;
+}
+
+void
+FaultInjector::setLatencySpike(const std::string &chipId, double millis,
+                               double rate)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ChipFaults &chip = chipLocked(chipId);
+    chip.spikeMillis = millis;
+    chip.spikeRate = rate;
+}
+
+void
+FaultInjector::wedge(const std::string &chipId)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    chipLocked(chipId).wedged = true;
+}
+
+void
+FaultInjector::unwedge(const std::string &chipId)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    chipLocked(chipId).wedged = false;
+    unwedged_.notify_all();
+}
+
+std::int64_t
+FaultInjector::injectedFaults() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return injectedFaults_;
+}
+
+std::int64_t
+FaultInjector::injectedSpikes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return injectedSpikes_;
+}
+
+Status
+FaultInjector::beforeExecute(const std::string &chipId)
+{
+    double sleep_millis = 0.0;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        // std::map references are stable, so `chip` survives the wait
+        // and concurrent insertions of other chips.
+        ChipFaults &chip = chipLocked(chipId);
+        // Wedge first: a wedged chip stalls even a fail-stopped batch
+        // (the stall is what the bounded-infer path must survive).
+        unwedged_.wait(lock,
+                       [&] { return !chip.wedged || tearingDown_; });
+        if (chip.failStopped) {
+            ++injectedFaults_;
+            return Status::error(StatusCode::Unavailable,
+                                 "fault injection: chip '" + chipId +
+                                     "' is fail-stopped");
+        }
+        if (chip.transientErrorRate > 0.0 &&
+            chip.rng.bernoulli(chip.transientErrorRate)) {
+            ++injectedFaults_;
+            return Status::error(
+                StatusCode::Unavailable,
+                "fault injection: transient executor error on chip '" +
+                    chipId + "'");
+        }
+        if (chip.spikeRate > 0.0 && chip.rng.bernoulli(chip.spikeRate)) {
+            ++injectedSpikes_;
+            sleep_millis = chip.spikeMillis;
+        }
+    }
+    if (sleep_millis > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(sleep_millis));
+    }
+    return Status();
+}
+
+Status
+FaultInjector::probe(const std::string &chipId)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = chips_.find(chipId);
+    if (it != chips_.end() && it->second.failStopped) {
+        return Status::error(StatusCode::Unavailable,
+                             "fault injection: chip '" + chipId +
+                                 "' is fail-stopped");
+    }
+    return Status();
+}
+
+} // namespace fpsa

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * `fpsa::FaultInjector`: deterministic, seedable chip-fault injection
+ * for the serving fleet.
+ *
+ * The injector is an `ExecutionFaultHook` shared by every chip engine
+ * in a fleet (wire it through `EngineOptions::faultHook`); faults are
+ * scripted per chip id and observed by the engines at their next batch
+ * execution or probe:
+ *
+ *     auto chaos = std::make_shared<FaultInjector>(/seed=/7);
+ *     options.engine.faultHook = chaos;
+ *     ...
+ *     chaos->failStop("chip1");            // every execution fails
+ *     chaos->setTransientErrorRate("chip0", 0.05);
+ *     chaos->setLatencySpike("chip2", 40.0, 0.1);
+ *     chaos->wedge("chip0");               // executions block ...
+ *     chaos->unwedge("chip0");             // ... until released
+ *     chaos->recover("chip1");             // chip rejoins
+ *
+ * Fault model:
+ *  - **fail-stop**: every execution on the chip fails `Unavailable`
+ *    and probes report the chip down -- the failure class the health
+ *    tracker escalates to `Failed` and recovery re-places around.
+ *  - **transient errors**: each batch independently fails with the
+ *    configured probability (`Unavailable`, retryable); probes stay
+ *    OK, so the chip looks flaky, not dead.
+ *  - **latency spikes**: each batch independently stalls for the
+ *    configured milliseconds with the configured probability; no
+ *    error is reported.
+ *  - **wedge**: executions block until `unwedge`/`recover` -- the
+ *    deterministic stand-in for a hung executor that the bounded
+ *    `infer(..., timeoutMillis)` overloads are tested against.
+ *
+ * Randomized faults draw from a per-chip PRNG forked from the seed and
+ * the chip id, so a chip's fault sequence is a deterministic function
+ * of (seed, its own execution count) regardless of how other chips'
+ * executions interleave.  All methods are thread-safe.
+ */
+
+#ifndef FPSA_RUNTIME_CLUSTER_FAULT_INJECTION_HH
+#define FPSA_RUNTIME_CLUSTER_FAULT_INJECTION_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/rng.hh"
+#include "common/status.hh"
+#include "runtime/fault_hook.hh"
+
+namespace fpsa
+{
+
+/** Scripted, deterministic chip faults behind the engine fault hook. */
+class FaultInjector final : public ExecutionFaultHook
+{
+  public:
+    explicit FaultInjector(std::uint64_t seed = 2027);
+
+    /** Unblocks any wedged executions before tearing down. */
+    ~FaultInjector() override;
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    // ------------------------------------------------------ scripting
+
+    /** Fail-stop `chipId`: executions fail, probes report it down. */
+    void failStop(const std::string &chipId);
+
+    /** Clear every fault on `chipId` (incl. a wedge): it rejoins. */
+    void recover(const std::string &chipId);
+
+    bool failStopped(const std::string &chipId) const;
+
+    /** Each batch on `chipId` fails with probability `rate` in [0,1]. */
+    void setTransientErrorRate(const std::string &chipId, double rate);
+
+    /** Each batch stalls `millis` with probability `rate` in [0,1]. */
+    void setLatencySpike(const std::string &chipId, double millis,
+                         double rate);
+
+    /** Block executions on `chipId` until `unwedge`/`recover`. */
+    void wedge(const std::string &chipId);
+
+    void unwedge(const std::string &chipId);
+
+    // ------------------------------------------------------ observers
+
+    /** Executions failed by injection (fail-stop + transient). */
+    std::int64_t injectedFaults() const;
+
+    /** Latency spikes served so far. */
+    std::int64_t injectedSpikes() const;
+
+    // ----------------------------------------------- ExecutionFaultHook
+
+    Status beforeExecute(const std::string &chipId) override;
+    Status probe(const std::string &chipId) override;
+
+  private:
+    struct ChipFaults
+    {
+        bool failStopped = false;
+        bool wedged = false;
+        double transientErrorRate = 0.0;
+        double spikeMillis = 0.0;
+        double spikeRate = 0.0;
+        Rng rng{0}; //!< per-chip stream, seeded on first touch
+        bool seeded = false;
+    };
+
+    /** Requires mu_: the chip's fault slate, seeding its PRNG once. */
+    ChipFaults &chipLocked(const std::string &chipId);
+
+    const std::uint64_t seed_;
+    mutable std::mutex mu_;
+    std::condition_variable unwedged_; //!< wakes blocked executions
+    std::map<std::string, ChipFaults> chips_;
+    std::int64_t injectedFaults_ = 0;
+    std::int64_t injectedSpikes_ = 0;
+    bool tearingDown_ = false;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_RUNTIME_CLUSTER_FAULT_INJECTION_HH

@@ -1,0 +1,177 @@
+#include "runtime/cluster/health.hh"
+
+#include "common/json.hh"
+
+namespace fpsa
+{
+
+const char *
+chipHealthName(ChipHealth health)
+{
+    switch (health) {
+    case ChipHealth::Healthy:
+        return "HEALTHY";
+    case ChipHealth::Degraded:
+        return "DEGRADED";
+    case ChipHealth::Failed:
+        return "FAILED";
+    }
+    return "UNKNOWN";
+}
+
+HealthTracker::HealthTracker(std::size_t chips, HealthOptions options)
+    : options_(options), chips_(chips)
+{
+    for (ChipState &chip : chips_) {
+        chip.window.assign(
+            static_cast<std::size_t>(
+                options_.windowSize > 0 ? options_.windowSize : 1),
+            false);
+    }
+}
+
+double
+HealthTracker::errorRateLocked(const ChipState &chip) const
+{
+    if (chip.count == 0) {
+        return 0.0;
+    }
+    return static_cast<double>(chip.errors) /
+           static_cast<double>(chip.count);
+}
+
+void
+HealthTracker::applyErrorRateLocked(ChipState &chip)
+{
+    // A probe success is the only way out of Failed: the error window
+    // may still be full of pre-failure outcomes.
+    if (chip.state == ChipHealth::Failed) {
+        return;
+    }
+    if (chip.count < static_cast<std::size_t>(options_.minSamples)) {
+        return;
+    }
+    double rate = errorRateLocked(chip);
+    if (rate >= options_.failedErrorRate) {
+        chip.state = ChipHealth::Failed;
+    } else if (rate >= options_.degradedErrorRate) {
+        chip.state = ChipHealth::Degraded;
+    } else {
+        chip.state = ChipHealth::Healthy;
+    }
+}
+
+void
+HealthTracker::recordOutcome(std::size_t chip, bool ok)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (chip >= chips_.size()) {
+        return;
+    }
+    ChipState &state = chips_[chip];
+    bool error = !ok;
+    if (state.count == state.window.size()) {
+        // Window full: the slot we overwrite leaves the rate.
+        if (state.window[state.next]) {
+            --state.errors;
+        }
+    } else {
+        ++state.count;
+    }
+    state.window[state.next] = error;
+    if (error) {
+        ++state.errors;
+    }
+    state.next = (state.next + 1) % state.window.size();
+    applyErrorRateLocked(state);
+}
+
+void
+HealthTracker::recordProbe(std::size_t chip, bool ok)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (chip >= chips_.size()) {
+        return;
+    }
+    ChipState &state = chips_[chip];
+    if (!ok) {
+        ++state.probeFailureStreak;
+        if (state.probeFailureStreak >= options_.probeFailuresToFail) {
+            state.state = ChipHealth::Failed;
+        }
+        return;
+    }
+    state.probeFailureStreak = 0;
+    if (state.state == ChipHealth::Failed) {
+        // Rejoin: clear the window so pre-failure errors don't demote
+        // the chip again on its first post-recovery outcome.
+        state.window.assign(state.window.size(), false);
+        state.next = 0;
+        state.count = 0;
+        state.errors = 0;
+        state.state = ChipHealth::Healthy;
+    }
+}
+
+ChipHealth
+HealthTracker::health(std::size_t chip) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (chip >= chips_.size()) {
+        return ChipHealth::Failed;
+    }
+    return chips_[chip].state;
+}
+
+std::vector<ChipHealth>
+HealthTracker::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<ChipHealth> out;
+    out.reserve(chips_.size());
+    for (const ChipState &chip : chips_) {
+        out.push_back(chip.state);
+    }
+    return out;
+}
+
+double
+HealthTracker::errorRate(std::size_t chip) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (chip >= chips_.size()) {
+        return 1.0;
+    }
+    return errorRateLocked(chips_[chip]);
+}
+
+int
+HealthTracker::probeFailures(std::size_t chip) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (chip >= chips_.size()) {
+        return 0;
+    }
+    return chips_[chip].probeFailureStreak;
+}
+
+std::string
+HealthTracker::toJson(const std::vector<std::string> &ids) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    JsonWriter j;
+    j.beginObject();
+    for (std::size_t i = 0; i < chips_.size(); ++i) {
+        j.key(i < ids.size() ? ids[i]
+                             : "chip" + std::to_string(i));
+        j.beginObject();
+        j.field("state", chipHealthName(chips_[i].state));
+        j.field("errorRate", errorRateLocked(chips_[i]));
+        j.field("probeFailures", chips_[i].probeFailureStreak);
+        j.endObject();
+    }
+    j.endObject();
+    return j.str();
+}
+
+} // namespace fpsa

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * `fpsa::HealthTracker`: per-chip health state for a serving fleet.
+ *
+ * Each chip is `Healthy`, `Degraded`, or `Failed`.  Two signals drive
+ * the state machine:
+ *
+ *  - **request outcomes** (`recordOutcome`): a fixed-size ring window
+ *    of recent successes/failures per chip.  Once the window holds at
+ *    least `minSamples` outcomes, an error rate at or above
+ *    `degradedErrorRate` demotes the chip to `Degraded` and at or
+ *    above `failedErrorRate` to `Failed`; a rate back below the
+ *    degraded threshold promotes a `Degraded` chip to `Healthy`.
+ *  - **probes** (`recordProbe`): `probeFailuresToFail` *consecutive*
+ *    probe failures force `Failed` regardless of the error window
+ *    (the fail-stop detector).  A probe success resets the streak,
+ *    and -- because probes are the authoritative liveness signal --
+ *    rejoins a `Failed` chip as `Healthy` with a cleared window, so
+ *    stale pre-failure errors can't immediately re-demote it.
+ *
+ * `Failed` is sticky against outcome data: only a successful probe
+ * clears it.  Routing treats `Failed` chips as ineligible and prefers
+ * `Healthy` over `Degraded`; recovery re-places replicas off `Failed`
+ * chips.  All methods are thread-safe.
+ */
+
+#ifndef FPSA_RUNTIME_CLUSTER_HEALTH_HH
+#define FPSA_RUNTIME_CLUSTER_HEALTH_HH
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace fpsa
+{
+
+/** Health of one chip in the fleet, as tracked by `HealthTracker`. */
+enum class ChipHealth
+{
+    Healthy,  //!< full routing weight
+    Degraded, //!< error rate elevated; routed to only as fallback
+    Failed,   //!< down; ineligible for routing and placement
+};
+
+/** Human-readable name ("HEALTHY", "DEGRADED", "FAILED"). */
+const char *chipHealthName(ChipHealth health);
+
+/** Thresholds for the per-chip health state machine. */
+struct HealthOptions
+{
+    /** Outcomes remembered per chip (ring buffer). */
+    int windowSize = 64;
+    /** Outcomes required before the error rate means anything. */
+    int minSamples = 8;
+    /** Error rate at/above which a chip is `Degraded`. */
+    double degradedErrorRate = 0.10;
+    /** Error rate at/above which a chip is `Failed`. */
+    double failedErrorRate = 0.50;
+    /** Consecutive probe failures that force `Failed`. */
+    int probeFailuresToFail = 2;
+};
+
+/** Tracks Healthy/Degraded/Failed per chip from outcomes + probes. */
+class HealthTracker
+{
+  public:
+    explicit HealthTracker(std::size_t chips,
+                           HealthOptions options = HealthOptions());
+
+    HealthTracker(const HealthTracker &) = delete;
+    HealthTracker &operator=(const HealthTracker &) = delete;
+
+    std::size_t chips() const { return chips_.size(); }
+
+    /** Feed one request outcome (served OK / failed) on `chip`. */
+    void recordOutcome(std::size_t chip, bool ok);
+
+    /** Feed one liveness-probe result on `chip`. */
+    void recordProbe(std::size_t chip, bool ok);
+
+    ChipHealth health(std::size_t chip) const;
+
+    /** Health of every chip, indexed by chip. */
+    std::vector<ChipHealth> snapshot() const;
+
+    /** Error rate over `chip`'s window (0 until any outcome lands). */
+    double errorRate(std::size_t chip) const;
+
+    /** Current consecutive probe-failure streak on `chip`. */
+    int probeFailures(std::size_t chip) const;
+
+    /**
+     * JSON object keyed by chip id: `{"chip0": {"state": "HEALTHY",
+     * "errorRate": 0.0312, "probeFailures": 0}, ...}`.  `ids` must
+     * have one entry per chip.
+     */
+    std::string toJson(const std::vector<std::string> &ids) const;
+
+  private:
+    struct ChipState
+    {
+        std::vector<bool> window; //!< ring of outcomes (true = error)
+        std::size_t next = 0;     //!< ring write cursor
+        std::size_t count = 0;    //!< outcomes held (<= windowSize)
+        std::size_t errors = 0;   //!< errors currently in the window
+        int probeFailureStreak = 0;
+        ChipHealth state = ChipHealth::Healthy;
+    };
+
+    /** Requires mu_: re-derive `state` from the error window. */
+    void applyErrorRateLocked(ChipState &chip);
+
+    double errorRateLocked(const ChipState &chip) const;
+
+    const HealthOptions options_;
+    mutable std::mutex mu_;
+    std::vector<ChipState> chips_;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_RUNTIME_CLUSTER_HEALTH_HH

@@ -79,7 +79,9 @@ fleetInfeasible(const PlacementRequest &request,
         if (i > 0)
             message += "; ";
         message += "chip '" + chips[i].id + "': ";
-        if (chosen[i]) {
+        if (chips[i].failed) {
+            message += "FAILED health; excluded from placement";
+        } else if (chosen[i]) {
             message += "selected for an earlier replica";
         } else if (hostsModel(chips[i], request.model)) {
             message += "already hosts '" + request.model + "'";
@@ -122,7 +124,8 @@ placeReplicas(const PlacementRequest &request,
     for (int replica = 0; replica < request.replicas; ++replica) {
         std::vector<std::size_t> eligible;
         for (std::size_t i = 0; i < chips.size(); ++i) {
-            if (!chosen[i] && !hostsModel(chips[i], request.model) &&
+            if (!chips[i].failed && !chosen[i] &&
+                !hostsModel(chips[i], request.model) &&
                 fits(chips[i], request.demand))
                 eligible.push_back(i);
         }

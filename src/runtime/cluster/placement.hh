@@ -46,6 +46,14 @@ struct ChipLoadView
     ChipCapacity capacity;
     ResourceDemand resident;         //!< sum over resident models
     std::vector<std::string> models; //!< resident tenant names
+
+    /**
+     * Health veto: a chip the health tracker reports `Failed` is
+     * ineligible for every replica (the cluster stamps this onto the
+     * fleet's views before placing).  The Infeasible breakdown names
+     * it so "no capacity" and "capacity is down" stay tellable apart.
+     */
+    bool failed = false;
 };
 
 /** What a placement request asks of the fleet. */

@@ -1,0 +1,86 @@
+#include "runtime/cluster/recovery.hh"
+
+#include <chrono>
+#include <cstddef>
+
+namespace fpsa
+{
+
+RecoveryManager::RecoveryManager(ClusterEngine &cluster,
+                                 RecoveryOptions options)
+    : cluster_(cluster), options_(options),
+      history_(static_cast<std::size_t>(
+          options.historyCapacity > 0 ? options.historyCapacity : 1))
+{
+}
+
+RecoveryManager::~RecoveryManager()
+{
+    stop();
+}
+
+void
+RecoveryManager::start()
+{
+    std::lock_guard<std::mutex> lock(loopMu_);
+    if (loop_.joinable())
+        return;
+    stopRequested_ = false;
+    loop_ = std::thread([this] {
+        std::unique_lock<std::mutex> lock(loopMu_);
+        while (!stopRequested_) {
+            lock.unlock();
+            evaluateOnce();
+            lock.lock();
+            stopCv_.wait_for(
+                lock,
+                std::chrono::duration<double, std::milli>(
+                    options_.intervalMillis),
+                [this] { return stopRequested_; });
+        }
+    });
+}
+
+void
+RecoveryManager::stop()
+{
+    std::thread joinable;
+    {
+        std::lock_guard<std::mutex> lock(loopMu_);
+        stopRequested_ = true;
+        stopCv_.notify_all();
+        joinable = std::move(loop_);
+    }
+    if (joinable.joinable())
+        joinable.join();
+}
+
+std::vector<ClusterEngine::RecoveryAction>
+RecoveryManager::evaluateOnce()
+{
+    // Serialized against itself (background loop vs direct calls);
+    // the repair pass goes through the cluster's op serialization.
+    std::lock_guard<std::mutex> lock(mu_);
+    cluster_.probeChips();
+    std::vector<ClusterEngine::RecoveryAction> actions =
+        cluster_.repairOnce();
+    for (const ClusterEngine::RecoveryAction &action : actions)
+        history_.push(action);
+    return actions;
+}
+
+std::vector<ClusterEngine::RecoveryAction>
+RecoveryManager::history() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return history_.snapshot();
+}
+
+std::int64_t
+RecoveryManager::totalActions() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return history_.totalRecorded();
+}
+
+} // namespace fpsa

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * `fpsa::RecoveryManager`: the self-healing control loop over a
+ * `ClusterEngine`.
+ *
+ * Each evaluation probes every chip (feeding the cluster's
+ * `HealthTracker` -- the fail-stop detector) and then runs one repair
+ * pass: replicas living on `Failed` chips are routed around, drained
+ * off the chip, and re-placed on live chips via the cluster's
+ * placement policy; tenants left below their desired replica count by
+ * earlier full-fleet passes are topped back up.  When the surviving
+ * fleet has no room the tenant keeps serving degraded and the failed
+ * re-placement (with its per-chip breakdown) lands in `history()`;
+ * the next evaluation retries -- e.g. once the chip rejoins via a
+ * probe success.
+ *
+ * `evaluateOnce()` runs one synchronous probe+repair step --
+ * determinism for tests and benches; `start()` runs the same step on
+ * a background thread every `intervalMillis`.  The history is a
+ * bounded ring (`historyCapacity`), so a long-lived loop cannot leak.
+ * The shape deliberately mirrors `Autoscaler`: both are sibling
+ * control loops an operator runs beside a cluster.
+ */
+
+#ifndef FPSA_RUNTIME_CLUSTER_RECOVERY_HH
+#define FPSA_RUNTIME_CLUSTER_RECOVERY_HH
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/cluster/cluster_engine.hh"
+#include "runtime/cluster/event_log.hh"
+
+namespace fpsa
+{
+
+/** Recovery-loop pacing and history bounds. */
+struct RecoveryOptions
+{
+    double intervalMillis = 20.0; //!< background loop period
+
+    /** Most recent repair actions retained by `history()`. */
+    int historyCapacity = 256;
+};
+
+/** The probe + re-place self-healing loop over a `ClusterEngine`. */
+class RecoveryManager
+{
+  public:
+    /** `cluster` must outlive the manager. */
+    explicit RecoveryManager(ClusterEngine &cluster,
+                             RecoveryOptions options = RecoveryOptions());
+
+    ~RecoveryManager();
+
+    RecoveryManager(const RecoveryManager &) = delete;
+    RecoveryManager &operator=(const RecoveryManager &) = delete;
+
+    /** Start the background probe+repair loop (idempotent). */
+    void start();
+
+    /** Stop and join the background loop (idempotent). */
+    void stop();
+
+    /**
+     * One synchronous step: probe every chip, then repair.  Returns
+     * the repair actions taken (or rejected) this step.  Also the
+     * body of the background loop -- tests and benches call it
+     * directly for determinism.
+     */
+    std::vector<ClusterEngine::RecoveryAction> evaluateOnce();
+
+    /** The most recent `historyCapacity` actions, oldest first. */
+    std::vector<ClusterEngine::RecoveryAction> history() const;
+
+    /** Repair actions ever recorded, including evicted ones. */
+    std::int64_t totalActions() const;
+
+    const RecoveryOptions &options() const { return options_; }
+
+  private:
+    ClusterEngine &cluster_;
+    const RecoveryOptions options_;
+
+    mutable std::mutex mu_; //!< guards history_, serializes evaluation
+    EventLog<ClusterEngine::RecoveryAction> history_;
+
+    std::mutex loopMu_; //!< guards the loop thread + stop flag
+    std::condition_variable stopCv_;
+    bool stopRequested_ = false;
+    std::thread loop_;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_RUNTIME_CLUSTER_RECOVERY_HH

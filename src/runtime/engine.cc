@@ -453,12 +453,20 @@ std::future<StatusOr<InferenceResult>>
 Engine::submit(const std::string &model, Tensor input)
 {
     return submitWithLock(std::unique_lock<std::mutex>(mu_), model,
-                          std::move(input));
+                          std::move(input), /*block=*/true);
+}
+
+std::future<StatusOr<InferenceResult>>
+Engine::trySubmit(const std::string &model, Tensor input)
+{
+    return submitWithLock(std::unique_lock<std::mutex>(mu_), model,
+                          std::move(input), /*block=*/false);
 }
 
 std::future<StatusOr<InferenceResult>>
 Engine::submitWithLock(std::unique_lock<std::mutex> lock,
-                       const std::string &model, Tensor input)
+                       const std::string &model, Tensor input,
+                       bool block)
 {
     std::promise<StatusOr<InferenceResult>> promise;
     std::future<StatusOr<InferenceResult>> future = promise.get_future();
@@ -490,7 +498,19 @@ Engine::submitWithLock(std::unique_lock<std::mutex> lock,
     }
 
     // Per-tenant backpressure: one tenant at its queueDepth does not
-    // block submitters of the others.
+    // block submitters of the others.  A non-blocking submit reports
+    // the full queue instead of waiting -- the failover router treats
+    // it as a signal to back off or shed, never to park a worker.
+    if (!block &&
+        tenant->queue.size() >=
+            static_cast<std::size_t>(options_.queueDepth)) {
+        return reject(StatusCode::ResourceExhausted,
+                      "engine: model '" + model + "' queue full (" +
+                          std::to_string(options_.queueDepth) +
+                          " waiting) on chip '" + options_.chipId +
+                          "'; request rejected",
+                      tenant.get());
+    }
     notFull_.wait(lock, [&] {
         return stopping_ || tenant->draining ||
                tenant->queue.size() <
@@ -534,7 +554,8 @@ Engine::submit(Tensor input)
         return future;
     }
     const std::string sole = tenants_.begin()->first;
-    return submitWithLock(std::move(lock), sole, std::move(input));
+    return submitWithLock(std::move(lock), sole, std::move(input),
+                          /*block=*/true);
 }
 
 StatusOr<InferenceResult>
@@ -547,6 +568,69 @@ StatusOr<InferenceResult>
 Engine::infer(const Tensor &input)
 {
     return submit(input).get();
+}
+
+namespace
+{
+
+/**
+ * Bounded wait on a submitted future.  On timeout the future (and
+ * with it this caller's claim on the result) is abandoned; the request
+ * itself still drains through the scheduler like any accepted request.
+ */
+StatusOr<InferenceResult>
+waitWithDeadline(std::future<StatusOr<InferenceResult>> future,
+                 const std::string &what, double timeoutMillis)
+{
+    if (timeoutMillis <= 0.0) {
+        return Status::error(StatusCode::InvalidArgument,
+                             "infer: timeoutMillis must be > 0 for " +
+                                 what);
+    }
+    const auto budget = std::chrono::duration<double, std::milli>(
+        timeoutMillis);
+    if (future.wait_for(budget) != std::future_status::ready) {
+        return Status::error(
+            StatusCode::DeadlineExceeded,
+            "infer: " + what + " not served within " +
+                std::to_string(timeoutMillis) +
+                "ms; the request remains queued and will still drain");
+    }
+    return future.get();
+}
+
+} // namespace
+
+StatusOr<InferenceResult>
+Engine::infer(const std::string &model, const Tensor &input,
+              double timeoutMillis)
+{
+    return waitWithDeadline(submit(model, input),
+                            "model '" + model + "'", timeoutMillis);
+}
+
+StatusOr<InferenceResult>
+Engine::infer(const Tensor &input, double timeoutMillis)
+{
+    return waitWithDeadline(submit(input), "the default model",
+                            timeoutMillis);
+}
+
+Status
+Engine::probe() const
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_) {
+            return Status::error(StatusCode::Unavailable,
+                                 "probe: engine on chip '" +
+                                     options_.chipId +
+                                     "' is shut down");
+        }
+    }
+    if (options_.faultHook)
+        return options_.faultHook->probe(options_.chipId);
+    return Status();
 }
 
 // --------------------------------------------------------------- scheduler
@@ -658,8 +742,22 @@ Engine::workerLoop()
         for (const Request &request : batch)
             inputs.push_back(&request.input);
         const auto exec_start = Clock::now();
-        std::vector<StatusOr<Tensor>> outputs =
-            tenant->executor->runBatch(inputs);
+        // The fault hook sits between dequeue and execution: a non-OK
+        // return fails the whole batch through the normal result path
+        // (so futures resolve, telemetry counts the failures and the
+        // drain contract holds), and any hook-side stall or sleep is
+        // charged to this batch's execution wall-clock.
+        Status fault;
+        if (options_.faultHook)
+            fault = options_.faultHook->beforeExecute(options_.chipId);
+        std::vector<StatusOr<Tensor>> outputs;
+        if (fault.ok()) {
+            outputs = tenant->executor->runBatch(inputs);
+        } else {
+            outputs.reserve(batch.size());
+            for (std::size_t r = 0; r < batch.size(); ++r)
+                outputs.push_back(fault);
+        }
         const auto exec_end = Clock::now();
         const double exec_ms = millisBetween(exec_start, exec_end);
 

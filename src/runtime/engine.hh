@@ -65,6 +65,7 @@
 #include "common/types.hh"
 #include "runtime/compiled_model.hh"
 #include "runtime/executor.hh"
+#include "runtime/fault_hook.hh"
 #include "runtime/model_registry.hh"
 
 namespace fpsa
@@ -142,6 +143,14 @@ struct EngineOptions
      * window) still coalesces up to `maxBatch`.
      */
     double batchWindowMillis = 5.0;
+
+    /**
+     * Chaos/test seam: consulted once per batch before execution and
+     * by `probe()`.  Null (the default) is a no-op.  The engine keeps
+     * a reference for its lifetime, so a `FaultInjector` shared across
+     * a fleet's chips outlives every engine it is wired into.
+     */
+    std::shared_ptr<ExecutionFaultHook> faultHook;
 };
 
 /** Per-tenant serving configuration for `Engine::loadModel`. */
@@ -284,6 +293,17 @@ class Engine
                                                   Tensor input);
 
     /**
+     * Non-blocking submit: where `submit` would wait on the tenant's
+     * backpressure, this returns an immediately-ready
+     * `ResourceExhausted` ("queue full") instead.  The cluster
+     * failover path uses it so a retry worker is never parked on one
+     * chip's full queue; the distinct code tells it the target is
+     * busy, not broken, so the wait must not consume retry budget.
+     */
+    std::future<StatusOr<InferenceResult>> trySubmit(
+        const std::string &model, Tensor input);
+
+    /**
      * Name-free convenience: routes to the engine's sole resident
      * model; fails with `InvalidArgument` when zero or several models
      * are loaded (the route would be ambiguous).
@@ -294,6 +314,27 @@ class Engine
     StatusOr<InferenceResult> infer(const std::string &model,
                                     const Tensor &input);
     StatusOr<InferenceResult> infer(const Tensor &input);
+
+    /**
+     * Bounded-wait infer: `DeadlineExceeded` when the result is not
+     * ready within `timeoutMillis`, so a wedged executor or a stalled
+     * tenant queue can never block a caller forever.  The request
+     * itself stays queued/in flight and is still drained (and counted
+     * in telemetry) like any other accepted request.
+     */
+    StatusOr<InferenceResult> infer(const std::string &model,
+                                    const Tensor &input,
+                                    double timeoutMillis);
+    StatusOr<InferenceResult> infer(const Tensor &input,
+                                    double timeoutMillis);
+
+    /**
+     * Liveness probe: OK when the engine accepts work and the fault
+     * hook (when configured) reports the chip serviceable;
+     * `Unavailable` after shutdown or under a fail-stop.  Never
+     * touches tenant queues and never blocks.
+     */
+    Status probe() const;
 
     /**
      * Stop accepting requests, drain every tenant's queue, join the
@@ -327,10 +368,13 @@ class Engine
 
     void workerLoop();
 
-    /** The submit path proper; consumes an already-held lock. */
+    /**
+     * The submit path proper; consumes an already-held lock.  With
+     * `block` false a full tenant queue rejects instead of waiting.
+     */
     std::future<StatusOr<InferenceResult>> submitWithLock(
         std::unique_lock<std::mutex> lock, const std::string &model,
-        Tensor input);
+        Tensor input, bool block);
 
     /** Requires mu_: next tenant with queued work, round-robin. */
     std::shared_ptr<Tenant> pickTenantLocked();

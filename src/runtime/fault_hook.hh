@@ -1,0 +1,53 @@
+/**
+ * @file
+ * `fpsa::ExecutionFaultHook`: the seam between the serving runtime and
+ * fault injection.
+ *
+ * An engine configured with a hook (`EngineOptions::faultHook`)
+ * consults it once per scheduler batch, immediately before handing the
+ * batch to the executor, and once per liveness probe.  The default (no
+ * hook) is a no-op -- production serving pays nothing for the seam.
+ *
+ * The cluster layer's `FaultInjector` (runtime/cluster/
+ * fault_injection.hh) is the canonical implementation: it fail-stops
+ * chips, injects transient executor errors and latency spikes, and
+ * wedges executions, all deterministically from a seed, which is what
+ * the fault-tolerance tests and the chaos-soak bench drive.
+ */
+
+#ifndef FPSA_RUNTIME_FAULT_HOOK_HH
+#define FPSA_RUNTIME_FAULT_HOOK_HH
+
+#include <string>
+
+#include "common/status.hh"
+
+namespace fpsa
+{
+
+/** Chaos/test seam consulted by the engine's execution path. */
+class ExecutionFaultHook
+{
+  public:
+    virtual ~ExecutionFaultHook() = default;
+
+    /**
+     * Called once per scheduler batch on chip `chipId`, just before
+     * the executor runs it.  A non-OK return fails every request in
+     * the batch with that Status (the executor is not invoked); the
+     * hook may also block or sleep to model a stalled or slow chip.
+     */
+    virtual Status beforeExecute(const std::string &chipId) = 0;
+
+    /**
+     * Lightweight liveness probe for chip `chipId`.  Must not block:
+     * health tracking calls this on its control-loop cadence.  A
+     * fail-stopped chip reports non-OK here; transient faults and
+     * latency do not.
+     */
+    virtual Status probe(const std::string &chipId) = 0;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_RUNTIME_FAULT_HOOK_HH

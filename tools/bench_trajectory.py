@@ -190,8 +190,35 @@ def cluster_metrics(records):
     return out
 
 
+def fault_metrics(records):
+    """fault_tolerance: gated zero-loss chaos invariant plus the
+    failover tail and time-to-recover; phase timings are info."""
+    summary = next(
+        (r for r in records if r.get("kind") == "summary"), None)
+    if summary is None:
+        raise SystemExit("fault: no summary line in input")
+    return [
+        # Deterministic invariant of failover + backpressure handling:
+        # the chaos soak never loses an accepted request.
+        metric("lostAcceptedRequests",
+               summary["lostAcceptedRequests"], "lower"),
+        # Client-observed p99 across the soak, including every request
+        # that failed over during the outage.
+        metric("failoverP99Millis",
+               summary["failoverP99Millis"], "lower", timing=True),
+        # Fail-stop to the replacement replica being placed.
+        metric("timeToRecoverMillis",
+               summary["timeToRecoverMillis"], "lower", timing=True),
+        metric("detectMillis", summary["detectMillis"], "info"),
+        metric("rejoinMillis", summary["rejoinMillis"], "info"),
+        metric("requests", summary["requests"], "info"),
+        metric("injectedFaults", summary["injectedFaults"], "info"),
+    ]
+
+
 EXTRACTORS = {"pnr": pnr_metrics, "serving": serving_metrics,
-              "infer": infer_metrics, "cluster": cluster_metrics}
+              "infer": infer_metrics, "cluster": cluster_metrics,
+              "fault": fault_metrics}
 
 
 def envelope(paths, commit, timestamp, relax):
