@@ -66,6 +66,7 @@
 #include "runtime/cluster/health.hh"
 #include "runtime/cluster/placement.hh"
 #include "runtime/cluster/recovery.hh"
+#include "runtime/cluster/sharding.hh"
 #include "runtime/compiled_model.hh"
 #include "runtime/engine.hh"
 #include "runtime/executor.hh"

@@ -136,9 +136,162 @@ ClusterEngine::loadModel(const std::string &name,
     entry.model = std::move(model);
     entry.tenant = tenant;
     entry.desiredReplicas = replicas;
+
+    // Replicate-whole -> shard-across fallback: only a model that fits
+    // no chip even empty is sharded (a fit-anywhere model placed on a
+    // momentarily full fleet still fails Infeasible with the per-chip
+    // breakdown -- draining or scaling can fix that, sharding cannot
+    // improve it).
+    if (options_.shardWhenInfeasible &&
+        demandOversizedForFleet(entry.model->resourceDemand(),
+                                healthyLoadViews())) {
+        std::vector<ChipCapacity> capacities;
+        for (const ChipLoadView &view : healthyLoadViews()) {
+            if (view.failed)
+                continue;
+            ChipCapacity residual = view.capacity;
+            residual.peBlocks = std::max<std::int64_t>(
+                residual.peBlocks - view.resident.peBlocks, 0);
+            residual.smbBlocks = std::max<std::int64_t>(
+                residual.smbBlocks - view.resident.smbBlocks, 0);
+            residual.clbBlocks = std::max<std::int64_t>(
+                residual.clbBlocks - view.resident.clbBlocks, 0);
+            residual.routingTracks = std::max<std::int64_t>(
+                residual.routingTracks - view.resident.routingTracks,
+                0);
+            capacities.push_back(residual);
+        }
+        const int max_shards =
+            options_.maxShards > 0 ? options_.maxShards
+                                   : static_cast<int>(fleet_->size());
+        ModelPartitioner partitioner;
+        auto sharded =
+            partitioner.partition(*entry.model, capacities,
+                                  /*minShards=*/2, max_shards);
+        if (!sharded.ok()) {
+            if (sharded.status().code() != StatusCode::Infeasible)
+                return sharded.status();
+            // No feasible split either.  Surface the standard
+            // per-chip placement breakdown (it carries the shard
+            // estimate) with the partitioner's reason appended.
+            Status whole = growLocked(name, entry, replicas);
+            if (whole.ok())
+                return whole;
+            return Status::error(whole.code(),
+                                 whole.message() + " (" +
+                                     sharded.status().message() + ")");
+        }
+        entry.sharded = true;
+        entry.shardedModel = std::make_shared<const ShardedModel>(
+            std::move(sharded).value());
+        return growShardedLocked(name, std::move(entry), replicas);
+    }
+
     if (Status grown = growLocked(name, entry, replicas); !grown.ok())
         return grown;
     return Status();
+}
+
+Status
+ClusterEngine::growShardedLocked(const std::string &name,
+                                 TenantEntry snapshot, int count)
+{
+    const ShardedModel &sharded = *snapshot.shardedModel;
+    const std::size_t stages =
+        static_cast<std::size_t>(sharded.shardCount());
+    for (int g = 0; g < count; ++g) {
+        // Fresh anti-affinity set + group id per group: concurrent
+        // repair passes must not stack two groups on one chip.
+        std::vector<std::size_t> avoid;
+        std::int64_t gid = 0;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            auto it = tenants_.find(name);
+            if (it != tenants_.end()) {
+                for (const ShardGroup &group : it->second.groups)
+                    avoid.insert(avoid.end(), group.chips.begin(),
+                                 group.chips.end());
+                gid = it->second.nextGroupId++;
+            } else {
+                gid = snapshot.nextGroupId++;
+            }
+        }
+
+        ShardPlacementRequest request;
+        request.model = name;
+        request.demands.reserve(stages);
+        for (const ShardSpec &spec : sharded.plan.shards)
+            request.demands.push_back(spec.demand);
+        for (std::size_t s = 0; s + 1 < stages; ++s)
+            request.cutBytes.push_back(
+                sharded.plan.shards[s].cutBytesAfter);
+        request.avoid = std::move(avoid);
+        auto assignment =
+            policy_->placeShards(request, healthyLoadViews());
+        if (!assignment.ok())
+            return assignment.status();
+
+        // Stage tenants carry the public tenant's options (executor,
+        // priority, SLO) onto each chip; roll back on a partial load.
+        std::vector<std::string> stage_tenants;
+        stage_tenants.reserve(stages);
+        for (std::size_t s = 0; s < stages; ++s)
+            stage_tenants.push_back(name + "#g" + std::to_string(gid) +
+                                    "s" + std::to_string(s));
+        for (std::size_t s = 0; s < stages; ++s) {
+            Status loaded = fleet_->engine((*assignment)[s])
+                                .loadModel(stage_tenants[s],
+                                           sharded.pieces[s],
+                                           snapshot.tenant);
+            if (!loaded.ok()) {
+                for (std::size_t undo = 0; undo < s; ++undo)
+                    fleet_->engine((*assignment)[undo])
+                        .unloadModel(stage_tenants[undo]);
+                return loaded;
+            }
+        }
+
+        ShardRouter::Options router_options;
+        router_options.interconnect = options_.interconnect;
+        router_options.edgeQueueDepth = options_.shardQueueDepth;
+        ShardGroup group;
+        group.chips = *assignment;
+        group.stageTenants = stage_tenants;
+        group.router = std::make_shared<ShardRouter>(
+            *fleet_, name, snapshot.shardedModel, *assignment,
+            stage_tenants, router_options);
+
+        std::lock_guard<std::mutex> lock(mu_);
+        TenantEntry &entry = tenants_[name];
+        if (!entry.model) {
+            entry.model = snapshot.model;
+            entry.tenant = snapshot.tenant;
+            entry.desiredReplicas = snapshot.desiredReplicas;
+            entry.sharded = true;
+            entry.shardedModel = snapshot.shardedModel;
+            entry.nextGroupId = snapshot.nextGroupId;
+        }
+        entry.groups.push_back(std::move(group));
+    }
+    return Status();
+}
+
+Status
+ClusterEngine::retireShardGroup(ShardGroup group)
+{
+    // Stop accepting, let every accepted request flow out the tail
+    // (the stage engines are still serving), then release the chip
+    // budgets.  Zero accepted requests are dropped.
+    group.router->beginDrain();
+    group.router->awaitDrained();
+    Status first;
+    for (std::size_t s = 0; s < group.chips.size(); ++s) {
+        Status unloaded = fleet_->engine(group.chips[s])
+                              .unloadModel(group.stageTenants[s]);
+        if (!unloaded.ok() && first.ok())
+            first = unloaded;
+    }
+    return first;
 }
 
 Status
@@ -201,6 +354,37 @@ ClusterEngine::setReplicas(const std::string &name, int replicas)
         snapshot = it->second;
     }
 
+    if (snapshot.sharded) {
+        const int current = static_cast<int>(snapshot.groups.size());
+        if (replicas == current)
+            return Status();
+        if (replicas > current)
+            return growShardedLocked(name, snapshot,
+                                     replicas - current);
+
+        // Scale down: pull the victim groups (newest first) out of
+        // the routing table, then retire each with a full drain.
+        std::vector<ShardGroup> victims;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            auto it = tenants_.find(name);
+            if (it != tenants_.end()) {
+                auto &groups = it->second.groups;
+                while (static_cast<int>(groups.size()) > replicas) {
+                    victims.push_back(std::move(groups.back()));
+                    groups.pop_back();
+                }
+            }
+        }
+        Status first;
+        for (ShardGroup &victim : victims) {
+            Status retired = retireShardGroup(std::move(victim));
+            if (!retired.ok() && first.ok())
+                first = retired;
+        }
+        return first;
+    }
+
     const int current = static_cast<int>(snapshot.chips.size());
     if (replicas == current)
         return Status();
@@ -232,6 +416,7 @@ ClusterEngine::unloadModel(const std::string &name)
 {
     std::lock_guard<std::mutex> ops(opsMu_);
     std::vector<std::size_t> chips;
+    std::vector<ShardGroup> groups;
     {
         std::lock_guard<std::mutex> lock(mu_);
         auto it = tenants_.find(name);
@@ -241,9 +426,15 @@ ClusterEngine::unloadModel(const std::string &name)
                                      "'");
         }
         chips = std::move(it->second.chips);
+        groups = std::move(it->second.groups);
         tenants_.erase(it);
     }
     Status first;
+    for (ShardGroup &group : groups) {
+        Status retired = retireShardGroup(std::move(group));
+        if (!retired.ok() && first.ok())
+            first = retired;
+    }
     for (std::size_t chip : chips) {
         Status s = fleet_->engine(chip).unloadModel(name);
         if (!s.ok() && first.ok())
@@ -257,8 +448,10 @@ ClusterEngine::replicaCount(const std::string &name) const
 {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = tenants_.find(name);
-    return it == tenants_.end()
-               ? 0
+    if (it == tenants_.end())
+        return 0;
+    return it->second.sharded
+               ? static_cast<int>(it->second.groups.size())
                : static_cast<int>(it->second.chips.size());
 }
 
@@ -270,6 +463,13 @@ ClusterEngine::replicaChips(const std::string &name) const
     auto it = tenants_.find(name);
     if (it == tenants_.end())
         return ids;
+    if (it->second.sharded) {
+        // Flattened group-major: every chip of group 0, then group 1…
+        for (const ShardGroup &group : it->second.groups)
+            for (std::size_t chip : group.chips)
+                ids.push_back(fleet_->id(chip));
+        return ids;
+    }
     ids.reserve(it->second.chips.size());
     for (std::size_t chip : it->second.chips)
         ids.push_back(fleet_->id(chip));
@@ -344,6 +544,50 @@ ClusterEngine::pickReplicaChip(const std::vector<std::size_t> &chips,
     return Status::error(StatusCode::Unavailable, message);
 }
 
+StatusOr<std::shared_ptr<ShardRouter>>
+ClusterEngine::pickShardGroup(const std::vector<ShardGroup> &groups,
+                              const std::string &model) const
+{
+    // A group is live only when every stage chip is live -- one
+    // Failed chip breaks the pipeline, so the whole group is out.
+    // Among live groups, least outstanding requests; ties keep
+    // placement order.
+    std::shared_ptr<ShardRouter> best;
+    std::int64_t best_pending = 0;
+    for (const ShardGroup &group : groups) {
+        bool dead = false;
+        for (std::size_t chip : group.chips) {
+            if (health_->health(chip) == ChipHealth::Failed) {
+                dead = true;
+                break;
+            }
+        }
+        if (dead || !group.router)
+            continue;
+        const std::int64_t pending = group.router->pending();
+        if (!best || pending < best_pending) {
+            best = group.router;
+            best_pending = pending;
+        }
+    }
+    if (best)
+        return best;
+
+    std::string message =
+        "cluster: no live shard group for model '" + model + "': ";
+    if (groups.empty())
+        message += "no groups placed";
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        if (g > 0)
+            message += "; ";
+        message += "group " + std::to_string(g) + ":";
+        for (std::size_t chip : groups[g].chips)
+            message += " '" + fleet_->id(chip) + "' " +
+                       chipHealthName(health_->health(chip));
+    }
+    return Status::error(StatusCode::Unavailable, message);
+}
+
 std::future<StatusOr<InferenceResult>>
 ClusterEngine::submit(const std::string &model, Tensor input)
 {
@@ -353,6 +597,8 @@ ClusterEngine::submit(const std::string &model, Tensor input)
     const std::size_t no_exclude = std::numeric_limits<std::size_t>::max();
     for (std::size_t attempt = 0;; ++attempt) {
         std::vector<std::size_t> chips;
+        bool sharded = false;
+        std::vector<ShardGroup> groups;
         {
             std::lock_guard<std::mutex> lock(mu_);
             if (stopping_) {
@@ -366,8 +612,48 @@ ClusterEngine::submit(const std::string &model, Tensor input)
                     StatusCode::InvalidArgument,
                     "cluster: no model named '" + model + "'"));
             }
-            chips = it->second.chips;
+            sharded = it->second.sharded;
+            if (sharded)
+                groups = it->second.groups;
+            else
+                chips = it->second.chips;
         }
+
+        if (sharded) {
+            auto router = pickShardGroup(groups, model);
+            if (!router.ok())
+                return readyFuture(router.status());
+
+            // Keep the original input: a pipeline failure resubmits
+            // it through a surviving group.
+            Tensor staged = input;
+            auto future =
+                (*router)->submit(std::move(staged), /*block=*/true);
+            if (future.wait_for(std::chrono::seconds(0)) !=
+                std::future_status::ready) {
+                if (options_.retryBudget <= 0)
+                    return future;
+                return superviseInflight(model, std::move(input),
+                                         std::move(future), 0,
+                                         /*sharded=*/true);
+            }
+            // A ready future is a drain race (the group retired
+            // between the table read and the submit) or a pipeline
+            // fast-failure; both are Unavailable and face the same
+            // retry policy as whole-replica traffic.
+            StatusOr<InferenceResult> result = future.get();
+            if (result.ok() ||
+                result.status().code() != StatusCode::Unavailable)
+                return readyFuture(std::move(result));
+            if (options_.retryBudget > 0)
+                return superviseFailed(model, std::move(input), 0,
+                                       result.status(),
+                                       /*sharded=*/true);
+            if (attempt + 1 >= max_attempts)
+                return readyFuture(std::move(result));
+            continue;
+        }
+
         if (chips.empty()) {
             return readyFuture(Status::error(
                 StatusCode::Unavailable,
@@ -447,11 +733,15 @@ ClusterEngine::newInflight(const std::string &model, Tensor input,
 std::future<StatusOr<InferenceResult>>
 ClusterEngine::superviseInflight(
     const std::string &model, Tensor input,
-    std::future<StatusOr<InferenceResult>> attempt, std::size_t chip)
+    std::future<StatusOr<InferenceResult>> attempt, std::size_t chip,
+    bool sharded)
 {
     Inflight entry = newInflight(model, std::move(input), chip);
     entry.attempt = std::move(attempt);
-    entry.wasPending = true;
+    entry.sharded = sharded;
+    // A sharded attempt spans several chips; its outcome never
+    // charges one chip's health (the probes own that signal).
+    entry.wasPending = !sharded;
 
     auto future = entry.promise.get_future();
     {
@@ -471,7 +761,8 @@ ClusterEngine::superviseInflight(
 
 std::future<StatusOr<InferenceResult>>
 ClusterEngine::superviseFailed(const std::string &model, Tensor input,
-                               std::size_t chip, Status error)
+                               std::size_t chip, Status error,
+                               bool sharded)
 {
     // A first attempt that settled Unavailable inside submit():
     // rejected at the queue or failed before submit() returned.
@@ -479,6 +770,7 @@ ClusterEngine::superviseFailed(const std::string &model, Tensor input,
     // (wasPending stays false -- a rejection says nothing about the
     // chip's health) and let the reaper resubmit after backoff.
     Inflight entry = newInflight(model, std::move(input), chip);
+    entry.sharded = sharded;
 
     auto future = entry.promise.get_future();
     std::lock_guard<std::mutex> lock(pendingMu_);
@@ -592,12 +884,17 @@ ClusterEngine::reapOnce()
         progress = true;
         bool stopping = false;
         std::vector<std::size_t> chips;
+        std::vector<ShardGroup> groups;
         {
             std::lock_guard<std::mutex> lock(mu_);
             stopping = stopping_;
             auto tenant = tenants_.find(entry.model);
-            if (tenant != tenants_.end())
-                chips = tenant->second.chips;
+            if (tenant != tenants_.end()) {
+                if (tenant->second.sharded)
+                    groups = tenant->second.groups;
+                else
+                    chips = tenant->second.chips;
+            }
         }
         if (stopping) {
             entry.promise.set_value(Status::error(
@@ -610,6 +907,43 @@ ClusterEngine::reapOnce()
             it = pending_.erase(it);
             continue;
         }
+
+        if (entry.sharded) {
+            // Resubmit through the tenant's current live groups --
+            // after a group failover this is the re-placed pipeline.
+            // No live group *right now* burns a retry and waits, same
+            // as a dead whole-replica tenant.
+            auto router = pickShardGroup(groups, entry.model);
+            if (!router.ok()) {
+                entry.wasPending = false;
+                if (settleLocked(entry, router.status())) {
+                    ++it;
+                } else {
+                    it = pending_.erase(it);
+                }
+                continue;
+            }
+            Tensor staged = entry.input;
+            auto attempt =
+                (*router)->submit(std::move(staged), /*block=*/false);
+            entry.inBackoff = false;
+            entry.wasPending = false;
+            if (attempt.wait_for(std::chrono::seconds(0)) ==
+                std::future_status::ready) {
+                // Rejected at the group's ingress: a full edge is
+                // backpressure (wait), a drain race burns a retry.
+                if (settleLocked(entry, attempt.get())) {
+                    ++it;
+                } else {
+                    it = pending_.erase(it);
+                }
+                continue;
+            }
+            entry.attempt = std::move(attempt);
+            ++it;
+            continue;
+        }
+
         auto target = pickReplicaChip(chips, entry.model, entry.chip);
         if (!target.ok()) {
             // No live replica *right now* -- recovery may still
@@ -725,10 +1059,22 @@ ClusterEngine::infer(const std::string &model, const Tensor &input,
 Status
 ClusterEngine::shutdown()
 {
+    std::vector<std::shared_ptr<ShardRouter>> routers;
     {
         std::lock_guard<std::mutex> lock(mu_);
         stopping_ = true;
+        for (const auto &[name, entry] : tenants_)
+            for (const ShardGroup &group : entry.groups)
+                if (group.router)
+                    routers.push_back(group.router);
     }
+    // Drain every shard pipeline while its stage engines still serve
+    // -- accepted sharded requests flow out the tail before the fleet
+    // goes down.  New submits are already rejected via stopping_.
+    for (const auto &router : routers)
+        router->beginDrain();
+    for (const auto &router : routers)
+        router->awaitDrained();
     // Chip engines' shutdown is idempotent and drains every queue --
     // after this, every chip future held by the reaper is resolved.
     Status drained = fleet_->shutdown();
@@ -776,6 +1122,91 @@ ClusterEngine::repairOnce()
     const std::vector<ChipHealth> health = health_->snapshot();
 
     for (const auto &[name, snapshot] : tenants) {
+        if (snapshot.sharded) {
+            // A group with any Failed chip fails over as a unit: pull
+            // it from the routing table (new submits skip it), drain
+            // its router (in-flight requests resolve -- failures land
+            // in the reaper and resubmit through surviving groups),
+            // release every stage's budget, then re-place a whole new
+            // group on the healthy fleet.
+            std::vector<std::string> evicted_from;
+            for (const ShardGroup &group : snapshot.groups) {
+                std::string failed_chip;
+                for (std::size_t chip : group.chips) {
+                    if (chip < health.size() &&
+                        health[chip] == ChipHealth::Failed) {
+                        failed_chip = fleet_->id(chip);
+                        break;
+                    }
+                }
+                if (failed_chip.empty())
+                    continue;
+                ShardGroup victim;
+                bool removed = false;
+                {
+                    std::lock_guard<std::mutex> lock(mu_);
+                    auto it = tenants_.find(name);
+                    if (it != tenants_.end()) {
+                        auto &live = it->second.groups;
+                        for (auto g = live.begin(); g != live.end();
+                             ++g) {
+                            if (g->router == group.router) {
+                                victim = std::move(*g);
+                                live.erase(g);
+                                removed = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if (!removed)
+                    continue; // unloaded or repaired concurrently
+                retireShardGroup(std::move(victim));
+                evicted_from.push_back(failed_chip);
+            }
+
+            TenantEntry current;
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                auto it = tenants_.find(name);
+                if (it == tenants_.end())
+                    continue;
+                current = it->second;
+            }
+            int deficit = current.desiredReplicas -
+                          static_cast<int>(current.groups.size());
+            for (int i = 0; i < deficit; ++i) {
+                RecoveryAction action;
+                action.model = name;
+                if (static_cast<std::size_t>(i) < evicted_from.size())
+                    action.fromChip =
+                        evicted_from[static_cast<std::size_t>(i)];
+                action.status = growShardedLocked(name, current, 1);
+                if (action.status.ok()) {
+                    std::lock_guard<std::mutex> lock(mu_);
+                    auto it = tenants_.find(name);
+                    if (it != tenants_.end() &&
+                        !it->second.groups.empty()) {
+                        // The re-placed pipeline's chips, joined.
+                        const ShardGroup &fresh =
+                            it->second.groups.back();
+                        for (std::size_t c = 0;
+                             c < fresh.chips.size(); ++c) {
+                            if (c > 0)
+                                action.toChip += "+";
+                            action.toChip +=
+                                fleet_->id(fresh.chips[c]);
+                        }
+                    }
+                } else {
+                    actions.push_back(std::move(action));
+                    break;
+                }
+                actions.push_back(std::move(action));
+            }
+            continue;
+        }
+
         // Evict replicas living on Failed chips: stop routing to each
         // first, then drain it off the chip (queued requests fail fast
         // there and fail over), releasing its budget.
@@ -848,6 +1279,8 @@ StatusOr<ClusterEngine::TenantLoad>
 ClusterEngine::tenantLoad(const std::string &name) const
 {
     std::vector<std::size_t> chips;
+    bool sharded = false;
+    std::vector<ShardGroup> groups;
     {
         std::lock_guard<std::mutex> lock(mu_);
         auto it = tenants_.find(name);
@@ -856,7 +1289,33 @@ ClusterEngine::tenantLoad(const std::string &name) const
                                  "cluster: no model named '" + name +
                                      "'");
         }
-        chips = it->second.chips;
+        sharded = it->second.sharded;
+        if (sharded)
+            groups = it->second.groups;
+        else
+            chips = it->second.chips;
+    }
+    if (sharded) {
+        // Each group is one replica of the whole model; the router's
+        // telemetry is already end-to-end, so no per-stage math here.
+        TenantLoad load;
+        load.replicas = static_cast<int>(groups.size());
+        for (const ShardGroup &group : groups) {
+            if (!group.router)
+                continue;
+            load.pending += group.router->pending();
+            const ShardRouter::Stats stats = group.router->stats();
+            load.p95QueueMillis =
+                std::max(load.p95QueueMillis, stats.p95QueueMillis);
+            load.p99QueueMillis =
+                std::max(load.p99QueueMillis, stats.p99QueueMillis);
+            load.completed += stats.completed;
+        }
+        if (load.replicas > 0)
+            load.pendingPerReplica =
+                static_cast<double>(load.pending) /
+                static_cast<double>(load.replicas);
+        return load;
     }
     TenantLoad load;
     load.replicas = static_cast<int>(chips.size());
@@ -882,6 +1341,8 @@ StatusOr<EngineStats>
 ClusterEngine::modelStats(const std::string &name) const
 {
     std::vector<std::size_t> chips;
+    bool sharded = false;
+    std::vector<ShardGroup> groups;
     {
         std::lock_guard<std::mutex> lock(mu_);
         auto it = tenants_.find(name);
@@ -890,7 +1351,35 @@ ClusterEngine::modelStats(const std::string &name) const
                                  "cluster: no model named '" + name +
                                      "'");
         }
-        chips = it->second.chips;
+        sharded = it->second.sharded;
+        if (sharded)
+            groups = it->second.groups;
+        else
+            chips = it->second.chips;
+    }
+    if (sharded) {
+        // Synthesized from router telemetry: per-stage engine stats
+        // would count every request once per stage.  Percentiles take
+        // the worst group, rates sum -- the whole-replica merge rule.
+        EngineStats merged;
+        for (const ShardGroup &group : groups) {
+            if (!group.router)
+                continue;
+            const ShardRouter::Stats stats = group.router->stats();
+            merged.submitted += stats.accepted;
+            merged.completed += stats.completed;
+            merged.failed += stats.failed;
+            merged.throughput += stats.throughput;
+            merged.wallSeconds =
+                std::max(merged.wallSeconds, stats.wallSeconds);
+            merged.p50QueueMillis =
+                std::max(merged.p50QueueMillis, stats.p50QueueMillis);
+            merged.p95QueueMillis =
+                std::max(merged.p95QueueMillis, stats.p95QueueMillis);
+            merged.p99QueueMillis =
+                std::max(merged.p99QueueMillis, stats.p99QueueMillis);
+        }
+        return merged;
     }
     EngineStats merged;
     for (std::size_t chip : chips) {
@@ -927,6 +1416,9 @@ ClusterEngine::statsJson() const
     for (std::size_t chip = 0; chip < fleet_->size(); ++chip)
         j.key(fleet_->id(chip)).raw(fleet_->engine(chip).statsJson());
     j.endObject();
+    std::int64_t fleet_forwards = 0;
+    std::int64_t fleet_interconnect_bytes = 0;
+    NanoSeconds fleet_interconnect_nanos = 0.0;
     j.key("tenants").beginObject();
     for (const auto &[name, entry] : tenants) {
         j.key(name).beginObject();
@@ -935,6 +1427,38 @@ ClusterEngine::statsJson() const
             j.value(fleet_->id(chip));
         j.endArray();
         j.field("desiredReplicas", entry.desiredReplicas);
+        if (entry.sharded) {
+            j.field("sharded", true);
+            j.field("shards",
+                    static_cast<std::int64_t>(
+                        entry.shardedModel
+                            ? entry.shardedModel->shardCount()
+                            : 0));
+            std::int64_t forwards = 0;
+            std::int64_t bytes = 0;
+            NanoSeconds nanos = 0.0;
+            j.key("groups").beginArray();
+            for (const ShardGroup &group : entry.groups) {
+                j.beginArray();
+                for (std::size_t chip : group.chips)
+                    j.value(fleet_->id(chip));
+                j.endArray();
+                if (group.router) {
+                    const ShardRouter::Stats stats =
+                        group.router->stats();
+                    forwards += stats.forwards;
+                    bytes += stats.interconnectBytes;
+                    nanos += stats.interconnectNanos;
+                }
+            }
+            j.endArray();
+            j.field("forwards", forwards);
+            j.field("interconnectBytes", bytes);
+            j.field("interconnectNanos", nanos);
+            fleet_forwards += forwards;
+            fleet_interconnect_bytes += bytes;
+            fleet_interconnect_nanos += nanos;
+        }
         auto load = tenantLoad(name);
         if (load.ok()) {
             j.field("pending", load->pending);
@@ -942,6 +1466,13 @@ ClusterEngine::statsJson() const
         }
         j.endObject();
     }
+    j.endObject();
+    j.key("interconnect").beginObject();
+    j.field("hopLatencyNs", options_.interconnect.hopLatencyNs);
+    j.field("bytesPerNs", options_.interconnect.bytesPerNs);
+    j.field("forwards", fleet_forwards);
+    j.field("bytes", fleet_interconnect_bytes);
+    j.field("nanos", fleet_interconnect_nanos);
     j.endObject();
     std::vector<std::string> chip_ids;
     chip_ids.reserve(fleet_->size());

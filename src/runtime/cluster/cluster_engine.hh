@@ -30,6 +30,11 @@
  *  - The per-chip engines run the SLO-aware deadline scheduler
  *    (priority classes + deadline-based batch closing) from
  *    `EngineOptions`, so cluster tenants inherit per-tenant SLOs.
+ *  - A model too big for any single chip is served *sharded*: the
+ *    `ModelPartitioner` splits it at layer boundaries into chip-sized
+ *    pieces and each replica becomes a shard group -- a `ShardRouter`
+ *    pipeline across co-located chips, priced by the modeled
+ *    interconnect.  Groups scale, drain and fail over as a unit.
  *
  * `tenantLoad()` is the observation surface the `Autoscaler` builds
  * its control loop on; `statsJson()` bundles per-chip, per-tenant and
@@ -55,6 +60,7 @@
 #include "runtime/cluster/chip_fleet.hh"
 #include "runtime/cluster/health.hh"
 #include "runtime/cluster/placement.hh"
+#include "runtime/cluster/sharding.hh"
 #include "runtime/engine.hh"
 
 namespace fpsa
@@ -93,6 +99,24 @@ struct ClusterOptions
      * waiting for.  0 disables shedding for best-effort tenants.
      */
     double bestEffortShedMillis = 10000.0;
+
+    /** Modeled chip-to-chip interconnect for sharded pipelines. */
+    InterconnectParams interconnect;
+
+    /**
+     * Shard-across fallback: a model whose whole-replica demand
+     * exceeds every chip's total capacity is partitioned at layer
+     * boundaries and served as a chip-to-chip pipeline instead of
+     * failing `Infeasible`.  A model that fits some chip whole is
+     * never sharded -- replicate-whole stays the first choice.
+     */
+    bool shardWhenInfeasible = true;
+
+    /** Shard-count cap for the fallback; 0 means the fleet size. */
+    int maxShards = 0;
+
+    /** Per-edge queue bound of a shard pipeline (requests). */
+    int shardQueueDepth = 64;
 };
 
 /** The multi-chip serving runtime fronting a `ChipFleet`. */
@@ -115,6 +139,11 @@ class ClusterEngine
      * `Infeasible` with the per-chip breakdown when the fleet cannot
      * host the request; `InvalidArgument` on a duplicate name, bad
      * replica count, or a model the backend rejects.
+     *
+     * A model that fits no chip even empty falls back to sharded
+     * serving (when `ClusterOptions::shardWhenInfeasible`): each
+     * replica becomes a shard group pipelined across chips, and
+     * `infer`/`submit`/`setReplicas`/`unloadModel` work unchanged.
      */
     Status loadModel(const std::string &name,
                      std::shared_ptr<const CompiledModel> model,
@@ -227,8 +256,12 @@ class ClusterEngine
     /**
      * JSON report: {"policy":..., "chips": N, "aggregate": merged
      * stats, "perChip": {id: engine report}, "tenants": {name:
-     * {"replicas": [chip ids], "pending": n, "p99QueueMillis": ms}},
-     * "utilization": [per chip]}.
+     * {"replicas": [chip ids], "pending": n, "p99QueueMillis": ms,
+     * and for sharded tenants "sharded": true, "shards": K, "groups":
+     * [[chip ids]], "interconnectBytes"/"interconnectNanos"/
+     * "forwards" summed over groups}}, "interconnect": the modeled
+     * link parameters plus fleet-total traffic, "utilization": [per
+     * chip]}.
      */
     std::string statsJson() const;
 
@@ -238,6 +271,19 @@ class ClusterEngine
     const ClusterOptions &options() const { return options_; }
 
   private:
+    /**
+     * One replica of a sharded tenant: a pipeline of stage tenants
+     * (`name#g<id>s<stage>`) across `chips` plus the router streaming
+     * requests through them.  Groups fail over as a unit -- one
+     * `Failed` chip retires the whole group.
+     */
+    struct ShardGroup
+    {
+        std::shared_ptr<ShardRouter> router;
+        std::vector<std::size_t> chips;
+        std::vector<std::string> stageTenants;
+    };
+
     struct TenantEntry
     {
         std::shared_ptr<const CompiledModel> model;
@@ -251,6 +297,13 @@ class ClusterEngine
          * topping the tenant back up to this until it succeeds.
          */
         int desiredReplicas = 0;
+
+        // Sharded tenants route through `groups` instead of `chips`;
+        // each group is one pipeline replica of the whole model.
+        bool sharded = false;
+        std::shared_ptr<const ShardedModel> shardedModel;
+        std::vector<ShardGroup> groups;
+        std::int64_t nextGroupId = 0; //!< unique stage-tenant names
     };
 
     /**
@@ -268,6 +321,14 @@ class ClusterEngine
         std::future<StatusOr<InferenceResult>> attempt;
         std::size_t chip = 0;
         int retries = 0;
+
+        /**
+         * Routed through a shard router rather than one chip engine:
+         * `chip` is meaningless and outcomes never charge a single
+         * chip's health (the per-stage probes own that signal);
+         * resubmission goes through the tenant's current live groups.
+         */
+        bool sharded = false;
         bool wasPending = false; //!< attempt was accepted (not rejected)
         bool inBackoff = false;  //!< waiting for wakeAt, no attempt
         std::chrono::steady_clock::time_point wakeAt;
@@ -284,6 +345,32 @@ class ClusterEngine
     /** Requires opsMu_: place + load `count` new replicas of `name`. */
     Status growLocked(const std::string &name, TenantEntry snapshot,
                       int count);
+
+    /**
+     * Requires opsMu_: place + load `count` new shard groups of the
+     * sharded tenant `name`.  Each group is placed via
+     * `PlacementPolicy::placeShards` (disjoint from the tenant's
+     * existing groups), its pieces loaded as stage tenants, and a
+     * fresh `ShardRouter` wired over them.
+     */
+    Status growShardedLocked(const std::string &name,
+                             TenantEntry snapshot, int count);
+
+    /**
+     * Drain one group's router to zero in-flight requests, then
+     * unload its stage tenants, releasing the chip budgets.  The
+     * group must already be out of the routing table.
+     */
+    Status retireShardGroup(ShardGroup group);
+
+    /**
+     * The least-pending live group among `groups` (a group with any
+     * `Failed` chip is dead).  `Unavailable` with a per-group health
+     * breakdown when none is live.
+     */
+    StatusOr<std::shared_ptr<ShardRouter>> pickShardGroup(
+        const std::vector<ShardGroup> &groups,
+        const std::string &model) const;
 
     /**
      * The fleet's placement views with `failed` stamped from the
@@ -309,7 +396,8 @@ class ClusterEngine
     /** Hand an accepted request to the failover reaper. */
     std::future<StatusOr<InferenceResult>> superviseInflight(
         const std::string &model, Tensor input,
-        std::future<StatusOr<InferenceResult>> attempt, std::size_t chip);
+        std::future<StatusOr<InferenceResult>> attempt, std::size_t chip,
+        bool sharded = false);
 
     /**
      * Supervised retry for a first attempt that settled Unavailable
@@ -318,7 +406,7 @@ class ClusterEngine
      */
     std::future<StatusOr<InferenceResult>> superviseFailed(
         const std::string &model, Tensor input, std::size_t chip,
-        Status error);
+        Status error, bool sharded = false);
 
     void reaperLoop();
 

@@ -60,9 +60,92 @@ residualSlack(const ChipLoadView &chip, const ResourceDemand &demand)
            fraction(needed.routingTracks, chip.capacity.routingTracks);
 }
 
+/** Whether `demand` fits within `capacity` with nothing resident. */
+bool
+fitsEmptyChip(const ChipCapacity &capacity, const ResourceDemand &demand)
+{
+    return demand.peBlocks <= capacity.peBlocks &&
+           demand.smbBlocks <= capacity.smbBlocks &&
+           demand.clbBlocks <= capacity.clbBlocks &&
+           demand.routingTracks <= capacity.routingTracks;
+}
+
+/** A chip's remaining budget (total capacity minus residents). */
+ResourceDemand
+residualCapacity(const ChipLoadView &chip)
+{
+    auto left = [](std::int64_t capacity_units,
+                   std::int64_t resident_units) {
+        return std::max<std::int64_t>(capacity_units - resident_units,
+                                      0);
+    };
+    ResourceDemand residual;
+    residual.peBlocks =
+        left(chip.capacity.peBlocks, chip.resident.peBlocks);
+    residual.smbBlocks =
+        left(chip.capacity.smbBlocks, chip.resident.smbBlocks);
+    residual.clbBlocks =
+        left(chip.capacity.clbBlocks, chip.resident.clbBlocks);
+    residual.routingTracks =
+        left(chip.capacity.routingTracks, chip.resident.routingTracks);
+    return residual;
+}
+
+/**
+ * A minimum shard-count estimate for a demand no single chip can
+ * host: greedily accumulate live chips' residual budgets (largest PE
+ * budget first, ties on the lowest index) until every resource family
+ * is covered.  A lower bound in practice -- real shards cut at layer
+ * boundaries, so the true count can be higher -- but enough to tell
+ * "load this sharded" apart from "this exceeds the whole fleet".
+ */
+std::string
+shardEstimateSuffix(const ResourceDemand &demand,
+                    const std::vector<ChipLoadView> &chips)
+{
+    std::vector<std::size_t> live;
+    for (std::size_t i = 0; i < chips.size(); ++i)
+        if (!chips[i].failed)
+            live.push_back(i);
+    std::stable_sort(live.begin(), live.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return residualCapacity(chips[a]).peBlocks >
+                                residualCapacity(chips[b]).peBlocks;
+                     });
+
+    ResourceDemand pooled;
+    std::string used;
+    std::size_t count = 0;
+    for (std::size_t i : live) {
+        const ResourceDemand residual = residualCapacity(chips[i]);
+        pooled.peBlocks += residual.peBlocks;
+        pooled.smbBlocks += residual.smbBlocks;
+        pooled.clbBlocks += residual.clbBlocks;
+        pooled.routingTracks += residual.routingTracks;
+        if (!used.empty())
+            used += ",";
+        used += "'" + chips[i].id + "'";
+        ++count;
+        if (pooled.peBlocks >= demand.peBlocks &&
+            pooled.smbBlocks >= demand.smbBlocks &&
+            pooled.clbBlocks >= demand.clbBlocks &&
+            pooled.routingTracks >= demand.routingTracks) {
+            return " -- sharding estimate: fits in at least " +
+                   std::to_string(std::max<std::size_t>(count, 2)) +
+                   " shards across chips " + used +
+                   " (load with sharding enabled instead of "
+                   "replicating whole)";
+        }
+    }
+    return " -- sharding estimate: demand exceeds the whole fleet's "
+           "residual capacity; sharding cannot help";
+}
+
 /**
  * The fleet-wide Infeasible message: one uniform per-chip line each,
- * either the chip's admission breakdown or why it was excluded.
+ * either the chip's admission breakdown or why it was excluded.  For
+ * a demand too big for any chip even when empty, appends the minimum
+ * shard-count estimate.
  */
 Status
 fleetInfeasible(const PlacementRequest &request,
@@ -91,7 +174,72 @@ fleetInfeasible(const PlacementRequest &request,
                 chips[i].capacity);
         }
     }
+    if (demandOversizedForFleet(request.demand, chips))
+        message += shardEstimateSuffix(request.demand, chips);
     return Status::error(StatusCode::Infeasible, message);
+}
+
+/** The shard-group analogue of `fleetInfeasible`. */
+Status
+shardInfeasible(const ShardPlacementRequest &request,
+                const std::vector<ChipLoadView> &chips,
+                const std::vector<bool> &chosen,
+                const std::vector<bool> &excluded, std::size_t stage)
+{
+    std::string message =
+        "shard placement infeasible for model '" + request.model +
+        "' (" + std::to_string(request.demands.size()) + " shards, " +
+        std::to_string(stage) + " placeable): ";
+    for (std::size_t i = 0; i < chips.size(); ++i) {
+        if (i > 0)
+            message += "; ";
+        message += "chip '" + chips[i].id + "': ";
+        if (chips[i].failed) {
+            message += "FAILED health; excluded from placement";
+        } else if (chosen[i]) {
+            message += "selected for an earlier shard";
+        } else if (excluded[i]) {
+            message += "excluded (hosts another group of '" +
+                       request.model + "')";
+        } else {
+            message += admissionBreakdown(
+                afterPlacing(chips[i], request.demands[stage]),
+                chips[i].capacity);
+        }
+    }
+    return Status::error(StatusCode::Infeasible, message);
+}
+
+/** First-fit preference: the lowest-index eligible chip. */
+std::size_t
+firstFitPick(const std::vector<std::size_t> &eligible,
+             const std::vector<ChipLoadView> &chips,
+             const ResourceDemand &demand)
+{
+    (void)chips;
+    (void)demand;
+    return eligible.front();
+}
+
+/**
+ * Best-fit preference: the eligible chip with the least residual
+ * slack after placement; the strict < keeps ties on the lowest index.
+ */
+std::size_t
+bestFitPick(const std::vector<std::size_t> &eligible,
+            const std::vector<ChipLoadView> &chips,
+            const ResourceDemand &demand)
+{
+    std::size_t best = eligible.front();
+    double best_slack = std::numeric_limits<double>::infinity();
+    for (std::size_t i : eligible) {
+        const double slack = residualSlack(chips[i], demand);
+        if (slack < best_slack) {
+            best_slack = slack;
+            best = i;
+        }
+    }
+    return best;
 }
 
 /**
@@ -132,7 +280,80 @@ placeReplicas(const PlacementRequest &request,
         if (eligible.empty()) {
             return fleetInfeasible(request, chips, chosen, replica);
         }
-        const std::size_t picked = pick(eligible);
+        const std::size_t picked =
+            pick(eligible, chips, request.demand);
+        chosen[picked] = true;
+        assignment.push_back(picked);
+    }
+    return assignment;
+}
+
+/**
+ * Shared shard-group placement loop.  Stage 0 goes wherever the
+ * policy prefers; each later stage narrows its eligible set to the
+ * chips at minimum hop distance (|index difference| on the linear
+ * interconnect) from the predecessor stage, then lets the policy pick
+ * among them.  The cut bytes scale every candidate's interconnect
+ * cost by the same factor, so minimizing hops minimizes the modeled
+ * transfer term exactly.
+ */
+template <typename PickFn>
+StatusOr<std::vector<std::size_t>>
+placeShardGroup(const ShardPlacementRequest &request,
+                const std::vector<ChipLoadView> &chips, PickFn pick)
+{
+    if (request.demands.empty()) {
+        return Status::error(StatusCode::InvalidArgument,
+                             "shard placement: no shard demands for "
+                             "model '" +
+                                 request.model + "'");
+    }
+    if (request.demands.size() > chips.size()) {
+        return Status::error(
+            StatusCode::InvalidArgument,
+            "shard placement: " +
+                std::to_string(request.demands.size()) +
+                " shards of model '" + request.model +
+                "' need as many distinct chips, fleet has " +
+                std::to_string(chips.size()));
+    }
+
+    std::vector<bool> excluded(chips.size(), false);
+    for (std::size_t i : request.avoid)
+        if (i < chips.size())
+            excluded[i] = true;
+
+    std::vector<std::size_t> assignment;
+    std::vector<bool> chosen(chips.size(), false);
+    for (std::size_t stage = 0; stage < request.demands.size();
+         ++stage) {
+        std::vector<std::size_t> eligible;
+        for (std::size_t i = 0; i < chips.size(); ++i) {
+            if (!chips[i].failed && !chosen[i] && !excluded[i] &&
+                fits(chips[i], request.demands[stage]))
+                eligible.push_back(i);
+        }
+        if (eligible.empty()) {
+            return shardInfeasible(request, chips, chosen, excluded,
+                                   stage);
+        }
+        if (stage > 0) {
+            const std::size_t prev = assignment[stage - 1];
+            auto hops = [prev](std::size_t i) {
+                return i > prev ? i - prev : prev - i;
+            };
+            std::size_t best_hops =
+                std::numeric_limits<std::size_t>::max();
+            for (std::size_t i : eligible)
+                best_hops = std::min(best_hops, hops(i));
+            std::vector<std::size_t> nearest;
+            for (std::size_t i : eligible)
+                if (hops(i) == best_hops)
+                    nearest.push_back(i);
+            eligible.swap(nearest);
+        }
+        const std::size_t picked =
+            pick(eligible, chips, request.demands[stage]);
         chosen[picked] = true;
         assignment.push_back(picked);
     }
@@ -152,11 +373,14 @@ class FirstFitPlacement final : public PlacementPolicy
     place(const PlacementRequest &request,
           const std::vector<ChipLoadView> &chips) const override
     {
-        return placeReplicas(
-            request, chips,
-            [](const std::vector<std::size_t> &eligible) {
-                return eligible.front();
-            });
+        return placeReplicas(request, chips, firstFitPick);
+    }
+
+    StatusOr<std::vector<std::size_t>>
+    placeShards(const ShardPlacementRequest &request,
+                const std::vector<ChipLoadView> &chips) const override
+    {
+        return placeShardGroup(request, chips, firstFitPick);
     }
 };
 
@@ -173,29 +397,33 @@ class BestFitPlacement final : public PlacementPolicy
     place(const PlacementRequest &request,
           const std::vector<ChipLoadView> &chips) const override
     {
-        return placeReplicas(
-            request, chips,
-            [&](const std::vector<std::size_t> &eligible) {
-                // Tightest fit: the eligible chip with the least
-                // residual slack after placement; the strict < keeps
-                // ties on the lowest index.
-                std::size_t best = eligible.front();
-                double best_slack =
-                    std::numeric_limits<double>::infinity();
-                for (std::size_t i : eligible) {
-                    const double slack =
-                        residualSlack(chips[i], request.demand);
-                    if (slack < best_slack) {
-                        best_slack = slack;
-                        best = i;
-                    }
-                }
-                return best;
-            });
+        return placeReplicas(request, chips, bestFitPick);
+    }
+
+    StatusOr<std::vector<std::size_t>>
+    placeShards(const ShardPlacementRequest &request,
+                const std::vector<ChipLoadView> &chips) const override
+    {
+        return placeShardGroup(request, chips, bestFitPick);
     }
 };
 
 } // namespace
+
+bool
+demandOversizedForFleet(const ResourceDemand &demand,
+                        const std::vector<ChipLoadView> &chips)
+{
+    bool any_live = false;
+    for (const ChipLoadView &chip : chips) {
+        if (chip.failed)
+            continue;
+        any_live = true;
+        if (fitsEmptyChip(chip.capacity, demand))
+            return false;
+    }
+    return any_live;
+}
 
 const char *
 placementPolicyName(PlacementPolicyKind kind)

@@ -64,6 +64,31 @@ struct PlacementRequest
     int replicas = 1;      //!< distinct chips, one per replica
 };
 
+/**
+ * What a shard-group placement asks: one chip per shard of a
+ * pipeline, demands differing per shard.  Consecutive shards
+ * communicate (shard s forwards `cutBytes[s]` activation bytes per
+ * request to shard s+1), so placement co-locates them on low-hop
+ * chips -- hop distance is |chip index difference| on the fleet's
+ * linear interconnect (see `InterconnectParams`).
+ */
+struct ShardPlacementRequest
+{
+    std::string model; //!< the group's tenant name (for breakdowns)
+
+    std::vector<ResourceDemand> demands; //!< per shard, pipeline order
+
+    /** Bytes shard s forwards to s+1 (size demands.size() - 1). */
+    std::vector<std::int64_t> cutBytes;
+
+    /**
+     * Chip indices ineligible for this group (e.g. chips hosting
+     * another replica group of the same tenant, so one chip loss
+     * never takes out two groups).
+     */
+    std::vector<std::size_t> avoid;
+};
+
 /** Selectable placement strategy. */
 enum class PlacementPolicyKind
 {
@@ -91,7 +116,32 @@ class PlacementPolicy
     virtual StatusOr<std::vector<std::size_t>> place(
         const PlacementRequest &request,
         const std::vector<ChipLoadView> &chips) const = 0;
+
+    /**
+     * Choose one distinct chip per shard of a pipeline, in stage
+     * order.  Stage 0 is placed by the policy's own preference among
+     * the chips that fit; every later stage first narrows to the
+     * chips at minimum hop distance from its predecessor (the shards
+     * communicate every request, so hops dominate the interconnect
+     * term) and only then applies the policy preference as the
+     * tie-break.  `Infeasible` with a per-chip breakdown naming the
+     * first unplaceable stage when no assignment exists.
+     */
+    virtual StatusOr<std::vector<std::size_t>> placeShards(
+        const ShardPlacementRequest &request,
+        const std::vector<ChipLoadView> &chips) const = 0;
 };
+
+/**
+ * True when `demand` exceeds every live chip's *total* capacity --
+ * i.e. no amount of draining or autoscaling makes a whole replica
+ * fit, and only sharding across chips can serve the model.  The
+ * cluster uses this as the replicate-whole -> shard-across fallback
+ * trigger, and `place`'s Infeasible breakdown appends a minimum
+ * shard-count estimate when it holds.
+ */
+bool demandOversizedForFleet(const ResourceDemand &demand,
+                             const std::vector<ChipLoadView> &chips);
 
 std::unique_ptr<PlacementPolicy> makePlacementPolicy(
     PlacementPolicyKind kind);

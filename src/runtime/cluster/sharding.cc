@@ -1,0 +1,714 @@
+#include "runtime/cluster/sharding.hh"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "mapper/mapper.hh"
+#include "pipeline.hh"
+#include "synth/synthesizer.hh"
+#include "synth/tiling.hh"
+
+namespace fpsa
+{
+
+namespace
+{
+
+std::future<StatusOr<InferenceResult>>
+readyFuture(StatusOr<InferenceResult> value)
+{
+    std::promise<StatusOr<InferenceResult>> promise;
+    auto future = promise.get_future();
+    promise.set_value(std::move(value));
+    return future;
+}
+
+bool
+fitsCapacity(const ResourceDemand &demand, const ChipCapacity &capacity)
+{
+    return demand.peBlocks <= capacity.peBlocks &&
+           demand.smbBlocks <= capacity.smbBlocks &&
+           demand.clbBlocks <= capacity.clbBlocks &&
+           demand.routingTracks <= capacity.routingTracks;
+}
+
+bool
+fitsAny(const ResourceDemand &demand,
+        const std::vector<ChipCapacity> &capacities)
+{
+    for (const ChipCapacity &capacity : capacities)
+        if (fitsCapacity(demand, capacity))
+            return true;
+    return false;
+}
+
+bool
+isWeighted(OpKind kind)
+{
+    return kind == OpKind::Conv2d || kind == OpKind::FullyConnected;
+}
+
+/**
+ * Footprint of one contiguous segment, through the same synthesize ->
+ * allocate -> netlist arithmetic the compile pipeline stamps demand
+ * with.  Analytic: needs no weights.
+ */
+ResourceDemand
+segmentDemand(const Graph &graph, const std::vector<NodeId> &topo,
+              std::size_t first, std::size_t last,
+              const CompileOptions &options)
+{
+    const Graph sub =
+        ModelPartitioner::segmentGraph(graph, topo, first, last);
+    const SynthesisSummary summary =
+        synthesizeSummary(sub, options.synth);
+    const AllocationResult allocation = allocateForDuplication(
+        summary, options.duplicationDegree, options.allocation);
+    const Netlist netlist =
+        netlistFromAllocation(summary, allocation, options.mapper);
+    return resourceDemand(allocation, netlist);
+}
+
+} // namespace
+
+// --------------------------------------------------- ModelPartitioner
+
+std::int64_t
+ModelPartitioner::cutActivationBytes(const Shape &shape)
+{
+    return shapeNumel(shape) *
+           static_cast<std::int64_t>(sizeof(float));
+}
+
+Graph
+ModelPartitioner::segmentGraph(const Graph &graph,
+                               const std::vector<NodeId> &topo,
+                               std::size_t first, std::size_t last)
+{
+    Graph sub;
+    std::map<NodeId, NodeId> remap;
+    if (first > 0) {
+        // The upstream cut tensor becomes this piece's input node.
+        remap[topo[first - 1]] =
+            sub.addInput(graph.node(topo[first - 1]).outShape, "input");
+    }
+    for (std::size_t p = first; p <= last; ++p) {
+        const GraphNode &node = graph.node(topo[p]);
+        if (node.kind == OpKind::Input) {
+            remap[topo[p]] = sub.addInput(node.outShape, node.name);
+            continue;
+        }
+        std::vector<NodeId> inputs;
+        inputs.reserve(node.inputs.size());
+        for (NodeId from : node.inputs)
+            inputs.push_back(remap.at(from));
+        const NodeId id =
+            sub.addOp(node.kind, std::move(inputs), node.attrs, node.name);
+        if (node.weights)
+            sub.node(id).weights = node.weights;
+        remap[topo[p]] = id;
+    }
+    return sub;
+}
+
+StatusOr<ShardPlan>
+ModelPartitioner::plan(const Graph &graph, const CompileOptions &options,
+                       const std::vector<ChipCapacity> &capacities,
+                       int shards) const
+{
+    if (capacities.empty()) {
+        return Status::error(StatusCode::InvalidArgument,
+                             "sharding: no chip capacities offered");
+    }
+    if (shards < 1) {
+        return Status::error(StatusCode::InvalidArgument,
+                             "sharding: shard count must be >= 1");
+    }
+    const std::vector<NodeId> topo = graph.topoOrder();
+    const std::size_t n = topo.size();
+    if (n == 0) {
+        return Status::error(StatusCode::InvalidArgument,
+                             "sharding: empty graph");
+    }
+    if (graph.node(topo.front()).kind != OpKind::Input) {
+        return Status::error(StatusCode::InvalidArgument,
+                             "sharding: graph must be headed by its "
+                             "input node");
+    }
+    for (std::size_t p = 1; p < n; ++p) {
+        if (graph.node(topo[p]).kind == OpKind::Input) {
+            return Status::error(StatusCode::InvalidArgument,
+                                 "sharding: requires a single-input "
+                                 "graph (pieces are fed one upstream "
+                                 "cut tensor)");
+        }
+    }
+
+    // Position of each node in the topological order.
+    std::vector<std::size_t> position(graph.size(), 0);
+    for (std::size_t p = 0; p < n; ++p)
+        position[static_cast<std::size_t>(topo[p])] = p;
+
+    // A cut after position i is legal iff every edge crossing it
+    // originates exactly at topo[i] -- the downstream side then needs
+    // only the one cut tensor.  Mark every strictly-crossing edge's
+    // interior positions illegal; keep the input node merged with the
+    // first compute segment (a shard of just the input is dead chip).
+    std::vector<bool> illegal(n > 0 ? n - 1 : 0, false);
+    if (!illegal.empty())
+        illegal[0] = true; // topo[0] is the input node
+    for (std::size_t j = 0; j < n; ++j) {
+        for (NodeId from : graph.node(topo[j]).inputs) {
+            const std::size_t p =
+                position[static_cast<std::size_t>(from)];
+            for (std::size_t i = p + 1; i < j; ++i)
+                illegal[i] = true;
+        }
+    }
+
+    PartitionPlanInput input;
+    input.positions = n;
+    input.cutBytes.resize(n - 1);
+    std::size_t legal_cuts = 0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        if (illegal[i]) {
+            input.cutBytes[i] = -1;
+        } else {
+            input.cutBytes[i] =
+                cutActivationBytes(graph.node(topo[i]).outShape);
+            ++legal_cuts;
+        }
+    }
+
+    // Per-segment feasibility: it must hold at least one weighted
+    // layer (weightless shards waste a chip) and its demand must fit
+    // at least one offered capacity.  Demands are memoized -- the DP
+    // probes O(n^2) segments.
+    std::map<std::pair<std::size_t, std::size_t>, ResourceDemand>
+        demands;
+    std::map<std::pair<std::size_t, std::size_t>, bool> feasible;
+    auto demandOf = [&](std::size_t first, std::size_t last) {
+        const auto key = std::make_pair(first, last);
+        auto it = demands.find(key);
+        if (it == demands.end())
+            it = demands
+                     .emplace(key, segmentDemand(graph, topo, first,
+                                                 last, options))
+                     .first;
+        return it->second;
+    };
+    auto segmentFits = [&](std::size_t first, std::size_t last) {
+        const auto key = std::make_pair(first, last);
+        auto it = feasible.find(key);
+        if (it != feasible.end())
+            return it->second;
+        bool weighted = false;
+        for (std::size_t p = first; p <= last && !weighted; ++p)
+            weighted = isWeighted(graph.node(topo[p]).kind);
+        const bool ok =
+            weighted && fitsAny(demandOf(first, last), capacities);
+        feasible.emplace(key, ok);
+        return ok;
+    };
+
+    const PartitionPlanOutcome outcome =
+        planContiguousPartition(input, shards, segmentFits);
+    if (!outcome.feasible) {
+        return Status::error(
+            StatusCode::Infeasible,
+            "sharding: no " + std::to_string(shards) +
+                "-shard split of the " + std::to_string(n) +
+                "-node chain fits the offered capacities (" +
+                std::to_string(legal_cuts) + " cut-legal boundar" +
+                (legal_cuts == 1 ? "y" : "ies") + ", " +
+                std::to_string(capacities.size()) + " capacit" +
+                (capacities.size() == 1 ? "y" : "ies") + " offered)");
+    }
+
+    ShardPlan plan;
+    plan.totalCutBytes = outcome.totalCutBytes;
+    plan.shards.reserve(outcome.segments.size());
+    for (std::size_t k = 0; k < outcome.segments.size(); ++k) {
+        const PartitionSegment &segment = outcome.segments[k];
+        ShardSpec spec;
+        spec.index = static_cast<int>(k);
+        spec.firstPosition = segment.first;
+        spec.lastPosition = segment.last;
+        spec.inputShape =
+            segment.first == 0
+                ? graph.node(topo.front()).outShape
+                : graph.node(topo[segment.first - 1]).outShape;
+        spec.outputShape = graph.node(topo[segment.last]).outShape;
+        spec.cutBytesAfter = segment.cutBytesAfter;
+        spec.demand = demandOf(segment.first, segment.last);
+        plan.shards.push_back(std::move(spec));
+    }
+    return plan;
+}
+
+StatusOr<ShardPlan>
+ModelPartitioner::planAuto(const Graph &graph,
+                           const CompileOptions &options,
+                           const std::vector<ChipCapacity> &capacities,
+                           int minShards, int maxShards) const
+{
+    if (maxShards <= 0)
+        maxShards = static_cast<int>(capacities.size());
+    if (minShards < 1 || maxShards < minShards) {
+        return Status::error(
+            StatusCode::InvalidArgument,
+            "sharding: bad shard-count range [" +
+                std::to_string(minShards) + ", " +
+                std::to_string(maxShards) + "]");
+    }
+    Status last;
+    for (int shards = minShards; shards <= maxShards; ++shards) {
+        auto planned = plan(graph, options, capacities, shards);
+        if (planned.ok())
+            return planned;
+        if (planned.status().code() != StatusCode::Infeasible)
+            return planned.status();
+        last = planned.status();
+    }
+    return last;
+}
+
+StatusOr<ShardedModel>
+ModelPartitioner::partition(const CompiledModel &model,
+                            const std::vector<ChipCapacity> &capacities,
+                            int minShards, int maxShards) const
+{
+    if (maxShards <= 0)
+        maxShards = static_cast<int>(capacities.size());
+    if (minShards < 1 || maxShards < minShards) {
+        return Status::error(
+            StatusCode::InvalidArgument,
+            "sharding: bad shard-count range [" +
+                std::to_string(minShards) + ", " +
+                std::to_string(maxShards) + "]");
+    }
+    const std::vector<NodeId> topo = model.graph().topoOrder();
+
+    // Pieces skip PnR: the parent's measured timing cannot transfer
+    // to a subgraph's netlist, and placement only needs demand.
+    CompileOptions piece_options = model.options();
+    piece_options.runPlaceAndRoute = false;
+
+    Status last;
+    for (int shards = minShards; shards <= maxShards; ++shards) {
+        auto planned =
+            plan(model.graph(), piece_options, capacities, shards);
+        if (!planned.ok()) {
+            if (planned.status().code() != StatusCode::Infeasible)
+                return planned.status();
+            last = planned.status();
+            continue;
+        }
+
+        ShardedModel sharded;
+        sharded.plan = std::move(planned).value();
+        sharded.pieces.reserve(sharded.plan.shards.size());
+        bool refit = false;
+        for (ShardSpec &spec : sharded.plan.shards) {
+            Graph piece = segmentGraph(model.graph(), topo,
+                                       spec.firstPosition,
+                                       spec.lastPosition);
+            Pipeline pipeline(std::move(piece), piece_options);
+            auto compiled = pipeline.compile();
+            if (!compiled.ok())
+                return compiled.status();
+            // Belt and braces: the stamped demand must match the
+            // planning estimate; a piece that outgrew it bumps K.
+            spec.demand = compiled->resourceDemand();
+            if (!fitsAny(spec.demand, capacities)) {
+                refit = true;
+                last = Status::error(
+                    StatusCode::Infeasible,
+                    "sharding: compiled shard " +
+                        std::to_string(spec.index) + "/" +
+                        std::to_string(shards) +
+                        " outgrew its planning estimate");
+                break;
+            }
+            sharded.pieces.push_back(std::make_shared<CompiledModel>(
+                std::move(compiled).value()));
+        }
+        if (refit)
+            continue;
+        return sharded;
+    }
+    if (last.ok()) {
+        last = Status::error(StatusCode::Infeasible,
+                             "sharding: no feasible shard count in "
+                             "range");
+    }
+    return last;
+}
+
+// -------------------------------------------------------- ShardRouter
+
+struct ShardRouter::Context
+{
+    std::promise<StatusOr<InferenceResult>> promise;
+    double queueMillis = 0.0;
+    double execMillis = 0.0;
+    NanoSeconds modeledLatency = 0.0;
+    PicoJoules modeledEnergy = 0.0;
+    std::int64_t interconnectBytes = 0;
+    NanoSeconds interconnectNanos = 0.0;
+    int batchSize = 1;
+};
+
+namespace
+{
+
+constexpr std::size_t kQueueWaitSamples = 4096;
+
+} // namespace
+
+ShardRouter::ShardRouter(ChipFleet &fleet, std::string name,
+                         std::shared_ptr<const ShardedModel> model,
+                         std::vector<std::size_t> chips,
+                         std::vector<std::string> stageTenants,
+                         Options options)
+    : fleet_(fleet), name_(std::move(name)), model_(std::move(model)),
+      chips_(std::move(chips)), stageTenants_(std::move(stageTenants)),
+      options_(options)
+{
+    const std::size_t stages = chips_.size();
+    edges_.reserve(stages);
+    for (std::size_t s = 0; s < stages; ++s)
+        edges_.push_back(std::make_unique<Edge>());
+    threads_.reserve(stages);
+    for (std::size_t s = 1; s < stages; ++s)
+        threads_.emplace_back(&ShardRouter::forwardLoop, this, s);
+    threads_.emplace_back(&ShardRouter::tailLoop, this);
+}
+
+ShardRouter::~ShardRouter()
+{
+    beginDrain();
+    awaitDrained();
+    for (auto &edge : edges_) {
+        {
+            std::lock_guard<std::mutex> lock(edge->mu);
+            edge->closed = true;
+        }
+        edge->notEmpty.notify_all();
+        edge->notFull.notify_all();
+    }
+    for (std::thread &thread : threads_)
+        if (thread.joinable())
+            thread.join();
+}
+
+std::future<StatusOr<InferenceResult>>
+ShardRouter::submit(Tensor input, bool block)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (draining_) {
+            return readyFuture(Status::error(
+                StatusCode::Unavailable,
+                "shard router for '" + name_ +
+                    "' is draining; request rejected"));
+        }
+    }
+
+    // Reserve an ingress slot before touching the stage-0 engine, so
+    // the edge bound covers requests mid-submit too.
+    Edge &ingress = *edges_.front();
+    const std::size_t depth =
+        static_cast<std::size_t>(std::max(1, options_.edgeQueueDepth));
+    {
+        std::unique_lock<std::mutex> lock(ingress.mu);
+        if (ingress.items.size() + ingress.reserved >= depth) {
+            if (!block) {
+                return readyFuture(Status::error(
+                    StatusCode::ResourceExhausted,
+                    "shard router for '" + name_ +
+                        "' ingress queue is full"));
+            }
+            ingress.notFull.wait(lock, [&] {
+                return ingress.closed ||
+                       ingress.items.size() + ingress.reserved < depth;
+            });
+        }
+        if (ingress.closed) {
+            return readyFuture(Status::error(
+                StatusCode::Unavailable,
+                "shard router for '" + name_ + "' is shut down"));
+        }
+        ++ingress.reserved;
+    }
+
+    Engine &head = fleet_.engine(chips_.front());
+    auto attempt =
+        block ? head.submit(stageTenants_.front(), std::move(input))
+              : head.trySubmit(stageTenants_.front(), std::move(input));
+    if (attempt.wait_for(std::chrono::seconds(0)) ==
+        std::future_status::ready) {
+        StatusOr<InferenceResult> settled = attempt.get();
+        if (!settled.ok()) {
+            // Rejected at the head (backpressure or a drain race):
+            // not accepted, so release the slot and surface as-is.
+            {
+                std::lock_guard<std::mutex> lock(ingress.mu);
+                --ingress.reserved;
+            }
+            ingress.notFull.notify_one();
+            return readyFuture(std::move(settled));
+        }
+        attempt = readyFuture(std::move(settled));
+    }
+
+    auto context = std::make_shared<Context>();
+    auto future = context->promise.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++inflight_;
+        ++stats_.accepted;
+        if (!started_) {
+            started_ = true;
+            firstSubmit_ = std::chrono::steady_clock::now();
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(ingress.mu);
+        --ingress.reserved;
+        ingress.items.push_back(
+            Item{std::move(context), std::move(attempt)});
+    }
+    ingress.notEmpty.notify_one();
+    return future;
+}
+
+void
+ShardRouter::forwardLoop(std::size_t stage)
+{
+    Edge &from = *edges_[stage - 1];
+    for (;;) {
+        Item item;
+        {
+            std::unique_lock<std::mutex> lock(from.mu);
+            from.notEmpty.wait(lock, [&] {
+                return from.closed || !from.items.empty();
+            });
+            if (from.items.empty())
+                return; // closed and drained
+            item = std::move(from.items.front());
+            from.items.pop_front();
+        }
+        from.notFull.notify_one();
+
+        StatusOr<InferenceResult> result = item.attempt.get();
+        if (!result.ok()) {
+            fail(item.context, result.status());
+            continue;
+        }
+        accumulate(*item.context, *result);
+
+        // Price the forward on the modeled interconnect.
+        const ShardSpec &spec = model_->plan.shards[stage - 1];
+        const std::size_t a = chips_[stage - 1];
+        const std::size_t b = chips_[stage];
+        const std::int64_t hops = static_cast<std::int64_t>(
+            a > b ? a - b : b - a);
+        const NanoSeconds transfer = interconnectTransferNs(
+            options_.interconnect, hops, spec.cutBytesAfter);
+        item.context->interconnectBytes += spec.cutBytesAfter;
+        item.context->interconnectNanos += transfer;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.forwards;
+            stats_.interconnectBytes += spec.cutBytesAfter;
+            stats_.interconnectNanos += transfer;
+        }
+
+        // Forward the cut activations; the engine's own backpressure
+        // bounds this stage's queue.
+        auto attempt = fleet_.engine(b).submit(
+            stageTenants_[stage], std::move(result->output));
+
+        Edge &to = *edges_[stage];
+        const std::size_t depth = static_cast<std::size_t>(
+            std::max(1, options_.edgeQueueDepth));
+        bool pushed = false;
+        {
+            std::unique_lock<std::mutex> lock(to.mu);
+            to.notFull.wait(lock, [&] {
+                return to.closed ||
+                       to.items.size() + to.reserved < depth;
+            });
+            if (!to.closed) {
+                to.items.push_back(
+                    Item{item.context, std::move(attempt)});
+                pushed = true;
+            }
+        }
+        if (pushed) {
+            to.notEmpty.notify_one();
+        } else {
+            // Closed mid-flight: unreachable in the drain-then-close
+            // lifecycle, but never strand a promise.
+            fail(item.context,
+                 Status::error(StatusCode::Unavailable,
+                               "shard router for '" + name_ +
+                                   "' shut down mid-pipeline"));
+        }
+    }
+}
+
+void
+ShardRouter::tailLoop()
+{
+    Edge &from = *edges_.back();
+    for (;;) {
+        Item item;
+        {
+            std::unique_lock<std::mutex> lock(from.mu);
+            from.notEmpty.wait(lock, [&] {
+                return from.closed || !from.items.empty();
+            });
+            if (from.items.empty())
+                return;
+            item = std::move(from.items.front());
+            from.items.pop_front();
+        }
+        from.notFull.notify_one();
+
+        StatusOr<InferenceResult> result = item.attempt.get();
+        if (!result.ok()) {
+            fail(item.context, result.status());
+            continue;
+        }
+        accumulate(*item.context, *result);
+
+        InferenceResult out = std::move(*result);
+        const Context &context = *item.context;
+        out.model = name_;
+        out.queueMillis = context.queueMillis;
+        out.execMillis = context.execMillis;
+        out.batchSize = context.batchSize;
+        out.modeledEnergy = context.modeledEnergy;
+        out.shards = static_cast<int>(chips_.size());
+        out.interconnectBytes = context.interconnectBytes;
+        out.interconnectNanos = context.interconnectNanos;
+        // The modeled per-request latency of a sharded request is the
+        // stages' modeled latencies plus the interconnect term.
+        out.modeledLatency =
+            context.modeledLatency + context.interconnectNanos;
+        complete(item.context, std::move(out));
+    }
+}
+
+void
+ShardRouter::accumulate(Context &context,
+                        const InferenceResult &stage) const
+{
+    context.queueMillis += stage.queueMillis;
+    context.execMillis += stage.execMillis;
+    context.modeledLatency += stage.modeledLatency;
+    context.modeledEnergy += stage.modeledEnergy;
+    context.batchSize = std::max(context.batchSize, stage.batchSize);
+}
+
+void
+ShardRouter::fail(const std::shared_ptr<Context> &context, Status error)
+{
+    context->promise.set_value(std::move(error));
+    bool drained = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.failed;
+        drained = --inflight_ == 0;
+    }
+    if (drained)
+        drainedCv_.notify_all();
+}
+
+void
+ShardRouter::complete(const std::shared_ptr<Context> &context,
+                      InferenceResult result)
+{
+    const double queue_wait = result.queueMillis;
+    context->promise.set_value(std::move(result));
+    bool drained = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.completed;
+        if (queueWaits_.size() < kQueueWaitSamples) {
+            queueWaits_.push_back(queue_wait);
+        } else {
+            queueWaits_[queueWaitCursor_] = queue_wait;
+            queueWaitCursor_ =
+                (queueWaitCursor_ + 1) % kQueueWaitSamples;
+        }
+        lastComplete_ = std::chrono::steady_clock::now();
+        drained = --inflight_ == 0;
+    }
+    if (drained)
+        drainedCv_.notify_all();
+}
+
+void
+ShardRouter::beginDrain()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+}
+
+void
+ShardRouter::awaitDrained()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    drainedCv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+std::int64_t
+ShardRouter::pending() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return inflight_;
+}
+
+ShardRouter::Stats
+ShardRouter::stats() const
+{
+    Stats out;
+    std::vector<double> waits;
+    std::chrono::steady_clock::time_point first, last;
+    bool started = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        out = stats_;
+        waits = queueWaits_;
+        started = started_;
+        first = firstSubmit_;
+        last = lastComplete_;
+    }
+    if (!waits.empty()) {
+        std::sort(waits.begin(), waits.end());
+        auto percentile = [&](double q) {
+            const std::size_t index = std::min(
+                waits.size() - 1,
+                static_cast<std::size_t>(q * static_cast<double>(
+                                                 waits.size())));
+            return waits[index];
+        };
+        out.p50QueueMillis = percentile(0.50);
+        out.p95QueueMillis = percentile(0.95);
+        out.p99QueueMillis = percentile(0.99);
+    }
+    if (started && out.completed > 0) {
+        out.wallSeconds =
+            std::chrono::duration<double>(last - first).count();
+        if (out.wallSeconds > 0.0)
+            out.throughput =
+                static_cast<double>(out.completed) / out.wallSeconds;
+    }
+    return out;
+}
+
+} // namespace fpsa

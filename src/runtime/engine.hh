@@ -186,6 +186,13 @@ struct InferenceResult
     // Modeled hardware cost of this sample (from the compiled model).
     NanoSeconds modeledLatency = 0.0;
     PicoJoules modeledEnergy = 0.0;
+
+    // Sharded-pipeline telemetry (cluster `ShardRouter` requests only;
+    // zero / 1 for single-chip serving).  `modeledLatency` already
+    // includes `interconnectNanos` for sharded requests.
+    int shards = 1;                       //!< pipeline stages traversed
+    std::int64_t interconnectBytes = 0;   //!< cut activations forwarded
+    NanoSeconds interconnectNanos = 0.0;  //!< modeled transfer cost
 };
 
 /** Serving telemetry for one scope: a tenant, or the whole engine. */

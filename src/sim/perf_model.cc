@@ -127,4 +127,20 @@ evaluateFpPrime(const Graph &graph, const SynthesisSummary &summary,
                             system.commLatencyPerVmm(), 0.0);
 }
 
+NanoSeconds
+interconnectTransferNs(const InterconnectParams &params,
+                       std::int64_t hops, std::int64_t bytes)
+{
+    if (bytes <= 0)
+        return 0.0;
+    const NanoSeconds hop_term =
+        static_cast<double>(std::max<std::int64_t>(hops, 0)) *
+        params.hopLatencyNs;
+    const NanoSeconds bandwidth_term =
+        params.bytesPerNs > 0.0
+            ? static_cast<double>(bytes) / params.bytesPerNs
+            : 0.0;
+    return hop_term + bandwidth_term;
+}
+
 } // namespace fpsa

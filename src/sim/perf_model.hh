@@ -65,6 +65,35 @@ struct FpsaPerfOptions
     bool operator==(const FpsaPerfOptions &) const = default;
 };
 
+/**
+ * Modeled chip-to-chip interconnect for sharded serving: the fleet's
+ * chips sit on a linear on-board link (hop distance = |chip index
+ * difference|), and forwarding a cut activation tensor costs a fixed
+ * per-hop latency plus the tensor's bytes over the link bandwidth.
+ * This is the cluster analogue of the on-chip wire-delay term above:
+ * it prices the activations a `ShardRouter` moves between pipeline
+ * stages and shows up in per-request telemetry and `statsJson()`.
+ */
+struct InterconnectParams
+{
+    /** Per-hop switch + serialization latency. */
+    NanoSeconds hopLatencyNs = 500.0;
+
+    /** Link bandwidth in bytes per nanosecond (1.0 = 1 GB/s). */
+    double bytesPerNs = 8.0;
+
+    bool operator==(const InterconnectParams &) const = default;
+};
+
+/**
+ * Modeled time to move `bytes` of activations `hops` chip-to-chip
+ * hops: hops x hopLatencyNs + bytes / bytesPerNs.  Zero hops (a
+ * co-resident consumer) still pays the bandwidth term once, modeling
+ * the off-chip buffer crossing; zero bytes costs nothing.
+ */
+NanoSeconds interconnectTransferNs(const InterconnectParams &params,
+                                   std::int64_t hops, std::int64_t bytes);
+
 /** Evaluate FPSA on a synthesized model with a given allocation. */
 PerfReport evaluateFpsa(const Graph &graph, const SynthesisSummary &summary,
                         const AllocationResult &allocation,

@@ -1,5 +1,7 @@
 #include "synth/tiling.hh"
 
+#include <limits>
+
 #include "common/logging.hh"
 
 namespace fpsa
@@ -37,6 +39,65 @@ tilingUtilizationWithReduce(const Tiling &t)
         t.crossbarCols;
     fpsa_assert(allocated > 0.0, "empty tiling");
     return useful / allocated;
+}
+
+PartitionPlanOutcome
+planContiguousPartition(const PartitionPlanInput &input, int segments,
+                        const SegmentFitsFn &segmentFits)
+{
+    PartitionPlanOutcome outcome;
+    const std::size_t n = input.positions;
+    if (n == 0 || segments < 1 ||
+        static_cast<std::size_t>(segments) > n ||
+        input.cutBytes.size() + 1 != n)
+        return outcome;
+
+    constexpr std::int64_t kInf =
+        std::numeric_limits<std::int64_t>::max();
+    const std::size_t k_count = static_cast<std::size_t>(segments);
+    // best[k][j]: min cut bytes splitting positions [0..j] into k+1
+    // segments; parent[k][j]: the previous segment's end position.
+    std::vector<std::vector<std::int64_t>> best(
+        k_count, std::vector<std::int64_t>(n, kInf));
+    std::vector<std::vector<std::size_t>> parent(
+        k_count, std::vector<std::size_t>(n, 0));
+    for (std::size_t j = 0; j < n; ++j)
+        if (segmentFits(0, j))
+            best[0][j] = 0;
+    for (std::size_t k = 1; k < k_count; ++k) {
+        for (std::size_t j = k; j < n; ++j) {
+            for (std::size_t i = k - 1; i < j; ++i) {
+                if (best[k - 1][i] == kInf || input.cutBytes[i] < 0)
+                    continue;
+                if (!segmentFits(i + 1, j))
+                    continue;
+                const std::int64_t cost =
+                    best[k - 1][i] + input.cutBytes[i];
+                // Strict <: ties keep the earliest predecessor.
+                if (cost < best[k][j]) {
+                    best[k][j] = cost;
+                    parent[k][j] = i;
+                }
+            }
+        }
+    }
+    if (best[k_count - 1][n - 1] == kInf)
+        return outcome;
+
+    outcome.feasible = true;
+    outcome.totalCutBytes = best[k_count - 1][n - 1];
+    outcome.segments.resize(k_count);
+    std::size_t end = n - 1;
+    for (std::size_t k = k_count; k-- > 0;) {
+        PartitionSegment &segment = outcome.segments[k];
+        segment.last = end;
+        segment.first = k == 0 ? 0 : parent[k][end] + 1;
+        segment.cutBytesAfter =
+            segment.last + 1 < n ? input.cutBytes[segment.last] : 0;
+        if (k > 0)
+            end = parent[k][end];
+    }
+    return outcome;
 }
 
 } // namespace fpsa

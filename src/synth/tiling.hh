@@ -8,7 +8,10 @@
 #ifndef FPSA_SYNTH_TILING_HH
 #define FPSA_SYNTH_TILING_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <vector>
 
 namespace fpsa
 {
@@ -54,6 +57,65 @@ struct Tiling
 
 /** Utilization including the reduction tiles. */
 double tilingUtilizationWithReduce(const Tiling &t);
+
+// ------------------------------------------------- partition planning
+//
+// Sharding one model across chips cuts its layer chain into contiguous
+// segments; the arithmetic below picks the cuts.  It is deliberately
+// graph-agnostic -- positions are indices into a topological order,
+// cut costs are the activation bytes crossing each candidate cut, and
+// per-segment feasibility (does this piece fit a chip?) is the
+// caller's predicate -- so the same planner serves the runtime's
+// `ModelPartitioner` and capacity-planning tools.
+
+/** The planner's view of one layer chain. */
+struct PartitionPlanInput
+{
+    /** Number of positions (nodes) in the chain; >= 1. */
+    std::size_t positions = 0;
+
+    /**
+     * cutBytes[i] is the activation bytes crossing a cut placed after
+     * position i (size positions - 1).  A negative entry marks an
+     * illegal cut point (e.g. a branch crosses it).
+     */
+    std::vector<std::int64_t> cutBytes;
+};
+
+/** One contiguous segment of a planned partition. */
+struct PartitionSegment
+{
+    std::size_t first = 0; //!< first position, inclusive
+    std::size_t last = 0;  //!< last position, inclusive
+
+    /** Bytes this segment forwards downstream; 0 for the last one. */
+    std::int64_t cutBytesAfter = 0;
+};
+
+/** A planned partition (check `feasible` before using `segments`). */
+struct PartitionPlanOutcome
+{
+    bool feasible = false;
+    std::vector<PartitionSegment> segments;
+    std::int64_t totalCutBytes = 0; //!< sum of the chosen cuts
+};
+
+/** Per-segment feasibility: does [first, last] fit one chip? */
+using SegmentFitsFn =
+    std::function<bool(std::size_t first, std::size_t last)>;
+
+/**
+ * Split the chain into exactly `segments` contiguous segments,
+ * minimizing the summed activation bytes of the chosen cuts subject
+ * to `segmentFits(first, last)` holding for every segment (inclusive
+ * position range).  Deterministic: equal-cost plans resolve to the
+ * earliest cuts.  `feasible` is false when no legal split exists (or
+ * `segments` exceeds the positions).  O(segments x positions^2) calls
+ * to the predicate -- memoize expensive fits checks in the caller.
+ */
+PartitionPlanOutcome planContiguousPartition(
+    const PartitionPlanInput &input, int segments,
+    const SegmentFitsFn &segmentFits);
 
 } // namespace fpsa
 

@@ -216,9 +216,40 @@ def fault_metrics(records):
     ]
 
 
+def shard_metrics(records):
+    """shard_pipeline: gated partition quality (cut bytes per
+    request), sharded tail and zero-loss drain invariant; shard count
+    and absolute throughputs are info."""
+    summary = next(
+        (r for r in records if r.get("kind") == "summary"), None)
+    if summary is None:
+        raise SystemExit("shard: no summary line in input")
+    return [
+        # Deterministic partition quality: the planner's total cut
+        # activation bytes regress only if it picks a worse cut.
+        metric("interconnectBytesPerRequest",
+               summary["interconnectBytesPerRequest"], "lower"),
+        # Client-observed tail of the chip-to-chip pipeline arm.
+        metric("shardedP99Millis", summary["shardedP99Millis"],
+               "lower", timing=True),
+        # Deterministic invariant: a streamed + drained pipeline run
+        # never fails an accepted request (either arm).
+        metric("lostRequests", summary["lostRequests"], "lower"),
+        metric("shardCount", summary["shardCount"], "info"),
+        metric("interconnectNanosPerRequest",
+               summary["interconnectNanosPerRequest"], "info"),
+        metric("shardedThroughput", summary["shardedThroughput"],
+               "info"),
+        metric("wholeThroughput", summary["wholeThroughput"], "info"),
+        metric("shardedThroughputRatio",
+               summary["shardedThroughputRatio"], "info"),
+        metric("requests", summary["requests"], "info"),
+    ]
+
+
 EXTRACTORS = {"pnr": pnr_metrics, "serving": serving_metrics,
               "infer": infer_metrics, "cluster": cluster_metrics,
-              "fault": fault_metrics}
+              "fault": fault_metrics, "shard": shard_metrics}
 
 
 def envelope(paths, commit, timestamp, relax):
