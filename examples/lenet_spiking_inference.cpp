@@ -129,7 +129,7 @@ main()
     }
     EngineOptions serving;
     serving.workerThreads = 2;
-    serving.executor = ExecutorKind::Spiking;
+    serving.execution = ExecutionConfig{ExecutorKind::Spiking};
     auto engine = Engine::create(
         std::make_shared<CompiledModel>(std::move(compiled).value()),
         serving);

@@ -129,7 +129,7 @@ main()
         return 1;
     }
     if (Status s = (*engine)->loadModel("lenet", lenet,
-                                        ExecutorKind::Spiking);
+                                        ExecutionConfig{ExecutorKind::Spiking});
         !s.ok()) {
         std::cerr << "load lenet: " << s.toString() << "\n";
         return 1;

@@ -69,6 +69,7 @@
 #include "runtime/cluster/sharding.hh"
 #include "runtime/compiled_model.hh"
 #include "runtime/engine.hh"
+#include "runtime/execution_config.hh"
 #include "runtime/executor.hh"
 #include "runtime/fault_hook.hh"
 #include "runtime/model_registry.hh"
@@ -80,6 +81,7 @@
 #include "spike/codec.hh"
 #include "spike/spike_train.hh"
 #include "synth/synthesizer.hh"
+#include "tensor/kernels.hh"
 #include "tensor/quant.hh"
 #include "tensor/tensor.hh"
 

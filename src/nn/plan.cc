@@ -1,12 +1,12 @@
 #include "nn/plan.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <limits>
 #include <utility>
 
 #include "common/logging.hh"
-#include "tensor/gemm.hh"
 
 namespace fpsa
 {
@@ -95,16 +95,76 @@ invalid(const std::string &why)
                          "execution plan: " + why);
 }
 
+float
+absMaxOf(const float *p, std::int64_t n)
+{
+    float m = 0.0f;
+    for (std::int64_t v = 0; v < n; ++v)
+        m = std::max(m, std::fabs(p[v]));
+    return m;
+}
+
+/**
+ * Symmetric round-to-nearest quantization of `n` floats with a
+ * precomputed multiplier (`qmax / absmax`, or 0 for an all-zero
+ * source).  Plain scalar on purpose: the same code runs for every plan
+ * config, so quantized levels never depend on the kernel ISA.
+ */
+void
+quantizeTo(const float *src, std::int8_t *dst, std::int64_t n,
+           float mult, std::int32_t qmax)
+{
+    for (std::int64_t v = 0; v < n; ++v) {
+        const std::int32_t q = static_cast<std::int32_t>(
+            std::lrintf(src[v] * mult));
+        dst[v] = static_cast<std::int8_t>(
+            std::clamp(q, -qmax, qmax));
+    }
+}
+
+/** Per-layer symmetric int8 quantization of one packed weight panel. */
+float
+quantizePanel(const std::vector<float> &panel,
+              std::vector<std::int8_t> &out)
+{
+    constexpr std::int32_t kQmax = 127;
+    out.resize(panel.size());
+    const float absmax =
+        absMaxOf(panel.data(),
+                 static_cast<std::int64_t>(panel.size()));
+    if (absmax == 0.0f) {
+        std::fill(out.begin(), out.end(), std::int8_t{0});
+        return 0.0f;
+    }
+    const float scale = absmax / static_cast<float>(kQmax);
+    quantizeTo(panel.data(), out.data(),
+               static_cast<std::int64_t>(panel.size()),
+               1.0f / scale, kQmax);
+    return scale;
+}
+
 } // namespace
 
 StatusOr<ExecutionPlan>
 ExecutionPlan::build(const Graph &graph)
+{
+    return build(graph, PlanOptions{});
+}
+
+StatusOr<ExecutionPlan>
+ExecutionPlan::build(const Graph &graph, const PlanOptions &options)
 {
     if (graph.size() == 0)
         return invalid("empty graph");
     const std::vector<NodeId> order = graph.topoOrder();
 
     ExecutionPlan plan;
+    plan.precision_ = options.precision;
+    plan.kernels_ = &kernelTable(options.kernelIsa);
+    const int act_bits = precisionActivationBits(options.precision);
+    plan.actQmax_ =
+        act_bits > 0 ? static_cast<float>((1 << (act_bits - 1)) - 1)
+                     : 0.0f;
 
     // ---- Liveness: map every node to a buffer (aliases share their
     // input's), then find each buffer's defining and last-using
@@ -303,6 +363,37 @@ ExecutionPlan::build(const Graph &graph)
     plan.outputShape_ = last.outShape;
     plan.outputNumel_ = shapeNumel(last.outShape);
     plan.outputOffset_ = offsetOf(order.back());
+
+    // ---- Quantized path: snap every packed panel to int8 now (one
+    // symmetric scale per layer) and size the int8/int32 scratch, so
+    // serving never allocates.  The fp32 panels are then dead weight
+    // and released.
+    if (plan.precision_ != PrecisionMode::Fp32) {
+        plan.qweights_.resize(plan.weights_.size());
+        plan.wscales_.resize(plan.weights_.size());
+        for (std::size_t w = 0; w < plan.weights_.size(); ++w) {
+            plan.wscales_[w] =
+                quantizePanel(plan.weights_[w], plan.qweights_[w]);
+            std::vector<float>().swap(plan.weights_[w]);
+        }
+        for (const Step &s : plan.steps_) {
+            if (s.kind == OpKind::Conv2d) {
+                const std::int64_t co_g = s.co / s.groups;
+                const std::int64_t kk = (s.ci / s.groups) * s.kernel *
+                                        s.kernel;
+                plan.qactElems_ = std::max(plan.qactElems_,
+                                           kk * s.ho * s.wo);
+                plan.stage32Ints_ = std::max(plan.stage32Ints_,
+                                             co_g * s.ho * s.wo);
+            } else if (s.kind == OpKind::FullyConnected) {
+                plan.qactElems_ = std::max(plan.qactElems_, s.ci);
+                plan.stage32Ints_ = std::max(plan.stage32Ints_, s.co);
+            }
+        }
+        // The fp32 staging buffer is only used by the fp32 coalesced
+        // path; the quantized path stages in int32.
+        plan.stageFloats_ = 0;
+    }
     return plan;
 }
 
@@ -324,6 +415,11 @@ ExecutionPlan::ensureCapacity(PlanContext &context, int batch) const
     context.columns_.resize(
         static_cast<std::size_t>(columnsFloats_ * b));
     context.stage_.resize(static_cast<std::size_t>(stageFloats_ * b));
+    context.qact_.resize(static_cast<std::size_t>(qactElems_ * b));
+    context.stage32_.resize(
+        static_cast<std::size_t>(stage32Ints_ * b));
+    context.scales_.resize(
+        static_cast<std::size_t>(qactElems_ > 0 ? b : 0));
     context.batchCapacity_ = batch;
 }
 
@@ -347,8 +443,15 @@ namespace
  * same packed panel instead.  Either way each output column's
  * accumulation order is fixed (tensor/gemm.hh), keeping batched
  * results bit-identical to single-sample runs.
+ *
+ * Re-tuned from 256 when the kernels went vector: a narrow GEMM
+ * cannot fill SIMD lanes, so coalescing pays up to wider layers than
+ * it did with scalar kernels (LeNet's 24x24 conv outputs now coalesce
+ * and its batched speedup rose ~12%; conv stacks with >= 32x32
+ * outputs are weight-amortized already and memory-bound, where
+ * coalescing measurably hurts).
  */
-constexpr std::int64_t kCoalesceColumns = 256;
+constexpr std::int64_t kCoalesceColumns = 1024;
 
 } // namespace
 
@@ -375,14 +478,16 @@ ExecutionPlan::execConv(const Step &s, int nb, PlanContext &ctx) const
             float *pack = ctx.columns_.data();
             const std::int64_t ldm = b * hw;
             for (std::int64_t i = 0; i < b; ++i) {
-                im2colChw(in_base + i * s.inNumel[0] +
-                              g * ci_g * s.hi * s.wi,
-                          ci_g, s.hi, s.wi, s.kernel, s.kernel,
-                          s.stride, s.pad, s.ho, s.wo, pack + i * hw,
-                          ldm);
+                kernels_->im2colChw(in_base + i * s.inNumel[0] +
+                                        g * ci_g * s.hi * s.wi,
+                                    ci_g, s.hi, s.wi, s.kernel,
+                                    s.kernel, s.stride, s.pad, s.ho,
+                                    s.wo, pack + i * hw, ldm,
+                                    0.0f);
             }
             float *stage = ctx.stage_.data();
-            gemmRowMajor(wg, kk, pack, ldm, stage, ldm, co_g, kk, ldm);
+            kernels_->gemmRowMajor(wg, kk, pack, ldm, stage, ldm, co_g,
+                                   kk, ldm);
             for (std::int64_t oc = 0; oc < co_g; ++oc) {
                 for (std::int64_t i = 0; i < b; ++i) {
                     std::memcpy(out_base + i * s.outNumel +
@@ -402,14 +507,16 @@ ExecutionPlan::execConv(const Step &s, int nb, PlanContext &ctx) const
                 in_base + i * s.inNumel[0] + g * ci_g * s.hi * s.wi;
             const float *cols = sample_in;
             if (!identity) {
-                im2colChw(sample_in, ci_g, s.hi, s.wi, s.kernel,
-                          s.kernel, s.stride, s.pad, s.ho, s.wo,
-                          ctx.columns_.data(), hw);
+                kernels_->im2colChw(sample_in, ci_g, s.hi, s.wi,
+                                    s.kernel, s.kernel, s.stride, s.pad,
+                                    s.ho, s.wo, ctx.columns_.data(),
+                                    hw, 0.0f);
                 cols = ctx.columns_.data();
             }
-            gemmRowMajor(wg, kk, cols, hw,
-                         out_base + i * s.outNumel + g * co_g * hw, hw,
-                         co_g, kk, hw);
+            kernels_->gemmRowMajor(wg, kk, cols, hw,
+                                   out_base + i * s.outNumel +
+                                       g * co_g * hw,
+                                   hw, co_g, kk, hw);
         }
     }
 }
@@ -425,8 +532,135 @@ ExecutionPlan::execFullyConnected(const Step &s, int nb,
                           .data();
     // Inputs are sample-major and contiguous: [b x in] times the
     // pre-transposed [in x units] panel is the whole batch in one GEMM.
-    gemmRowMajor(in_base, s.ci, wt, s.co, out_base, s.co, b, s.ci,
-                 s.co);
+    kernels_->gemmRowMajor(in_base, s.ci, wt, s.co, out_base, s.co, b,
+                           s.ci, s.co);
+}
+
+void
+ExecutionPlan::execConvInt8(const Step &s, int nb,
+                            PlanContext &ctx) const
+{
+    const std::int64_t b = nb;
+    const std::int64_t ci_g = s.ci / s.groups, co_g = s.co / s.groups;
+    const std::int64_t kk = ci_g * s.kernel * s.kernel;
+    const std::int64_t hw = s.ho * s.wo;
+    const float *in_base = ctx.arena_.data() + s.in[0] * b;
+    float *out_base = ctx.arena_.data() + s.out * b;
+    const std::int8_t *w_all =
+        qweights_[static_cast<std::size_t>(s.weight)].data();
+    const float sw = wscales_[static_cast<std::size_t>(s.weight)];
+    const bool identity =
+        s.kernel == 1 && s.stride == 1 && s.pad == 0;
+    const bool coalesce = b > 1 && hw < kCoalesceColumns;
+    const std::int32_t qmax = static_cast<std::int32_t>(actQmax_);
+
+    for (std::int64_t g = 0; g < s.groups; ++g) {
+        const std::int8_t *wg = w_all + g * co_g * kk;
+        if (coalesce) {
+            // Same batch-wide layout as the fp32 path, but the packed
+            // columns are quantized per sample -- each sample's scale
+            // comes from its own input slice, so a sample's int8 grid
+            // (and therefore its exact int32 result) is independent of
+            // who shares the batch.
+            float *pack = ctx.columns_.data();
+            std::int8_t *qpack = ctx.qact_.data();
+            const std::int64_t ldm = b * hw;
+            for (std::int64_t i = 0; i < b; ++i) {
+                const float *sample_in = in_base + i * s.inNumel[0] +
+                                         g * ci_g * s.hi * s.wi;
+                kernels_->im2colChw(sample_in, ci_g, s.hi, s.wi,
+                                    s.kernel, s.kernel, s.stride, s.pad,
+                                    s.ho, s.wo, pack + i * hw, ldm,
+                                    0.0f);
+                const float absmax =
+                    absMaxOf(sample_in, ci_g * s.hi * s.wi);
+                const float sa =
+                    absmax > 0.0f ? absmax / actQmax_ : 0.0f;
+                const float mult = absmax > 0.0f ? 1.0f / sa : 0.0f;
+                ctx.scales_[static_cast<std::size_t>(i)] = sw * sa;
+                for (std::int64_t r = 0; r < kk; ++r)
+                    quantizeTo(pack + r * ldm + i * hw,
+                               qpack + r * ldm + i * hw, hw, mult,
+                               qmax);
+            }
+            std::int32_t *stage = ctx.stage32_.data();
+            kernels_->gemmInt8(wg, kk, qpack, ldm, stage, ldm, co_g,
+                               kk, ldm);
+            for (std::int64_t oc = 0; oc < co_g; ++oc) {
+                for (std::int64_t i = 0; i < b; ++i) {
+                    const std::int32_t *src = stage + oc * ldm + i * hw;
+                    float *dst = out_base + i * s.outNumel +
+                                 (g * co_g + oc) * hw;
+                    const float f =
+                        ctx.scales_[static_cast<std::size_t>(i)];
+                    for (std::int64_t x = 0; x < hw; ++x)
+                        dst[x] = static_cast<float>(src[x]) * f;
+                }
+            }
+            continue;
+        }
+        for (std::int64_t i = 0; i < b; ++i) {
+            const float *sample_in =
+                in_base + i * s.inNumel[0] + g * ci_g * s.hi * s.wi;
+            const float absmax = absMaxOf(sample_in, ci_g * s.hi * s.wi);
+            const float sa = absmax > 0.0f ? absmax / actQmax_ : 0.0f;
+            const float mult = absmax > 0.0f ? 1.0f / sa : 0.0f;
+            const float f = sw * sa;
+            std::int8_t *qcols = ctx.qact_.data();
+            if (identity) {
+                quantizeTo(sample_in, qcols, kk * hw, mult, qmax);
+            } else {
+                kernels_->im2colChw(sample_in, ci_g, s.hi, s.wi,
+                                    s.kernel, s.kernel, s.stride, s.pad,
+                                    s.ho, s.wo, ctx.columns_.data(),
+                                    hw, 0.0f);
+                quantizeTo(ctx.columns_.data(), qcols, kk * hw, mult,
+                           qmax);
+            }
+            std::int32_t *stage = ctx.stage32_.data();
+            kernels_->gemmInt8(wg, kk, qcols, hw, stage, hw, co_g, kk,
+                               hw);
+            float *dst = out_base + i * s.outNumel + g * co_g * hw;
+            for (std::int64_t v = 0; v < co_g * hw; ++v)
+                dst[v] = static_cast<float>(stage[v]) * f;
+        }
+    }
+}
+
+void
+ExecutionPlan::execFullyConnectedInt8(const Step &s, int nb,
+                                      PlanContext &ctx) const
+{
+    const std::int64_t b = nb;
+    const float *in_base = ctx.arena_.data() + s.in[0] * b;
+    float *out_base = ctx.arena_.data() + s.out * b;
+    const std::int8_t *wt =
+        qweights_[static_cast<std::size_t>(s.weight)].data();
+    const float sw = wscales_[static_cast<std::size_t>(s.weight)];
+    const std::int32_t qmax = static_cast<std::int32_t>(actQmax_);
+
+    // Quantize each sample's input row against its own absmax, then
+    // run the whole batch as one int8 GEMM against the pre-quantized
+    // [in x units] panel.
+    std::int8_t *qin = ctx.qact_.data();
+    for (std::int64_t i = 0; i < b; ++i) {
+        const float *row = in_base + i * s.ci;
+        const float absmax = absMaxOf(row, s.ci);
+        const float sa = absmax > 0.0f ? absmax / actQmax_ : 0.0f;
+        const float mult = absmax > 0.0f ? 1.0f / sa : 0.0f;
+        ctx.scales_[static_cast<std::size_t>(i)] = sw * sa;
+        quantizeTo(row, qin + i * s.ci, s.ci, mult, qmax);
+    }
+    std::int32_t *stage = ctx.stage32_.data();
+    kernels_->gemmInt8(qin, s.ci, wt, s.co, stage, s.co, b, s.ci,
+                       s.co);
+    for (std::int64_t i = 0; i < b; ++i) {
+        const float f = ctx.scales_[static_cast<std::size_t>(i)];
+        const std::int32_t *src = stage + i * s.co;
+        float *dst = out_base + i * s.co;
+        for (std::int64_t u = 0; u < s.co; ++u)
+            dst[u] = static_cast<float>(src[u]) * f;
+    }
 }
 
 void
@@ -500,10 +734,16 @@ ExecutionPlan::runBatch(const float *const *inputs,
             }
             break;
           case OpKind::Conv2d:
-            execConv(s, batch, context);
+            if (precision_ == PrecisionMode::Fp32)
+                execConv(s, batch, context);
+            else
+                execConvInt8(s, batch, context);
             break;
           case OpKind::FullyConnected:
-            execFullyConnected(s, batch, context);
+            if (precision_ == PrecisionMode::Fp32)
+                execFullyConnected(s, batch, context);
+            else
+                execFullyConnectedInt8(s, batch, context);
             break;
           case OpKind::MaxPool:
             execPool(s, batch, context, false);

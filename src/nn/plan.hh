@@ -26,6 +26,18 @@
  * single-sample `run` calls (see tensor/gemm.hh's determinism
  * contract).
  *
+ * A plan is built for one `PlanOptions{precision, kernelIsa}`: the
+ * kernel table is resolved once at build time and pinned (so the plan's
+ * batched==single promise holds against a fixed instruction-set
+ * variant), and `PrecisionMode::Int8`/`Int6` switch conv/fc layers to
+ * the quantized data path -- weights are symmetric-quantized to int8
+ * per layer at build time, activations are quantized per sample with a
+ * dynamic scale from that sample's own layer input (so batching cannot
+ * change a sample's quantization grid), the GEMM runs int8 x int8 ->
+ * int32, and a float epilogue rescales by (weight scale x activation
+ * scale).  Integer accumulation is exact, so the int8 path is
+ * bit-identical across batch sizes AND across kernel ISAs.
+ *
  * Threading: the plan itself is immutable after build and shared
  * freely; all mutable state (the arena) lives in a `PlanContext`, one
  * per concurrent caller, reused across requests.
@@ -39,9 +51,17 @@
 
 #include "common/status.hh"
 #include "nn/graph.hh"
+#include "tensor/kernels.hh"
 
 namespace fpsa
 {
+
+/** How a plan executes: numeric mode + pinned kernel variant. */
+struct PlanOptions
+{
+    PrecisionMode precision = PrecisionMode::Fp32;
+    KernelIsa kernelIsa = KernelIsa::Auto;
+};
 
 /**
  * Reusable per-caller scratch for one plan: the activation arena plus
@@ -60,6 +80,10 @@ class PlanContext
     std::vector<float> arena_;   //!< node activations, sample-major
     std::vector<float> columns_; //!< im2col matrix of the widest conv
     std::vector<float> stage_;   //!< batched-GEMM output staging
+    // Quantized-path scratch (sized only when the plan is int8/int6).
+    std::vector<std::int8_t> qact_;    //!< quantized activations/columns
+    std::vector<std::int32_t> stage32_; //!< int32 GEMM accumulators
+    std::vector<float> scales_;        //!< per-sample dequant factors
     int batchCapacity_ = 0;
 };
 
@@ -72,13 +96,26 @@ class ExecutionPlan
      * weights and a single Input head; returns `InvalidArgument`
      * otherwise.  The plan copies everything it needs (shapes, packed
      * weights) and does not reference the graph afterwards.
+     *
+     * `options.kernelIsa` is resolved against this machine once, here,
+     * and pinned for the plan's lifetime; `options.precision` selects
+     * the fp32 or quantized data path (weights are quantized during
+     * this call, so serving allocates nothing).
      */
+    static StatusOr<ExecutionPlan> build(const Graph &graph,
+                                         const PlanOptions &options);
     static StatusOr<ExecutionPlan> build(const Graph &graph);
 
     const Shape &inputShape() const { return inputShape_; }
     const Shape &outputShape() const { return outputShape_; }
     std::int64_t inputNumel() const { return inputNumel_; }
     std::int64_t outputNumel() const { return outputNumel_; }
+
+    /** Numeric mode this plan was built for. */
+    PrecisionMode precision() const { return precision_; }
+
+    /** The resolved (never Auto) kernel variant pinned at build. */
+    KernelIsa kernelIsa() const { return kernels_->isa; }
 
     /** Arena floats needed per sample (sum of live buffer peaks). */
     std::int64_t arenaFloatsPerSample() const { return arenaFloats_; }
@@ -126,11 +163,23 @@ class ExecutionPlan
     void execConv(const Step &s, int nb, PlanContext &ctx) const;
     void execFullyConnected(const Step &s, int nb,
                             PlanContext &ctx) const;
+    void execConvInt8(const Step &s, int nb, PlanContext &ctx) const;
+    void execFullyConnectedInt8(const Step &s, int nb,
+                                PlanContext &ctx) const;
     void execPool(const Step &s, int nb, PlanContext &ctx,
                   bool average) const;
 
     std::vector<Step> steps_;
     std::vector<std::vector<float>> weights_; //!< packed GEMM panels
+
+    // Quantized path (empty for Fp32 plans): per-layer int8 panels in
+    // the same layout as weights_, with one symmetric scale each.
+    std::vector<std::vector<std::int8_t>> qweights_;
+    std::vector<float> wscales_;
+
+    PrecisionMode precision_ = PrecisionMode::Fp32;
+    const KernelTable *kernels_ = nullptr; //!< pinned at build
+    float actQmax_ = 0.0f; //!< activation quant ceiling (127 or 31)
 
     Shape inputShape_, outputShape_;
     std::int64_t inputNumel_ = 0, outputNumel_ = 0;
@@ -138,6 +187,8 @@ class ExecutionPlan
     std::int64_t arenaFloats_ = 0;
     std::int64_t columnsFloats_ = 0; //!< widest im2col, per sample
     std::int64_t stageFloats_ = 0;   //!< widest conv output, per sample
+    std::int64_t qactElems_ = 0;   //!< int8 scratch per sample
+    std::int64_t stage32Ints_ = 0; //!< int32 staging per sample
 };
 
 } // namespace fpsa

@@ -367,6 +367,12 @@ Pipeline::result()
 StatusOr<CompiledModel>
 Pipeline::compile()
 {
+    return compile(ExecutionConfig{});
+}
+
+StatusOr<CompiledModel>
+Pipeline::compile(const ExecutionConfig &execution)
+{
     for (const GraphNode &node : graph_.nodes()) {
         if ((node.kind == OpKind::Conv2d ||
              node.kind == OpKind::FullyConnected) &&
@@ -404,6 +410,7 @@ Pipeline::compile()
     // serving process can budget the chip without the compile stack.
     artifacts.demand =
         resourceDemand(map_->allocation, map_->netlist);
+    artifacts.execution = execution;
     return CompiledModel::fromArtifacts(std::move(artifacts));
 }
 

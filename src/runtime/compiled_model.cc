@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cmath>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <sstream>
 #include <utility>
@@ -24,9 +25,11 @@ constexpr const char *kFormat = "fpsa.compiled_model";
  * Document versions this build reads.  v1 predates the resource-demand
  * section (multi-tenant admission); loading a v1 artifact derives the
  * demand from its allocation + netlist, so old artifacts stay servable.
- * Writes always emit the newest version.
+ * v2 predates the execution section (executor/precision/kernel ISA);
+ * v1/v2 artifacts load with the all-default ExecutionConfig.  Writes
+ * always emit the newest version.
  */
-constexpr std::int64_t kVersion = 2;
+constexpr std::int64_t kVersion = 3;
 constexpr std::int64_t kMinReadVersion = 1;
 
 bool
@@ -853,7 +856,11 @@ struct DerivedSlot
 struct CompiledModel::DerivedCache
 {
     std::mutex mu;
-    DerivedSlot<ExecutionPlan> plan;
+    // One plan per (precision, resolved ISA): tenants that override
+    // their model's stamped config get their own packed/quantized
+    // panels, tenants that agree share them.  std::map keeps slot
+    // addresses stable while new combos are inserted.
+    std::map<std::pair<int, int>, DerivedSlot<ExecutionPlan>> plans;
     DerivedSlot<FunctionalSynthesis> synthesis;
 };
 
@@ -865,8 +872,26 @@ CompiledModel::CompiledModel(Artifacts artifacts)
 StatusOr<std::shared_ptr<const ExecutionPlan>>
 CompiledModel::executionPlan() const
 {
-    return cache_->plan.get(cache_->mu, [this] {
-        return ExecutionPlan::build(a_.graph);
+    return executionPlan(a_.execution.precision,
+                         a_.execution.kernelIsa);
+}
+
+StatusOr<std::shared_ptr<const ExecutionPlan>>
+CompiledModel::executionPlan(PrecisionMode precision,
+                             KernelIsa kernelIsa) const
+{
+    // Key on the *resolved* ISA so Auto and its resolution share one
+    // plan (and one copy of the packed weights).
+    const KernelIsa resolved = resolveKernelIsa(kernelIsa);
+    DerivedSlot<ExecutionPlan> *slot;
+    {
+        std::lock_guard<std::mutex> lock(cache_->mu);
+        slot = &cache_->plans[{static_cast<int>(precision),
+                               static_cast<int>(resolved)}];
+    }
+    return slot->get(cache_->mu, [&] {
+        return ExecutionPlan::build(
+            a_.graph, PlanOptions{precision, resolved});
     });
 }
 
@@ -943,6 +968,11 @@ CompiledModel::toJson() const
     }
     j.key("resourceDemand");
     emitResourceDemand(j, a_.demand);
+    j.key("execution").beginObject();
+    j.field("executor", executorKindName(a_.execution.executor));
+    j.field("precision", precisionModeName(a_.execution.precision));
+    j.field("kernelIsa", kernelIsaName(a_.execution.kernelIsa));
+    j.endObject();
     j.key("performance");
     emitPerformance(j, a_.performance);
     j.key("energy").beginObject();
@@ -1015,6 +1045,23 @@ CompiledModel::fromJson(const std::string &text)
     if (version >= 2) {
         a.demand = readResourceDemand(d, d.obj(*doc, "resourceDemand"));
     } // v1: left zero; fromArtifacts derives it from allocation+netlist.
+
+    if (version >= 3) {
+        const JsonValue &execution = d.obj(*doc, "execution");
+        const std::string executor = d.str(execution, "executor");
+        const std::string precision = d.str(execution, "precision");
+        const std::string isa = d.str(execution, "kernelIsa");
+        if (!d.status().ok())
+            return d.status();
+        if (!parseExecutorKind(executor, a.execution.executor) ||
+            !parsePrecisionMode(precision, a.execution.precision) ||
+            !parseKernelIsa(isa, a.execution.kernelIsa)) {
+            return Status::error(
+                StatusCode::InvalidArgument,
+                "compiled model: unknown execution config '" +
+                    executor + "/" + precision + "/" + isa + "'");
+        }
+    } // v1/v2: all-default ExecutionConfig.
 
     a.performance = readPerformance(d, d.obj(*doc, "performance"));
     const JsonValue &energy = d.obj(*doc, "energy");

@@ -53,6 +53,7 @@
 
 #include "common/status.hh"
 #include "compiler.hh"
+#include "runtime/execution_config.hh"
 
 namespace fpsa
 {
@@ -92,6 +93,15 @@ class CompiledModel
          * compile pipeline stamps it explicitly.
          */
         ResourceDemand demand;
+
+        /**
+         * How this model is meant to execute (backend, precision,
+         * kernel ISA), stamped by `Pipeline::compile(ExecutionConfig)`.
+         * Engines use it as the model's default; tenants can still
+         * override at loadModel time.  Artifacts from before schema v3
+         * load with the all-default config.
+         */
+        ExecutionConfig execution;
     };
 
     /**
@@ -114,6 +124,12 @@ class CompiledModel
     /** Chip-resource footprint used for multi-tenant admission. */
     const ResourceDemand &resourceDemand() const { return a_.demand; }
 
+    /** The execution config stamped at compile time. */
+    const ExecutionConfig &executionConfig() const
+    {
+        return a_.execution;
+    }
+
     /** Per-sample shape of the model's input node. */
     const Shape &inputShape() const;
 
@@ -123,12 +139,22 @@ class CompiledModel
     // ------------------------------------------- derived, cached once
 
     /**
-     * The model's `ExecutionPlan` (nn/plan.hh): built lazily on first
-     * use, then shared -- every planned executor (and every engine
-     * worker behind it) serves off one plan and one set of packed
-     * weight panels.  Copies of this CompiledModel share the cache.
+     * The model's `ExecutionPlan` (nn/plan.hh) for the stamped
+     * execution config: built lazily on first use, then shared --
+     * every planned executor (and every engine worker behind it)
+     * serves off one plan and one set of packed weight panels.  Copies
+     * of this CompiledModel share the cache.
      */
     StatusOr<std::shared_ptr<const ExecutionPlan>> executionPlan() const;
+
+    /**
+     * The plan for an explicit (precision, kernel ISA) -- what tenant
+     * overrides resolve through.  Plans are cached per (precision,
+     * resolved ISA) pair, so two tenants asking for the same combo
+     * share packed (and quantized) weights.
+     */
+    StatusOr<std::shared_ptr<const ExecutionPlan>> executionPlan(
+        PrecisionMode precision, KernelIsa kernelIsa) const;
 
     /**
      * The model's functional lowering for the spiking backend,

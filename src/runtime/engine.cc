@@ -260,6 +260,13 @@ EngineStats::toJson() const
     for (std::int64_t n : batchSizeCounts)
         j.value(n);
     j.endArray();
+    if (!executor.empty()) {
+        j.key("execution").beginObject();
+        j.field("executor", executor);
+        j.field("precision", precision);
+        j.field("kernelIsa", kernelIsa);
+        j.endObject();
+    }
     j.endObject();
     return j.str();
 }
@@ -328,11 +335,24 @@ Engine::loadModel(const std::string &name,
 Status
 Engine::loadModel(const std::string &name,
                   std::shared_ptr<const CompiledModel> model,
-                  ExecutorKind executor)
+                  const ExecutionConfig &execution)
 {
     TenantOptions tenant;
-    tenant.executor = executor;
+    tenant.execution = execution;
     return loadModel(name, std::move(model), tenant);
+}
+
+Status
+Engine::loadModel(const std::string &name,
+                  std::shared_ptr<const CompiledModel> model,
+                  ExecutorKind executor)
+{
+    // Deprecated shim: the bare kind overrides only the backend; the
+    // model's stamped precision/ISA still apply.
+    ExecutionConfig execution =
+        model ? model->executionConfig() : ExecutionConfig{};
+    execution.executor = executor;
+    return loadModel(name, std::move(model), execution);
 }
 
 Status
@@ -347,8 +367,26 @@ Engine::loadModel(const std::string &name,
             ">= 0 for '" +
                 name + "'");
     }
-    const ExecutorKind executor =
-        tenant.executor.value_or(options_.executor);
+    if (!model) {
+        return Status::error(StatusCode::InvalidArgument,
+                             "engine: null compiled model for '" +
+                                 name + "'");
+    }
+
+    // Resolve the tenant's execution config, most specific wins:
+    // model stamp -> engine default -> engine deprecated backend ->
+    // tenant override -> tenant deprecated backend.  The deprecated
+    // ExecutorKind knobs replace only the backend at their level, so
+    // legacy callers keep their exact pre-ExecutionConfig behavior.
+    ExecutionConfig execution = model->executionConfig();
+    if (options_.execution.has_value())
+        execution = *options_.execution;
+    if (options_.executor.has_value())
+        execution.executor = *options_.executor;
+    if (tenant.execution.has_value())
+        execution = *tenant.execution;
+    if (tenant.executor.has_value())
+        execution.executor = *tenant.executor;
     const double slo_millis = tenant.sloMillis > 0.0
                                   ? tenant.sloMillis
                                   : options_.defaultSloMillis;
@@ -370,7 +408,7 @@ Engine::loadModel(const std::string &name,
     if (!admitted.ok())
         return admitted;
 
-    auto backend = makeExecutor(executor, model);
+    auto backend = makeExecutor(model, execution);
     if (!backend.ok()) {
         registry_.remove(name);
         return backend.status();
@@ -869,6 +907,11 @@ Engine::modelStats(const std::string &name) const
         // before it has served anything.
         s.modeledLatency = it->second->modeledLatency;
         s.modeledEnergyPerSample = it->second->modeledEnergy;
+        // What the backend actually runs (resolved, never "auto").
+        const ExecutionConfig info = it->second->executor->info();
+        s.executor = executorKindName(info.executor);
+        s.precision = precisionModeName(info.precision);
+        s.kernelIsa = kernelIsaName(info.kernelIsa);
     }
     finalizeStats(s, std::move(waits));
     return s;

@@ -10,7 +10,8 @@
  *
  *     auto engine = Engine::create(
  *         ChipCapacity::fromArch({.width = 32, .height = 32})).value();
- *     engine->loadModel("lenet", lenet, ExecutorKind::Spiking);
+ *     engine->loadModel("lenet", lenet,
+ *                       ExecutionConfig{ExecutorKind::Spiking});
  *     engine->loadModel("mlp", mlp);
  *     auto f = engine->submit("lenet", image);     // async
  *     StatusOr<InferenceResult> r = engine->infer("mlp", sample);
@@ -109,12 +110,25 @@ struct EngineOptions
     int queueDepth = 256; //!< per-tenant; submit() blocks beyond this
 
     /**
-     * Default backend for models loaded without an explicit kind.
-     * `Planned` executes each scheduler batch through one batched
-     * plan invocation (one multi-column GEMM per layer); `Reference`
-     * keeps the naive golden kernels for validation.
+     * Default execution config (backend + precision + kernel ISA) for
+     * models loaded without a per-tenant override.  Unset (the
+     * default) serves each model with the `ExecutionConfig` stamped
+     * into it at compile time -- `planned/fp32/auto` unless
+     * `Pipeline::compile(ExecutionConfig)` said otherwise.  `Planned`
+     * executes each scheduler batch through one batched plan
+     * invocation (one multi-column GEMM per layer); `Reference` keeps
+     * the naive golden kernels for validation.
      */
-    ExecutorKind executor = ExecutorKind::Planned;
+    std::optional<ExecutionConfig> execution;
+
+    /**
+     * @deprecated Use `execution`.  When set, overrides only the
+     * backend of the engine-level default; precision/ISA still come
+     * from `execution` or the model's stamped config.  (Doc-level
+     * deprecation only: `[[deprecated]]` on a data member fires from
+     * the struct's synthesized constructors under GCC.)
+     */
+    std::optional<ExecutorKind> executor;
 
     SchedulerPolicy scheduler = SchedulerPolicy::Deadline;
 
@@ -156,7 +170,20 @@ struct EngineOptions
 /** Per-tenant serving configuration for `Engine::loadModel`. */
 struct TenantOptions
 {
-    /** Backend override; unset uses `EngineOptions::executor`. */
+    /**
+     * Execution override (backend + precision + kernel ISA); unset
+     * falls back to `EngineOptions::execution`, then to the model's
+     * compile-time stamped config.  This is how one engine serves the
+     * same `CompiledModel` to a latency tenant at int8 and an
+     * accuracy tenant at fp32 simultaneously -- the per-(precision,
+     * ISA) execution plans are cached on the model and shared.
+     */
+    std::optional<ExecutionConfig> execution;
+
+    /**
+     * @deprecated Use `execution`.  When set, overrides only the
+     * backend of this tenant's resolved config.
+     */
     std::optional<ExecutorKind> executor;
 
     /**
@@ -225,6 +252,16 @@ struct EngineStats
     /** batchSizeCounts[n] = batches that coalesced exactly n requests. */
     std::vector<std::int64_t> batchSizeCounts;
 
+    /**
+     * Resolved execution config the scope serves with (tenant scopes
+     * only; empty strings for the aggregate, which may span mixed
+     * configs).  `kernelIsa` is what actually dispatches -- never
+     * "auto" -- so a deploy can verify the vector path is live.
+     */
+    std::string executor;
+    std::string precision;
+    std::string kernelIsa;
+
     std::string toJson() const;
 };
 
@@ -244,9 +281,9 @@ class Engine
 
     /**
      * One-tenant wrapper (the PR-3 API): unlimited capacity with
-     * `model` loaded under `kDefaultModel` using `options.executor`
-     * (which may reject the model, e.g. `Spiking` outside the
-     * MLP/LeNet family).
+     * `model` loaded under `kDefaultModel` using `options.execution`
+     * (falling back to the model's stamped config; the backend may
+     * reject the model, e.g. `Spiking` outside the MLP/LeNet family).
      */
     static StatusOr<std::unique_ptr<Engine>> create(
         std::shared_ptr<const CompiledModel> model,
@@ -261,19 +298,27 @@ class Engine
 
     /**
      * Admit `model` against the chip budget and start serving it as
-     * `name` with the engine's default executor kind (or an explicit
-     * one).  `Infeasible` with a per-resource breakdown when it does
-     * not fit; `InvalidArgument` on a duplicate name or a model the
-     * backend rejects; `Unavailable` after shutdown.
+     * `name`.  The tenant's execution config resolves model stamp ->
+     * `EngineOptions::execution` -> `TenantOptions::execution` (an
+     * explicit `ExecutionConfig` argument binds as the tenant
+     * override).  `Infeasible` with a per-resource breakdown when it
+     * does not fit; `InvalidArgument` on a duplicate name or a model
+     * the backend rejects; `Unavailable` after shutdown.
      */
     Status loadModel(const std::string &name,
                      std::shared_ptr<const CompiledModel> model);
     Status loadModel(const std::string &name,
                      std::shared_ptr<const CompiledModel> model,
-                     ExecutorKind executor);
+                     const ExecutionConfig &execution);
     Status loadModel(const std::string &name,
                      std::shared_ptr<const CompiledModel> model,
                      const TenantOptions &tenant);
+
+    /** @deprecated Use loadModel(name, model, ExecutionConfig). */
+    [[deprecated("use loadModel(name, model, ExecutionConfig)")]]
+    Status loadModel(const std::string &name,
+                     std::shared_ptr<const CompiledModel> model,
+                     ExecutorKind executor);
 
     /**
      * Hot-swap eviction: stop accepting requests for `name`, drain its

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * `fpsa::ExecutionConfig`: the one knob bundle that says how a model
+ * executes -- which backend (`ExecutorKind`), at what numeric precision
+ * (`PrecisionMode`), on which kernel variant (`KernelIsa`).
+ *
+ * Before this existed the three choices were scattered (ExecutorKind on
+ * EngineOptions/TenantOptions, precision nowhere, ISA implicit in the
+ * build); one struct now travels the whole stack: `Pipeline::compile()`
+ * stamps it into the CompiledModel artifact, `EngineOptions.execution`
+ * sets the engine default, `TenantOptions.execution` overrides per
+ * tenant, and `Executor::info()` reports the *resolved* values (never
+ * `Auto`) that `statsJson()` surfaces per tenant.
+ *
+ * Precision and ISA only affect the `Planned` backend -- `Reference`
+ * is the fp32 golden oracle by definition and `Spiking` executes in the
+ * count domain; both report themselves as fp32/scalar.
+ */
+
+#ifndef FPSA_RUNTIME_EXECUTION_CONFIG_HH
+#define FPSA_RUNTIME_EXECUTION_CONFIG_HH
+
+#include <string>
+
+#include "tensor/kernels.hh"
+
+namespace fpsa
+{
+
+/** Selectable execution backend. */
+enum class ExecutorKind
+{
+    Planned,   //!< arena + im2col/GEMM execution plan (every op)
+    Reference, //!< golden naive float kernels (every op)
+    Spiking,   //!< spike-count domain via functional synthesis
+};
+
+const char *executorKindName(ExecutorKind kind);
+
+/** Parse "planned"/"reference"/"spiking" (case-insensitive). */
+bool parseExecutorKind(const std::string &name, ExecutorKind &out);
+
+/** How a model executes: backend + precision + kernel variant. */
+struct ExecutionConfig
+{
+    ExecutorKind executor = ExecutorKind::Planned;
+    PrecisionMode precision = PrecisionMode::Fp32;
+    KernelIsa kernelIsa = KernelIsa::Auto;
+
+    friend bool
+    operator==(const ExecutionConfig &a, const ExecutionConfig &b)
+    {
+        return a.executor == b.executor &&
+               a.precision == b.precision &&
+               a.kernelIsa == b.kernelIsa;
+    }
+    friend bool
+    operator!=(const ExecutionConfig &a, const ExecutionConfig &b)
+    {
+        return !(a == b);
+    }
+};
+
+/** "planned/int8/avx2" -- for logs and error messages. */
+std::string executionConfigName(const ExecutionConfig &config);
+
+} // namespace fpsa
+
+#endif // FPSA_RUNTIME_EXECUTION_CONFIG_HH

@@ -11,17 +11,6 @@
 namespace fpsa
 {
 
-const char *
-executorKindName(ExecutorKind kind)
-{
-    switch (kind) {
-      case ExecutorKind::Planned: return "planned";
-      case ExecutorKind::Reference: return "reference";
-      case ExecutorKind::Spiking: return "spiking";
-    }
-    return "?";
-}
-
 std::vector<StatusOr<Tensor>>
 Executor::runBatch(const std::vector<const Tensor *> &inputs) const
 {
@@ -102,6 +91,13 @@ class PlannedExecutor final : public Executor
 
     const char *name() const override { return "planned"; }
 
+    ExecutionConfig
+    info() const override
+    {
+        return ExecutionConfig{ExecutorKind::Planned,
+                               plan_->precision(), plan_->kernelIsa()};
+    }
+
     StatusOr<Tensor>
     run(const Tensor &input) const override
     {
@@ -169,6 +165,14 @@ class ReferenceExecutor final : public Executor
 
     const char *name() const override { return "reference"; }
 
+    ExecutionConfig
+    info() const override
+    {
+        return ExecutionConfig{ExecutorKind::Reference,
+                               PrecisionMode::Fp32,
+                               KernelIsa::Scalar};
+    }
+
     StatusOr<Tensor>
     run(const Tensor &input) const override
     {
@@ -200,6 +204,14 @@ class SpikingExecutor final : public Executor
     }
 
     const char *name() const override { return "spiking"; }
+
+    ExecutionConfig
+    info() const override
+    {
+        return ExecutionConfig{ExecutorKind::Spiking,
+                               PrecisionMode::Fp32,
+                               KernelIsa::Scalar};
+    }
 
     StatusOr<Tensor>
     run(const Tensor &input) const override
@@ -252,12 +264,14 @@ class SpikingExecutor final : public Executor
 } // namespace
 
 StatusOr<std::unique_ptr<Executor>>
-makeExecutor(ExecutorKind kind, std::shared_ptr<const CompiledModel> model)
+makeExecutor(std::shared_ptr<const CompiledModel> model,
+             const ExecutionConfig &config)
 {
     fpsa_assert(model != nullptr, "makeExecutor: null model");
-    switch (kind) {
+    switch (config.executor) {
       case ExecutorKind::Planned: {
-        auto plan = model->executionPlan();
+        auto plan = model->executionPlan(config.precision,
+                                         config.kernelIsa);
         if (!plan.ok())
             return plan.status();
         return std::unique_ptr<Executor>(new PlannedExecutor(
@@ -276,6 +290,15 @@ makeExecutor(ExecutorKind kind, std::shared_ptr<const CompiledModel> model)
     }
     return Status::error(StatusCode::InvalidArgument,
                          "unknown executor kind");
+}
+
+StatusOr<std::unique_ptr<Executor>>
+makeExecutor(ExecutorKind kind,
+             std::shared_ptr<const CompiledModel> model)
+{
+    ExecutionConfig config;
+    config.executor = kind;
+    return makeExecutor(std::move(model), config);
 }
 
 } // namespace fpsa

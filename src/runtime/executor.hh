@@ -35,20 +35,11 @@
 
 #include "common/status.hh"
 #include "runtime/compiled_model.hh"
+#include "runtime/execution_config.hh"
 #include "tensor/tensor.hh"
 
 namespace fpsa
 {
-
-/** Selectable execution backend. */
-enum class ExecutorKind
-{
-    Planned,   //!< arena + im2col/GEMM execution plan (every op)
-    Reference, //!< golden naive float kernels (every op)
-    Spiking,   //!< spike-count domain via functional synthesis
-};
-
-const char *executorKindName(ExecutorKind kind);
 
 /** A serving backend: maps input samples to output tensors. */
 class Executor
@@ -57,6 +48,14 @@ class Executor
     virtual ~Executor() = default;
 
     virtual const char *name() const = 0;
+
+    /**
+     * The resolved config this backend actually runs: never `Auto`,
+     * and precision/ISA reflect the bound execution plan (`Reference`
+     * and `Spiking` report fp32/scalar -- they have no vector or
+     * quantized variant).  This is what per-tenant stats surface.
+     */
+    virtual ExecutionConfig info() const = 0;
 
     /**
      * Execute one sample.  Thread-safe; a shape mismatch or an internal
@@ -79,8 +78,16 @@ class Executor
 /**
  * Build a backend for a compiled model.  The model handle is retained
  * for the executor's lifetime.  `Spiking` returns `InvalidArgument`
- * when the model's graph is outside the functional-synthesis family.
+ * when the model's graph is outside the functional-synthesis family;
+ * `config.precision`/`config.kernelIsa` select the planned backend's
+ * data path (ignored by the other two, which report fp32/scalar).
  */
+StatusOr<std::unique_ptr<Executor>> makeExecutor(
+    std::shared_ptr<const CompiledModel> model,
+    const ExecutionConfig &config);
+
+/** @deprecated Use makeExecutor(model, ExecutionConfig{kind}). */
+[[deprecated("use makeExecutor(model, ExecutionConfig)")]]
 StatusOr<std::unique_ptr<Executor>> makeExecutor(
     ExecutorKind kind, std::shared_ptr<const CompiledModel> model);
 

@@ -1,94 +1,16 @@
 #include "tensor/gemm.hh"
 
-#include <algorithm>
-#include <cstring>
+#include "tensor/kernels.hh"
 
 namespace fpsa
 {
-
-namespace
-{
-
-/**
- * Block sizes: one k-panel of B (kKc rows x kNc columns) plus the four
- * C rows the register tile holds stay resident in L2 while the inner
- * loops stream over them (kKc * kNc * 4 bytes = 256 KiB).
- */
-constexpr std::int64_t kKc = 128;
-constexpr std::int64_t kNc = 512;
-
-/**
- * Register-tiled core: C[4 x nb] += A[4 x kb] * B[kb x nb] for one
- * (k, n) block.  Four output rows share every B row load; the compiler
- * vectorizes the column loop (four independent FMAs per element).
- */
-inline void
-axpyTile4(const float *__restrict a0, const float *__restrict a1,
-          const float *__restrict a2, const float *__restrict a3,
-          const float *__restrict b, std::int64_t ldb,
-          float *__restrict c0, float *__restrict c1,
-          float *__restrict c2, float *__restrict c3, std::int64_t kb,
-          std::int64_t nb)
-{
-    for (std::int64_t p = 0; p < kb; ++p) {
-        const float av0 = a0[p], av1 = a1[p], av2 = a2[p], av3 = a3[p];
-        const float *__restrict bp = b + p * ldb;
-        for (std::int64_t j = 0; j < nb; ++j) {
-            const float bv = bp[j];
-            c0[j] += av0 * bv;
-            c1[j] += av1 * bv;
-            c2[j] += av2 * bv;
-            c3[j] += av3 * bv;
-        }
-    }
-}
-
-inline void
-axpyTile1(const float *__restrict a, const float *__restrict b,
-          std::int64_t ldb, float *__restrict c, std::int64_t kb,
-          std::int64_t nb)
-{
-    for (std::int64_t p = 0; p < kb; ++p) {
-        const float av = a[p];
-        const float *__restrict bp = b + p * ldb;
-        for (std::int64_t j = 0; j < nb; ++j)
-            c[j] += av * bp[j];
-    }
-}
-
-} // namespace
 
 void
 gemmRowMajor(const float *a, std::int64_t lda, const float *b,
              std::int64_t ldb, float *c, std::int64_t ldc, std::int64_t m,
              std::int64_t k, std::int64_t n)
 {
-    for (std::int64_t i = 0; i < m; ++i)
-        std::memset(c + i * ldc, 0, static_cast<std::size_t>(n) *
-                                        sizeof(float));
-    // k blocks advance strictly in order and each element's partial sum
-    // lives in C between blocks, so per-element accumulation order is
-    // k-ascending independent of the (jc, i) tiling -- the determinism
-    // contract in the header.
-    for (std::int64_t jc = 0; jc < n; jc += kNc) {
-        const std::int64_t nb = std::min(kNc, n - jc);
-        for (std::int64_t pc = 0; pc < k; pc += kKc) {
-            const std::int64_t kb = std::min(kKc, k - pc);
-            const float *bp = b + pc * ldb + jc;
-            std::int64_t i = 0;
-            for (; i + 4 <= m; i += 4) {
-                const float *ap = a + i * lda + pc;
-                float *cp = c + i * ldc + jc;
-                axpyTile4(ap, ap + lda, ap + 2 * lda, ap + 3 * lda, bp,
-                          ldb, cp, cp + ldc, cp + 2 * ldc, cp + 3 * ldc,
-                          kb, nb);
-            }
-            for (; i < m; ++i) {
-                axpyTile1(a + i * lda + pc, bp, ldb, c + i * ldc + jc,
-                          kb, nb);
-            }
-        }
-    }
+    kernelTable().gemmRowMajor(a, lda, b, ldb, c, ldc, m, k, n);
 }
 
 void
@@ -98,46 +20,8 @@ im2colChw(const float *input, std::int64_t ci, std::int64_t hi,
           std::int64_t wo, float *columns, std::int64_t ldm,
           float pad_value)
 {
-    for (std::int64_t ic = 0; ic < ci; ++ic) {
-        const float *plane = input + ic * hi * wi;
-        for (std::int64_t ky = 0; ky < kh; ++ky) {
-            for (std::int64_t kx = 0; kx < kw; ++kx) {
-                float *row = columns + ((ic * kh + ky) * kw + kx) * ldm;
-                // Valid output x range for this tap: ox*stride+kx-pad
-                // in [0, wi).  Everything outside is pad_value; inside
-                // is a contiguous (stride==1) or strided copy -- no
-                // per-element branch either way.  last_ix < 0 (the tap
-                // never lands in range, possible when kernel > wi+pad)
-                // must clamp to an empty range, not divide negatively.
-                const std::int64_t ox_lo = std::max<std::int64_t>(
-                    0, (pad - kx + stride - 1) / stride);
-                const std::int64_t last_ix = wi - 1 - kx + pad;
-                const std::int64_t ox_hi =
-                    last_ix < 0 ? 0
-                                : std::min(wo, last_ix / stride + 1);
-                for (std::int64_t oy = 0; oy < ho; ++oy) {
-                    const std::int64_t iy = oy * stride + ky - pad;
-                    float *dst = row + oy * wo;
-                    if (iy < 0 || iy >= hi || ox_lo >= ox_hi) {
-                        std::fill(dst, dst + wo, pad_value);
-                        continue;
-                    }
-                    std::fill(dst, dst + ox_lo, pad_value);
-                    const float *src = plane + iy * wi - pad + kx;
-                    if (stride == 1) {
-                        std::memcpy(dst + ox_lo, src + ox_lo,
-                                    static_cast<std::size_t>(ox_hi -
-                                                             ox_lo) *
-                                        sizeof(float));
-                    } else {
-                        for (std::int64_t ox = ox_lo; ox < ox_hi; ++ox)
-                            dst[ox] = src[ox * stride];
-                    }
-                    std::fill(dst + ox_hi, dst + wo, pad_value);
-                }
-            }
-        }
-    }
+    kernelTable().im2colChw(input, ci, hi, wi, kh, kw, stride, pad, ho,
+                            wo, columns, ldm, pad_value);
 }
 
 } // namespace fpsa

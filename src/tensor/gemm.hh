@@ -4,13 +4,21 @@
  * cache-blocked row-major GEMM and the im2col packer that turns a
  * padded convolution into one branch-free matrix multiply.
  *
- * Determinism contract: for a fixed (k) reduction length, every output
- * element accumulates its products in the same order regardless of how
- * many columns the call carries (the k loop is blocked identically and
- * column tiling never reorders a column's partial sums).  A batched
- * call that widens `n` therefore produces bit-identical per-column
- * results to the equivalent single-sample calls -- the property the
- * executor's batch path and its tests rely on.
+ * Both entry points route through the process-wide kernel dispatch
+ * table (tensor/kernels.hh) -- the best instruction-set variant the CPU
+ * supports, cappable with `FPSA_KERNEL_ISA`.  Callers that need a
+ * *pinned* variant (e.g. an ExecutionPlan that promises batched ==
+ * single bit-identity against a stamped config) should hold a
+ * `KernelTable` reference instead of calling these.
+ *
+ * Determinism contract: within one kernel table, for a fixed (k)
+ * reduction length, every output element accumulates its products in
+ * the same order regardless of how many columns the call carries (the
+ * k loop is blocked identically and column tiling never reorders a
+ * column's partial sums).  A batched call that widens `n` therefore
+ * produces bit-identical per-column results to the equivalent
+ * single-sample calls -- the property the executor's batch path and
+ * its tests rely on.
  */
 
 #ifndef FPSA_TENSOR_GEMM_HH

@@ -296,8 +296,8 @@ TEST(ClusterEngine, RoutesReplicasAndNeverMixesTenantsInABatch)
     ASSERT_TRUE((*cluster)->loadModel("mlp", mlp, 1).ok());
 
     // Ground truth per tenant through a direct executor.
-    auto direct_cnn = makeExecutor(ExecutorKind::Planned, cnn);
-    auto direct_mlp = makeExecutor(ExecutorKind::Planned, mlp);
+    auto direct_cnn = makeExecutor(cnn, ExecutionConfig{});
+    auto direct_mlp = makeExecutor(mlp, ExecutionConfig{});
     ASSERT_TRUE(direct_cnn.ok() && direct_mlp.ok());
     const Tensor expect_cnn = (*direct_cnn)->run(probeInput()).value();
     const Tensor expect_mlp = (*direct_mlp)->run(probeInput()).value();

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Tests for the runtime-dispatched kernel layer (tensor/kernels.hh):
+ * ISA name/parse round-trips, resolution and availability semantics,
+ * golden equivalence of every available vector variant against the
+ * scalar baseline, the per-table determinism contract (a column's bits
+ * do not depend on the call's width), exactness and cross-table
+ * bit-identity of the int8 GEMM, and im2col equivalence across tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "tensor/kernels.hh"
+
+namespace fpsa
+{
+namespace
+{
+
+std::vector<float>
+randomFloats(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (float &x : v)
+        x = static_cast<float>(rng.normal(0.0, 1.0));
+    return v;
+}
+
+std::vector<std::int8_t>
+randomInt8(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::int8_t> v(n);
+    for (std::int8_t &x : v)
+        x = static_cast<std::int8_t>(
+            static_cast<int>(rng.uniform(0.0, 255.0)) - 128);
+    return v;
+}
+
+/** Every ISA whose table can actually run on this host. */
+std::vector<KernelIsa>
+availableIsas()
+{
+    std::vector<KernelIsa> isas{KernelIsa::Scalar};
+    for (KernelIsa isa : {KernelIsa::Avx2, KernelIsa::Neon})
+        if (kernelIsaAvailable(isa))
+            isas.push_back(isa);
+    return isas;
+}
+
+TEST(KernelIsaApi, NameParseRoundTrip)
+{
+    for (KernelIsa isa : {KernelIsa::Auto, KernelIsa::Scalar,
+                          KernelIsa::Avx2, KernelIsa::Neon}) {
+        KernelIsa parsed;
+        ASSERT_TRUE(parseKernelIsa(kernelIsaName(isa), parsed));
+        EXPECT_EQ(parsed, isa);
+    }
+    KernelIsa out;
+    EXPECT_FALSE(parseKernelIsa("sse9", out));
+    EXPECT_TRUE(parseKernelIsa("AVX2", out)); // case-insensitive
+    EXPECT_EQ(out, KernelIsa::Avx2);
+}
+
+TEST(KernelIsaApi, PrecisionNameParseRoundTrip)
+{
+    for (PrecisionMode mode : {PrecisionMode::Fp32, PrecisionMode::Int8,
+                               PrecisionMode::Int6}) {
+        PrecisionMode parsed;
+        ASSERT_TRUE(parsePrecisionMode(precisionModeName(mode), parsed));
+        EXPECT_EQ(parsed, mode);
+    }
+    PrecisionMode out;
+    EXPECT_FALSE(parsePrecisionMode("fp16", out));
+    EXPECT_EQ(precisionActivationBits(PrecisionMode::Fp32), 0);
+    EXPECT_EQ(precisionActivationBits(PrecisionMode::Int8), 8);
+    EXPECT_EQ(precisionActivationBits(PrecisionMode::Int6), 6);
+}
+
+TEST(KernelIsaApi, ResolutionNeverReturnsAutoAndFallsBackToScalar)
+{
+    EXPECT_TRUE(kernelIsaAvailable(KernelIsa::Scalar));
+    EXPECT_TRUE(kernelIsaAvailable(KernelIsa::Auto));
+    const KernelIsa best = resolveKernelIsa(KernelIsa::Auto);
+    EXPECT_NE(best, KernelIsa::Auto);
+    EXPECT_TRUE(kernelIsaAvailable(best));
+    for (KernelIsa isa : {KernelIsa::Avx2, KernelIsa::Neon}) {
+        const KernelIsa resolved = resolveKernelIsa(isa);
+        if (kernelIsaAvailable(isa))
+            EXPECT_EQ(resolved, isa);
+        else
+            EXPECT_EQ(resolved, KernelIsa::Scalar);
+    }
+    // The table honors the resolution and binds every slot.
+    for (KernelIsa isa : availableIsas()) {
+        const KernelTable &t = kernelTable(isa);
+        EXPECT_EQ(t.isa, isa);
+        EXPECT_NE(t.gemmRowMajor, nullptr);
+        EXPECT_NE(t.im2colChw, nullptr);
+        EXPECT_NE(t.gemmInt8, nullptr);
+    }
+}
+
+TEST(KernelTableGolden, VectorGemmMatchesScalarWithinTolerance)
+{
+    const KernelTable &scalar = kernelTable(KernelIsa::Scalar);
+    // Odd shapes so full tiles, remainder rows and remainder columns
+    // are all exercised.
+    const std::int64_t m = 13, k = 517, n = 37;
+    const auto a = randomFloats(static_cast<std::size_t>(m * k), 1);
+    const auto b = randomFloats(static_cast<std::size_t>(k * n), 2);
+    std::vector<float> want(static_cast<std::size_t>(m * n));
+    scalar.gemmRowMajor(a.data(), k, b.data(), n, want.data(), n, m, k,
+                        n);
+    for (KernelIsa isa : availableIsas()) {
+        const KernelTable &t = kernelTable(isa);
+        std::vector<float> got(static_cast<std::size_t>(m * n), -1.0f);
+        t.gemmRowMajor(a.data(), k, b.data(), n, got.data(), n, m, k,
+                       n);
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            const float tol =
+                1e-4f * std::max(1.0f, std::fabs(want[i]));
+            ASSERT_NEAR(got[i], want[i], tol)
+                << kernelIsaName(isa) << " element " << i;
+        }
+    }
+}
+
+TEST(KernelTableGolden, ColumnBitsIndependentOfCallWidthPerTable)
+{
+    // The determinism contract the batched serving path relies on:
+    // within one table, computing a column alone gives the same bits
+    // as computing it inside a wide call.
+    const std::int64_t m = 7, k = 333, n = 29;
+    const auto a = randomFloats(static_cast<std::size_t>(m * k), 3);
+    const auto b = randomFloats(static_cast<std::size_t>(k * n), 4);
+    for (KernelIsa isa : availableIsas()) {
+        const KernelTable &t = kernelTable(isa);
+        std::vector<float> wide(static_cast<std::size_t>(m * n));
+        t.gemmRowMajor(a.data(), k, b.data(), n, wide.data(), n, m, k,
+                       n);
+        for (std::int64_t j = 0; j < n; ++j) {
+            std::vector<float> narrow(static_cast<std::size_t>(m));
+            t.gemmRowMajor(a.data(), k, b.data() + j, n, narrow.data(),
+                           1, m, k, 1);
+            for (std::int64_t i = 0; i < m; ++i)
+                ASSERT_EQ(narrow[static_cast<std::size_t>(i)],
+                          wide[static_cast<std::size_t>(i * n + j)])
+                    << kernelIsaName(isa) << " " << i << "," << j;
+        }
+    }
+}
+
+TEST(KernelTableInt8, ExactAgainstNaiveAndBitIdenticalAcrossTables)
+{
+    const std::int64_t m = 11, k = 259, n = 23;
+    const auto a = randomInt8(static_cast<std::size_t>(m * k), 5);
+    const auto b = randomInt8(static_cast<std::size_t>(k * n), 6);
+    std::vector<std::int32_t> want(static_cast<std::size_t>(m * n));
+    for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+            std::int32_t acc = 0;
+            for (std::int64_t p = 0; p < k; ++p)
+                acc += static_cast<std::int32_t>(
+                           a[static_cast<std::size_t>(i * k + p)]) *
+                       static_cast<std::int32_t>(
+                           b[static_cast<std::size_t>(p * n + j)]);
+            want[static_cast<std::size_t>(i * n + j)] = acc;
+        }
+    }
+    for (KernelIsa isa : availableIsas()) {
+        const KernelTable &t = kernelTable(isa);
+        std::vector<std::int32_t> got(static_cast<std::size_t>(m * n),
+                                      -7);
+        t.gemmInt8(a.data(), k, b.data(), n, got.data(), n, m, k, n);
+        for (std::size_t i = 0; i < got.size(); ++i)
+            ASSERT_EQ(got[i], want[i])
+                << kernelIsaName(isa) << " element " << i;
+    }
+}
+
+TEST(KernelTableInt8, ColumnBitsIndependentOfCallWidth)
+{
+    const std::int64_t m = 5, k = 130, n = 17;
+    const auto a = randomInt8(static_cast<std::size_t>(m * k), 7);
+    const auto b = randomInt8(static_cast<std::size_t>(k * n), 8);
+    for (KernelIsa isa : availableIsas()) {
+        const KernelTable &t = kernelTable(isa);
+        std::vector<std::int32_t> wide(static_cast<std::size_t>(m * n));
+        t.gemmInt8(a.data(), k, b.data(), n, wide.data(), n, m, k, n);
+        for (std::int64_t j = 0; j < n; ++j) {
+            std::vector<std::int32_t> narrow(
+                static_cast<std::size_t>(m));
+            t.gemmInt8(a.data(), k, b.data() + j, n, narrow.data(), 1,
+                       m, k, 1);
+            for (std::int64_t i = 0; i < m; ++i)
+                ASSERT_EQ(narrow[static_cast<std::size_t>(i)],
+                          wide[static_cast<std::size_t>(i * n + j)])
+                    << kernelIsaName(isa) << " " << i << "," << j;
+        }
+    }
+}
+
+TEST(KernelTableGolden, Im2colIdenticalAcrossTables)
+{
+    // Packing moves data without arithmetic, so every table must
+    // produce identical bytes, padding included.
+    const std::int64_t ci = 3, hi = 9, wi = 7;
+    const std::int64_t kh = 3, kw = 3, stride = 2, pad = 1;
+    const std::int64_t ho = (hi + 2 * pad - kh) / stride + 1;
+    const std::int64_t wo = (wi + 2 * pad - kw) / stride + 1;
+    const auto img =
+        randomFloats(static_cast<std::size_t>(ci * hi * wi), 9);
+    const std::int64_t rows = ci * kh * kw;
+    const std::int64_t ldm = ho * wo + 5; // strided destination
+    std::vector<float> want(static_cast<std::size_t>(rows * ldm),
+                            -3.0f);
+    kernelTable(KernelIsa::Scalar)
+        .im2colChw(img.data(), ci, hi, wi, kh, kw, stride, pad, ho, wo,
+                   want.data(), ldm, 0.0f);
+    for (KernelIsa isa : availableIsas()) {
+        std::vector<float> got(static_cast<std::size_t>(rows * ldm),
+                               -3.0f);
+        kernelTable(isa).im2colChw(img.data(), ci, hi, wi, kh, kw,
+                                   stride, pad, ho, wo, got.data(), ldm,
+                                   0.0f);
+        for (std::size_t i = 0; i < got.size(); ++i)
+            ASSERT_EQ(got[i], want[i])
+                << kernelIsaName(isa) << " element " << i;
+    }
+}
+
+} // namespace
+} // namespace fpsa

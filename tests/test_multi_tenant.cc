@@ -127,10 +127,10 @@ TEST(ResourceDemand, DerivedWhenLoadingAVersion1Document)
     ASSERT_NE(close, std::string::npos);
     text.erase(at, close - at + 1);
 
-    const std::string v2 = "\"version\":2";
-    const std::size_t vat = text.find(v2);
+    const std::string v3 = "\"version\":3";
+    const std::size_t vat = text.find(v3);
     ASSERT_NE(vat, std::string::npos);
-    text.replace(vat, v2.size(), "\"version\":1");
+    text.replace(vat, v3.size(), "\"version\":1");
 
     auto v1 = CompiledModel::fromJson(text);
     ASSERT_TRUE(v1.ok()) << v1.status().toString();
@@ -159,8 +159,8 @@ TEST(ResourceDemand, RejectsUnknownFutureVersions)
 {
     auto model = compileShared(smallCnn());
     std::string text = model->toJson();
-    const std::string v2 = "\"version\":2";
-    text.replace(text.find(v2), v2.size(), "\"version\":3");
+    const std::string v3 = "\"version\":3";
+    text.replace(text.find(v3), v3.size(), "\"version\":4");
     auto future_doc = CompiledModel::fromJson(text);
     ASSERT_FALSE(future_doc.ok());
     EXPECT_EQ(future_doc.status().code(), StatusCode::InvalidArgument);
@@ -259,8 +259,8 @@ TEST(MultiTenantEngine, RoutesByNameWithDisjointBatchesAndPerTenantStats)
 
     // Ground truth through the engine's default (planned) backend:
     // batched serving is bit-identical to single-sample execution.
-    auto direct_cnn = makeExecutor(ExecutorKind::Planned, cnn);
-    auto direct_mlp = makeExecutor(ExecutorKind::Planned, mlp);
+    auto direct_cnn = makeExecutor(cnn, ExecutionConfig{});
+    auto direct_mlp = makeExecutor(mlp, ExecutionConfig{});
     ASSERT_TRUE(direct_cnn.ok() && direct_mlp.ok());
     const Tensor expect_cnn = (*direct_cnn)->run(probeInput()).value();
     const Tensor expect_mlp = (*direct_mlp)->run(probeInput()).value();

@@ -20,6 +20,7 @@
 #include "nn/execute.hh"
 #include "nn/plan.hh"
 #include "tensor/gemm.hh"
+#include "tensor/kernels.hh"
 #include "tensor/tensor.hh"
 
 namespace fpsa
@@ -311,6 +312,171 @@ TEST(PlanBuild, RejectsGraphsWithoutWeights)
     auto plan = ExecutionPlan::build(g);
     ASSERT_FALSE(plan.ok());
     EXPECT_EQ(plan.status().code(), StatusCode::InvalidArgument);
+}
+
+// ------------------------------------------------ precision / ISA variants
+
+std::vector<KernelIsa>
+availablePlanIsas()
+{
+    std::vector<KernelIsa> isas{KernelIsa::Scalar};
+    for (KernelIsa isa : {KernelIsa::Avx2, KernelIsa::Neon})
+        if (kernelIsaAvailable(isa))
+            isas.push_back(isa);
+    return isas;
+}
+
+Graph
+mixedStackGraph(std::uint64_t seed)
+{
+    GraphBuilder b({3, 13, 11});
+    b.conv(8, 3, 1, 1).relu().maxPool(2, 2);
+    b.conv(12, 3, 2, 1, 2).relu().flatten().fc(24).relu().fc(9);
+    return weighted(b, seed);
+}
+
+TEST(PlanIsa, EveryAvailableIsaStaysGoldenEquivalent)
+{
+    const Graph g = mixedStackGraph(301);
+    const Tensor input = randomInput({3, 13, 11}, 302);
+    const Tensor reference = runGraphFinal(g, input);
+    for (KernelIsa isa : availablePlanIsas()) {
+        auto plan =
+            ExecutionPlan::build(g, {PrecisionMode::Fp32, isa});
+        ASSERT_TRUE(plan.ok()) << plan.status().toString();
+        EXPECT_EQ(plan->kernelIsa(), isa);
+        PlanContext context = plan->makeContext();
+        Tensor out(plan->outputShape());
+        plan->run(input.data(), out.data(), context);
+        const float tol = 1e-4f * std::max(1.0f, reference.absMax());
+        for (std::int64_t i = 0; i < reference.numel(); ++i)
+            ASSERT_NEAR(out[i], reference[i], tol)
+                << kernelIsaName(isa) << " element " << i;
+    }
+}
+
+TEST(PlanInt8, TracksFp32WithinQuantizationError)
+{
+    const Graph g = mixedStackGraph(303);
+    const Tensor input = randomInput({3, 13, 11}, 304);
+    const Tensor fp32 = runPlanned(g, input);
+    for (PrecisionMode mode :
+         {PrecisionMode::Int8, PrecisionMode::Int6}) {
+        auto plan =
+            ExecutionPlan::build(g, {mode, KernelIsa::Auto});
+        ASSERT_TRUE(plan.ok()) << plan.status().toString();
+        EXPECT_EQ(plan->precision(), mode);
+        PlanContext context = plan->makeContext();
+        Tensor out(plan->outputShape());
+        plan->run(input.data(), out.data(), context);
+        // Quantization noise grows through the stack; gate RMSE
+        // relative to the fp32 output's scale rather than elementwise.
+        double err2 = 0.0, ref2 = 0.0;
+        for (std::int64_t i = 0; i < fp32.numel(); ++i) {
+            const double d = out[i] - fp32[i];
+            err2 += d * d;
+            ref2 += static_cast<double>(fp32[i]) * fp32[i];
+        }
+        const double rel =
+            std::sqrt(err2) / std::max(1e-12, std::sqrt(ref2));
+        EXPECT_LT(rel, mode == PrecisionMode::Int8 ? 0.12 : 0.35)
+            << precisionModeName(mode);
+        EXPECT_GT(rel, 0.0) << "quantization should not be a no-op";
+    }
+}
+
+TEST(PlanInt8, BatchedBitIdenticalToSingleAndAcrossIsas)
+{
+    const Graph g = mixedStackGraph(305);
+    constexpr int kBatch = 4;
+    std::vector<Tensor> inputs;
+    for (int i = 0; i < kBatch; ++i)
+        inputs.push_back(randomInput(
+            {3, 13, 11}, 400u + static_cast<std::uint64_t>(i)));
+
+    std::vector<Tensor> first_isa;
+    for (KernelIsa isa : availablePlanIsas()) {
+        auto plan =
+            ExecutionPlan::build(g, {PrecisionMode::Int8, isa});
+        ASSERT_TRUE(plan.ok()) << plan.status().toString();
+
+        PlanContext single_ctx = plan->makeContext();
+        std::vector<Tensor> singles;
+        for (int i = 0; i < kBatch; ++i) {
+            Tensor out(plan->outputShape());
+            plan->run(inputs[static_cast<std::size_t>(i)].data(),
+                      out.data(), single_ctx);
+            singles.push_back(std::move(out));
+        }
+
+        std::vector<const float *> in_ptrs;
+        std::vector<Tensor> batched(static_cast<std::size_t>(kBatch),
+                                    Tensor(plan->outputShape()));
+        std::vector<float *> out_ptrs;
+        for (int i = 0; i < kBatch; ++i) {
+            in_ptrs.push_back(
+                inputs[static_cast<std::size_t>(i)].data());
+            out_ptrs.push_back(
+                batched[static_cast<std::size_t>(i)].data());
+        }
+        PlanContext batch_ctx = plan->makeContext(kBatch);
+        plan->runBatch(in_ptrs.data(), out_ptrs.data(), kBatch,
+                       batch_ctx);
+
+        for (int i = 0; i < kBatch; ++i)
+            for (std::int64_t v = 0;
+                 v < singles[static_cast<std::size_t>(i)].numel(); ++v)
+                ASSERT_EQ(batched[static_cast<std::size_t>(i)][v],
+                          singles[static_cast<std::size_t>(i)][v])
+                    << kernelIsaName(isa) << " sample " << i
+                    << " element " << v;
+
+        // Integer GEMM + scalar quantization: the whole int8 forward
+        // pass is bit-identical across instruction sets.
+        if (first_isa.empty()) {
+            first_isa = std::move(singles);
+        } else {
+            for (int i = 0; i < kBatch; ++i)
+                for (std::int64_t v = 0;
+                     v <
+                     first_isa[static_cast<std::size_t>(i)].numel();
+                     ++v)
+                    ASSERT_EQ(
+                        singles[static_cast<std::size_t>(i)][v],
+                        first_isa[static_cast<std::size_t>(i)][v])
+                        << kernelIsaName(isa) << " vs scalar, sample "
+                        << i << " element " << v;
+        }
+    }
+}
+
+TEST(PlanInt8, QuantizedRequestPerformsZeroHeapAllocations)
+{
+    const Graph g = mixedStackGraph(306);
+    auto plan = ExecutionPlan::build(
+        g, {PrecisionMode::Int8, KernelIsa::Auto});
+    ASSERT_TRUE(plan.ok()) << plan.status().toString();
+
+    const Tensor input = randomInput({3, 13, 11}, 307);
+    Tensor out(plan->outputShape());
+    PlanContext context = plan->makeContext(3);
+    plan->run(input.data(), out.data(), context); // warm-up
+
+    alloc_probe::arm();
+    plan->run(input.data(), out.data(), context);
+    EXPECT_EQ(alloc_probe::disarm(), 0)
+        << "the int8 path must not allocate per request";
+
+    std::vector<const float *> in_ptrs(3, input.data());
+    std::vector<Tensor> outs(3, Tensor(plan->outputShape()));
+    std::vector<float *> out_ptrs;
+    for (Tensor &t : outs)
+        out_ptrs.push_back(t.data());
+    plan->runBatch(in_ptrs.data(), out_ptrs.data(), 3, context);
+    alloc_probe::arm();
+    plan->runBatch(in_ptrs.data(), out_ptrs.data(), 3, context);
+    EXPECT_EQ(alloc_probe::disarm(), 0)
+        << "the batched int8 path must not allocate per request";
 }
 
 // ----------------------------------------------------------- gemm kernels

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Accuracy-vs-precision sweep (the quantized serving path's CI gate):
+ * drives the src/accuracy/ trainer/dataset machinery through the
+ * planned executor at fp32 / int8 / int6 and gates
+ *
+ *  - top-1 accuracy of a really-trained MLP classifier: the quantized
+ *    paths may cost only a bounded number of points against fp32, and
+ *    fp32 through the plan must match the trainer's own forward pass;
+ *  - output RMSE of LeNet- and AlexNet-class conv stacks relative to
+ *    the fp32 planned output: int8 stays tight, int6 (the paper's
+ *    6-bit activation grid) stays bounded and is never better-or-equal
+ *    than int8 on the same model (the sweep must actually have teeth).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "accuracy/dataset.hh"
+#include "accuracy/trainer.hh"
+#include "common/rng.hh"
+#include "nn/builder.hh"
+#include "nn/execute.hh"
+#include "nn/models.hh"
+#include "nn/plan.hh"
+#include "tensor/kernels.hh"
+#include "tensor/tensor.hh"
+
+namespace fpsa
+{
+namespace
+{
+
+int
+argmax(const Tensor &t)
+{
+    int best = 0;
+    for (std::int64_t i = 1; i < t.numel(); ++i)
+        if (t[i] > t[best])
+            best = static_cast<int>(i);
+    return best;
+}
+
+/** Top-1 accuracy of a plan over a dataset of flat feature vectors. */
+double
+planAccuracy(const ExecutionPlan &plan, const Dataset &data)
+{
+    PlanContext context = plan.makeContext();
+    Tensor out(plan.outputShape());
+    int hits = 0;
+    for (std::size_t i = 0; i < data.samples.size(); ++i) {
+        plan.run(data.samples[i].data(), out.data(), context);
+        if (argmax(out) == data.labels[i])
+            ++hits;
+    }
+    return static_cast<double>(hits) /
+           static_cast<double>(data.samples.size());
+}
+
+/** Relative RMSE of `got` against `want`. */
+double
+relativeRmse(const Tensor &got, const Tensor &want)
+{
+    double err2 = 0.0, ref2 = 0.0;
+    for (std::int64_t i = 0; i < want.numel(); ++i) {
+        const double d = got[i] - want[i];
+        err2 += d * d;
+        ref2 += static_cast<double>(want[i]) * want[i];
+    }
+    return std::sqrt(err2) / std::max(1e-12, std::sqrt(ref2));
+}
+
+TEST(PrecisionSweep, QuantizedMlpKeepsTop1Accuracy)
+{
+    // A small but really-trained classifier (same machinery as the
+    // Fig. 9 variation experiment).
+    DatasetOptions data_options;
+    data_options.classes = 6;
+    data_options.featureDim = 64;
+    data_options.trainPerClass = 40;
+    data_options.testPerClass = 20;
+    DatasetSplit split = makePatternDataset(data_options);
+
+    TrainOptions train_options;
+    train_options.hidden = {48};
+    train_options.epochs = 25;
+    TrainedMlp mlp = trainMlp(split.train, train_options);
+    const double trained = mlp.accuracy(split.test);
+    ASSERT_GT(trained, 0.7) << "trainer failed to learn the task";
+
+    // Rebuild the trained network as a served graph.
+    GraphBuilder b({data_options.featureDim});
+    b.fc(48).relu().fc(data_options.classes);
+    Graph g = b.build();
+    std::size_t next = 0;
+    for (NodeId id : g.topoOrder()) {
+        GraphNode &n = g.node(id);
+        if (n.kind != OpKind::FullyConnected)
+            continue;
+        ASSERT_LT(next, mlp.weights.size());
+        ASSERT_EQ(n.attrs.units, mlp.weights[next].shape()[0]);
+        n.weights = mlp.weights[next++];
+    }
+    ASSERT_EQ(next, mlp.weights.size());
+
+    double accuracy[3] = {0.0, 0.0, 0.0};
+    const PrecisionMode modes[3] = {
+        PrecisionMode::Fp32, PrecisionMode::Int8, PrecisionMode::Int6};
+    for (int i = 0; i < 3; ++i) {
+        auto plan =
+            ExecutionPlan::build(g, {modes[i], KernelIsa::Auto});
+        ASSERT_TRUE(plan.ok()) << plan.status().toString();
+        accuracy[i] = planAccuracy(*plan, split.test);
+    }
+
+    // fp32 through the plan is the trainer's own network.
+    EXPECT_NEAR(accuracy[0], trained, 1e-9);
+    // The CI gates: 8-bit serving costs at most 3 points on this
+    // task, the paper's 6-bit activation grid at most 10.
+    EXPECT_GE(accuracy[1], accuracy[0] - 0.03) << "int8 top-1 dropped";
+    EXPECT_GE(accuracy[2], accuracy[0] - 0.10) << "int6 top-1 dropped";
+}
+
+TEST(PrecisionSweep, ConvStackRmseGates)
+{
+    struct Case
+    {
+        const char *name;
+        Graph graph;
+        Shape input;
+    };
+    // LeNet proper, plus an AlexNet-class grouped-conv stack scaled to
+    // test time (same structural recipe: big first kernel, stride,
+    // grouped 3x3s, fc head).
+    GraphBuilder alex({3, 31, 31});
+    alex.conv(16, 7, 2, 2).relu().maxPool(3, 2);
+    alex.conv(24, 3, 1, 1, 2).relu();
+    alex.conv(24, 3, 1, 1, 2).relu().maxPool(3, 2);
+    alex.flatten().fc(32).relu().fc(10);
+    std::vector<Case> cases;
+    cases.push_back({"lenet", buildLeNet(), {1, 28, 28}});
+    cases.push_back({"alexnet-class", alex.build(), {3, 31, 31}});
+
+    for (Case &c : cases) {
+        Rng rng(91);
+        randomizeWeights(c.graph, rng);
+        Tensor input(c.input);
+        for (std::int64_t i = 0; i < input.numel(); ++i)
+            input[i] = static_cast<float>(rng.normal(0.0, 1.0));
+
+        Tensor outputs[3];
+        const PrecisionMode modes[3] = {PrecisionMode::Fp32,
+                                        PrecisionMode::Int8,
+                                        PrecisionMode::Int6};
+        for (int i = 0; i < 3; ++i) {
+            auto plan = ExecutionPlan::build(
+                c.graph, {modes[i], KernelIsa::Auto});
+            ASSERT_TRUE(plan.ok())
+                << c.name << ": " << plan.status().toString();
+            PlanContext context = plan->makeContext();
+            outputs[i] = Tensor(plan->outputShape());
+            plan->run(input.data(), outputs[i].data(), context);
+        }
+
+        const double rmse8 = relativeRmse(outputs[1], outputs[0]);
+        const double rmse6 = relativeRmse(outputs[2], outputs[0]);
+        EXPECT_LT(rmse8, 0.10) << c.name << " int8 drifted";
+        EXPECT_LT(rmse6, 0.40) << c.name << " int6 drifted";
+        EXPECT_GT(rmse8, 0.0) << c.name;
+        EXPECT_LT(rmse8, rmse6)
+            << c.name
+            << ": int8 should track fp32 tighter than int6";
+    }
+}
+
+} // namespace
+} // namespace fpsa

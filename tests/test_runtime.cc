@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <future>
 #include <memory>
@@ -79,7 +80,7 @@ Tensor
 plannedGroundTruth(const std::shared_ptr<const CompiledModel> &model,
                    const Tensor &input)
 {
-    auto executor = makeExecutor(ExecutorKind::Planned, model);
+    auto executor = makeExecutor(model, ExecutionConfig{});
     EXPECT_TRUE(executor.ok()) << executor.status().toString();
     auto out = (*executor)->run(input);
     EXPECT_TRUE(out.ok()) << out.status().toString();
@@ -182,9 +183,11 @@ TEST(CompiledModel, SaveLoadInferIsBitIdentical)
     for (ExecutorKind kind :
          {ExecutorKind::Reference, ExecutorKind::Spiking}) {
         auto exec_a = makeExecutor(
-            kind, std::make_shared<CompiledModel>(original));
+            std::make_shared<CompiledModel>(original),
+            ExecutionConfig{kind});
         auto exec_b = makeExecutor(
-            kind, std::make_shared<CompiledModel>(*loaded));
+            std::make_shared<CompiledModel>(*loaded),
+            ExecutionConfig{kind});
         ASSERT_TRUE(exec_a.ok() && exec_b.ok());
         for (float scale : {0.25f, 1.0f}) {
             auto out_a = (*exec_a)->run(probeInput(scale));
@@ -276,7 +279,7 @@ TEST(Engine, RejectsBadOptionsAndUnservableModels)
     auto compiled = p.compile();
     ASSERT_TRUE(compiled.ok());
     EngineOptions spiking;
-    spiking.executor = ExecutorKind::Spiking;
+    spiking.execution = ExecutionConfig{ExecutorKind::Spiking};
     auto engine = Engine::create(
         std::make_shared<CompiledModel>(std::move(compiled).value()),
         spiking);
@@ -462,7 +465,7 @@ TEST(Engine, SpikingBackendServesQuantizedOutputs)
     auto model = std::make_shared<CompiledModel>(compileSmallCnn());
     EngineOptions options;
     options.workerThreads = 2;
-    options.executor = ExecutorKind::Spiking;
+    options.execution = ExecutionConfig{ExecutorKind::Spiking};
     auto engine = Engine::create(model, options);
     ASSERT_TRUE(engine.ok()) << engine.status().toString();
 
@@ -483,6 +486,127 @@ TEST(Engine, SpikingBackendServesQuantizedOutputs)
                               spiking->output[i]));
     }
     EXPECT_LT(max_err, std::max(0.35, 0.5 * max_ref));
+}
+
+// ------------------------------------------------------- ExecutionConfig
+
+TEST(ExecutionConfig, StampSurvivesSaveLoadAndDefaultsToPlannedFp32)
+{
+    Pipeline p(smallCnn());
+    const ExecutionConfig stamped{ExecutorKind::Planned,
+                                  PrecisionMode::Int8,
+                                  KernelIsa::Scalar};
+    auto compiled = p.compile(stamped);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().toString();
+    EXPECT_EQ(compiled->executionConfig(), stamped);
+
+    const std::string path = "/tmp/fpsa_test_exec_config.json";
+    ASSERT_TRUE(compiled->save(path).ok());
+    auto loaded = CompiledModel::load(path);
+    std::remove(path.c_str());
+    ASSERT_TRUE(loaded.ok()) << loaded.status().toString();
+    EXPECT_EQ(loaded->executionConfig(), stamped);
+
+    // A plain compile() stamps the defaults.
+    EXPECT_EQ(compileSmallCnn().executionConfig(), ExecutionConfig{});
+}
+
+TEST(Engine, StatsExposeResolvedExecutionPerTenant)
+{
+    auto model = std::make_shared<CompiledModel>(compileSmallCnn());
+    auto engine = Engine::create(model);
+    ASSERT_TRUE(engine.ok()) << engine.status().toString();
+
+    auto stats = (*engine)->modelStats(Engine::kDefaultModel);
+    ASSERT_TRUE(stats.ok()) << stats.status().toString();
+    EXPECT_EQ(stats->executor, "planned");
+    EXPECT_EQ(stats->precision, "fp32");
+    // The surfaced ISA is what actually dispatches, never "auto".
+    EXPECT_FALSE(stats->kernelIsa.empty());
+    EXPECT_NE(stats->kernelIsa, "auto");
+    KernelIsa surfaced;
+    ASSERT_TRUE(parseKernelIsa(stats->kernelIsa, surfaced));
+    EXPECT_EQ(surfaced, resolveKernelIsa(KernelIsa::Auto));
+
+    // The aggregate scope spans (potentially mixed) tenants and does
+    // not claim one config; the JSON bundle carries the tenant's.
+    EXPECT_TRUE((*engine)->stats().executor.empty());
+    const std::string json = (*engine)->statsJson();
+    EXPECT_NE(json.find("\"execution\""), std::string::npos);
+    EXPECT_NE(json.find("\"kernelIsa\""), std::string::npos);
+}
+
+TEST(Engine, ModelStampAndTenantOverrideSelectPrecision)
+{
+    // The stamped config is honored when nobody overrides...
+    Pipeline p(smallCnn());
+    auto stamped_model = p.compile(ExecutionConfig{
+        ExecutorKind::Planned, PrecisionMode::Int8, KernelIsa::Scalar});
+    ASSERT_TRUE(stamped_model.ok());
+    auto engine = Engine::create(std::make_shared<CompiledModel>(
+        std::move(stamped_model).value()));
+    ASSERT_TRUE(engine.ok());
+    auto stats = (*engine)->modelStats(Engine::kDefaultModel);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->precision, "int8");
+    EXPECT_EQ(stats->kernelIsa, "scalar");
+    ASSERT_TRUE((*engine)->infer(probeInput()).ok());
+
+    // ...and one model serves two tenants at different precisions.
+    auto model = std::make_shared<CompiledModel>(compileSmallCnn());
+    auto shared = Engine::create(ChipCapacity::unlimited());
+    ASSERT_TRUE(shared.ok());
+    ASSERT_TRUE((*shared)->loadModel("accurate", model).ok());
+    TenantOptions quantized;
+    quantized.execution = ExecutionConfig{
+        ExecutorKind::Planned, PrecisionMode::Int8, KernelIsa::Auto};
+    ASSERT_TRUE((*shared)->loadModel("fast", model, quantized).ok());
+
+    EXPECT_EQ((*shared)->modelStats("accurate")->precision, "fp32");
+    EXPECT_EQ((*shared)->modelStats("fast")->precision, "int8");
+
+    auto fp32 = (*shared)->infer("accurate", probeInput());
+    auto int8 = (*shared)->infer("fast", probeInput());
+    ASSERT_TRUE(fp32.ok() && int8.ok());
+    // Quantized serving approximates fp32 within a loose budget.
+    double err2 = 0.0, ref2 = 0.0;
+    for (std::int64_t i = 0; i < fp32->output.numel(); ++i) {
+        const double d = int8->output[i] - fp32->output[i];
+        err2 += d * d;
+        ref2 += static_cast<double>(fp32->output[i]) *
+                fp32->output[i];
+    }
+    EXPECT_LT(std::sqrt(err2), 0.15 * std::max(1e-9, std::sqrt(ref2)));
+}
+
+TEST(Engine, DeprecatedExecutorKnobsStillResolve)
+{
+    auto model = std::make_shared<CompiledModel>(compileSmallCnn());
+
+    // The pre-ExecutionConfig surface keeps working (shims override
+    // only the backend).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    EngineOptions options;
+    options.executor = ExecutorKind::Reference;
+    auto engine = Engine::create(model, options);
+    ASSERT_TRUE(engine.ok()) << engine.status().toString();
+    EXPECT_EQ((*engine)->modelStats(Engine::kDefaultModel)->executor,
+              "reference");
+
+    auto multi = Engine::create(ChipCapacity::unlimited());
+    ASSERT_TRUE(multi.ok());
+    ASSERT_TRUE(
+        (*multi)->loadModel("ref", model, ExecutorKind::Reference)
+            .ok());
+    EXPECT_EQ((*multi)->modelStats("ref")->executor, "reference");
+
+    auto direct = makeExecutor(ExecutorKind::Planned, model);
+#pragma GCC diagnostic pop
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ((*direct)->info().executor, ExecutorKind::Planned);
+    expectBitIdentical((*direct)->run(probeInput()).value(),
+                       plannedGroundTruth(model, probeInput()));
 }
 
 } // namespace

@@ -110,7 +110,7 @@ Tensor
 referenceOutput(const std::shared_ptr<const CompiledModel> &model,
                 const Tensor &input)
 {
-    auto executor = makeExecutor(ExecutorKind::Reference, model);
+    auto executor = makeExecutor(model, ExecutionConfig{ExecutorKind::Reference});
     EXPECT_TRUE(executor.ok()) << executor.status().toString();
     auto out = (*executor)->run(input);
     EXPECT_TRUE(out.ok()) << out.status().toString();
@@ -319,8 +319,8 @@ TEST(ShardGoldenTest, PiecewiseExecutionMatchesReferenceWithin1e4)
             }
             Tensor cursor = input;
             for (const auto &piece : sharded->pieces) {
-                auto executor =
-                    makeExecutor(ExecutorKind::Reference, piece);
+                auto executor = makeExecutor(
+                    piece, ExecutionConfig{ExecutorKind::Reference});
                 ASSERT_TRUE(executor.ok());
                 auto out = (*executor)->run(cursor);
                 ASSERT_TRUE(out.ok()) << out.status().toString();
@@ -455,7 +455,8 @@ TEST(ShardedClusterTest, OversizedModelServesShardedWithinTolerance)
 
     ClusterOptions options;
     options.engine.workerThreads = 2;
-    options.engine.executor = ExecutorKind::Reference;
+    options.engine.execution =
+        ExecutionConfig{ExecutorKind::Reference};
     // Each chip holds ~70% of the model: infeasible everywhere whole,
     // feasible as a 2-shard pipeline.
     const ChipCapacity capacity = scaledCapacity(demand, 0.7);
@@ -521,7 +522,8 @@ TEST(ShardedClusterTest, ShardGroupFailsOverAsAUnitWithZeroLoss)
 
     ClusterOptions options;
     options.engine.workerThreads = 2;
-    options.engine.executor = ExecutorKind::Reference;
+    options.engine.execution =
+        ExecutionConfig{ExecutorKind::Reference};
     options.engine.faultHook = chaos;
     options.health.probeFailuresToFail = 2;
     options.retryBudget = 200;     // survive the repair window

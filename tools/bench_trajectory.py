@@ -129,9 +129,12 @@ def serving_metrics(records):
 
 
 def infer_metrics(records):
-    """inference_throughput: gated planned-vs-reference speedups and
-    the zero-allocations-per-request invariant; batched ratios and
-    absolute latencies are info (machine-bound)."""
+    """inference_throughput: gated planned-vs-reference, vector-vs-
+    scalar and int8-vs-scalar speedups plus the zero-allocations-per-
+    request invariant; absolute latencies are info (machine-bound).
+    Batched ratios are gated only where the batched design claims a
+    win (models whose conv layers all coalesce); conv stacks wider
+    than the coalesce cutoff sit at ~1.0 by design and stay info."""
     summary = next(
         (r for r in records if r.get("kind") == "summary"), None)
     if summary is None:
@@ -139,6 +142,17 @@ def infer_metrics(records):
     out = [
         metric("largestModelSpeedup", summary["largestModelSpeedup"],
                "higher", timing=True),
+        metric("largestModelVectorSpeedup",
+               summary["largestModelVectorSpeedup"], "higher",
+               timing=True),
+        metric("largestModelInt8Speedup",
+               summary["largestModelInt8Speedup"], "higher",
+               timing=True),
+        # The batched > single gate: worst batched speedup among the
+        # fully-coalesced models.
+        metric("minCoalescedBatchSpeedup",
+               summary["minCoalescedBatchSpeedup"], "higher",
+               timing=True),
         # Deterministic invariant: any allocation on the planned path
         # regresses against a baseline of 0 regardless of threshold.
         metric("allocsPerRequest", summary["allocsPerRequest"],
@@ -148,10 +162,22 @@ def infer_metrics(records):
         if r.get("kind") == "model":
             out.append(metric(f"speedup_{r['model']}", r["speedup"],
                               "higher", timing=True))
+            out.append(metric(f"vectorSpeedup_{r['model']}",
+                              r["vectorSpeedup"], "higher",
+                              timing=True))
+            out.append(metric(f"int8Speedup_{r['model']}",
+                              r["int8Speedup"], "info"))
+            batch_dir = ("higher" if r.get("fullyCoalesced")
+                         else "info")
             out.append(metric(f"batchSpeedup_{r['model']}",
-                              r["batchSpeedup"], "info"))
+                              r["batchSpeedup"], batch_dir,
+                              timing=batch_dir == "higher"))
             out.append(metric(f"plannedMillis_{r['model']}",
                               r["plannedMillis"], "info"))
+            out.append(metric(f"plannedScalarMillis_{r['model']}",
+                              r["plannedScalarMillis"], "info"))
+            out.append(metric(f"plannedInt8Millis_{r['model']}",
+                              r["plannedInt8Millis"], "info"))
     return out
 
 
