@@ -1,0 +1,145 @@
+/**
+ * @file
+ * `fpsa::ModelCalibrator`: the loadModel-time calibration pass that
+ * makes a serving fleet variation-aware.
+ *
+ * Given a compiled model's graph and one chip's `VariationModel`, the
+ * calibrator answers: *which per-layer cell mapping (splice vs add,
+ * cells per weight) serves this model on this chip at or above a
+ * requested accuracy, and what accuracy should we expect?*  It works
+ * in three steps, all deterministic under the supplied seed:
+ *
+ *  1. **Sensitivity** -- each weighted layer's share of the model's
+ *     total perturbation energy, `s_l = r_l / sqrt(sum r^2)` with
+ *     `r_l = absMax_l * sqrt(numel_l)`: a layer with many large
+ *     weights amplifies conductance error the most (the ARAS-style
+ *     allocation signal).
+ *  2. **Mapping ladder** -- per candidate cell count k the best method
+ *     (splice maximizes effective bits, add divides deviation by
+ *     sqrt(k); the per-chip winner maximizes the analytic accuracy
+ *     factor).  A greedy ascent upgrades whichever single layer buys
+ *     the largest predicted-accuracy gain until the SLO is met or the
+ *     ladder is exhausted -- sensitive layers get more cells first.
+ *  3. **Programming simulation** -- the chosen config is programmed
+ *     through `perturbWeights` (noise + stuck-at faults on a strided
+ *     subsample), and the measured per-layer deviation replaces the
+ *     analytic one in the stamped prediction, so a chip whose faults
+ *     bite harder than the closed form predicts is caught at
+ *     admission, not in production.
+ *
+ * `accuracyAtAge` then extends the stamped prediction along the
+ * retention-drift axis: the same per-layer deviations re-evaluated at
+ * the chip's `effectiveSigma(age)`, monotonically non-increasing in
+ * age.  The cluster's accuracy-health loop polls it to classify
+ * replicas ACCURATE / DRIFTING / STALE.
+ */
+
+#ifndef FPSA_ACCURACY_CALIBRATION_HH
+#define FPSA_ACCURACY_CALIBRATION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accuracy/analytic.hh"
+#include "nn/graph.hh"
+#include "reram/variation.hh"
+#include "reram/weight_mapping.hh"
+
+namespace fpsa
+{
+
+/** One weighted layer's chosen mapping and measured quality. */
+struct LayerCalibration
+{
+    std::string layer;            //!< graph node name
+    std::int64_t weightCount = 0;
+    double sensitivity = 0.0;     //!< s_l, sum of squares == 1
+
+    WeightMethod method = WeightMethod::Add;
+    int cellsPerWeight = 1;
+    double effectiveBits = 0.0;   //!< signed, from the codec
+
+    /** Codec deviation at the chip's t=0 effective sigma. */
+    double analyticDeviation = 0.0;
+
+    /** RMS deviation measured by the programming simulation. */
+    double measuredDeviation = 0.0;
+};
+
+/** The calibration pass's verdict for one (model, chip) pair. */
+struct CalibrationResult
+{
+    std::vector<LayerCalibration> layers;
+
+    /** Predicted normalized accuracy right after programming. */
+    double predictedAccuracy = 1.0;
+
+    /** Worst per-layer effective signed bits (caps the bits factor). */
+    double minEffectiveBits = 16.0;
+
+    /** Total programmed cells across layers (the mapping's cost). */
+    std::int64_t totalCells = 0;
+
+    /** Compact human-readable mapping, e.g. "add x8" or "add x2..x16". */
+    std::string mappingSummary() const;
+};
+
+/** The loadModel-time calibration pass (see file comment). */
+class ModelCalibrator
+{
+  public:
+    struct Options
+    {
+        int cellBits = 4; //!< paper's 4-bit cells
+
+        /** Cells-per-weight ladder, ascending cost. */
+        std::vector<int> cellChoices = {1, 2, 4, 8, 16};
+
+        /**
+         * Strided-subsample cap for the programming simulation; keeps
+         * calibration O(1) per layer regardless of model scale.
+         */
+        std::int64_t maxSimulatedWeightsPerLayer = 4096;
+    };
+
+    ModelCalibrator();
+    explicit ModelCalibrator(AnalyticAccuracyModel base);
+    ModelCalibrator(AnalyticAccuracyModel base, Options options);
+
+    /**
+     * Choose the cheapest per-layer mapping predicted to meet
+     * `minAccuracy` on `chip`, simulate programming it, and return the
+     * stamped result.  When even the richest mapping misses the bound
+     * the best-effort result comes back with
+     * `predictedAccuracy < minAccuracy` -- admission is the caller's
+     * call, the calibrator just reports.  A graph with no weighted
+     * layers calibrates to accuracy 1.  Deterministic in all of
+     * (graph, chip, minAccuracy, seed).
+     */
+    CalibrationResult calibrate(const Graph &graph,
+                                const VariationModel &chip,
+                                double minAccuracy,
+                                std::uint64_t seed) const;
+
+    /**
+     * The calibrated model's predicted accuracy after `ageSeconds` of
+     * retention on `chip`: the stamped prediction, degraded by the
+     * per-layer deviation growth at `chip.effectiveSigma(age)`.
+     * Non-increasing in age; equals `predictedAccuracy` at age 0.
+     */
+    double accuracyAtAge(const CalibrationResult &calibration,
+                         const VariationModel &chip,
+                         double ageSeconds) const;
+
+    const AnalyticAccuracyModel &analyticModel() const { return base_; }
+    const Options &options() const { return options_; }
+
+  private:
+    AnalyticAccuracyModel base_;
+    Options options_;
+};
+
+} // namespace fpsa
+
+#endif // FPSA_ACCURACY_CALIBRATION_HH

@@ -13,12 +13,27 @@ Tensor
 perturbWeights(const Tensor &weights, const WeightCodec &codec,
                double sigma_of_range, Rng &rng)
 {
+    VariationModel corner;
+    corner.sigmaOfRange = sigma_of_range;
+    corner.driftPerSecond = 0.0;
+    corner.stuckAtRate = 0.0;
+    return perturbWeights(weights, codec, corner, 0.0, rng);
+}
+
+Tensor
+perturbWeights(const Tensor &weights, const WeightCodec &codec,
+               const VariationModel &variation, double ageSeconds, Rng &rng)
+{
     const double amax = weights.absMax();
     const std::int64_t max_level = codec.maxLevel();
     const double scale = amax > 0.0
                              ? amax / static_cast<double>(max_level)
                              : 1.0;
     const double cell_range = (1 << codec.cellBits()) - 1;
+    const double drift_levels =
+        ageSeconds > 0.0
+            ? variation.driftPerSecond * ageSeconds * cell_range
+            : 0.0;
 
     Tensor out(weights.shape());
     std::vector<double> noisy(
@@ -35,9 +50,19 @@ perturbWeights(const Tensor &weights, const WeightCodec &codec,
             const auto cells =
                 codec.encodeMagnitude(active ? level : 0);
             for (int k = 0; k < codec.cellsPerWeight(); ++k) {
+                // Stuck cells clamp to an endpoint (equiprobable) and
+                // ignore both programming noise and retention drift.
+                if (variation.stuckAtRate > 0.0 &&
+                    rng.bernoulli(variation.stuckAtRate)) {
+                    noisy[static_cast<std::size_t>(k)] =
+                        rng.bernoulli(0.5) ? cell_range : 0.0;
+                    continue;
+                }
                 const double v =
                     cells[static_cast<std::size_t>(k)] +
-                    rng.normal(0.0, sigma_of_range * cell_range);
+                    rng.normal(0.0,
+                               variation.sigmaOfRange * cell_range) -
+                    drift_levels;
                 noisy[static_cast<std::size_t>(k)] =
                     std::clamp(v, 0.0, cell_range);
             }

@@ -11,6 +11,7 @@
 
 #include "accuracy/dataset.hh"
 #include "accuracy/trainer.hh"
+#include "reram/variation.hh"
 #include "reram/weight_mapping.hh"
 
 namespace fpsa
@@ -46,6 +47,19 @@ struct NoiseEvalResult
  */
 Tensor perturbWeights(const Tensor &weights, const WeightCodec &codec,
                       double sigma_of_range, Rng &rng);
+
+/**
+ * Full-corner perturbation: programming noise per `sigmaOfRange`, each
+ * cell stuck at an endpoint (0 or full cell range, equiprobable) with
+ * probability `stuckAtRate`, and `ageSeconds` of retention drift
+ * pulling every non-stuck cell toward the low-conductance end by
+ * `driftPerSecond * ageSeconds` of the cell range.  Deterministic
+ * under a fixed `rng` seed; the sigma-only overload is the special
+ * case of a zero-age, zero-fault corner with an identical RNG stream.
+ */
+Tensor perturbWeights(const Tensor &weights, const WeightCodec &codec,
+                      const VariationModel &variation, double ageSeconds,
+                      Rng &rng);
 
 /** Run the full evaluation of one configuration. */
 NoiseEvalResult evaluateUnderVariation(const TrainedMlp &model,

@@ -38,6 +38,20 @@ Cell::program(int level, Rng &rng)
     conductance_ = std::clamp(noisy, params_->gMin, params_->gMax);
 }
 
+void
+Cell::age(double seconds)
+{
+    fpsa_assert(params_ != nullptr, "cell has no technology parameters");
+    if (stuck_ || writes_ == 0 || seconds <= 0.0)
+        return;
+    const double drift = params_->variation.driftPerSecond;
+    if (drift <= 0.0)
+        return;
+    const double range = params_->gMax - params_->gMin;
+    conductance_ =
+        std::max(conductance_ - drift * range * seconds, params_->gMin);
+}
+
 double
 Cell::targetConductance() const
 {

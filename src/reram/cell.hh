@@ -55,6 +55,18 @@ class Cell
      */
     void program(int level, Rng &rng);
 
+    /**
+     * Retention drift: `seconds` of elapsed time decay the realized
+     * conductance toward gMin by `driftPerSecond * range * seconds`
+     * (clamped at gMin).  Stuck and never-programmed cells are
+     * unaffected; the programmed level is untouched, so a re-program
+     * fully restores the cell.
+     */
+    void age(double seconds);
+
+    /** True when a stuck-at fault froze this cell at an endpoint. */
+    bool stuck() const { return stuck_; }
+
     /** Realized (noisy) conductance in microsiemens. */
     double conductance() const { return conductance_; }
 

@@ -75,6 +75,25 @@ Crossbar::programWeights(const std::vector<std::int32_t> &levels, Rng &rng)
     }
 }
 
+void
+Crossbar::age(double seconds)
+{
+    if (seconds <= 0.0 || params_.cell.variation.driftPerSecond <= 0.0)
+        return;
+    for (std::size_t gi = 0; gi < cells_.size(); ++gi) {
+        // Groups program as a unit, so an unwritten first cell means an
+        // unwritten group; skip it to keep the gMin-baseline cache.
+        if (cells_[gi].empty() || cells_[gi].front().writes() == 0)
+            continue;
+        double g_sum = 0.0;
+        for (Cell &cell : cells_[gi]) {
+            cell.age(seconds);
+            g_sum += cell.conductance();
+        }
+        groupG_[gi] = g_sum;
+    }
+}
+
 std::int32_t
 Crossbar::programmedLevel(int row, int col) const
 {

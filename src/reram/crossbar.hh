@@ -53,6 +53,14 @@ class Crossbar
      */
     void programWeights(const std::vector<std::int32_t> &levels, Rng &rng);
 
+    /**
+     * Retention drift: age every cell by `seconds` (conductances decay
+     * toward gMin per the cell's `driftPerSecond`) and refresh the
+     * cached per-group conductance sums, so subsequent effectiveWeight/
+     * VMM calls see the drifted array.  Re-programming restores it.
+     */
+    void age(double seconds);
+
     /** Signed level requested at (row, logical col) by the last program. */
     std::int32_t programmedLevel(int row, int col) const;
 

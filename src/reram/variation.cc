@@ -1,5 +1,6 @@
 #include "reram/variation.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -14,6 +15,13 @@ VariationModel::sampleError(Rng &rng) const
     return rng.normal(0.0, sigmaOfRange);
 }
 
+double
+VariationModel::effectiveSigma(double ageSeconds) const
+{
+    const double age = ageSeconds > 0.0 ? ageSeconds : 0.0;
+    return sigmaOfRange + driftPerSecond * age + 0.5 * stuckAtRate;
+}
+
 VariationModel
 VariationModel::ideal()
 {
@@ -26,6 +34,41 @@ VariationModel
 VariationModel::fabricated()
 {
     return VariationModel{};
+}
+
+VariationProfile
+VariationProfile::sampleAroundCorner(const VariationModel &corner,
+                                    std::uint64_t fleetSeed,
+                                    std::size_t chipIndex)
+{
+    // Golden-ratio stride decorrelates adjacent chip indices under one
+    // fleet seed; the profile is a pure function of (corner, seed, i).
+    Rng rng(fleetSeed ^
+            (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(chipIndex) + 1)));
+    auto scatter = [&rng](double corner_value) {
+        if (corner_value <= 0.0)
+            return 0.0;
+        const double factor = std::exp(rng.normal(0.0, 0.35));
+        return corner_value * std::clamp(factor, 0.25, 4.0);
+    };
+    VariationProfile profile;
+    profile.model.sigmaOfRange = scatter(corner.sigmaOfRange);
+    profile.model.driftPerSecond = scatter(corner.driftPerSecond);
+    profile.model.stuckAtRate = scatter(corner.stuckAtRate);
+    profile.seed = rng.next();
+    return profile;
+}
+
+std::vector<VariationProfile>
+sampleFleetProfiles(const VariationModel &corner, std::uint64_t fleetSeed,
+                    std::size_t count)
+{
+    std::vector<VariationProfile> profiles;
+    profiles.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        profiles.push_back(
+            VariationProfile::sampleAroundCorner(corner, fleetSeed, i));
+    return profiles;
 }
 
 double

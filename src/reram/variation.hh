@@ -16,6 +16,10 @@
 #ifndef FPSA_RERAM_VARIATION_HH
 #define FPSA_RERAM_VARIATION_HH
 
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 namespace fpsa
 {
 
@@ -40,12 +44,53 @@ struct VariationModel
     /** Sample a programming error in conductance-range units. */
     double sampleError(Rng &rng) const;
 
+    /**
+     * Effective per-cell sigma after `ageSeconds` of retention, as the
+     * error budget the analytic accuracy model sees: the programming
+     * sigma, plus the (deterministic, toward-gMin) drift displacement
+     * treated as an equivalent spread, plus the expected contribution
+     * of stuck-at endpoints (a stuck cell's mean absolute error is
+     * half the range, conservatively folded in at rate/2).
+     */
+    double effectiveSigma(double ageSeconds) const;
+
     /** Ideal corner: no variation at all. */
     static VariationModel ideal();
 
     /** The default fabricated-device corner (Yao et al.). */
     static VariationModel fabricated();
 };
+
+/**
+ * One chip's variation identity: the corner its devices actually
+ * landed on after fabrication scatter, plus the seed that makes every
+ * stochastic draw against this chip (programming noise, stuck-at
+ * placement) reproducible.  This is what a fleet stamps onto each
+ * `ChipSpec` so calibration and placement can tell a quiet chip from
+ * a noisy one.
+ */
+struct VariationProfile
+{
+    VariationModel model;
+    std::uint64_t seed = 0;
+
+    /**
+     * Deterministic per-chip profile around a technology `corner`:
+     * chip `chipIndex` of the fleet seeded by `fleetSeed` always gets
+     * the same profile.  Each field scatters log-normally around the
+     * corner value (clamped to [1/4, 4]x), matching the wafer-level
+     * spread of fabricated ReRAM arrays; fields the corner zeroes out
+     * stay exactly zero.
+     */
+    static VariationProfile sampleAroundCorner(const VariationModel &corner,
+                                               std::uint64_t fleetSeed,
+                                               std::size_t chipIndex);
+};
+
+/** `count` per-chip profiles around `corner`, fleet order. */
+std::vector<VariationProfile> sampleFleetProfiles(
+    const VariationModel &corner, std::uint64_t fleetSeed,
+    std::size_t count);
 
 /**
  * Normalized deviation of the *splice* method (paper Sec. 7.2):

@@ -38,6 +38,7 @@ ChipFleet::create(std::vector<ChipSpec> specs,
         if (!engine.ok())
             return engine.status();
         chips.push_back(Chip{std::move(spec.id), spec.capacity,
+                             spec.variation,
                              std::move(engine).value()});
     }
     return std::unique_ptr<ChipFleet>(new ChipFleet(std::move(chips)));
@@ -76,6 +77,12 @@ ChipFleet::indexOf(const std::string &chipId) const
                          "fleet: no chip named '" + chipId + "'");
 }
 
+const VariationProfile &
+ChipFleet::variation(std::size_t chip) const
+{
+    return chips_.at(chip).variation;
+}
+
 std::vector<ChipLoadView>
 ChipFleet::loadViews() const
 {
@@ -87,6 +94,7 @@ ChipFleet::loadViews() const
         view.capacity = chip.capacity;
         view.resident = chip.engine->registry().residentDemand();
         view.models = chip.engine->registry().names();
+        view.variation = chip.variation.model;
         views.push_back(std::move(view));
     }
     return views;

@@ -43,6 +43,14 @@ struct ChipSpec
 {
     std::string id;
     ChipCapacity capacity;
+
+    /**
+     * The chip's device-variation identity (sigma, retention drift,
+     * stuck-at yield + the chip's deterministic noise seed).  Defaults
+     * to the fabricated corner with no drift or faults; fleets built
+     * from `sampleFleetProfiles` give every chip its own corner.
+     */
+    VariationProfile variation;
 };
 
 /** The N-chip serving substrate: per-chip engines + placement views. */
@@ -66,6 +74,9 @@ class ChipFleet
     /** Index of the chip named `chipId`; InvalidArgument when absent. */
     StatusOr<std::size_t> indexOf(const std::string &chipId) const;
 
+    /** The chip's device-variation profile, as specced. */
+    const VariationProfile &variation(std::size_t chip) const;
+
     /** Placement snapshot: one `ChipLoadView` per chip, fleet order. */
     std::vector<ChipLoadView> loadViews() const;
 
@@ -83,6 +94,7 @@ class ChipFleet
     {
         std::string id;
         ChipCapacity capacity;
+        VariationProfile variation;
         std::unique_ptr<Engine> engine;
     };
 

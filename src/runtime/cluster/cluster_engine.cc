@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
 #include <limits>
 #include <utility>
 
@@ -302,7 +303,33 @@ ClusterEngine::growLocked(const std::string &name, TenantEntry snapshot,
     request.model = name;
     request.demand = snapshot.model->resourceDemand();
     request.replicas = count;
-    auto assignment = policy_->place(request, healthyLoadViews());
+
+    // Accuracy-gated tenants: calibrate the model against every
+    // chip's variation profile so placement can reject chips that
+    // cannot meet the SLO and prefer the quietest silicon among those
+    // that can.  Sharded tenants skip the gate (their pieces span
+    // chips with different profiles; see loadModel).
+    const std::vector<ChipLoadView> views = healthyLoadViews();
+    std::vector<CalibrationResult> calibrations;
+    if (snapshot.tenant.minAccuracy > 0.0 && !snapshot.sharded) {
+        request.minAccuracy = snapshot.tenant.minAccuracy;
+        calibrations.reserve(views.size());
+        const std::uint64_t name_salt = std::hash<std::string>{}(name);
+        for (std::size_t chip = 0; chip < views.size(); ++chip) {
+            const VariationProfile &profile = fleet_->variation(chip);
+            CalibrationResult calibration = calibrator_.calibrate(
+                snapshot.model->graph(), profile.model,
+                snapshot.tenant.minAccuracy,
+                options_.calibrationSeed ^ profile.seed ^ name_salt);
+            request.predictedAccuracy.push_back(
+                calibration.predictedAccuracy);
+            request.mappingSummary.push_back(
+                calibration.mappingSummary());
+            calibrations.push_back(std::move(calibration));
+        }
+    }
+
+    auto assignment = policy_->place(request, views);
     if (!assignment.ok())
         return assignment.status();
 
@@ -320,14 +347,26 @@ ClusterEngine::growLocked(const std::string &name, TenantEntry snapshot,
         loaded.push_back(chip);
     }
 
-    std::lock_guard<std::mutex> lock(mu_);
-    TenantEntry &entry = tenants_[name];
-    if (!entry.model) {
-        entry.model = std::move(snapshot.model);
-        entry.tenant = snapshot.tenant;
-        entry.desiredReplicas = snapshot.desiredReplicas;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        TenantEntry &entry = tenants_[name];
+        if (!entry.model) {
+            entry.model = std::move(snapshot.model);
+            entry.tenant = snapshot.tenant;
+            entry.desiredReplicas = snapshot.desiredReplicas;
+        }
+        entry.chips.insert(entry.chips.end(), loaded.begin(),
+                           loaded.end());
+        if (!calibrations.empty()) {
+            // Each fresh replica is programmed "now" on the drift
+            // clock; its accuracy ages from here.
+            for (std::size_t chip : loaded)
+                entry.calibrations[chip] = ReplicaCalibration{
+                    calibrations[chip], driftClock_};
+        }
     }
-    entry.chips.insert(entry.chips.end(), loaded.begin(), loaded.end());
+    if (!calibrations.empty())
+        refreshAccuracyHealth();
     return Status();
 }
 
@@ -399,11 +438,15 @@ ClusterEngine::setReplicas(const std::string &name, int replicas)
     {
         std::lock_guard<std::mutex> lock(mu_);
         auto it = tenants_.find(name);
-        if (it != tenants_.end())
+        if (it != tenants_.end()) {
             it->second.chips.resize(static_cast<std::size_t>(replicas));
+            for (std::size_t chip : victims)
+                it->second.calibrations.erase(chip);
+        }
     }
     Status first;
     for (std::size_t chip : victims) {
+        health_->clearReplicaAccuracy(chip, name);
         Status s = fleet_->engine(chip).unloadModel(name);
         if (!s.ok() && first.ok())
             first = s;
@@ -436,6 +479,7 @@ ClusterEngine::unloadModel(const std::string &name)
             first = retired;
     }
     for (std::size_t chip : chips) {
+        health_->clearReplicaAccuracy(chip, name);
         Status s = fleet_->engine(chip).unloadModel(name);
         if (!s.ok() && first.ok())
             first = s;
@@ -504,9 +548,12 @@ ClusterEngine::pickReplicaChip(const std::vector<std::size_t> &chips,
                                const std::string &model,
                                std::size_t exclude) const
 {
-    // Rank: Healthy before Degraded, then any chip other than the one
-    // that just failed the request, then least outstanding requests;
-    // ties keep placement order.  Failed chips are out entirely.
+    // Rank: accuracy first (an ACCURATE replica beats any DRIFTING
+    // one, DRIFTING beats STALE -- graceful degradation routes around
+    // drifted weights whenever a fresher replica exists), then Healthy
+    // before Degraded, then any chip other than the one that just
+    // failed the request, then least outstanding requests; ties keep
+    // placement order.  Failed chips are out entirely.
     bool found = false;
     std::size_t target = 0;
     std::int64_t best_rank = 0;
@@ -515,7 +562,12 @@ ClusterEngine::pickReplicaChip(const std::vector<std::size_t> &chips,
         const ChipHealth health = health_->health(chip);
         if (health == ChipHealth::Failed)
             continue;
+        const ReplicaAccuracy accuracy =
+            health_->replicaAccuracy(chip, model).state;
         const std::int64_t rank =
+            (accuracy == ReplicaAccuracy::Stale
+                 ? 8
+                 : accuracy == ReplicaAccuracy::Drifting ? 4 : 0) +
             (health == ChipHealth::Degraded ? 2 : 0) +
             (chip == exclude ? 1 : 0);
         const std::int64_t pending =
@@ -1098,6 +1150,7 @@ ClusterEngine::probeChips()
 {
     for (std::size_t chip = 0; chip < fleet_->size(); ++chip)
         health_->recordProbe(chip, fleet_->engine(chip).probe().ok());
+    refreshAccuracyHealth();
 }
 
 ChipHealth
@@ -1225,12 +1278,14 @@ ClusterEngine::repairOnce()
                         std::find(live.begin(), live.end(), chip);
                     if (pos != live.end()) {
                         live.erase(pos);
+                        it->second.calibrations.erase(chip);
                         routed_away = true;
                     }
                 }
             }
             if (!routed_away)
                 continue; // unloaded or already repaired concurrently
+            health_->clearReplicaAccuracy(chip, name);
             fleet_->engine(chip).unloadModel(name);
             evicted.push_back(fleet_->id(chip));
         }
@@ -1268,6 +1323,153 @@ ClusterEngine::repairOnce()
                 break;
             }
             actions.push_back(std::move(action));
+        }
+    }
+    return actions;
+}
+
+// ---------------------------------------------------------------- accuracy
+
+void
+ClusterEngine::advanceDrift(double seconds)
+{
+    if (seconds <= 0.0)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        driftClock_ += seconds;
+    }
+    refreshAccuracyHealth();
+}
+
+double
+ClusterEngine::driftClockSeconds() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return driftClock_;
+}
+
+void
+ClusterEngine::refreshAccuracyHealth()
+{
+    struct Verdict
+    {
+        std::size_t chip;
+        std::string model;
+        ReplicaAccuracyRecord record;
+    };
+    std::vector<Verdict> verdicts;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto &[name, entry] : tenants_) {
+            if (entry.tenant.minAccuracy <= 0.0)
+                continue;
+            for (const auto &[chip, calibration] :
+                 entry.calibrations) {
+                const double age =
+                    driftClock_ - calibration.programmedAtSeconds;
+                ReplicaAccuracyRecord record;
+                record.currentAccuracy = calibrator_.accuracyAtAge(
+                    calibration.result, fleet_->variation(chip).model,
+                    age);
+                record.predictedAccuracy =
+                    calibration.result.predictedAccuracy;
+                const double slo = entry.tenant.minAccuracy;
+                if (record.currentAccuracy >=
+                    slo + options_.accuracyDriftingMargin)
+                    record.state = ReplicaAccuracy::Accurate;
+                else if (record.currentAccuracy >= slo)
+                    record.state = ReplicaAccuracy::Drifting;
+                else
+                    record.state = ReplicaAccuracy::Stale;
+                verdicts.push_back(Verdict{chip, name, record});
+            }
+        }
+    }
+    // Publish outside mu_: the tracker's mutex is a leaf.
+    for (const Verdict &verdict : verdicts)
+        health_->setReplicaAccuracy(verdict.chip, verdict.model,
+                                    verdict.record);
+}
+
+std::vector<ClusterEngine::RecoveryAction>
+ClusterEngine::recalibrateOnce()
+{
+    std::vector<RecoveryAction> actions;
+    std::lock_guard<std::mutex> ops(opsMu_);
+
+    refreshAccuracyHealth();
+
+    std::map<std::string, TenantEntry> tenants;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_)
+            return actions;
+        tenants = tenants_;
+    }
+
+    for (const auto &[name, snapshot] : tenants) {
+        if (snapshot.sharded || snapshot.tenant.minAccuracy <= 0.0)
+            continue;
+        std::vector<std::size_t> stale;
+        for (std::size_t chip : snapshot.chips) {
+            if (health_->replicaAccuracy(chip, name).state ==
+                ReplicaAccuracy::Stale)
+                stale.push_back(chip);
+        }
+        for (std::size_t chip : stale) {
+            // Re-programming is an evict + re-place: stop routing to
+            // the stale replica first, drain it off the chip (every
+            // accepted request resolves -- the zero-loss contract),
+            // then grow through the accuracy-gated placement path.
+            // The same chip is eligible again: re-programming resets
+            // its age, so a quiet chip whose replica merely aged out
+            // usually gets it right back.
+            bool routed_away = false;
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                auto it = tenants_.find(name);
+                if (it != tenants_.end()) {
+                    auto &live = it->second.chips;
+                    auto pos =
+                        std::find(live.begin(), live.end(), chip);
+                    if (pos != live.end()) {
+                        live.erase(pos);
+                        it->second.calibrations.erase(chip);
+                        routed_away = true;
+                    }
+                }
+            }
+            if (!routed_away)
+                continue; // unloaded or re-placed concurrently
+            health_->clearReplicaAccuracy(chip, name);
+            fleet_->engine(chip).unloadModel(name);
+
+            TenantEntry current;
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                auto it = tenants_.find(name);
+                if (it == tenants_.end())
+                    break;
+                current = it->second;
+            }
+            RecoveryAction action;
+            action.model = name;
+            action.fromChip = fleet_->id(chip);
+            action.reason = "recalibration";
+            action.status = growLocked(name, current, 1);
+            if (action.status.ok()) {
+                std::lock_guard<std::mutex> lock(mu_);
+                auto it = tenants_.find(name);
+                if (it != tenants_.end() &&
+                    !it->second.chips.empty())
+                    action.toChip =
+                        fleet_->id(it->second.chips.back());
+            }
+            const bool failed = !action.status.ok();
+            actions.push_back(std::move(action));
+            if (failed)
+                break; // no room now; repairOnce's top-up loop retries
         }
     }
     return actions;
@@ -1403,9 +1605,11 @@ std::string
 ClusterEngine::statsJson() const
 {
     std::map<std::string, TenantEntry> tenants;
+    double drift_clock = 0.0;
     {
         std::lock_guard<std::mutex> lock(mu_);
         tenants = tenants_;
+        drift_clock = driftClock_;
     }
     JsonWriter j;
     j.beginObject();
@@ -1473,6 +1677,44 @@ ClusterEngine::statsJson() const
     j.field("forwards", fleet_forwards);
     j.field("bytes", fleet_interconnect_bytes);
     j.field("nanos", fleet_interconnect_nanos);
+    j.endObject();
+    j.key("variation").beginObject();
+    j.field("driftClockSeconds", drift_clock);
+    j.key("chips").beginObject();
+    for (std::size_t chip = 0; chip < fleet_->size(); ++chip) {
+        const VariationModel &model = fleet_->variation(chip).model;
+        j.key(fleet_->id(chip)).beginObject();
+        j.field("sigmaOfRange", model.sigmaOfRange);
+        j.field("driftPerSecond", model.driftPerSecond);
+        j.field("stuckAtRate", model.stuckAtRate);
+        j.endObject();
+    }
+    j.endObject();
+    j.key("tenants").beginObject();
+    for (const auto &[name, entry] : tenants) {
+        if (entry.tenant.minAccuracy <= 0.0)
+            continue;
+        j.key(name).beginObject();
+        j.field("minAccuracy", entry.tenant.minAccuracy);
+        j.key("replicas").beginArray();
+        for (const auto &[chip, calibration] : entry.calibrations) {
+            const ReplicaAccuracyRecord record =
+                health_->replicaAccuracy(chip, name);
+            j.beginObject();
+            j.field("chip", fleet_->id(chip));
+            j.field("mapping", calibration.result.mappingSummary());
+            j.field("predictedAccuracy",
+                    calibration.result.predictedAccuracy);
+            j.field("currentAccuracy", record.currentAccuracy);
+            j.field("ageSeconds",
+                    drift_clock - calibration.programmedAtSeconds);
+            j.field("accuracy", replicaAccuracyName(record.state));
+            j.endObject();
+        }
+        j.endArray();
+        j.endObject();
+    }
+    j.endObject();
     j.endObject();
     std::vector<std::string> chip_ids;
     chip_ids.reserve(fleet_->size());

@@ -56,6 +56,7 @@
 #include <thread>
 #include <vector>
 
+#include "accuracy/calibration.hh"
 #include "common/status.hh"
 #include "runtime/cluster/chip_fleet.hh"
 #include "runtime/cluster/health.hh"
@@ -117,6 +118,18 @@ struct ClusterOptions
 
     /** Per-edge queue bound of a shard pipeline (requests). */
     int shardQueueDepth = 64;
+
+    /**
+     * Accuracy-health hysteresis: a replica whose drift-degraded
+     * accuracy sits within this margin above its tenant's
+     * `minAccuracy` is DRIFTING (routed around when an ACCURATE
+     * replica exists); below the SLO itself it is STALE (re-programmed
+     * by the recovery loop).
+     */
+    double accuracyDriftingMargin = 0.02;
+
+    /** Base seed for the loadModel-time calibration passes. */
+    std::uint64_t calibrationSeed = 0x5eed;
 };
 
 /** The multi-chip serving runtime fronting a `ChipFleet`. */
@@ -214,6 +227,7 @@ class ClusterEngine
         std::string fromChip; //!< the failed replica's chip
         std::string toChip;   //!< empty when re-placement failed
         Status status;        //!< OK, or the placement/load error
+        std::string reason = "failover"; //!< or "recalibration"
     };
 
     /**
@@ -226,6 +240,30 @@ class ClusterEngine
      * -- e.g. after the chip rejoins.  Returns the actions taken.
      */
     std::vector<RecoveryAction> repairOnce();
+
+    // ------------------------------------------------------- accuracy
+
+    /**
+     * Advance the cluster's logical retention clock by `seconds` and
+     * re-derive every calibrated replica's accuracy health.  The drift
+     * clock is logical (tests and benches inject time), so the
+     * drift -> STALE -> re-program round trip is deterministic.
+     */
+    void advanceDrift(double seconds);
+
+    /** The logical retention clock, in seconds since creation. */
+    double driftClockSeconds() const;
+
+    /**
+     * One synchronous re-calibration pass: every STALE replica is
+     * drained off its chip (zero accepted requests lost) and
+     * re-placed through the accuracy-gated placement path, which
+     * re-programs its weights fresh -- resetting its programming age.
+     * The same chip is eligible again, so a quiet chip whose replica
+     * merely aged out usually gets it right back.  Returns the
+     * actions taken, `reason == "recalibration"`.
+     */
+    std::vector<RecoveryAction> recalibrateOnce();
 
     // ---------------------------------------------------------- stats
 
@@ -284,11 +322,25 @@ class ClusterEngine
         std::vector<std::string> stageTenants;
     };
 
+    /** One replica's calibration verdict + when it was programmed. */
+    struct ReplicaCalibration
+    {
+        CalibrationResult result;
+        double programmedAtSeconds = 0.0; //!< drift-clock timestamp
+    };
+
     struct TenantEntry
     {
         std::shared_ptr<const CompiledModel> model;
         TenantOptions tenant;
         std::vector<std::size_t> chips; //!< replica chips, placement order
+
+        /**
+         * Per-chip calibration for accuracy-gated tenants
+         * (`minAccuracy > 0`), keyed by replica chip; absent for
+         * ungated or sharded tenants.
+         */
+        std::map<std::size_t, ReplicaCalibration> calibrations;
 
         /**
          * Replica count the operator asked for (loadModel/
@@ -345,6 +397,14 @@ class ClusterEngine
     /** Requires opsMu_: place + load `count` new replicas of `name`. */
     Status growLocked(const std::string &name, TenantEntry snapshot,
                       int count);
+
+    /**
+     * Re-derive every calibrated replica's accuracy health from its
+     * programming age at the current drift clock and publish the
+     * verdicts to the health tracker.  Takes mu_ briefly for the
+     * snapshot; safe from any thread.
+     */
+    void refreshAccuracyHealth();
 
     /**
      * Requires opsMu_: place + load `count` new shard groups of the
@@ -435,6 +495,12 @@ class ClusterEngine
     mutable std::mutex mu_; //!< guards tenants_ + stopping_
     std::map<std::string, TenantEntry> tenants_;
     bool stopping_ = false;
+
+    /** Calibration pass shared by loads + the accuracy-health loop. */
+    ModelCalibrator calibrator_;
+
+    /** Logical retention clock, seconds; guarded by mu_. */
+    double driftClock_ = 0.0;
 
     /**
      * Failover supervision state.  Lock order: pendingMu_ before mu_

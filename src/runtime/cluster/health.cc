@@ -19,6 +19,20 @@ chipHealthName(ChipHealth health)
     return "UNKNOWN";
 }
 
+const char *
+replicaAccuracyName(ReplicaAccuracy accuracy)
+{
+    switch (accuracy) {
+    case ReplicaAccuracy::Accurate:
+        return "ACCURATE";
+    case ReplicaAccuracy::Drifting:
+        return "DRIFTING";
+    case ReplicaAccuracy::Stale:
+        return "STALE";
+    }
+    return "UNKNOWN";
+}
+
 HealthTracker::HealthTracker(std::size_t chips, HealthOptions options)
     : options_(options), chips_(chips)
 {
@@ -155,6 +169,38 @@ HealthTracker::probeFailures(std::size_t chip) const
     return chips_[chip].probeFailureStreak;
 }
 
+void
+HealthTracker::setReplicaAccuracy(std::size_t chip,
+                                  const std::string &model,
+                                  const ReplicaAccuracyRecord &record)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (chip >= chips_.size()) {
+        return;
+    }
+    replicas_[{chip, model}] = record;
+}
+
+void
+HealthTracker::clearReplicaAccuracy(std::size_t chip,
+                                    const std::string &model)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    replicas_.erase({chip, model});
+}
+
+ReplicaAccuracyRecord
+HealthTracker::replicaAccuracy(std::size_t chip,
+                               const std::string &model) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = replicas_.find({chip, model});
+    if (it == replicas_.end()) {
+        return ReplicaAccuracyRecord{};
+    }
+    return it->second;
+}
+
 std::string
 HealthTracker::toJson(const std::vector<std::string> &ids) const
 {
@@ -168,6 +214,22 @@ HealthTracker::toJson(const std::vector<std::string> &ids) const
         j.field("state", chipHealthName(chips_[i].state));
         j.field("errorRate", errorRateLocked(chips_[i]));
         j.field("probeFailures", chips_[i].probeFailureStreak);
+        j.key("replicas");
+        j.beginObject();
+        for (const auto &entry : replicas_) {
+            if (entry.first.first != i)
+                continue;
+            j.key(entry.first.second);
+            j.beginObject();
+            j.field("accuracy",
+                    replicaAccuracyName(entry.second.state));
+            j.field("currentAccuracy",
+                    entry.second.currentAccuracy);
+            j.field("predictedAccuracy",
+                    entry.second.predictedAccuracy);
+            j.endObject();
+        }
+        j.endObject();
         j.endObject();
     }
     j.endObject();

@@ -28,8 +28,10 @@
 #define FPSA_RUNTIME_CLUSTER_HEALTH_HH
 
 #include <cstddef>
+#include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace fpsa
@@ -45,6 +47,29 @@ enum class ChipHealth
 
 /** Human-readable name ("HEALTHY", "DEGRADED", "FAILED"). */
 const char *chipHealthName(ChipHealth health);
+
+/**
+ * Accuracy health of one (chip, model) replica, derived by the
+ * cluster's drift loop from the calibrated prediction at the
+ * replica's current programming age.
+ */
+enum class ReplicaAccuracy
+{
+    Accurate, //!< above the SLO with margin to spare
+    Drifting, //!< above the SLO but inside the warning margin
+    Stale,    //!< below the SLO; re-programming candidate
+};
+
+/** Human-readable name ("ACCURATE", "DRIFTING", "STALE"). */
+const char *replicaAccuracyName(ReplicaAccuracy accuracy);
+
+/** One replica's accuracy-health record, as tracked per (chip, model). */
+struct ReplicaAccuracyRecord
+{
+    ReplicaAccuracy state = ReplicaAccuracy::Accurate;
+    double currentAccuracy = 1.0;   //!< prediction at current age
+    double predictedAccuracy = 1.0; //!< prediction when programmed
+};
 
 /** Thresholds for the per-chip health state machine. */
 struct HealthOptions
@@ -91,9 +116,29 @@ class HealthTracker
     int probeFailures(std::size_t chip) const;
 
     /**
+     * Record (or refresh) the accuracy health of the `model` replica
+     * on `chip`; the cluster's drift loop calls this after every
+     * re-evaluation.
+     */
+    void setReplicaAccuracy(std::size_t chip, const std::string &model,
+                            const ReplicaAccuracyRecord &record);
+
+    /** Forget the replica's accuracy record (evicted / unloaded). */
+    void clearReplicaAccuracy(std::size_t chip,
+                              const std::string &model);
+
+    /**
+     * The replica's accuracy record; an untracked replica (no
+     * accuracy SLO, or never evaluated) reads as ACCURATE at 1.0.
+     */
+    ReplicaAccuracyRecord replicaAccuracy(
+        std::size_t chip, const std::string &model) const;
+
+    /**
      * JSON object keyed by chip id: `{"chip0": {"state": "HEALTHY",
-     * "errorRate": 0.0312, "probeFailures": 0}, ...}`.  `ids` must
-     * have one entry per chip.
+     * "errorRate": 0.0312, "probeFailures": 0, "replicas": {"lenet":
+     * {"accuracy": "ACCURATE", ...}}}, ...}`.  `ids` must have one
+     * entry per chip; `replicas` holds only accuracy-tracked tenants.
      */
     std::string toJson(const std::vector<std::string> &ids) const;
 
@@ -116,6 +161,11 @@ class HealthTracker
     const HealthOptions options_;
     mutable std::mutex mu_;
     std::vector<ChipState> chips_;
+
+    /** Accuracy records keyed by (chip, model); guarded by mu_. */
+    std::map<std::pair<std::size_t, std::string>,
+             ReplicaAccuracyRecord>
+        replicas_;
 };
 
 } // namespace fpsa

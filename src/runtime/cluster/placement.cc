@@ -3,11 +3,28 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/table.hh"
+
 namespace fpsa
 {
 
 namespace
 {
+
+/** Whether this request carries usable per-chip accuracy predictions. */
+bool
+accuracyGated(const PlacementRequest &request, std::size_t chipCount)
+{
+    return request.minAccuracy > 0.0 &&
+           request.predictedAccuracy.size() == chipCount;
+}
+
+/** Whether the chip's calibrated prediction meets the accuracy SLO. */
+bool
+meetsAccuracy(const PlacementRequest &request, std::size_t chip)
+{
+    return request.predictedAccuracy[chip] >= request.minAccuracy;
+}
 
 ResourceDemand
 afterPlacing(const ChipLoadView &chip, const ResourceDemand &demand)
@@ -168,6 +185,14 @@ fleetInfeasible(const PlacementRequest &request,
             message += "selected for an earlier replica";
         } else if (hostsModel(chips[i], request.model)) {
             message += "already hosts '" + request.model + "'";
+        } else if (accuracyGated(request, chips.size()) &&
+                   !meetsAccuracy(request, i)) {
+            message += "predicted accuracy " +
+                       fmtDouble(request.predictedAccuracy[i]) +
+                       " < required " + fmtDouble(request.minAccuracy);
+            if (request.mappingSummary.size() == chips.size())
+                message += " (best mapping " +
+                           request.mappingSummary[i] + ")";
         } else {
             message += admissionBreakdown(
                 afterPlacing(chips[i], request.demand),
@@ -267,6 +292,7 @@ placeReplicas(const PlacementRequest &request,
                 std::to_string(chips.size()));
     }
 
+    const bool gated = accuracyGated(request, chips.size());
     std::vector<std::size_t> assignment;
     std::vector<bool> chosen(chips.size(), false);
     for (int replica = 0; replica < request.replicas; ++replica) {
@@ -274,11 +300,27 @@ placeReplicas(const PlacementRequest &request,
         for (std::size_t i = 0; i < chips.size(); ++i) {
             if (!chips[i].failed && !chosen[i] &&
                 !hostsModel(chips[i], request.model) &&
-                fits(chips[i], request.demand))
+                fits(chips[i], request.demand) &&
+                (!gated || meetsAccuracy(request, i)))
                 eligible.push_back(i);
         }
         if (eligible.empty()) {
             return fleetInfeasible(request, chips, chosen, replica);
+        }
+        if (gated) {
+            // Among SLO-meeting chips, prefer the quietest silicon:
+            // narrow to the minimum sigma, then let the policy pick
+            // (so capacity packing still breaks sigma ties).
+            double best_sigma =
+                std::numeric_limits<double>::infinity();
+            for (std::size_t i : eligible)
+                best_sigma = std::min(best_sigma,
+                                      chips[i].variation.sigmaOfRange);
+            std::vector<std::size_t> quietest;
+            for (std::size_t i : eligible)
+                if (chips[i].variation.sigmaOfRange == best_sigma)
+                    quietest.push_back(i);
+            eligible.swap(quietest);
         }
         const std::size_t picked =
             pick(eligible, chips, request.demand);

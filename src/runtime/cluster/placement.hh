@@ -34,6 +34,7 @@
 
 #include "common/status.hh"
 #include "mapper/allocation.hh"
+#include "reram/variation.hh"
 #include "runtime/model_registry.hh"
 
 namespace fpsa
@@ -54,6 +55,14 @@ struct ChipLoadView
      * it so "no capacity" and "capacity is down" stay tellable apart.
      */
     bool failed = false;
+
+    /**
+     * The chip's device-variation corner (sigma, drift, stuck-at).
+     * Accuracy-gated requests narrow their eligible chips to the
+     * lowest `sigmaOfRange` among those meeting the accuracy SLO, so
+     * sensitive models land on the quietest silicon.
+     */
+    VariationModel variation;
 };
 
 /** What a placement request asks of the fleet. */
@@ -62,6 +71,25 @@ struct PlacementRequest
     std::string model;
     ResourceDemand demand; //!< per replica
     int replicas = 1;      //!< distinct chips, one per replica
+
+    /**
+     * Accuracy SLO from `TenantOptions::minAccuracy`; 0 leaves
+     * placement purely capacity-driven.
+     */
+    double minAccuracy = 0.0;
+
+    /**
+     * Per-chip calibrated predictions, parallel to the `chips` views
+     * handed to `place`.  When `minAccuracy > 0` and this has one
+     * entry per chip, a chip is eligible only if its prediction meets
+     * the SLO, eligible chips are narrowed to the lowest-variance
+     * ones, and the Infeasible breakdown reports each failing chip's
+     * predicted-vs-needed gap.  Left empty the request is ungated.
+     */
+    std::vector<double> predictedAccuracy;
+
+    /** Per-chip mapping summaries for breakdown messages (optional). */
+    std::vector<std::string> mappingSummary;
 };
 
 /**

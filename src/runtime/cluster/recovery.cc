@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <iterator>
 
 namespace fpsa
 {
@@ -64,6 +65,13 @@ RecoveryManager::evaluateOnce()
     cluster_.probeChips();
     std::vector<ClusterEngine::RecoveryAction> actions =
         cluster_.repairOnce();
+    // Re-programming pass: STALE replicas (drift-degraded below their
+    // accuracy SLO) are drained and re-placed with fresh weights.
+    std::vector<ClusterEngine::RecoveryAction> recalibrated =
+        cluster_.recalibrateOnce();
+    actions.insert(actions.end(),
+                   std::make_move_iterator(recalibrated.begin()),
+                   std::make_move_iterator(recalibrated.end()));
     for (const ClusterEngine::RecoveryAction &action : actions)
         history_.push(action);
     return actions;

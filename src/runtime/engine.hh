@@ -197,6 +197,19 @@ struct TenantOptions
 
     /** SLO budget in milliseconds; 0 uses `defaultSloMillis`. */
     double sloMillis = 0.0;
+
+    /**
+     * Accuracy SLO: minimum acceptable predicted model accuracy
+     * (normalized, 0..1) under the serving chip's device-variation
+     * profile; 0 disables accuracy-aware admission.  Enforced by the
+     * cluster layer: loadModel runs a calibration pass that picks the
+     * cheapest per-layer cell mapping meeting this bound, placement
+     * prefers the lowest-variance feasible chips, and replicas whose
+     * drift-degraded accuracy falls below the bound go STALE and are
+     * re-programmed by the `RecoveryManager`.  A single-chip `Engine`
+     * ignores it.
+     */
+    double minAccuracy = 0.0;
 };
 
 /** One served request: the output plus its telemetry. */

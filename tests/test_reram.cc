@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "common/rng.hh"
 #include "reram/cell.hh"
@@ -306,6 +309,156 @@ TEST(Crossbar, CellCount)
     CrossbarParams params; // 256 x 256 logical, 8 cells/weight
     Crossbar xbar(params);
     EXPECT_EQ(xbar.cellCount(), 256LL * 512 * 8);
+}
+
+TEST(Cell, RetentionDriftLowersConductanceAndReprogramRestores)
+{
+    CellParams params;
+    params.variation = VariationModel::ideal();
+    params.variation.driftPerSecond = 1e-3; // of range, per second
+    Cell cell(&params);
+    Rng rng(3);
+    cell.program(9, rng);
+    const double programmed = cell.conductance();
+
+    cell.age(10.0);
+    const double range = params.gMax - params.gMin;
+    EXPECT_NEAR(cell.conductance(), programmed - 1e-3 * range * 10.0,
+                1e-12);
+
+    // Drift floors at gMin: no amount of time drives conductance
+    // negative.
+    cell.age(1e9);
+    EXPECT_DOUBLE_EQ(cell.conductance(), params.gMin);
+
+    // Re-programming fully restores the level (drift is not wear).
+    cell.program(9, rng);
+    EXPECT_DOUBLE_EQ(cell.conductance(), programmed);
+}
+
+TEST(Cell, AgeIsNoOpBeforeFirstProgram)
+{
+    CellParams params;
+    params.variation = VariationModel::ideal();
+    params.variation.driftPerSecond = 1e-3;
+    Cell cell(&params);
+    const double fresh = cell.conductance();
+    cell.age(100.0);
+    EXPECT_DOUBLE_EQ(cell.conductance(), fresh);
+}
+
+TEST(Cell, StuckAtCellsClampToEndpointsDeterministically)
+{
+    CellParams params;
+    params.variation = VariationModel::ideal();
+    params.variation.stuckAtRate = 1.0; // every cell faulty
+    params.variation.driftPerSecond = 1e-3;
+
+    // Deterministic under a fixed seed: two identical runs agree.
+    std::vector<double> run1, run2;
+    for (std::vector<double> *out : {&run1, &run2}) {
+        Rng rng(17);
+        for (int i = 0; i < 32; ++i) {
+            Cell cell(&params);
+            cell.program(7, rng);
+            EXPECT_TRUE(cell.stuck());
+            // A stuck cell sits at an endpoint, ignores its target...
+            EXPECT_TRUE(cell.conductance() == params.gMin ||
+                        cell.conductance() == params.gMax);
+            // ...and does not drift.
+            cell.age(1000.0);
+            out->push_back(cell.conductance());
+        }
+    }
+    EXPECT_EQ(run1, run2);
+    // With bernoulli(0.5) endpoints, 32 draws hit both ends.
+    EXPECT_TRUE(std::count(run1.begin(), run1.end(), params.gMax) > 0);
+    EXPECT_TRUE(std::count(run1.begin(), run1.end(), params.gMin) > 0);
+}
+
+TEST(VariationModel, EffectiveSigmaGrowsWithAgeAndFaultRate)
+{
+    VariationModel corner;
+    corner.sigmaOfRange = 0.02;
+    corner.driftPerSecond = 1e-4;
+    corner.stuckAtRate = 0.01;
+    EXPECT_DOUBLE_EQ(corner.effectiveSigma(0.0),
+                     0.02 + 0.5 * 0.01);
+    EXPECT_DOUBLE_EQ(corner.effectiveSigma(100.0),
+                     0.02 + 1e-4 * 100.0 + 0.5 * 0.01);
+    // Negative age never shrinks sigma below the t=0 corner.
+    EXPECT_DOUBLE_EQ(corner.effectiveSigma(-5.0),
+                     corner.effectiveSigma(0.0));
+}
+
+TEST(VariationProfile, FleetSamplingIsDeterministicPerChip)
+{
+    VariationModel corner;
+    corner.sigmaOfRange = 0.02;
+    corner.driftPerSecond = 1e-4;
+    corner.stuckAtRate = 0.0;
+
+    const auto fleet1 = sampleFleetProfiles(corner, 2019, 4);
+    const auto fleet2 = sampleFleetProfiles(corner, 2019, 4);
+    ASSERT_EQ(fleet1.size(), 4u);
+    for (std::size_t i = 0; i < fleet1.size(); ++i) {
+        // Same fleet seed -> byte-identical chips.
+        EXPECT_DOUBLE_EQ(fleet1[i].model.sigmaOfRange,
+                         fleet2[i].model.sigmaOfRange);
+        EXPECT_DOUBLE_EQ(fleet1[i].model.driftPerSecond,
+                         fleet2[i].model.driftPerSecond);
+        EXPECT_EQ(fleet1[i].seed, fleet2[i].seed);
+        // Scatter stays within the clamp band around the corner.
+        EXPECT_GE(fleet1[i].model.sigmaOfRange,
+                  corner.sigmaOfRange * 0.25);
+        EXPECT_LE(fleet1[i].model.sigmaOfRange,
+                  corner.sigmaOfRange * 4.0);
+        // A zero corner field stays exactly zero.
+        EXPECT_DOUBLE_EQ(fleet1[i].model.stuckAtRate, 0.0);
+    }
+    // Chips differ from each other (the fleet is heterogeneous).
+    EXPECT_NE(fleet1[0].model.sigmaOfRange,
+              fleet1[1].model.sigmaOfRange);
+    EXPECT_NE(fleet1[0].seed, fleet1[1].seed);
+}
+
+TEST(Crossbar, AgeShrinksWeightMagnitudesAndReprogramRestores)
+{
+    CrossbarParams params;
+    params.rows = 8;
+    params.logicalCols = 8;
+    params.cell.variation = VariationModel::ideal();
+    params.cell.variation.driftPerSecond = 1e-3;
+    Crossbar xbar(params);
+
+    std::vector<std::int32_t> w(8 * 8);
+    Rng wr(21);
+    for (auto &v : w)
+        v = static_cast<std::int32_t>(wr.uniformInt(241)) - 120;
+    Rng rng(22);
+    xbar.programWeights(w, rng);
+
+    double before = 0.0;
+    for (int r = 0; r < 8; ++r)
+        for (int c = 0; c < 8; ++c)
+            before += std::fabs(xbar.effectiveWeight(r, c));
+
+    // Both polarities drift toward gMin, but the zero polarity is
+    // already floored there, so the programmed magnitude shrinks.
+    xbar.age(50.0);
+    double after = 0.0;
+    for (int r = 0; r < 8; ++r)
+        for (int c = 0; c < 8; ++c)
+            after += std::fabs(xbar.effectiveWeight(r, c));
+    EXPECT_LT(after, before * 0.99);
+
+    // Re-programming the same levels restores the weights exactly
+    // (ideal sigma: programming is noiseless).
+    xbar.programWeights(w, rng);
+    for (int r = 0; r < 8; ++r)
+        for (int c = 0; c < 8; ++c)
+            EXPECT_NEAR(xbar.effectiveWeight(r, c),
+                        static_cast<double>(w[r * 8 + c]), 1e-9);
 }
 
 } // namespace

@@ -273,9 +273,47 @@ def shard_metrics(records):
     ]
 
 
+def variation_metrics(records):
+    """variation_serving: gated zero-loss re-programming invariant and
+    the served-accuracy floor on a drifting fleet (both deterministic:
+    the drift clock is logical and every profile is seeded), plus the
+    Fig. 9 analytic headline points pinning the device model."""
+    summary = next(
+        (r for r in records if r.get("kind") == "summary"), None)
+    if summary is None:
+        raise SystemExit("variation: no summary line in input")
+    return [
+        # Deterministic invariant: draining + re-programming a STALE
+        # replica never loses an accepted request.
+        metric("lostAcceptedRequests",
+               summary["lostAcceptedRequests"], "lower"),
+        # Worst best-replica accuracy the stream ever saw (sampled
+        # after each drift mark, before recovery ran).
+        metric("minServedAccuracy",
+               summary["minServedAccuracy"], "higher"),
+        # Accuracy floor after each recovery pass re-programmed the
+        # drifted replicas.
+        metric("postRecoveryFloor",
+               summary["postRecoveryFloor"], "higher"),
+        # Fig. 9 headline points: PRIME's splice x2 (~0.70) vs FPSA's
+        # add x8 -- closed-form, so they pin the device model itself.
+        metric("fig9SpliceX2Accuracy",
+               summary["fig9SpliceX2Accuracy"], "higher"),
+        metric("fig9AddX8Accuracy",
+               summary["fig9AddX8Accuracy"], "higher"),
+        metric("servingP99Millis", summary["servingP99Millis"],
+               "lower", timing=True),
+        metric("recalibrations", summary["recalibrations"], "info"),
+        metric("driftClockSeconds", summary["driftClockSeconds"],
+               "info"),
+        metric("requests", summary["requests"], "info"),
+    ]
+
+
 EXTRACTORS = {"pnr": pnr_metrics, "serving": serving_metrics,
               "infer": infer_metrics, "cluster": cluster_metrics,
-              "fault": fault_metrics, "shard": shard_metrics}
+              "fault": fault_metrics, "shard": shard_metrics,
+              "variation": variation_metrics}
 
 
 def envelope(paths, commit, timestamp, relax):
